@@ -1,0 +1,32 @@
+"""Ablation — the full decode-rate waterfall behind Fig. 15.
+
+The paper reports two operating points for the RX-LED at 25 cm: works
+at 450 lux, fails at 100 lux.  This bench sweeps the noise floor across
+the whole range and locates the decode cliff, checking that the paper's
+two points straddle it.
+"""
+
+from repro.analysis.waterfall import noise_floor_waterfall
+from repro.hardware.frontend import ReceiverFrontEnd
+from repro.hardware.led_receiver import LedReceiver
+
+
+def test_ablation_noise_floor_waterfall(benchmark):
+    levels = [3000.0, 1000.0, 450.0, 250.0, 100.0, 50.0]
+
+    def run():
+        return noise_floor_waterfall(
+            lambda seed: ReceiverFrontEnd(detector=LedReceiver.red_5mm(),
+                                          seed=seed),
+            lux_levels=levels, height_m=0.25, seeds=(2, 3, 4, 5, 6))
+
+    curve = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(curve.render())
+    cliff = curve.crossover(0.5)
+    print(f"decode cliff (rate < 0.5) at {cliff} lux")
+    rates = {p.stress: p.decode_rate for p in curve.points}
+    # The paper's operating points straddle the cliff.
+    assert rates[450.0] >= 0.6
+    assert rates[100.0] <= 0.2
+    assert cliff is not None and 100.0 <= cliff <= 450.0

@@ -1,0 +1,18 @@
+"""Fig. 5 — clean RSS decoding in the ideal dark-room scenario.
+
+Paper: codes '00' (HLHL) and '10' (LHHL) at 3 cm symbol width, receiver
+and LED lamp at 20 cm height, object at 8 cm/s; both packets decode with
+the per-packet adaptive thresholds.
+"""
+
+from repro.analysis.experiments import experiment_fig5
+
+from conftest import report
+
+
+def test_fig05_ideal_decoding(benchmark):
+    result = benchmark.pedantic(experiment_fig5, rounds=3, iterations=1)
+    report(result)
+    assert result.passed, result.report()
+    assert result.measured["code_00_decoded"]
+    assert result.measured["code_10_decoded"]

@@ -1,0 +1,22 @@
+"""Fig. 6(b) — channel throughput vs receiver height.
+
+Paper: at a constant 8 cm/s, the narrowest decodable symbol width grows
+with height, so throughput = speed / width decays ~exponentially
+(roughly 9 -> 1 symbols/s over 0.2 -> 0.5 m).  The reproduction asserts
+a monotone decay with a negative exponential rate and at least a 1.8x
+drop over the swept range (the simulated receiver is blur-limited over
+more of the range, so the measured factor is smaller than 9x).
+"""
+
+from repro.analysis.experiments import experiment_fig6b
+
+from conftest import report
+
+
+def test_fig06b_throughput_decay(benchmark):
+    result = benchmark.pedantic(experiment_fig6b, kwargs={"quick": True},
+                                rounds=1, iterations=1)
+    report(result)
+    assert result.passed, result.report()
+    assert result.measured["exp_rate_per_m"] < 0.0
+    assert result.measured["decay_ratio_first_to_last"] >= 1.8

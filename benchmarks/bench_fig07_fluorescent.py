@@ -1,0 +1,23 @@
+"""Fig. 7 — decoding under ceiling fluorescent lights.
+
+Paper: with 2.3 m fluorescent tubes the method still works, but the
+noise floor is higher, the HIGH/LOW gap smaller, and the lines 'thicker'
+due to the AC power supply.  The reproduction asserts a successful
+decode, a dominant 100 Hz ripple component absent from the dark room,
+and a reduced modulation index.
+"""
+
+from repro.analysis.experiments import experiment_fig7
+
+from conftest import report
+
+
+def test_fig07_fluorescent_light(benchmark):
+    result = benchmark.pedantic(experiment_fig7, rounds=3, iterations=1)
+    report(result)
+    assert result.passed, result.report()
+    assert result.measured["decoded"]
+    assert (result.measured["ac_100hz_ripple_share"]
+            > result.measured["dark_room_ripple_share"])
+    assert (result.measured["modulation_index"]
+            < result.measured["dark_room_modulation_index"])

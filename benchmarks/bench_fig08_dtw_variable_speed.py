@@ -1,0 +1,23 @@
+"""Fig. 8 — variable speed distortion and the DTW fallback.
+
+Paper: an object that doubles its speed mid-packet defeats the threshold
+decoder ('HLHL.HL' instead of 'HLHL.LHHL'), but DTW against the clean
+Fig. 5 templates classifies it correctly (distances 326 vs 172, self
+131).  Absolute distances depend on sampling and normalisation; the
+reproduction asserts the decoder failure and the distance *ordering*
+d(correct '10') < d(wrong '00').
+"""
+
+from repro.analysis.experiments import experiment_fig8
+
+from conftest import report
+
+
+def test_fig08_dtw_classification(benchmark):
+    result = benchmark.pedantic(experiment_fig8, rounds=3, iterations=1)
+    report(result)
+    assert result.passed, result.report()
+    assert result.measured["threshold_decode_wrong"]
+    assert result.measured["classified_as"] == "10"
+    assert (result.measured["dtw_distance_to_10"]
+            < result.measured["dtw_distance_to_00"])

@@ -1,0 +1,22 @@
+"""Fig. 11 (table) — saturation and sensitivity of the receivers.
+
+Paper: PD G1/G2/G3 saturate at 450/1200/5000 lux with relative
+sensitivities 1/0.45/0.089; the RX-LED saturates at 35 klux with 0.013.
+The reproduction sweeps each detector's static transfer, measures the
+clip onset and small-signal slope, and exercises the Section 4.4
+dual-receiver selection policy across ambient levels.
+"""
+
+from repro.analysis.experiments import experiment_fig11
+
+from conftest import report
+
+
+def test_fig11_receiver_characteristics(benchmark):
+    result = benchmark.pedantic(experiment_fig11, rounds=5, iterations=1)
+    report(result)
+    assert result.passed, result.report()
+    for name, sat in (("PD-G1", 450.0), ("PD-G2", 1200.0),
+                      ("PD-G3", 5000.0), ("RX-LED", 35000.0)):
+        measured = result.measured[name]["saturation_lux"]
+        assert abs(measured - sat) / sat < 0.02

@@ -1,0 +1,17 @@
+"""Fig. 13 — the Volvo V40's optical signature.
+
+Paper: the bare hatchback at 18 km/h under the RX-LED shows hood peak
+(A), windshield valley (B), roof peak (C) and rear-window valley (D);
+the waveform identifies the car design.
+"""
+
+from repro.analysis.experiments import experiment_fig13
+
+from conftest import report
+
+
+def test_fig13_volvo_signature(benchmark):
+    result = benchmark.pedantic(experiment_fig13, rounds=3, iterations=1)
+    report(result)
+    assert result.passed, result.report()
+    assert result.measured["matched_model"] == "Volvo V40"

@@ -1,0 +1,17 @@
+"""Fig. 14 — the BMW 3-series' optical signature.
+
+Paper: the sedan adds a trunk-deck peak (E) after the rear-window
+valley, giving a five-feature signature distinct from the hatchback's.
+"""
+
+from repro.analysis.experiments import experiment_fig14
+
+from conftest import report
+
+
+def test_fig14_bmw_signature(benchmark):
+    result = benchmark.pedantic(experiment_fig14, rounds=3, iterations=1)
+    report(result)
+    assert result.passed, result.report()
+    assert result.measured["matched_model"] == "BMW 3 series"
+    assert result.measured["n_peaks"] == 3

@@ -1,0 +1,19 @@
+"""Fig. 15 — RX-LED under mild illumination.
+
+Paper: with the tag at 18 km/h and the receiver at 25 cm, the RX-LED
+decodes at a 450 lux noise floor but fails at 100 lux — the system
+harnesses ambient light, and too little of it leaves nothing to
+modulate.
+"""
+
+from repro.analysis.experiments import experiment_fig15
+
+from conftest import report
+
+
+def test_fig15_led_noise_floor_threshold(benchmark):
+    result = benchmark.pedantic(experiment_fig15, rounds=1, iterations=1)
+    report(result)
+    assert result.passed, result.report()
+    assert result.measured["decode_rate_at_450lux"] >= 0.6
+    assert result.measured["decode_rate_at_100lux"] <= 0.2

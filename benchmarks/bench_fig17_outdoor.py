@@ -1,0 +1,22 @@
+"""Fig. 17 — the outdoor vehicle application, well illuminated.
+
+Paper: with the RX-LED and the car at 18 km/h, the code decodes at
+(a) 6200 lux / 75 cm, (b) 3700 lux / 100 cm and (c) 5500 lux / 100 cm
+with the HLHL.LHHL code; the achieved throughput is ~50 symbols/s
+(5 m/s over 10 cm symbols).
+"""
+
+from repro.analysis.experiments import experiment_fig17
+
+from conftest import report
+
+
+def test_fig17_outdoor_configurations(benchmark):
+    result = benchmark.pedantic(experiment_fig17, rounds=1, iterations=1)
+    report(result)
+    assert result.passed, result.report()
+    assert result.measured["throughput_sps"] == 50.0
+    for key in ("decode_rate_a_6200lux_h75cm_code00",
+                "decode_rate_b_3700lux_h100cm_code00",
+                "decode_rate_c_5500lux_h100cm_code10"):
+        assert result.measured[key] >= 0.6

@@ -1,0 +1,39 @@
+"""Sustainability comparison — the paper's Section 1 argument.
+
+"Cameras can also provide a passive monitoring infrastructure [...] But
+cameras consume orders of magnitude more energy than simpler
+photodiodes: upwards of 1000 mW vs 1.5 mW", and a credit-card solar
+panel should power the tiny box autonomously.  This bench quantifies
+the tiny-box vs camera power budgets and the autonomy margin across the
+paper's ambient levels.
+"""
+
+from repro.hardware.energy import (
+    autonomy,
+    camera_receiver_budget,
+    photodiode_receiver_budget,
+)
+
+
+def test_sustainability_comparison(benchmark):
+    def run():
+        box = photodiode_receiver_budget()
+        camera = camera_receiver_budget()
+        rows = {}
+        for lux in (450.0, 3700.0, 6200.0, 10_000.0):
+            rows[lux] = (autonomy(box, lux).margin,
+                         autonomy(camera, lux).margin)
+        return box, camera, rows
+
+    box, camera, rows = benchmark.pedantic(run, rounds=5, iterations=1)
+    print(f"\n[sustainability] tiny box {box.total_w * 1e3:.2f} mW vs "
+          f"camera {camera.total_w * 1e3:.0f} mW "
+          f"({camera.total_w / box.total_w:.0f}x)")
+    for lux, (m_box, m_cam) in rows.items():
+        print(f"  {lux:8.0f} lux: box margin {m_box:6.2f}x, "
+              f"camera margin {m_cam:6.3f}x")
+    # Orders of magnitude apart, per the paper.
+    assert camera.total_w > 100 * box.total_w
+    # The tiny box is solar-autonomous outdoors; the camera never is.
+    assert rows[6200.0][0] > 1.0
+    assert all(m_cam < 1.0 for _, m_cam in rows.values())

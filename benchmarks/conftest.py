@@ -1,0 +1,15 @@
+"""Benchmark harness configuration.
+
+Each ``bench_figXX_*.py`` regenerates one figure/table from the paper's
+evaluation, asserts its shape-level claim, and prints the
+paper-vs-measured report (run with ``-s`` to see the reports of passing
+benches; failures always show them).
+"""
+
+import pytest
+
+
+def report(result) -> None:
+    """Print an experiment's paper-vs-measured report."""
+    print()
+    print(result.report())

@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""The paper's Fig. 1 scenario: a gate reading codes off food trucks.
+
+A single photodiode box watches a gate.  Trucks wear reflective tags
+encoding their cargo type; the gate's receiver is chosen automatically
+for the ambient conditions (Section 4.4), decodes each pass, and falls
+back to FFT collision analysis when two trucks squeeze through together
+(Section 4.3).
+
+Run:  python examples/food_truck_gate.py
+"""
+
+from repro import (
+    ChannelSimulator,
+    ConstantSpeed,
+    DualReceiverController,
+    MovingObject,
+    Packet,
+    PassiveScene,
+    SimulatorConfig,
+    Sun,
+    TagSurface,
+)
+from repro.core.collision import CollisionAnalyzer
+from repro.optics.materials import TARMAC
+
+TRUCK_CODES = {
+    "00": "taco truck",
+    "01": "ice-cream van",
+    "10": "coffee cart",
+    "11": "noodle wagon",
+}
+
+GATE_HEIGHT_M = 0.75
+TRUCK_SPEED_MPS = 3.0
+SYMBOL_WIDTH_M = 0.12
+AMBIENT_LUX = 5500.0
+
+
+def make_scene(codes_and_shares, seed, speed_mps=TRUCK_SPEED_MPS):
+    """One gate pass; several trucks may share the FoV laterally."""
+    objects = []
+    for bits, share, width in codes_and_shares:
+        packet = Packet.from_bitstring(bits, symbol_width_m=width)
+        tag = TagSurface.from_packet(packet, label=TRUCK_CODES[bits])
+        objects.append(MovingObject(tag,
+                                    ConstantSpeed(speed_mps, -1.8),
+                                    TRUCK_CODES[bits], fov_share=share))
+    return PassiveScene(source=Sun(ground_lux=AMBIENT_LUX),
+                        receiver_height_m=GATE_HEIGHT_M, ground=TARMAC,
+                        objects=objects)
+
+
+def main() -> None:
+    # Pick the receiver for today's light (Section 4.4).
+    controller = DualReceiverController()
+    choice = controller.select(AMBIENT_LUX)
+    print(f"ambient: {AMBIENT_LUX:.0f} lux -> receiver: {choice.name} "
+          f"(headroom {choice.headroom:.1f}x)")
+    print()
+
+    analyzer = CollisionAnalyzer()
+
+    # --- Single trucks passing the gate ------------------------------
+    print("Single passes:")
+    for seed, bits in enumerate(TRUCK_CODES, start=20):
+        frontend = choice.frontend
+        frontend.seed = seed
+        sim = ChannelSimulator(
+            make_scene([(bits, 1.0, SYMBOL_WIDTH_M)], seed), frontend,
+            SimulatorConfig(seed=seed))
+        report = analyzer.analyze(sim.capture_pass(),
+                                  n_data_symbols=2 * len(bits))
+        decoded = (report.decode_result.bit_string()
+                   if report.decode_result else "")
+        label = TRUCK_CODES.get(decoded, "???")
+        status = "OK " if decoded == bits else "ERR"
+        print(f"  [{status}] sent {bits} ({TRUCK_CODES[bits]:>14}) -> "
+              f"decoded {decoded or '--'} ({label})")
+    print()
+
+    # --- Two trucks side by side: a 'packet collision' ---------------
+    # A low-frequency packet (wide strips) and a high-frequency one
+    # (narrow strips) creep through together at walking pace: the
+    # symbol rates are ~2.5 and ~5 Hz (Fig. 10's setup).
+    print("Two trucks abreast (equal FoV share):")
+    frontend = choice.frontend
+    frontend.seed = 31
+    sim = ChannelSimulator(
+        make_scene([("00", 0.5, 0.20), ("11", 0.5, 0.10)], 31,
+                   speed_mps=1.0),
+        frontend, SimulatorConfig(seed=31))
+    report = analyzer.analyze(sim.capture_pass())
+    print(f"  time-domain decodable: {report.time_domain_decodable}")
+    print(f"  spectral components  : "
+          f"{[f'{f:.2f} Hz' for f in report.detected_frequencies_hz]}")
+    if report.collision_detected:
+        print("  -> collision detected: two distinct objects under the "
+              "gate (Fig. 10, Case 3)")
+
+
+if __name__ == "__main__":
+    main()

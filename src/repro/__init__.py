@@ -1,0 +1,88 @@
+"""repro — reproduction of "Passive Communication with Ambient Light".
+
+Wang, Zuniga, Giustiniano — CoNEXT 2016 (DOI 10.1145/2999572.2999584).
+
+The package simulates a passive visible-light communication channel:
+unmodulated ambient light (LED lamp, fluorescent ceiling, the sun)
+reflects off coded surfaces carried by moving objects, and tiny
+photodiode/LED receivers decode the disturbed light.
+
+Quickstart::
+
+    from repro import PassiveLink, Sun, LedReceiver, ReceiverFrontEnd
+
+    link = PassiveLink(
+        source=Sun(ground_lux=6200.0),
+        frontend=ReceiverFrontEnd(detector=LedReceiver.red_5mm()),
+        receiver_height_m=0.75,
+    )
+    report = link.transmit("10", speed_mps=5.0)
+    assert report.success
+
+Subpackages:
+
+* ``repro.optics``    — photometry, materials, sources, reflection
+* ``repro.hardware``  — OPT101 photodiode, RX-LED, amplifier, ADC
+* ``repro.tags``      — Manchester coding, packet format, tag surfaces
+* ``repro.channel``   — scenes, mobility, distortions, the simulator
+* ``repro.dsp``       — filters, peaks, spectra, DTW
+* ``repro.core``      — decoder, classifier, collision analysis, links
+* ``repro.vehicles``  — car optical signatures (Section 5)
+* ``repro.net``       — networked receivers (Section 6 future work)
+* ``repro.analysis``  — metrics, sweeps, per-figure experiments
+"""
+
+from .channel import (
+    ChannelSimulator,
+    ConstantSpeed,
+    MovingObject,
+    PassiveScene,
+    SignalTrace,
+    SimulatorConfig,
+)
+from .core import (
+    AdaptiveThresholdDecoder,
+    CollisionAnalyzer,
+    DtwClassifier,
+    DualReceiverController,
+    PassiveLink,
+    ReceiverPipeline,
+)
+from .hardware import (
+    EvaluationBoard,
+    FovCap,
+    LedReceiver,
+    PdGain,
+    Photodiode,
+    ReceiverFrontEnd,
+)
+from .optics import (
+    ALUMINUM_TAPE,
+    BLACK_NAPKIN,
+    FieldOfView,
+    FluorescentCeiling,
+    LedLamp,
+    Material,
+    Sun,
+)
+from .tags import Packet, TagSurface
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # channel
+    "ChannelSimulator", "ConstantSpeed", "MovingObject", "PassiveScene",
+    "SignalTrace", "SimulatorConfig",
+    # core
+    "AdaptiveThresholdDecoder", "CollisionAnalyzer", "DtwClassifier",
+    "DualReceiverController", "PassiveLink", "ReceiverPipeline",
+    # hardware
+    "EvaluationBoard", "FovCap", "LedReceiver", "PdGain", "Photodiode",
+    "ReceiverFrontEnd",
+    # optics
+    "ALUMINUM_TAPE", "BLACK_NAPKIN", "FieldOfView", "FluorescentCeiling",
+    "LedLamp", "Material", "Sun",
+    # tags
+    "Packet", "TagSurface",
+]

@@ -1,0 +1,732 @@
+"""One reproduction function per paper figure/table.
+
+Every experiment returns an :class:`ExperimentResult` holding the
+measured series, the paper's claim, and a shape-level pass verdict.
+Benchmarks call these functions and print the paper-vs-measured rows;
+EXPERIMENTS.md is the curated record of their output.
+
+Scene parameters follow the paper exactly where stated (heights, symbol
+widths, speeds, noise floors, sampling rate); unstated constants (lamp
+intensity, sun elevation) are fixed at the values calibrated in
+DESIGN.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from ..channel.mobility import ConstantSpeed, speed_doubling_profile
+from ..channel.scene import MovingObject, PassiveScene
+from ..channel.simulator import ChannelSimulator, SimulatorConfig
+from ..channel.trace import SignalTrace
+from ..core.capacity import IndoorSetup
+from ..core.classifier import DtwClassifier
+from ..core.collision import CollisionAnalyzer
+from ..core.decoder import AdaptiveThresholdDecoder
+from ..core.errors import DecodeError, PreambleNotFoundError
+from ..core.receiver_select import DualReceiverController
+from ..hardware.frontend import FovCap, ReceiverFrontEnd
+from ..hardware.led_receiver import LedReceiver
+from ..hardware.photodiode import PdGain, Photodiode, normalized_sensitivity
+from ..optics.geometry import Vec3
+from ..optics.materials import TARMAC
+from ..optics.sources import FluorescentCeiling, LedLamp, Sun
+from ..tags.packet import Packet
+from ..tags.surface import TagSurface
+from ..vehicles.profiles import bmw_3_series, volvo_v40
+from ..vehicles.rooftag import TaggedCar, TwoPhaseDecoder
+from ..vehicles.signature import extract_signature, match_car
+from .metrics import fit_exponential, fit_linear
+from .sweeps import sweep_frontier, sweep_throughput
+
+__all__ = [
+    "ExperimentResult",
+    "experiment_fig5",
+    "experiment_fig6a",
+    "experiment_fig6b",
+    "experiment_fig7",
+    "experiment_fig8",
+    "experiment_fig10",
+    "experiment_fig11",
+    "experiment_fig13",
+    "experiment_fig14",
+    "experiment_fig15",
+    "experiment_fig16",
+    "experiment_fig17",
+]
+
+#: Outdoor car speed used throughout Section 5 (18 km/h).
+CAR_SPEED_MPS = 5.0
+
+#: Outdoor symbol width (Section 5).
+CAR_SYMBOL_WIDTH_M = 0.1
+
+#: Outdoor ADC sampling rate (Section 5).
+OUTDOOR_SAMPLE_RATE_HZ = 2_000.0
+
+
+@dataclass
+class ExperimentResult:
+    """Outcome of reproducing one figure or table.
+
+    Attributes:
+        experiment_id: e.g. ``"fig6a"``.
+        title: short description.
+        paper_claim: what the paper reports (shape-level).
+        measured: the reproduction's key numbers.
+        passed: whether the shape-level claim holds.
+        series: raw data series for inspection/plotting.
+        notes: calibration caveats and substitutions.
+    """
+
+    experiment_id: str
+    title: str
+    paper_claim: str
+    measured: dict[str, Any]
+    passed: bool
+    series: dict[str, Any] = field(default_factory=dict)
+    notes: str = ""
+
+    def report(self) -> str:
+        """Multi-line paper-vs-measured report."""
+        lines = [
+            f"[{self.experiment_id}] {self.title}",
+            f"  paper:    {self.paper_claim}",
+            "  measured:",
+        ]
+        for key, value in self.measured.items():
+            lines.append(f"    {key}: {value}")
+        lines.append(f"  verdict:  {'PASS' if self.passed else 'FAIL'}")
+        if self.notes:
+            lines.append(f"  notes:    {self.notes}")
+        return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Shared scene builders
+# ----------------------------------------------------------------------
+
+def indoor_capture(bits: str, symbol_width_m: float, height_m: float,
+                   speed_mps: float = 0.08,
+                   motion=None,
+                   lamp_intensity_cd: float = 2.0,
+                   pd_gain: PdGain = PdGain.G1,
+                   sample_rate_hz: float = 500.0,
+                   seed: int = 7) -> tuple[SignalTrace, Packet]:
+    """One dark-room pass (Sections 4.1-4.3 setup)."""
+    packet = Packet.from_bitstring(bits, symbol_width_m=symbol_width_m)
+    tag = TagSurface.from_packet(packet)
+    frontend = ReceiverFrontEnd(
+        detector=Photodiode.opt101(gain=pd_gain),
+        cap=FovCap.paper_cap(), seed=seed)
+    if motion is None:
+        motion = ConstantSpeed(speed_mps, -(0.6 * height_m
+                                            + 3.0 * symbol_width_m))
+    scene = PassiveScene(
+        source=LedLamp(position=Vec3(0.12, 0.0, height_m),
+                       luminous_intensity=lamp_intensity_cd),
+        receiver_height_m=height_m,
+        objects=[MovingObject(tag, motion, "tag")])
+    sim = ChannelSimulator(scene, frontend,
+                           SimulatorConfig(sample_rate_hz=sample_rate_hz,
+                                           seed=seed))
+    return sim.capture_pass(), packet
+
+
+def outdoor_tag_capture(bits: str, noise_floor_lux: float, height_m: float,
+                        receiver: ReceiverFrontEnd,
+                        symbol_width_m: float = CAR_SYMBOL_WIDTH_M,
+                        speed_mps: float = CAR_SPEED_MPS,
+                        seed: int = 3) -> tuple[SignalTrace, Packet]:
+    """A bare tag passing outdoors (no car body)."""
+    packet = Packet.from_bitstring(bits, symbol_width_m=symbol_width_m)
+    tag = TagSurface.from_packet(packet)
+    receiver.seed = seed
+    scene = PassiveScene(
+        source=Sun(ground_lux=noise_floor_lux),
+        receiver_height_m=height_m, ground=TARMAC,
+        objects=[MovingObject(tag, ConstantSpeed(speed_mps, -1.5), "tag")])
+    sim = ChannelSimulator(scene, receiver,
+                           SimulatorConfig(
+                               sample_rate_hz=OUTDOOR_SAMPLE_RATE_HZ,
+                               seed=seed))
+    return sim.capture_pass(), packet
+
+
+def outdoor_car_capture(bits: str | None, noise_floor_lux: float,
+                        height_m: float, receiver: ReceiverFrontEnd,
+                        car=None, seed: int = 3) -> tuple[SignalTrace, Packet | None]:
+    """A (possibly tagged) car passing outdoors at 18 km/h."""
+    car = car if car is not None else volvo_v40()
+    packet = None
+    if bits is not None:
+        packet = Packet.from_bitstring(bits,
+                                       symbol_width_m=CAR_SYMBOL_WIDTH_M)
+        surface = TaggedCar(car=car, packet=packet).surface()
+    else:
+        surface = car
+    receiver.seed = seed
+    scene = PassiveScene(
+        source=Sun(ground_lux=noise_floor_lux),
+        receiver_height_m=height_m, ground=TARMAC,
+        objects=[MovingObject(surface, ConstantSpeed(CAR_SPEED_MPS, -1.5),
+                              car.model)])
+    sim = ChannelSimulator(scene, receiver,
+                           SimulatorConfig(
+                               sample_rate_hz=OUTDOOR_SAMPLE_RATE_HZ,
+                               seed=seed))
+    return sim.capture_pass(), packet
+
+
+def _decode_ok(trace: SignalTrace, packet: Packet,
+               decoder: AdaptiveThresholdDecoder | None = None) -> bool:
+    decoder = decoder or AdaptiveThresholdDecoder()
+    try:
+        result = decoder.decode(trace,
+                                n_data_symbols=2 * len(packet.data_bits))
+    except (PreambleNotFoundError, DecodeError):
+        return False
+    return result.bit_string() == packet.bit_string()
+
+
+def _majority_outdoor_tag(bits: str, lux: float, height: float,
+                          receiver_factory, seeds=(2, 3, 4, 5, 6)) -> float:
+    wins = 0
+    for seed in seeds:
+        trace, packet = outdoor_tag_capture(bits, lux, height,
+                                            receiver_factory(), seed=seed)
+        wins += _decode_ok(trace, packet)
+    return wins / len(seeds)
+
+
+# ----------------------------------------------------------------------
+# Section 4.1 — Figs. 5, 6(a), 6(b)
+# ----------------------------------------------------------------------
+
+def experiment_fig5(seed: int = 7) -> ExperimentResult:
+    """Fig. 5: clean decode of codes '00' and '10' in the ideal scenario."""
+    results: dict[str, Any] = {}
+    traces: dict[str, SignalTrace] = {}
+    ok_all = True
+    for bits in ("00", "10"):
+        trace, packet = indoor_capture(bits, symbol_width_m=0.03,
+                                       height_m=0.2, seed=seed)
+        ok = _decode_ok(trace, packet)
+        results[f"code_{bits}_decoded"] = ok
+        traces[bits] = trace.normalized()
+        ok_all = ok_all and ok
+    return ExperimentResult(
+        experiment_id="fig5",
+        title="Ideal-scenario decoding (LED lamp, dark room, 3 cm symbols, "
+              "h = 20 cm, 8 cm/s)",
+        paper_claim="Both packets ('00' -> HLHL, '10' -> LHHL) are cleanly "
+                    "decodable with the adaptive thresholds",
+        measured=results,
+        passed=ok_all,
+        series={"normalized_traces": traces},
+    )
+
+
+def experiment_fig6a(quick: bool = True) -> ExperimentResult:
+    """Fig. 6(a): max decodable height grows ~linearly with symbol width."""
+    setup = IndoorSetup(seeds=(11, 23) if quick else (11, 23, 47))
+    widths = (np.array([0.04, 0.06, 0.08, 0.10]) if quick
+              else np.array([0.035, 0.05, 0.065, 0.08, 0.095, 0.11]))
+    frontier = sweep_frontier(setup, widths,
+                              tolerance_m=0.03 if quick else 0.015)
+    if len(frontier) < 3:
+        return ExperimentResult(
+            experiment_id="fig6a",
+            title="Maximal height vs symbol width",
+            paper_claim="Linear decodable-region boundary",
+            measured={"frontier_points": frontier},
+            passed=False,
+            notes="too few decodable widths to fit a line")
+    ws = np.array([w for w, _ in frontier])
+    hs = np.array([h for _, h in frontier])
+    fit = fit_linear(ws, hs)
+    passed = fit.slope > 0.0 and fit.r_squared >= 0.85
+    return ExperimentResult(
+        experiment_id="fig6a",
+        title="Maximal decodable height vs symbol width (8 cm/s)",
+        paper_claim="A decodable region bounded by a linear relationship "
+                    "between maximal height and symbol width "
+                    "(1.5-7.5 cm -> ~0.2-0.5 m)",
+        measured={
+            "frontier": [(round(w, 3), round(h, 3)) for w, h in frontier],
+            "linear_slope_m_per_m": round(fit.slope, 2),
+            "r_squared": round(fit.r_squared, 3),
+        },
+        passed=passed,
+        series={"widths_m": ws.tolist(), "max_heights_m": hs.tolist()},
+        notes="absolute frontier sits at slightly wider symbols than the "
+              "paper's (capped-PD acceptance is wider than their optics); "
+              "the linear shape is the reproduced claim",
+    )
+
+
+def experiment_fig6b(quick: bool = True) -> ExperimentResult:
+    """Fig. 6(b): throughput decays steeply (~exponentially) with height."""
+    setup = IndoorSetup(seeds=(11, 23) if quick else (11, 23, 47))
+    heights = (np.array([0.2, 0.3, 0.4, 0.5]) if quick
+               else np.array([0.2, 0.25, 0.3, 0.35, 0.4, 0.45, 0.5]))
+    curve = sweep_throughput(setup, heights,
+                             tolerance_m=0.004 if quick else 0.002)
+    if len(curve) < 3:
+        return ExperimentResult(
+            experiment_id="fig6b",
+            title="Throughput vs height",
+            paper_claim="Exponential decay",
+            measured={"curve_points": curve},
+            passed=False,
+            notes="too few decodable heights")
+    hs = np.array([h for h, _ in curve])
+    ts = np.array([t for _, t in curve])
+    exp_fit = fit_exponential(hs, ts)
+    decay_ratio = ts[0] / ts[-1] if ts[-1] > 0 else float("inf")
+    monotone = bool(np.all(np.diff(ts) <= 1e-9))
+    passed = monotone and exp_fit.rate < 0.0 and decay_ratio >= 1.8
+    return ExperimentResult(
+        experiment_id="fig6b",
+        title="Throughput (symbols/s) vs receiver height (8 cm/s)",
+        paper_claim="Channel capacity decreases ~exponentially with height "
+                    "(~9 -> ~1 symbols/s over 0.2 -> 0.5 m)",
+        measured={
+            "curve": [(round(h, 3), round(t, 2)) for h, t in curve],
+            "exp_rate_per_m": round(exp_fit.rate, 2),
+            "exp_fit_r_squared": round(exp_fit.r_squared, 3),
+            "decay_ratio_first_to_last": round(decay_ratio, 2),
+        },
+        passed=passed,
+        series={"heights_m": hs.tolist(), "throughput_sps": ts.tolist()},
+        notes="decay factor is smaller than the paper's ~9x because the "
+              "simulated receiver is blur-limited over most of the range; "
+              "monotone steep decay is the reproduced claim",
+    )
+
+
+# ----------------------------------------------------------------------
+# Section 4.1 — Fig. 7 (other light sources)
+# ----------------------------------------------------------------------
+
+def experiment_fig7(seed: int = 5) -> ExperimentResult:
+    """Fig. 7: decoding still works under AC-driven ceiling lights."""
+    packet = Packet.from_bitstring("00", symbol_width_m=0.03)
+    tag = TagSurface.from_packet(packet)
+    frontend = ReceiverFrontEnd(detector=Photodiode.opt101(gain=PdGain.G2),
+                                cap=FovCap.paper_cap(), seed=seed)
+    scene = PassiveScene(
+        source=FluorescentCeiling(ground_lux=300.0, height=2.3),
+        receiver_height_m=0.2,
+        objects=[MovingObject(tag, ConstantSpeed(0.08, -0.3), "tag")])
+    sim = ChannelSimulator(scene, frontend,
+                           SimulatorConfig(sample_rate_hz=2000.0, seed=seed))
+    trace = sim.capture_pass()
+    decoded = _decode_ok(trace, packet)
+
+    # Reference: the dark-room equivalent for ripple/noise-floor compare.
+    clean_trace, _ = indoor_capture("00", 0.03, 0.2, seed=seed,
+                                    sample_rate_hz=2000.0)
+
+    def ac_ripple_share(t: SignalTrace) -> float:
+        """Spectral energy near 100 Hz relative to the symbol band."""
+        from ..dsp.spectrum import power_spectrum
+
+        spec = power_spectrum(t.samples, t.sample_rate_hz,
+                              detrend_window_s=None)
+        ac = spec.band(90.0, 110.0)
+        symbol = spec.band(0.5, 10.0)
+        denom = float(np.sum(symbol.power**2))
+        if denom == 0.0:
+            return 0.0
+        return float(np.sum(ac.power**2)) / denom
+
+    def modulation_index(t: SignalTrace) -> float:
+        """H/L swing relative to the mean level (gap vs noise floor)."""
+        mean = t.mean()
+        return t.swing() / mean if mean > 0.0 else float("inf")
+
+    ripple_fluor = ac_ripple_share(trace)
+    ripple_dark = ac_ripple_share(clean_trace)
+    noise_floor = scene.nominal_noise_floor_lux()
+    mod_fluor = modulation_index(trace)
+    mod_dark = modulation_index(clean_trace)
+    passed = (decoded
+              and ripple_fluor > 10.0 * max(ripple_dark, 1e-12)
+              and noise_floor > 100.0
+              and mod_fluor < mod_dark)
+    return ExperimentResult(
+        experiment_id="fig7",
+        title="Decoding under ceiling fluorescent light (2.3 m luminaire, "
+              "h = 20 cm receiver)",
+        paper_claim="Still decodable; higher noise floor, smaller H/L gap, "
+                    "'thicker lines' from the AC power supply",
+        measured={
+            "decoded": decoded,
+            "noise_floor_lux": round(noise_floor, 1),
+            "ac_100hz_ripple_share": round(ripple_fluor, 5),
+            "dark_room_ripple_share": round(ripple_dark, 7),
+            "modulation_index": round(mod_fluor, 3),
+            "dark_room_modulation_index": round(mod_dark, 3),
+        },
+        passed=passed,
+        series={"normalized_trace": trace.normalized()},
+    )
+
+
+# ----------------------------------------------------------------------
+# Section 4.2 — Fig. 8 (variable speed + DTW)
+# ----------------------------------------------------------------------
+
+def experiment_fig8(seed: int = 9) -> ExperimentResult:
+    """Fig. 8: speed doubling breaks decoding; DTW classifies correctly."""
+    clean00, p00 = indoor_capture("00", 0.03, 0.2, seed=6)
+    clean10, p10 = indoor_capture("10", 0.03, 0.2, seed=6)
+    motion = speed_doubling_profile(p10.length_m, 0.08, -0.3)
+    distorted, _ = indoor_capture("10", 0.03, 0.2, motion=motion, seed=seed)
+
+    decoder = AdaptiveThresholdDecoder()
+    threshold_bits = ""
+    threshold_symbols = ""
+    try:
+        res = decoder.decode(distorted, n_data_symbols=4)
+        threshold_bits = res.bit_string()
+        threshold_symbols = res.symbol_string()
+    except (PreambleNotFoundError, DecodeError):
+        pass
+    threshold_fails = threshold_bits != "10"
+
+    classifier = DtwClassifier()
+    classifier.add_template("00", clean00)
+    classifier.add_template("10", clean10)
+    outcome = classifier.classify(distorted)
+    d_wrong = outcome.distances["00"]
+    d_correct = outcome.distances["10"]
+    self_distance = classifier.distance_to(
+        [t for t in classifier.templates if t.label == "10"][0], clean10)
+
+    passed = (threshold_fails and outcome.label == "10"
+              and d_correct < d_wrong)
+    return ExperimentResult(
+        experiment_id="fig8",
+        title="Variable speed distortion (speed doubles mid-packet) + DTW",
+        paper_claim="Threshold decoder outputs a wrong sequence "
+                    "('HLHL.HL' instead of 'HLHL.LHHL'); DTW distances "
+                    "326 (wrong '00') vs 172 (correct '10'), self 131 — "
+                    "the distorted packet classifies as '10'",
+        measured={
+            "threshold_decode_symbols": threshold_symbols or "(acquisition failed)",
+            "threshold_decode_wrong": threshold_fails,
+            "dtw_distance_to_00": round(d_wrong, 1),
+            "dtw_distance_to_10": round(d_correct, 1),
+            "self_distance_10": round(self_distance, 1),
+            "classified_as": outcome.label,
+        },
+        passed=passed,
+        series={"distorted_trace": distorted.normalized()},
+        notes="absolute DTW distances depend on sampling/normalisation; "
+              "the reproduced claim is the ordering "
+              "d(correct) < d(wrong) and the correct classification",
+    )
+
+
+# ----------------------------------------------------------------------
+# Section 4.3 — Fig. 10 (collisions)
+# ----------------------------------------------------------------------
+
+def _collision_capture(share_low: float, share_high: float,
+                       seed: int = 11) -> tuple[SignalTrace, Packet, Packet]:
+    low_pkt = Packet.from_bitstring("00", symbol_width_m=0.08)
+    high_pkt = Packet.from_bitstring("000000", symbol_width_m=0.04)
+    frontend = ReceiverFrontEnd(detector=Photodiode.opt101(gain=PdGain.G1),
+                                cap=FovCap.paper_cap(), seed=seed)
+    scene = PassiveScene(
+        source=LedLamp(position=Vec3(0.12, 0.0, 0.2),
+                       luminous_intensity=2.0),
+        receiver_height_m=0.2,
+        objects=[
+            MovingObject(TagSurface.from_packet(low_pkt, label="low-freq"),
+                         ConstantSpeed(0.16, -0.3), "low",
+                         fov_share=share_low),
+            MovingObject(TagSurface.from_packet(high_pkt, label="high-freq"),
+                         ConstantSpeed(0.16, -0.3), "high",
+                         fov_share=share_high),
+        ])
+    sim = ChannelSimulator(scene, frontend,
+                           SimulatorConfig(sample_rate_hz=500.0, seed=seed))
+    return sim.capture_pass(), low_pkt, high_pkt
+
+
+def experiment_fig10(seed: int = 11) -> ExperimentResult:
+    """Fig. 10: packet collisions in time and frequency domain."""
+    analyzer = CollisionAnalyzer(min_separation_hz=0.7,
+                                 min_relative_height=0.3)
+    decoder = AdaptiveThresholdDecoder()
+    measured: dict[str, Any] = {}
+    series: dict[str, Any] = {}
+
+    def decodes_as(trace: SignalTrace, packet: Packet) -> bool:
+        try:
+            res = decoder.decode(trace,
+                                 n_data_symbols=2 * len(packet.data_bits))
+        except (PreambleNotFoundError, DecodeError):
+            return False
+        return res.bit_string() == packet.bit_string()
+
+    # Case 1: low-frequency packet dominates.
+    trace1, low_pkt, high_pkt = _collision_capture(0.85, 0.15, seed)
+    case1_ok = decodes_as(trace1, low_pkt)
+    freqs1 = analyzer.spectrum_peaks(trace1)
+    measured["case1_decodes_dominant"] = case1_ok
+    measured["case1_peak_frequencies_hz"] = [round(f, 2) for f in freqs1]
+
+    # Case 2: high-frequency packet dominates.
+    trace2, _, _ = _collision_capture(0.15, 0.85, seed)
+    case2_ok = decodes_as(trace2, high_pkt)
+    freqs2 = analyzer.spectrum_peaks(trace2)
+    measured["case2_decodes_dominant"] = case2_ok
+    measured["case2_peak_frequencies_hz"] = [round(f, 2) for f in freqs2]
+
+    # Case 3: equal shares — undecodable, two spectral components.
+    trace3, _, _ = _collision_capture(0.5, 0.5, seed)
+    case3_low = decodes_as(trace3, low_pkt)
+    case3_high = decodes_as(trace3, high_pkt)
+    freqs3 = analyzer.spectrum_peaks(trace3)
+    measured["case3_decodes_either"] = case3_low or case3_high
+    measured["case3_peak_frequencies_hz"] = [round(f, 2) for f in freqs3]
+
+    series["traces"] = {"case1": trace1.normalized(),
+                        "case2": trace2.normalized(),
+                        "case3": trace3.normalized()}
+
+    f_low_expected = 0.16 / (2 * 0.08)   # 1.0 Hz
+    f_high_expected = 0.16 / (2 * 0.04)  # 2.0 Hz
+    case1_freq_ok = (len(freqs1) >= 1
+                     and abs(freqs1[0] - f_low_expected) < 0.3)
+    case2_freq_ok = (len(freqs2) >= 1
+                     and abs(freqs2[0] - f_high_expected) < 0.3)
+    case3_freq_ok = (len(freqs3) >= 2
+                     and any(abs(f - f_low_expected) < 0.3 for f in freqs3)
+                     and any(abs(f - f_high_expected) < 0.3 for f in freqs3))
+    passed = (case1_ok and case2_ok
+              and not (case3_low or case3_high)
+              and case1_freq_ok and case2_freq_ok and case3_freq_ok)
+    return ExperimentResult(
+        experiment_id="fig10",
+        title="Two overlapping packets sharing the FoV",
+        paper_claim="Cases 1-2 (one packet dominates): time-domain "
+                    "decodable, single dominant FFT peak.  Case 3 (equal "
+                    "share): undecodable, but the FFT reveals two distinct "
+                    "components",
+        measured=measured,
+        passed=passed,
+        series=series,
+    )
+
+
+# ----------------------------------------------------------------------
+# Section 4.4 — Fig. 11 (receiver table)
+# ----------------------------------------------------------------------
+
+def experiment_fig11() -> ExperimentResult:
+    """Fig. 11: saturation and sensitivity of the four receiver configs."""
+    paper_table = {
+        "PD-G1": (450.0, 1.0),
+        "PD-G2": (1200.0, 0.45),
+        "PD-G3": (5000.0, 0.089),
+        "RX-LED": (35000.0, 0.013),
+    }
+    detectors = {
+        "PD-G1": Photodiode.opt101(gain=PdGain.G1),
+        "PD-G2": Photodiode.opt101(gain=PdGain.G2),
+        "PD-G3": Photodiode.opt101(gain=PdGain.G3),
+        "RX-LED": LedReceiver.red_5mm(),
+    }
+    measured: dict[str, Any] = {}
+    passed = True
+    for name, det in detectors.items():
+        paper_sat, paper_sens = paper_table[name]
+        # Measure the saturation onset from the static transfer curve.
+        lux = np.linspace(0.0, 1.3 * paper_sat, 4001)
+        response = det.respond(lux)
+        railed = lux[response >= 1.0 - 1e-9]
+        measured_sat = float(railed[0]) if len(railed) else float("inf")
+        # Measure the small-signal sensitivity from the slope.
+        measured_sens = normalized_sensitivity(det)
+        sat_err = abs(measured_sat - paper_sat) / paper_sat
+        sens_err = abs(measured_sens - paper_sens) / paper_sens
+        measured[name] = {
+            "saturation_lux": round(measured_sat, 1),
+            "paper_saturation_lux": paper_sat,
+            "relative_sensitivity": round(measured_sens, 4),
+            "paper_relative_sensitivity": paper_sens,
+        }
+        # Sensitivity tolerance is generous: the paper's own column is
+        # only approximately inverse to saturation (0.45 vs 0.375).
+        passed = passed and sat_err < 0.02 and sens_err < 0.25
+    # Behavioural check: the Section 4.4 selection policy.
+    controller = DualReceiverController()
+    selection = controller.selection_table([100.0, 450.0, 2000.0, 10_000.0])
+    measured["selection_policy"] = selection
+    policy_ok = (selection[0][1] == "PD-G1"
+                 and selection[-1][1] == "RX-LED")
+    passed = passed and policy_ok
+    return ExperimentResult(
+        experiment_id="fig11",
+        title="Supported noise floor and sensitivity of PD (G1-G3) and "
+              "RX-LED",
+        paper_claim="Saturation 450 / 1200 / 5000 / 35000 lux; sensitivity "
+                    "1 / 0.45 / 0.089 / 0.013 (normalised to PD-G1); a "
+                    "dual receiver selects the component matching the "
+                    "ambient conditions",
+        measured=measured,
+        passed=passed,
+        notes="sensitivity follows 450/saturation by construction; the "
+              "paper's measured 0.45 vs model 0.375 for G2 is within the "
+              "tolerance band",
+    )
+
+
+# ----------------------------------------------------------------------
+# Section 5.1 — Figs. 13-14 (car signatures)
+# ----------------------------------------------------------------------
+
+def _signature_experiment(car, fig_id: str, expected_pattern: str,
+                          seed: int = 3) -> ExperimentResult:
+    receiver = ReceiverFrontEnd(detector=LedReceiver.red_5mm(), seed=seed)
+    trace, _ = outdoor_car_capture(None, 5000.0, 0.75, receiver, car=car,
+                                   seed=seed)
+    signature = extract_signature(trace)
+    matched = match_car(signature, [volvo_v40(), bmw_3_series()])
+    passed = (signature.pattern == expected_pattern
+              and matched is not None and matched.model == car.model)
+    return ExperimentResult(
+        experiment_id=fig_id,
+        title=f"Optical signature of the {car.model} (bare car, RX-LED, "
+              "18 km/h)",
+        paper_claim="Metal panels (hood/roof/trunk) produce peaks, "
+                    "windshields produce valleys; the waveform identifies "
+                    "the car design",
+        measured={
+            "pattern": signature.pattern,
+            "expected_pattern": expected_pattern,
+            "matched_model": matched.model if matched else None,
+            "n_peaks": signature.n_peaks(),
+            "n_valleys": signature.n_valleys(),
+        },
+        passed=passed,
+        series={"normalized_trace": trace.normalized()},
+    )
+
+
+def experiment_fig13(seed: int = 3) -> ExperimentResult:
+    """Fig. 13: Volvo V40 signature — hood A, windshield B, roof C,
+    rear window D (the short tailgate lip adds Fig. 13's small rise at
+    the very tail)."""
+    return _signature_experiment(volvo_v40(), "fig13", "PVPVP", seed=seed)
+
+
+def experiment_fig14(seed: int = 3) -> ExperimentResult:
+    """Fig. 14: BMW 3 signature — adds the trunk peak E."""
+    return _signature_experiment(bmw_3_series(), "fig14", "PVPVP", seed=seed)
+
+
+# ----------------------------------------------------------------------
+# Section 5.2 — Figs. 15-16 (mild illumination)
+# ----------------------------------------------------------------------
+
+def experiment_fig15(seeds=(2, 3, 4, 5, 6)) -> ExperimentResult:
+    """Fig. 15: RX-LED at h = 25 cm works at 450 lux, fails at 100 lux."""
+    make_led = lambda: ReceiverFrontEnd(detector=LedReceiver.red_5mm())
+    rate_450 = _majority_outdoor_tag("00", 450.0, 0.25, make_led, seeds)
+    rate_100 = _majority_outdoor_tag("00", 100.0, 0.25, make_led, seeds)
+    passed = rate_450 >= 0.6 and rate_100 <= 0.2
+    return ExperimentResult(
+        experiment_id="fig15",
+        title="RX-LED under mild illumination (car tag, 18 km/h, "
+              "h = 25 cm, code HLHL.HLHL)",
+        paper_claim="Decodable at a 450 lux noise floor; not decodable at "
+                    "100 lux (too little ambient light to modulate)",
+        measured={
+            "decode_rate_at_450lux": rate_450,
+            "decode_rate_at_100lux": rate_100,
+        },
+        passed=passed,
+    )
+
+
+def experiment_fig16(seeds=(2, 3, 4, 5, 6)) -> ExperimentResult:
+    """Fig. 16: PD(G2) at 100 lux fails bare, works with the FoV cap."""
+    decoder = TwoPhaseDecoder()
+    results = {"no_cap": 0, "with_cap": 0}
+    for seed in seeds:
+        for label, cap in (("no_cap", None), ("with_cap", FovCap.paper_cap())):
+            receiver = ReceiverFrontEnd(
+                detector=Photodiode.opt101(gain=PdGain.G2), cap=cap,
+                seed=seed)
+            trace, packet = outdoor_car_capture("00", 100.0, 0.25, receiver,
+                                                seed=seed)
+            res = decoder.try_decode(trace, n_data_symbols=4)
+            if res is not None and res.bit_string() == "00":
+                results[label] += 1
+    rate_nocap = results["no_cap"] / len(seeds)
+    rate_cap = results["with_cap"] / len(seeds)
+    passed = rate_nocap <= 0.2 and rate_cap >= 0.6
+    return ExperimentResult(
+        experiment_id="fig16",
+        title="PD (G2) at a 100 lux noise floor, with and without the "
+              "1.2x1.2x2.8 cm FoV cap (tagged car, h = 25 cm)",
+        paper_claim="Without the cap the car's metal roof interferes and "
+                    "the code is not decodable; narrowing the FoV with the "
+                    "cap filters the interference and decoding succeeds "
+                    "despite the RSS drop",
+        measured={
+            "decode_rate_without_cap": rate_nocap,
+            "decode_rate_with_cap": rate_cap,
+        },
+        passed=passed,
+    )
+
+
+# ----------------------------------------------------------------------
+# Section 5.3 — Fig. 17 (well illuminated)
+# ----------------------------------------------------------------------
+
+def experiment_fig17(seeds=(2, 3, 4, 5, 6)) -> ExperimentResult:
+    """Fig. 17: RX-LED outdoors — three decodable configurations."""
+    decoder = TwoPhaseDecoder()
+    configs = {
+        "a_6200lux_h75cm_code00": (6200.0, 0.75, "00"),
+        "b_3700lux_h100cm_code00": (3700.0, 1.00, "00"),
+        "c_5500lux_h100cm_code10": (5500.0, 1.00, "10"),
+    }
+    measured: dict[str, Any] = {}
+    rates: dict[str, float] = {}
+    for label, (lux, height, bits) in configs.items():
+        wins = 0
+        for seed in seeds:
+            receiver = ReceiverFrontEnd(detector=LedReceiver.red_5mm(),
+                                        seed=seed)
+            trace, packet = outdoor_car_capture(bits, lux, height, receiver,
+                                                seed=seed)
+            res = decoder.try_decode(trace, n_data_symbols=2 * len(bits))
+            if res is not None and res.bit_string() == bits:
+                wins += 1
+        rates[label] = wins / len(seeds)
+        measured[f"decode_rate_{label}"] = rates[label]
+    symbol_rate = CAR_SPEED_MPS / CAR_SYMBOL_WIDTH_M
+    measured["throughput_sps"] = symbol_rate
+    passed = (all(r >= 0.6 for r in rates.values())
+              and abs(symbol_rate - 50.0) < 1e-9)
+    return ExperimentResult(
+        experiment_id="fig17",
+        title="RX-LED outdoors, car at 18 km/h (well-illuminated)",
+        paper_claim="All three configurations decodable (6200 lux / 75 cm; "
+                    "3700 lux / 100 cm; 5500 lux / 100 cm with code "
+                    "HLHL.LHHL); achieved throughput ~50 symbols/s",
+        measured=measured,
+        passed=passed,
+    )

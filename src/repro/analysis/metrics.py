@@ -1,0 +1,117 @@
+"""Link-quality metrics and curve-fit helpers for the evaluation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "symbol_error_rate",
+    "bit_error_rate",
+    "throughput_sps",
+    "LinearFit",
+    "ExponentialFit",
+    "fit_linear",
+    "fit_exponential",
+]
+
+
+def symbol_error_rate(sent: str, received: str) -> float:
+    """Fraction of symbol positions that differ.
+
+    Missing trailing symbols in ``received`` count as errors; extra
+    received symbols also count against the longer length.
+    """
+    if not sent:
+        raise ValueError("sent symbol string must be non-empty")
+    n = max(len(sent), len(received))
+    errors = sum(1 for i in range(n)
+                 if i >= len(sent) or i >= len(received)
+                 or sent[i] != received[i])
+    return errors / n
+
+
+def bit_error_rate(sent_bits: str, received_bits: str) -> float:
+    """Fraction of bit positions that differ (same conventions)."""
+    return symbol_error_rate(sent_bits, received_bits)
+
+
+def throughput_sps(speed_mps: float, symbol_width_m: float) -> float:
+    """Channel symbol rate: speed over symbol width."""
+    if speed_mps <= 0.0 or symbol_width_m <= 0.0:
+        raise ValueError("speed and symbol width must be positive")
+    return speed_mps / symbol_width_m
+
+
+@dataclass(frozen=True)
+class LinearFit:
+    """Result of a least-squares line fit ``y = slope * x + intercept``."""
+
+    slope: float
+    intercept: float
+    r_squared: float
+
+    def predict(self, x: float | np.ndarray) -> float | np.ndarray:
+        """Evaluate the fitted line."""
+        return self.slope * np.asarray(x, dtype=float) + self.intercept
+
+
+@dataclass(frozen=True)
+class ExponentialFit:
+    """Result of fitting ``y = amplitude * exp(rate * x)``."""
+
+    amplitude: float
+    rate: float
+    r_squared: float
+
+    def predict(self, x: float | np.ndarray) -> float | np.ndarray:
+        """Evaluate the fitted exponential."""
+        return self.amplitude * np.exp(self.rate * np.asarray(x, dtype=float))
+
+
+def _r_squared(y: np.ndarray, y_pred: np.ndarray) -> float:
+    ss_res = float(np.sum((y - y_pred) ** 2))
+    ss_tot = float(np.sum((y - y.mean()) ** 2))
+    if ss_tot == 0.0:
+        return 1.0 if ss_res == 0.0 else 0.0
+    return 1.0 - ss_res / ss_tot
+
+
+def fit_linear(x: np.ndarray, y: np.ndarray) -> LinearFit:
+    """Least-squares line through (x, y).
+
+    Raises:
+        ValueError: with fewer than two points.
+    """
+    x = np.asarray(x, dtype=float)
+    y = np.asarray(y, dtype=float)
+    if len(x) != len(y):
+        raise ValueError("x and y must have equal length")
+    if len(x) < 2:
+        raise ValueError("need at least two points")
+    slope, intercept = np.polyfit(x, y, deg=1)
+    return LinearFit(slope=float(slope), intercept=float(intercept),
+                     r_squared=_r_squared(y, slope * x + intercept))
+
+
+def fit_exponential(x: np.ndarray, y: np.ndarray) -> ExponentialFit:
+    """Fit ``y = A * exp(r x)`` by least squares in log space.
+
+    Raises:
+        ValueError: unless all ``y`` are strictly positive.
+    """
+    x = np.asarray(x, dtype=float)
+    y = np.asarray(y, dtype=float)
+    if len(x) != len(y):
+        raise ValueError("x and y must have equal length")
+    if len(x) < 2:
+        raise ValueError("need at least two points")
+    if np.any(y <= 0.0):
+        raise ValueError("exponential fit requires positive y values")
+    log_fit = fit_linear(x, np.log(y))
+    amplitude = float(np.exp(log_fit.intercept))
+    rate = log_fit.slope
+    y_pred = amplitude * np.exp(rate * x)
+    return ExponentialFit(amplitude=amplitude, rate=rate,
+                          r_squared=_r_squared(y, y_pred))

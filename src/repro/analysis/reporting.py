@@ -1,0 +1,50 @@
+"""Plain-text rendering of experiment results and sweep tables."""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence
+
+from .experiments import ExperimentResult
+
+__all__ = ["format_table", "format_series", "summarize_results"]
+
+
+def format_table(headers: Sequence[str],
+                 rows: Iterable[Sequence[Any]]) -> str:
+    """Render rows as an aligned ASCII table."""
+    str_rows = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row {row} has {len(row)} cells, expected {len(headers)}")
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    def fmt(cells: Sequence[str]) -> str:
+        return "  ".join(c.ljust(w) for c, w in zip(cells, widths)).rstrip()
+    lines = [fmt(list(headers)), fmt(["-" * w for w in widths])]
+    lines.extend(fmt(row) for row in str_rows)
+    return "\n".join(lines)
+
+
+def format_series(xs: Sequence[float], ys: Sequence[float],
+                  x_label: str, y_label: str,
+                  width: int = 48) -> str:
+    """Tiny ASCII line chart: one row per point with a proportional bar."""
+    if len(xs) != len(ys):
+        raise ValueError("series lengths differ")
+    if not xs:
+        return "(empty series)"
+    y_max = max(ys)
+    lines = [f"{y_label} vs {x_label}"]
+    for x, y in zip(xs, ys):
+        bar = "#" * max(1, int(round(width * (y / y_max)))) if y_max > 0 else ""
+        lines.append(f"{x:8.3f} | {bar} {y:.3g}")
+    return "\n".join(lines)
+
+
+def summarize_results(results: Iterable[ExperimentResult]) -> str:
+    """One-line-per-experiment pass/fail summary table."""
+    rows = [(r.experiment_id, "PASS" if r.passed else "FAIL", r.title)
+            for r in results]
+    return format_table(["experiment", "verdict", "title"], rows)

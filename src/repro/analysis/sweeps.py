@@ -1,0 +1,130 @@
+"""Parameter-sweep engine for the Fig. 6 capacity maps.
+
+The Fig. 6 experiments sweep emitter/receiver height against symbol
+width, probing decodability at each grid point (paper: heights 20-55 cm,
+widths 1.5-7.5 cm, speed 8 cm/s).  The engine reuses the single-point
+probes in :mod:`repro.core.capacity`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.capacity import (
+    IndoorSetup,
+    min_decodable_width,
+    probe_decodable,
+)
+
+__all__ = ["DecodabilityGrid", "sweep_decodability",
+           "sweep_frontier", "sweep_throughput"]
+
+
+@dataclass
+class DecodabilityGrid:
+    """Decodability over a (height x width) grid.
+
+    Attributes:
+        heights_m: grid heights (ascending).
+        widths_m: grid symbol widths (ascending).
+        decodable: boolean matrix ``[i_height, j_width]``.
+    """
+
+    heights_m: np.ndarray
+    widths_m: np.ndarray
+    decodable: np.ndarray
+
+    def max_height_for_width(self, j: int) -> float | None:
+        """Largest decodable height for width column ``j`` (None: none)."""
+        col = self.decodable[:, j]
+        idx = np.nonzero(col)[0]
+        if len(idx) == 0:
+            return None
+        return float(self.heights_m[idx[-1]])
+
+    def frontier(self) -> list[tuple[float, float]]:
+        """(width, max decodable height) pairs where decodable at all."""
+        out: list[tuple[float, float]] = []
+        for j, width in enumerate(self.widths_m):
+            h = self.max_height_for_width(j)
+            if h is not None:
+                out.append((float(width), h))
+        return out
+
+    def render(self) -> str:
+        """ASCII map of the decodable region (rows: heights, top=high)."""
+        lines = ["      " + " ".join(f"{w * 100:4.1f}" for w in self.widths_m)
+                 + "   (symbol width, cm)"]
+        for i in reversed(range(len(self.heights_m))):
+            cells = "    ".join("#" if self.decodable[i, j] else "."
+                                for j in range(len(self.widths_m)))
+            lines.append(f"{self.heights_m[i]:5.2f} {cells}")
+        lines.append("(height, m;  # = decodable)")
+        return "\n".join(lines)
+
+
+def sweep_decodability(setup: IndoorSetup,
+                       heights_m: np.ndarray,
+                       widths_m: np.ndarray) -> DecodabilityGrid:
+    """Probe every (height, width) grid point.
+
+    Exploits monotonicity within a column: once a width fails at some
+    height, greater heights are not probed (assumed undecodable), which
+    cuts the sweep cost roughly in half.
+    """
+    heights = np.sort(np.asarray(heights_m, dtype=float))
+    widths = np.sort(np.asarray(widths_m, dtype=float))
+    if len(heights) == 0 or len(widths) == 0:
+        raise ValueError("sweep grids must be non-empty")
+    grid = np.zeros((len(heights), len(widths)), dtype=bool)
+    for j, width in enumerate(widths):
+        for i, height in enumerate(heights):
+            ok = probe_decodable(setup, float(height), float(width))
+            grid[i, j] = ok
+            if not ok and i > 0 and grid[i - 1, j]:
+                # Past the frontier: deeper probes would all fail.
+                break
+    return DecodabilityGrid(heights_m=heights, widths_m=widths,
+                            decodable=grid)
+
+
+def sweep_frontier(setup: IndoorSetup, widths_m: np.ndarray,
+                   height_lo_m: float = 0.18,
+                   height_hi_m: float = 0.9,
+                   tolerance_m: float = 0.02,
+                   ) -> list[tuple[float, float]]:
+    """Max decodable height per width via bisection (Fig. 6(a) curve)."""
+    from ..core.capacity import max_decodable_height
+
+    out: list[tuple[float, float]] = []
+    for width in np.sort(np.asarray(widths_m, dtype=float)):
+        h = max_decodable_height(setup, float(width),
+                                 height_lo_m=height_lo_m,
+                                 height_hi_m=height_hi_m,
+                                 tolerance_m=tolerance_m)
+        if h is not None:
+            out.append((float(width), h))
+    return out
+
+
+def sweep_throughput(setup: IndoorSetup, heights_m: np.ndarray,
+                     width_lo_m: float = 0.008,
+                     width_hi_m: float = 0.14,
+                     tolerance_m: float = 0.003,
+                     ) -> list[tuple[float, float]]:
+    """Throughput (symbols/s) per height (Fig. 6(b) curve).
+
+    For each height, bisect for the narrowest decodable width and report
+    ``speed / width``; heights where nothing decodes are omitted.
+    """
+    out: list[tuple[float, float]] = []
+    for height in np.sort(np.asarray(heights_m, dtype=float)):
+        width = min_decodable_width(setup, float(height),
+                                    width_lo_m=width_lo_m,
+                                    width_hi_m=width_hi_m,
+                                    tolerance_m=tolerance_m)
+        if width is not None:
+            out.append((float(height), setup.speed_mps / width))
+    return out

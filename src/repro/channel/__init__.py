@@ -1,0 +1,34 @@
+"""Channel substrate: scenes, mobility, distortion, simulation, traces."""
+
+from .distortion import (
+    CLEAR,
+    DENSE_FOG,
+    HAZE,
+    LIGHT_FOG,
+    Atmosphere,
+    visibility_to_extinction,
+)
+from .mobility import (
+    KMH_TO_MPS,
+    ConstantSpeed,
+    LinearRamp,
+    MotionProfile,
+    PiecewiseConstantSpeed,
+    SpeedJitter,
+    speed_doubling_profile,
+    time_to_reach,
+)
+from .scene import MovingObject, PassiveScene
+from .simulator import ChannelSimulator, SimulatorConfig
+from .trace import SignalTrace
+
+__all__ = [
+    "Atmosphere", "CLEAR", "LIGHT_FOG", "DENSE_FOG", "HAZE",
+    "visibility_to_extinction",
+    "KMH_TO_MPS", "ConstantSpeed", "LinearRamp", "MotionProfile",
+    "PiecewiseConstantSpeed", "SpeedJitter", "speed_doubling_profile",
+    "time_to_reach",
+    "MovingObject", "PassiveScene",
+    "ChannelSimulator", "SimulatorConfig",
+    "SignalTrace",
+]

@@ -1,0 +1,108 @@
+"""Channel distortions: fog, humidity, dirt (Section 3).
+
+"Similar to radio systems, our channel will be exposed to distortions.
+For example: fog, humidity, dirt on top of the reflective surfaces and
+variable speeds of the mobile object will be commonplace phenomena
+affecting the incoming signal and making it harder to decode."
+
+Variable speed lives in :mod:`repro.channel.mobility`; dirt lives on
+:meth:`repro.optics.materials.Material.degraded`.  This module models the
+*medium*: atmospheric extinction attenuates the reflected signal over the
+surface-to-receiver path (Beer-Lambert), and scattering adds a veiling
+glare component that raises the noise floor without adding signal.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["Atmosphere", "CLEAR", "LIGHT_FOG", "DENSE_FOG", "HAZE",
+           "visibility_to_extinction"]
+
+
+def visibility_to_extinction(visibility_m: float) -> float:
+    """Koschmieder relation: extinction coefficient from visibility.
+
+    ``beta = 3.912 / V`` for the standard 2 % contrast threshold.
+
+    Args:
+        visibility_m: meteorological visibility (m), > 0.
+    """
+    if visibility_m <= 0.0:
+        raise ValueError(f"visibility must be positive, got {visibility_m}")
+    return 3.912 / visibility_m
+
+
+@dataclass(frozen=True)
+class Atmosphere:
+    """Optical state of the air between surface and receiver.
+
+    Attributes:
+        extinction_per_m: Beer-Lambert extinction coefficient (1/m).
+        veiling_glare_fraction: fraction of the ambient level scattered
+            into the receiver as an unmodulated pedestal (fog glow).
+        name: label for reports.
+    """
+
+    extinction_per_m: float = 0.0
+    veiling_glare_fraction: float = 0.0
+    name: str = "clear"
+
+    def __post_init__(self) -> None:
+        if self.extinction_per_m < 0.0:
+            raise ValueError("extinction cannot be negative")
+        if not 0.0 <= self.veiling_glare_fraction < 1.0:
+            raise ValueError("veiling glare fraction must be in [0, 1)")
+
+    @classmethod
+    def from_visibility(cls, visibility_m: float,
+                        name: str = "fog") -> "Atmosphere":
+        """Build an atmosphere from a visibility figure."""
+        beta = visibility_to_extinction(visibility_m)
+        # Denser fog scatters more ambient light into the aperture.
+        glare = min(0.5, 40.0 * beta / 3.912)
+        return cls(extinction_per_m=beta, veiling_glare_fraction=glare,
+                   name=name)
+
+    def transmission(self, path_length_m: float | np.ndarray) -> np.ndarray | float:
+        """Beer-Lambert transmission over a path."""
+        path = np.asarray(path_length_m, dtype=float)
+        if np.any(path < 0.0):
+            raise ValueError("path length cannot be negative")
+        out = np.exp(-self.extinction_per_m * path)
+        return float(out) if out.ndim == 0 else out
+
+    def signal_attenuation(self, receiver_height_m: float) -> float:
+        """Round-trip-ish attenuation of the reflected signal.
+
+        Ambient light crosses the fog once on the way down and the
+        reflection crosses it again on the way up over roughly the
+        receiver height; the down-path is shared with the noise floor,
+        so the *differential* attenuation of the signal relative to the
+        ambient pedestal is the up-path.
+        """
+        if receiver_height_m <= 0.0:
+            raise ValueError("receiver height must be positive")
+        return float(self.transmission(receiver_height_m))
+
+    def ambient_pedestal(self, ambient_lux: float) -> float:
+        """Extra unmodulated lux added by in-fog scattering."""
+        if ambient_lux < 0.0:
+            raise ValueError("ambient level cannot be negative")
+        return ambient_lux * self.veiling_glare_fraction
+
+
+#: Clear air: no extinction, no glare.
+CLEAR = Atmosphere(name="clear")
+
+#: Light fog, ~1 km visibility.
+LIGHT_FOG = Atmosphere.from_visibility(1000.0, name="light_fog")
+
+#: Dense fog, ~100 m visibility.
+DENSE_FOG = Atmosphere.from_visibility(100.0, name="dense_fog")
+
+#: Humid haze, ~4 km visibility.
+HAZE = Atmosphere.from_visibility(4000.0, name="haze")

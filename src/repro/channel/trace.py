@@ -1,0 +1,123 @@
+"""Signal traces: the RSS sample streams all algorithms consume.
+
+Every figure in the paper is a plot of RSS versus time (often min-max
+normalised).  :class:`SignalTrace` bundles samples with their sampling
+rate and provenance metadata, and provides the handful of operations the
+decoders and analysis code need: normalisation, slicing, resampling and
+basic statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+__all__ = ["SignalTrace"]
+
+
+@dataclass
+class SignalTrace:
+    """A uniformly sampled signal with metadata.
+
+    Attributes:
+        samples: the sample values (ADC codes or derived floats).
+        sample_rate_hz: sampling frequency, > 0.
+        start_time_s: timestamp of the first sample.
+        meta: free-form provenance (scene parameters, receiver, etc.).
+    """
+
+    samples: np.ndarray
+    sample_rate_hz: float
+    start_time_s: float = 0.0
+    meta: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.samples = np.asarray(self.samples, dtype=float)
+        if self.samples.ndim != 1:
+            raise ValueError(f"trace must be 1-D, got shape {self.samples.shape}")
+        if self.sample_rate_hz <= 0.0:
+            raise ValueError(
+                f"sample rate must be positive, got {self.sample_rate_hz}")
+
+    def __len__(self) -> int:
+        return len(self.samples)
+
+    @property
+    def duration_s(self) -> float:
+        """Trace duration (time from first to one-past-last sample)."""
+        return len(self.samples) / self.sample_rate_hz
+
+    def times(self) -> np.ndarray:
+        """Timestamps of every sample."""
+        return (self.start_time_s
+                + np.arange(len(self.samples)) / self.sample_rate_hz)
+
+    def normalized(self) -> "SignalTrace":
+        """Min-max normalised copy (the paper's 'Normalized RSS' axis).
+
+        A constant trace normalises to all-zeros rather than dividing by
+        zero.
+        """
+        lo = float(self.samples.min()) if len(self.samples) else 0.0
+        hi = float(self.samples.max()) if len(self.samples) else 0.0
+        span = hi - lo
+        if span == 0.0:
+            norm = np.zeros_like(self.samples)
+        else:
+            norm = (self.samples - lo) / span
+        return SignalTrace(norm, self.sample_rate_hz, self.start_time_s,
+                           dict(self.meta, normalized=True))
+
+    def slice_time(self, t_start: float, t_end: float) -> "SignalTrace":
+        """Sub-trace between two absolute times (inclusive of start).
+
+        Raises:
+            ValueError: if the window is empty or outside the trace.
+        """
+        if t_end <= t_start:
+            raise ValueError("t_end must exceed t_start")
+        i0 = max(0, int(np.ceil((t_start - self.start_time_s)
+                                * self.sample_rate_hz)))
+        i1 = min(len(self.samples),
+                 int(np.floor((t_end - self.start_time_s)
+                              * self.sample_rate_hz)) + 1)
+        if i0 >= i1:
+            raise ValueError(
+                f"window [{t_start}, {t_end}] s selects no samples")
+        return SignalTrace(self.samples[i0:i1].copy(), self.sample_rate_hz,
+                           self.start_time_s + i0 / self.sample_rate_hz,
+                           dict(self.meta))
+
+    def resampled(self, new_rate_hz: float) -> "SignalTrace":
+        """Linear-interpolation resample to a new rate."""
+        if new_rate_hz <= 0.0:
+            raise ValueError(f"new rate must be positive, got {new_rate_hz}")
+        if len(self.samples) < 2:
+            return SignalTrace(self.samples.copy(), new_rate_hz,
+                               self.start_time_s, dict(self.meta))
+        old_t = self.times()
+        n_new = max(2, int(round(self.duration_s * new_rate_hz)))
+        new_t = self.start_time_s + np.arange(n_new) / new_rate_hz
+        new_t = new_t[new_t <= old_t[-1] + 1e-12]
+        new_samples = np.interp(new_t, old_t, self.samples)
+        return SignalTrace(new_samples, new_rate_hz, self.start_time_s,
+                           dict(self.meta))
+
+    def swing(self) -> float:
+        """Peak-to-peak amplitude."""
+        if len(self.samples) == 0:
+            return 0.0
+        return float(self.samples.max() - self.samples.min())
+
+    def mean(self) -> float:
+        """Mean level."""
+        return float(self.samples.mean()) if len(self.samples) else 0.0
+
+    def describe(self) -> str:
+        """One-line summary for logs and reports."""
+        return (f"SignalTrace({len(self.samples)} samples @ "
+                f"{self.sample_rate_hz:.0f} Hz, {self.duration_s:.2f} s, "
+                f"range [{self.samples.min():.1f}, {self.samples.max():.1f}])"
+                if len(self.samples) else "SignalTrace(empty)")

@@ -1,0 +1,486 @@
+"""The adaptive-threshold decoder (Section 4.1).
+
+The receiver turns the RSS waveform into symbols with two per-packet
+thresholds and **no calibration**:
+
+* Find the first two peaks and the first valley of the preamble —
+  points A, B, C in Fig. 5(a) — then set
+
+  ``tau_r = ((rA - rB) + (rC - rB)) / 2``      (magnitude threshold)
+  ``tau_t = ((tB - tA) + (tC - tB)) / 2``      (symbol period)
+
+* Group subsequent samples into windows of length ``tau_t``; a window
+  whose maximum exceeds the magnitude threshold is HIGH, else LOW.
+
+The thresholds are per-packet because "we do not modulate information
+with a common transmitter, but we rather let each packet determine its
+own parameters: symbol width, materials used and speed".
+
+``tau_r`` as written is a peak-to-valley *swing*; comparing a window max
+against it directly implicitly assumes the valley level sits near zero
+(true for the paper's normalised dark-room plots).  The faithful rule is
+available as ``threshold_rule="paper"``; the default ``"midpoint"`` rule
+compares against ``rB + tau_r / 2``, which is identical for
+valley-anchored signals and strictly more robust on raw ADC counts with
+a non-zero pedestal (see DESIGN.md Section 5 and the threshold-rule
+ablation bench).
+"""
+
+from __future__ import annotations
+
+import math
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..channel.trace import SignalTrace
+from ..dsp.filters import moving_average
+from ..dsp.peaks import Extremum, find_peaks_and_valleys, first_preamble_points
+from ..tags.encoding import ManchesterError, Symbol, manchester_decode
+from ..tags.packet import PREAMBLE
+from .errors import DecodeError, PreambleNotFoundError
+
+__all__ = ["DecoderConfig", "SymbolWindow", "DecodeResult",
+           "AdaptiveThresholdDecoder"]
+
+
+@dataclass(frozen=True)
+class DecoderConfig:
+    """Tuning knobs of the adaptive decoder.
+
+    Attributes:
+        threshold_rule: ``"midpoint"`` (robust) or ``"paper"`` (literal
+            tau_r comparison) — see the module docstring.
+        smoothing_window_s: pre-smoothing moving-average width; None
+            picks a width that suppresses ADC noise without touching
+            the preamble peaks (1/20 of the preamble period estimate is
+            ideal, but the period is unknown before acquisition, so a
+            small fixed fraction of the trace is used).
+        min_prominence_fraction: peak prominence threshold, relative to
+            the trace's peak-to-peak span.
+        max_symbols: safety cap on emitted symbols in auto-length mode.
+        window_shrink_fraction: fraction trimmed from *each side* of a
+            decision window before taking its maximum.  FoV blur makes
+            symbol transitions gradual; a misaligned full-width window
+            catches the neighbouring HIGH's shoulder and misreads a LOW.
+            0 reproduces the paper's literal full-window max.
+        clock_refinement: refine (tau_t, phase) against the known HLHL
+            preamble after the A/B/C estimate.  Peak timestamps on
+            blurred, noisy tops jitter by a few milliseconds; the error
+            accumulates across data windows.  The refinement stays
+            within the paper's constraint — it uses only the fixed
+            preamble, no calibration — and falls back to the raw
+            estimate when no candidate reproduces HLHL.
+        clock_search_span: relative tau_t search range (+-).
+        min_preamble_swing_fraction: acquisition sanity bound — the
+            candidate preamble's swing (tau_r) must be at least this
+            fraction of the trace's full range, or the triple is
+            rejected as noise.  Kept well below 1 because FoV blur
+            attenuates the preamble's single-symbol peaks relative to
+            double-HIGH runs in the data field.
+    """
+
+    threshold_rule: str = "midpoint"
+    smoothing_window_s: float | None = None
+    min_prominence_fraction: float = 0.2
+    max_symbols: int = 256
+    window_shrink_fraction: float = 0.22
+    clock_refinement: bool = True
+    clock_search_span: float = 0.15
+    min_preamble_swing_fraction: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.threshold_rule not in ("midpoint", "paper"):
+            raise ValueError(
+                f"threshold_rule must be 'midpoint' or 'paper', "
+                f"got {self.threshold_rule!r}")
+        if not 0.0 < self.min_prominence_fraction < 1.0:
+            raise ValueError("prominence fraction must be in (0, 1)")
+        if self.max_symbols < 1:
+            raise ValueError("max_symbols must be >= 1")
+        if not 0.0 <= self.window_shrink_fraction < 0.5:
+            raise ValueError("window shrink fraction must be in [0, 0.5)")
+        if not 0.0 < self.clock_search_span < 0.5:
+            raise ValueError("clock search span must be in (0, 0.5)")
+        if not 0.0 < self.min_preamble_swing_fraction < 1.0:
+            raise ValueError("preamble swing fraction must be in (0, 1)")
+
+
+@dataclass(frozen=True)
+class SymbolWindow:
+    """One tau_t-long decision window.
+
+    Attributes:
+        t_start_s: window start time.
+        t_end_s: window end time.
+        max_value: maximum RSS inside the window.
+        symbol: the decision.
+    """
+
+    t_start_s: float
+    t_end_s: float
+    max_value: float
+    symbol: Symbol
+
+
+@dataclass
+class DecodeResult:
+    """Everything the decoder extracted from one packet.
+
+    Attributes:
+        symbols: decoded data-field symbols (after the preamble).
+        bits: Manchester-decoded payload, or None when the symbol
+            stream is not a valid Manchester sequence.
+        tau_r: magnitude threshold (swing units, per the paper).
+        tau_t: symbol period estimate (s).
+        threshold_level: absolute RSS level used for HIGH/LOW decisions.
+        anchor_points: the (A, B, C) preamble extrema.
+        windows: the data-field decision windows.
+        preamble_verified: whether re-decoding the preamble region with
+            the derived thresholds reproduces HLHL.
+    """
+
+    symbols: list[Symbol]
+    bits: list[int] | None
+    tau_r: float
+    tau_t: float
+    threshold_level: float
+    anchor_points: tuple[Extremum, Extremum, Extremum]
+    windows: list[SymbolWindow] = field(default_factory=list)
+    preamble_verified: bool = False
+
+    @property
+    def success(self) -> bool:
+        """True when a valid Manchester payload was recovered."""
+        return self.bits is not None and len(self.bits) > 0
+
+    def symbol_string(self) -> str:
+        """Data symbols in the paper's 'HLHL' notation."""
+        return "".join(s.value for s in self.symbols)
+
+    def bit_string(self) -> str:
+        """Payload bits as '0'/'1' characters ('' when decoding failed)."""
+        if self.bits is None:
+            return ""
+        return "".join(str(b) for b in self.bits)
+
+
+class AdaptiveThresholdDecoder:
+    """Implements the paper's calibration-free RSS decoder."""
+
+    def __init__(self, config: DecoderConfig | None = None) -> None:
+        self.config = config or DecoderConfig()
+
+    # ------------------------------------------------------------------
+    def _smoothing_scales(self, trace: SignalTrace) -> list[int]:
+        """Candidate smoothing windows, finest first."""
+        cfg = self.config
+        if cfg.smoothing_window_s is not None:
+            window = max(1, int(round(cfg.smoothing_window_s
+                                      * trace.sample_rate_hz)))
+            return [window]
+        n = len(trace.samples)
+        scales = [max(3, n // 200), max(5, n // 64), max(7, n // 32)]
+        # Deduplicate while preserving order.
+        out: list[int] = []
+        for s in scales:
+            if s not in out:
+                out.append(s)
+        return out
+
+    def _plausible_preamble(self,
+                            points: tuple[Extremum, Extremum, Extremum],
+                            span: float, noise_sigma: float) -> bool:
+        """Sanity checks that reject noise-triggered anchor triples.
+
+        The preamble's HIGH-LOW swing is the dominant feature of a tag
+        pass, and its two half-periods are equal (constant symbol width
+        and, during the preamble, constant speed): require the swing to
+        be a substantial fraction of the trace range, to clear the raw
+        noise floor, and the A-B / B-C spacings to be consistent.
+        """
+        a, b, c = points
+        tau_r = ((a.value - b.value) + (c.value - b.value)) / 2.0
+        if tau_r < self.config.min_preamble_swing_fraction * span:
+            return False
+        # A real packet's swing towers over the sample-to-sample noise;
+        # smoothed noise wiggles do not.
+        if tau_r < 4.0 * noise_sigma:
+            return False
+        d1 = b.time_s - a.time_s
+        d2 = c.time_s - b.time_s
+        if d1 <= 0.0 or d2 <= 0.0:
+            return False
+        return abs(d1 - d2) <= 0.6 * min(d1, d2)
+
+    def _acquire(self, trace: SignalTrace,
+                 ) -> tuple[tuple[Extremum, Extremum, Extremum], np.ndarray]:
+        """Multi-scale preamble acquisition.
+
+        Small signals (Fig. 15's ~15-count swings) need heavier
+        smoothing before their preamble outgrows the noise; clean strong
+        signals must not be over-smoothed or narrow symbols blur away.
+        Scales are tried finest-first and the first plausible triple
+        wins; the accepted smoothed waveform is reused for the decision
+        windows so thresholds and decisions see the same signal.
+
+        Raises:
+            PreambleNotFoundError: when no scale yields a plausible
+                peak-valley-peak triple.
+        """
+        last_reason = "trace is constant; no preamble"
+        raw = np.asarray(trace.samples, dtype=float)
+        if len(raw) > 3:
+            noise_sigma = float(np.std(np.diff(raw))) / math.sqrt(2.0)
+        else:
+            noise_sigma = 0.0
+        for window in self._smoothing_scales(trace):
+            smooth = moving_average(trace.samples, window)
+            span = float(smooth.max() - smooth.min())
+            if span <= 0.0:
+                continue
+            extrema = find_peaks_and_valleys(
+                smooth, trace.sample_rate_hz, trace.start_time_s,
+                min_prominence=self.config.min_prominence_fraction * span)
+            points = first_preamble_points(extrema)
+            if points is None:
+                last_reason = (f"no peak-valley-peak pattern among "
+                               f"{len(extrema)} extrema")
+                continue
+            if not self._plausible_preamble(points, span, noise_sigma):
+                last_reason = ("candidate preamble rejected: swing, noise "
+                               "floor or spacing implausible")
+                continue
+            return points, smooth
+        raise PreambleNotFoundError(last_reason)
+
+    def acquire_preamble(self, trace: SignalTrace,
+                         ) -> tuple[Extremum, Extremum, Extremum]:
+        """Find the A/B/C anchor points of the preamble.
+
+        Raises:
+            PreambleNotFoundError: when no peak-valley-peak triple with
+                sufficient prominence exists.
+        """
+        points, _ = self._acquire(trace)
+        return points
+
+    @staticmethod
+    def thresholds(points: tuple[Extremum, Extremum, Extremum],
+                   ) -> tuple[float, float]:
+        """Compute (tau_r, tau_t) from the anchor points — Section 4.1."""
+        a, b, c = points
+        tau_r = ((a.value - b.value) + (c.value - b.value)) / 2.0
+        tau_t = ((b.time_s - a.time_s) + (c.time_s - b.time_s)) / 2.0
+        if tau_r <= 0.0:
+            raise PreambleNotFoundError(
+                f"non-positive magnitude threshold tau_r={tau_r:.3g}; "
+                "anchor points are not a real peak-valley-peak triple")
+        if tau_t <= 0.0:
+            raise PreambleNotFoundError(
+                f"non-positive period tau_t={tau_t:.3g}")
+        return tau_r, tau_t
+
+    def _threshold_level(self, tau_r: float, valley_value: float) -> float:
+        if self.config.threshold_rule == "paper":
+            return tau_r
+        return valley_value + tau_r / 2.0
+
+    def _window_max(self, smooth: np.ndarray, times: np.ndarray,
+                    w_start: float, w_end: float) -> float | None:
+        """Max of the smoothed signal in [w_start, w_end), or None."""
+        i0 = int(np.searchsorted(times, w_start, side="left"))
+        i1 = int(np.searchsorted(times, w_end, side="left"))
+        if i1 <= i0 or i0 >= len(smooth):
+            return None
+        return float(smooth[i0:i1].max())
+
+    def _window_range(self, smooth: np.ndarray, times: np.ndarray,
+                      w_start: float, w_end: float) -> float | None:
+        """Peak-to-peak excursion inside [w_start, w_end), or None."""
+        i0 = int(np.searchsorted(times, w_start, side="left"))
+        i1 = int(np.searchsorted(times, w_end, side="left"))
+        if i1 <= i0 or i0 >= len(smooth):
+            return None
+        segment = smooth[i0:i1]
+        return float(segment.max() - segment.min())
+
+    def _refine_clock(self, smooth: np.ndarray, times: np.ndarray,
+                      points: tuple[Extremum, Extremum, Extremum],
+                      tau_t: float, tau_r: float, level: float,
+                      n_data_symbols: int | None = None,
+                      ) -> tuple[float, float]:
+        """Search (tau_t, phase) that best reproduces the HLHL preamble.
+
+        Candidates are scored on two terms using only per-packet
+        information:
+
+        * the worst signed margin of the four *preamble* windows against
+          their known HLHL pattern (must be positive);
+        * the *flatness* of the data windows — the payload is unknown,
+          but under the correct clock each (shrunk) window sits inside
+          one symbol where the signal is locally flat, while a drifting
+          clock centres symbol transitions inside windows, inflating
+          their internal peak-to-peak excursion.
+
+        Returns:
+            ``(tau_t, anchor)`` where ``anchor`` is the start time of
+            preamble symbol 1; data windows begin at ``anchor + 4 tau_t``.
+        """
+        a = points[0]
+        base_anchor = a.time_s - 0.5 * tau_t
+        shrink_frac = self.config.window_shrink_fraction
+        span = self.config.clock_search_span
+        expected_high = (True, False, True, False)
+        n_probe = min(n_data_symbols if n_data_symbols else 8, 12)
+        best: tuple[float, float] | None = None
+        best_score = -np.inf
+        for scale in np.linspace(1.0 - span, 1.0 + span, 13):
+            cand_tau = tau_t * scale
+            shrink = shrink_frac * cand_tau
+            for rel_delta in np.linspace(-0.35, 0.35, 15):
+                anchor = base_anchor + rel_delta * cand_tau
+                margins: list[float] = []
+                for k, is_high in enumerate(expected_high):
+                    w_max = self._window_max(
+                        smooth, times,
+                        anchor + k * cand_tau + shrink,
+                        anchor + (k + 1) * cand_tau - shrink)
+                    if w_max is None:
+                        margins = []
+                        break
+                    margins.append(w_max - level if is_high
+                                   else level - w_max)
+                if not margins or min(margins) <= 0.0:
+                    continue
+                ranges: list[float] = []
+                data_start = anchor + 4.0 * cand_tau
+                for k in range(n_probe):
+                    w_range = self._window_range(
+                        smooth, times,
+                        data_start + k * cand_tau + shrink,
+                        data_start + (k + 1) * cand_tau - shrink)
+                    if w_range is None:
+                        break
+                    ranges.append(w_range)
+                roughness = float(np.mean(ranges)) if ranges else 0.0
+                # All terms normalised by tau_r so the deviation penalty
+                # has a consistent meaning across signal amplitudes.
+                score = (min(margins) / tau_r
+                         - 0.5 * roughness / tau_r
+                         - 0.9 * abs(scale - 1.0)
+                         - 0.25 * abs(rel_delta))
+                if score > best_score:
+                    best_score = score
+                    best = (cand_tau, anchor)
+        if best is None:
+            return tau_t, base_anchor
+        return best
+
+    # ------------------------------------------------------------------
+    def decode(self, trace: SignalTrace,
+               n_data_symbols: int | None = None) -> DecodeResult:
+        """Decode one packet from an RSS trace.
+
+        Args:
+            trace: the captured RSS stream (raw counts or normalised —
+                the thresholds adapt either way).
+            n_data_symbols: expected number of data symbols (2N for an
+                N-bit payload).  None switches to auto-length mode:
+                windows are consumed until the trace ends, then trailing
+                LOW windows (the empty ground after the tag) are
+                trimmed and the count is rounded down to even.
+
+        Raises:
+            PreambleNotFoundError: when acquisition fails.
+            DecodeError: when no decision windows fit in the trace.
+        """
+        points, smooth = self._acquire(trace)
+        tau_r, tau_t = self.thresholds(points)
+        a, b, c = points
+        level = self._threshold_level(tau_r, b.value)
+        times = trace.times()
+
+        if self.config.clock_refinement:
+            tau_t, anchor = self._refine_clock(smooth, times, points,
+                                               tau_t, tau_r, level,
+                                               n_data_symbols=n_data_symbols)
+        else:
+            anchor = a.time_s - 0.5 * tau_t
+        # The preamble occupies symbols 1-4 from the anchor; data follows.
+        data_start = anchor + 4.0 * tau_t
+        if n_data_symbols is not None:
+            if n_data_symbols < 1:
+                raise ValueError("n_data_symbols must be >= 1")
+            n_windows = n_data_symbols
+        else:
+            remaining = times[-1] - data_start
+            n_windows = min(self.config.max_symbols,
+                            int(np.floor(remaining / tau_t)))
+        if n_windows < 1:
+            raise DecodeError(
+                "no decision windows fit between the preamble and the "
+                "end of the trace")
+
+        shrink = self.config.window_shrink_fraction * tau_t
+        windows: list[SymbolWindow] = []
+        for k in range(n_windows):
+            w_start = data_start + k * tau_t
+            w_end = w_start + tau_t
+            mask = (times >= w_start + shrink) & (times < w_end - shrink)
+            if not np.any(mask):
+                break
+            w_max = float(smooth[mask].max())
+            symbol = Symbol.HIGH if w_max > level else Symbol.LOW
+            windows.append(SymbolWindow(w_start, w_end, w_max, symbol))
+        if not windows:
+            raise DecodeError("all decision windows fell outside the trace")
+
+        symbols = [w.symbol for w in windows]
+        if n_data_symbols is None:
+            # Trim the trailing ground (LOW) and keep an even count.
+            while symbols and symbols[-1] is Symbol.LOW:
+                symbols.pop()
+                windows.pop()
+            if len(symbols) % 2 == 1:
+                # A Manchester stream is even; the last HIGH must be the
+                # first half of a trailing '0' bit whose LOW half was
+                # trimmed with the ground.
+                symbols.append(Symbol.LOW)
+                last = windows[-1]
+                windows.append(SymbolWindow(last.t_end_s,
+                                            last.t_end_s + tau_t,
+                                            level, Symbol.LOW))
+
+        try:
+            bits: list[int] | None = manchester_decode(symbols)
+        except ManchesterError:
+            bits = None
+
+        return DecodeResult(
+            symbols=symbols,
+            bits=bits,
+            tau_r=tau_r,
+            tau_t=tau_t,
+            threshold_level=level,
+            anchor_points=points,
+            windows=windows,
+            preamble_verified=self._verify_preamble(smooth, times, anchor,
+                                                    tau_t, level),
+        )
+
+    # ------------------------------------------------------------------
+    def _verify_preamble(self, smooth: np.ndarray, times: np.ndarray,
+                         anchor: float, tau_t: float, level: float) -> bool:
+        """Re-decode the preamble region; it must read HLHL."""
+        shrink = self.config.window_shrink_fraction * tau_t
+        decoded: list[Symbol] = []
+        for k in range(4):
+            w_max = self._window_max(smooth, times,
+                                     anchor + k * tau_t + shrink,
+                                     anchor + (k + 1) * tau_t - shrink)
+            if w_max is None:
+                return False
+            decoded.append(Symbol.HIGH if w_max > level else Symbol.LOW)
+        return tuple(decoded) == PREAMBLE

@@ -1,0 +1,252 @@
+"""Tag design assistant — the paper's "designer questions".
+
+Section 4.1 frames the capacity analysis around a designer: "a designer
+willing to use this new channel would need more information to assess
+the feasibility of a potential application.  For example [...]: What
+symbol width should the designer use on objects to be able to decode
+information?  And given this symbol width, what channel capacity can the
+designer expect?"
+
+:class:`TagDesigner` answers those questions for a given deployment —
+receiver, height, ambient light, object speed — from the channel model's
+two constraints:
+
+* **blur**: the footprint kernel's effective width must not exceed the
+  symbol alternation period, or neighbouring strips merge (Fig. 2(b));
+* **budget**: the HIGH/LOW contrast after blur must clear the receiver's
+  noise, and the HIGH level must not rail the detector (Section 4.4).
+
+It then converts the chosen width into what fits on a physical object:
+payload bits, packet layout, expected symbol rate, and a codebook if the
+deployment plans to fall back to DTW classification.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..channel.scene import PassiveScene
+from ..channel.simulator import ChannelSimulator, SimulatorConfig
+from ..hardware.frontend import ReceiverFrontEnd
+from ..optics.propagation import footprint_kernel
+from ..optics.reflection import effective_reflectance
+from ..optics.sources import AmbientLightSource
+from ..optics.materials import ALUMINUM_TAPE, BLACK_NAPKIN, Material
+from ..tags.codebook import Codebook, build_max_distance_codebook
+from ..tags.packet import Packet
+from .capacity import max_supported_speed_mps
+
+__all__ = ["TagDesign", "TagDesigner"]
+
+#: Decision windows need the alternation period to exceed the blur
+#: width by this factor for reliable thresholding.  1.6 reproduces the
+#: paper's own operating point: at h = 0.75 m the RX-LED's blur width is
+#: ~12.3 cm and the authors ran 10 cm symbols — exactly
+#: 1.6 * blur / 2.
+_BLUR_MARGIN = 1.6
+
+#: Required contrast-to-noise ratio after blur.
+_MIN_CNR = 5.0
+
+
+@dataclass(frozen=True)
+class TagDesign:
+    """A recommended tag layout for one deployment.
+
+    Attributes:
+        symbol_width_m: recommended strip width.
+        max_payload_bits: payload bits that fit on the object.
+        packet: a concrete packet sized to the object (all-zero payload
+            placeholder — substitute real data bits).
+        symbol_rate_sps: channel symbol rate at the design speed.
+        bit_rate_bps: payload bit rate (half the symbol rate, Manchester).
+        max_speed_mps: fastest pass the receiver chain can follow.
+        contrast_to_noise: modelled post-blur contrast over noise.
+        saturation_headroom: detector clip level over the HIGH level.
+        codebook: classification codebook sized to the payload (None
+            when the payload is under 2 bits).
+        feasible: all constraints met.
+        notes: human-readable constraint summary.
+    """
+
+    symbol_width_m: float
+    max_payload_bits: int
+    packet: Packet | None
+    symbol_rate_sps: float
+    bit_rate_bps: float
+    max_speed_mps: float
+    contrast_to_noise: float
+    saturation_headroom: float
+    codebook: Codebook | None
+    feasible: bool
+    notes: tuple[str, ...] = ()
+
+    def summary(self) -> str:
+        """Multi-line design sheet."""
+        lines = [
+            f"symbol width        : {self.symbol_width_m * 100:.1f} cm",
+            f"payload capacity    : {self.max_payload_bits} bits",
+            f"symbol rate         : {self.symbol_rate_sps:.1f} symbols/s",
+            f"bit rate            : {self.bit_rate_bps:.1f} bit/s",
+            f"max supported speed : {self.max_speed_mps:.1f} m/s",
+            f"contrast-to-noise   : {self.contrast_to_noise:.1f}",
+            f"saturation headroom : {self.saturation_headroom:.2f}x",
+            f"feasible            : {self.feasible}",
+        ]
+        lines.extend(f"note: {n}" for n in self.notes)
+        return "\n".join(lines)
+
+
+class TagDesigner:
+    """Answers the Section 4.1 designer questions for one deployment.
+
+    Attributes:
+        source: ambient light at the deployment site.
+        frontend: the receiver to be installed.
+        receiver_height_m: mounting height over the object plane.
+        high_material: HIGH-symbol material (aluminium tape default).
+        low_material: LOW-symbol material (black napkin default).
+    """
+
+    def __init__(self, source: AmbientLightSource,
+                 frontend: ReceiverFrontEnd,
+                 receiver_height_m: float,
+                 high_material: Material = ALUMINUM_TAPE,
+                 low_material: Material = BLACK_NAPKIN) -> None:
+        if receiver_height_m <= 0.0:
+            raise ValueError("receiver height must be positive")
+        self.source = source
+        self.frontend = frontend
+        self.receiver_height_m = receiver_height_m
+        self.high_material = high_material
+        self.low_material = low_material
+
+    # ------------------------------------------------------------------
+    def blur_width_m(self) -> float:
+        """Effective blur length of this deployment's footprint."""
+        fov = self.frontend.effective_fov
+        radius = self.receiver_height_m * math.tan(fov.half_angle_rad)
+        kern = footprint_kernel(self.receiver_height_m, fov, radius / 24.0)
+        return kern.effective_width()
+
+    def min_symbol_width_m(self) -> float:
+        """Narrowest usable strip: blur-limited (Fig. 2(b)).
+
+        The worst-case alternation period is two symbols (Manchester's
+        HL/LH pairs), so the symbol width must be at least half the
+        blurred period with margin.
+        """
+        return _BLUR_MARGIN * self.blur_width_m() / 2.0
+
+    def contrast_analysis(self) -> tuple[float, float]:
+        """(contrast-to-noise ratio, saturation headroom) for the site.
+
+        Evaluated at full modulation depth; blur reduction is handled by
+        the width constraint separately.
+        """
+        scene = PassiveScene(source=self.source,
+                             receiver_height_m=self.receiver_height_m)
+        sim = ChannelSimulator(scene, self.frontend,
+                               SimulatorConfig(include_noise=False))
+        geometry = scene.illumination_geometry()
+        coupling = sim.ambient_equivalent_coupling()
+        e_ground = float(np.asarray(
+            self.source.ground_illuminance(0.0, 0.0)))
+        tx = self.frontend.signal_transmission
+        high = (effective_reflectance(self.high_material, geometry)
+                * e_ground * coupling * tx)
+        low = (effective_reflectance(self.low_material, geometry)
+               * e_ground * coupling * tx)
+        ambient = (scene.nominal_noise_floor_lux()
+                   * self.frontend.ambient_transmission)
+        sat = self.frontend.detector.saturation_lux
+        level = min(1.0, (ambient + high) / sat)
+        noise_lux = float(self.frontend.detector.noise_sigma(level)) * sat
+        cnr = (high - low) / noise_lux if noise_lux > 0.0 else float("inf")
+        headroom = (sat / (ambient + high)
+                    if (ambient + high) > 0.0 else float("inf"))
+        return cnr, headroom
+
+    # ------------------------------------------------------------------
+    def design(self, object_length_m: float, speed_mps: float,
+               n_codes_needed: int | None = None) -> TagDesign:
+        """Produce a tag design for an object and pass speed.
+
+        Args:
+            object_length_m: usable tag length on the object.
+            speed_mps: nominal pass speed.
+            n_codes_needed: when the deployment will classify rather
+                than decode (distorted channels), the number of distinct
+                codes it needs — a max-distance codebook is attached.
+
+        Raises:
+            ValueError: for non-positive dimensions or speed.
+        """
+        if object_length_m <= 0.0:
+            raise ValueError("object length must be positive")
+        if speed_mps <= 0.0:
+            raise ValueError("speed must be positive")
+        notes: list[str] = []
+
+        width = self.min_symbol_width_m()
+        cnr, headroom = self.contrast_analysis()
+
+        # How many symbols (4 preamble + 2N data) fit on the object?
+        n_symbols = int(math.floor(object_length_m / width))
+        payload_bits = max(0, (n_symbols - 4) // 2)
+        if payload_bits == 0:
+            notes.append(
+                f"object too short: {object_length_m:.2f} m fits only "
+                f"{n_symbols} symbols of {width * 100:.1f} cm "
+                "(needs 4 preamble + 2 data minimum)")
+        packet = None
+        if payload_bits > 0:
+            packet = Packet.from_bits([0] * payload_bits,
+                                      symbol_width_m=width)
+
+        max_speed = max_supported_speed_mps(
+            symbol_width_m=width,
+            detector_bandwidth_hz=self.frontend.detector.bandwidth_hz,
+            sample_rate_hz=self.frontend.sample_rate_hz)
+        if speed_mps > max_speed:
+            notes.append(
+                f"requested speed {speed_mps:.1f} m/s exceeds the "
+                f"receiver chain's {max_speed:.1f} m/s ceiling")
+        if cnr < _MIN_CNR:
+            notes.append(
+                f"contrast-to-noise {cnr:.1f} below the reliable-decoding "
+                f"floor of {_MIN_CNR}; add light or lower the receiver")
+        if headroom <= 1.0:
+            notes.append(
+                "ambient light saturates this receiver; pick a lower "
+                "gain or the RX-LED (Section 4.4)")
+
+        codebook = None
+        if n_codes_needed is not None and payload_bits >= 1:
+            usable = min(n_codes_needed, 2**payload_bits)
+            if usable < n_codes_needed:
+                notes.append(
+                    f"only {usable} of the requested {n_codes_needed} "
+                    "codes fit in the payload")
+            if usable >= 1:
+                codebook = build_max_distance_codebook(
+                    min(payload_bits, 16), usable)
+
+        feasible = (payload_bits > 0 and speed_mps <= max_speed
+                    and cnr >= _MIN_CNR and headroom > 1.0)
+        return TagDesign(
+            symbol_width_m=width,
+            max_payload_bits=payload_bits,
+            packet=packet,
+            symbol_rate_sps=speed_mps / width,
+            bit_rate_bps=speed_mps / width / 2.0,
+            max_speed_mps=max_speed,
+            contrast_to_noise=cnr,
+            saturation_headroom=headroom,
+            codebook=codebook,
+            feasible=feasible,
+            notes=tuple(notes),
+        )

@@ -1,0 +1,31 @@
+"""Exceptions raised by the passive-communication core."""
+
+from __future__ import annotations
+
+__all__ = [
+    "PassiveVlcError",
+    "PreambleNotFoundError",
+    "DecodeError",
+    "SaturatedReceiverError",
+    "ClassificationError",
+]
+
+
+class PassiveVlcError(Exception):
+    """Base class for all passive-VLC errors."""
+
+
+class PreambleNotFoundError(PassiveVlcError):
+    """The HLHL preamble's A/B/C anchor points could not be located."""
+
+
+class DecodeError(PassiveVlcError):
+    """A symbol stream was recovered but could not be decoded to bits."""
+
+
+class SaturatedReceiverError(PassiveVlcError):
+    """The receiver is railed by the ambient noise floor (Section 4.4)."""
+
+
+class ClassificationError(PassiveVlcError):
+    """DTW classification could not produce a meaningful match."""

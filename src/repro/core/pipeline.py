@@ -1,0 +1,156 @@
+"""The staged receive pipeline.
+
+Section 4 presents three progressively weaker ways to extract
+information, and Section 5.2 adds a vehicle-specific acquisition phase:
+
+1. (vehicles) detect the car's **long-duration preamble** — hood peak
+   followed by windshield valley — to know when to start decoding;
+2. **threshold decoding** (clean channel, Section 4.1);
+3. **DTW classification** against clean templates (distorted channel,
+   Section 4.2);
+4. **FFT collision analysis** (overlapping packets, Section 4.3) —
+   partial information only.
+
+:class:`ReceiverPipeline` runs the stages in order and reports which
+one produced the answer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from ..channel.trace import SignalTrace
+from .classifier import ClassificationResult, DtwClassifier
+from .collision import CollisionAnalyzer, CollisionReport
+from .decoder import AdaptiveThresholdDecoder, DecodeResult
+from .errors import ClassificationError, DecodeError, PreambleNotFoundError
+
+__all__ = ["PipelineStage", "PipelineResult", "ReceiverPipeline"]
+
+
+class PipelineStage(Enum):
+    """Which mechanism produced the pipeline's answer."""
+
+    SATURATED = "saturated"
+    DECODED = "decoded"
+    CLASSIFIED = "classified"
+    COLLISION = "collision"
+    FAILED = "failed"
+
+
+@dataclass
+class PipelineResult:
+    """Everything the pipeline learned from one capture.
+
+    Attributes:
+        stage: the stage that produced the answer.
+        bits: recovered payload ('' when nothing was recovered).
+        decode_result: stage-2 output, when acquisition succeeded.
+        classification: stage-3 output, when attempted.
+        collision_report: stage-4 output, when attempted.
+    """
+
+    stage: PipelineStage
+    bits: str = ""
+    decode_result: DecodeResult | None = None
+    classification: ClassificationResult | None = None
+    collision_report: CollisionReport | None = None
+
+    @property
+    def recovered(self) -> bool:
+        """True when a payload (decoded or classified) was recovered."""
+        return self.stage in (PipelineStage.DECODED, PipelineStage.CLASSIFIED)
+
+
+class ReceiverPipeline:
+    """Saturation check -> decode -> classify -> collision analysis.
+
+    Attributes:
+        decoder: stage-2 threshold decoder.
+        classifier: stage-3 DTW classifier (skipped when it has no
+            templates).
+        collision_analyzer: stage-4 spectral analyser.
+        saturation_fraction: captures whose samples rail at/above this
+            fraction of full scale for >25 % of the time are declared
+            saturated (the paper's "links disappear abruptly").
+    """
+
+    def __init__(self, decoder: AdaptiveThresholdDecoder | None = None,
+                 classifier: DtwClassifier | None = None,
+                 collision_analyzer: CollisionAnalyzer | None = None,
+                 saturation_fraction: float = 0.98,
+                 adc_max_code: int = 1023) -> None:
+        if not 0.5 <= saturation_fraction <= 1.0:
+            raise ValueError("saturation fraction must be in [0.5, 1]")
+        self.decoder = decoder or AdaptiveThresholdDecoder()
+        self.classifier = classifier
+        self.collision_analyzer = (collision_analyzer
+                                   or CollisionAnalyzer(decoder=self.decoder))
+        self.saturation_fraction = saturation_fraction
+        self.adc_max_code = adc_max_code
+
+    # ------------------------------------------------------------------
+    def is_saturated(self, trace: SignalTrace) -> bool:
+        """Railed-capture detection on the raw codes."""
+        if len(trace.samples) == 0:
+            return False
+        rail = self.saturation_fraction * self.adc_max_code
+        frac_railed = float((trace.samples >= rail).mean())
+        return frac_railed > 0.25
+
+    def process(self, trace: SignalTrace,
+                n_data_symbols: int | None = None,
+                expected_bits: str | None = None) -> PipelineResult:
+        """Run the staged receive chain on one capture.
+
+        Args:
+            trace: RSS capture.
+            n_data_symbols: expected data-field length, if known.
+            expected_bits: when provided, a stage-2 decode only counts
+                if the payload matches (deployments validate against a
+                known code list or checksum).
+        """
+        if self.is_saturated(trace):
+            return PipelineResult(stage=PipelineStage.SATURATED)
+
+        # Stage 2: adaptive-threshold decoding.
+        decode_result: DecodeResult | None = None
+        try:
+            decode_result = self.decoder.decode(
+                trace, n_data_symbols=n_data_symbols)
+            if decode_result.success:
+                bits = decode_result.bit_string()
+                if expected_bits is None or bits == expected_bits:
+                    return PipelineResult(stage=PipelineStage.DECODED,
+                                          bits=bits,
+                                          decode_result=decode_result)
+        except (PreambleNotFoundError, DecodeError):
+            decode_result = None
+
+        # Stage 3: DTW classification against clean templates.
+        classification: ClassificationResult | None = None
+        if self.classifier is not None and self.classifier.templates:
+            try:
+                classification = self.classifier.classify(trace)
+            except ClassificationError:
+                classification = None
+            if classification is not None and classification.confident:
+                return PipelineResult(stage=PipelineStage.CLASSIFIED,
+                                      bits=classification.label,
+                                      decode_result=decode_result,
+                                      classification=classification)
+
+        # Stage 4: collision analysis — partial information.
+        report = self.collision_analyzer.analyze(
+            trace, n_data_symbols=n_data_symbols)
+        if report.collision_detected:
+            return PipelineResult(stage=PipelineStage.COLLISION,
+                                  decode_result=decode_result,
+                                  classification=classification,
+                                  collision_report=report)
+
+        return PipelineResult(stage=PipelineStage.FAILED,
+                              decode_result=decode_result,
+                              classification=classification,
+                              collision_report=report)

@@ -1,0 +1,132 @@
+"""Dual-receiver selection: PD vs RX-LED (Section 4.4).
+
+"A receiver with two optical components (PD and RX-LED) can alleviate
+the noise floor problem by properly selecting the component that
+provides reliable passive communication for the given ambient light
+conditions."
+
+The policy implemented here follows the paper's reasoning directly:
+prefer the **most sensitive receiver that is not saturated** by the
+current noise floor, with a safety margin because the signal itself
+rides on top of the ambient level (a receiver biased right at its
+saturation point clips the HIGH symbols first — exactly the failure of
+Fig. 16(a) analysed in Section 5.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..hardware.board import EvaluationBoard
+from ..hardware.frontend import ReceiverFrontEnd
+from ..hardware.photodiode import PdGain
+from .errors import SaturatedReceiverError
+
+__all__ = ["ReceiverChoice", "DualReceiverController"]
+
+
+@dataclass(frozen=True)
+class ReceiverChoice:
+    """A selection decision.
+
+    Attributes:
+        name: receiver configuration name (``"PD-G1"`` ... ``"RX-LED"``).
+        frontend: the ready-to-use front end.
+        ambient_lux: the noise floor the decision was made for.
+        headroom: saturation / effective ambient — how much margin the
+            chosen receiver retains (>1 means unsaturated).
+    """
+
+    name: str
+    frontend: ReceiverFrontEnd
+    ambient_lux: float
+    headroom: float
+
+
+class DualReceiverController:
+    """Selects PD gain level or RX-LED for a given noise floor.
+
+    Attributes:
+        board: the two-receiver evaluation board.
+        margin: required saturation headroom.  The reflected signal adds
+            to the ambient pedestal, so the controller requires
+            ``ambient * margin < saturation``; 1.3 covers the strongest
+            HIGH reflections seen in the paper's scenes.
+        prefer_sensitivity: when True (paper's policy) pick the most
+            sensitive unsaturated option; False picks the most robust
+            (largest headroom) — useful under rapidly changing light.
+    """
+
+    #: Candidate order from most to least sensitive (Fig. 11 rows).
+    _CANDIDATES: tuple[tuple[str, object], ...] = (
+        ("PD-G1", PdGain.G1),
+        ("PD-G2", PdGain.G2),
+        ("PD-G3", PdGain.G3),
+        ("RX-LED", None),
+    )
+
+    def __init__(self, board: EvaluationBoard | None = None,
+                 margin: float = 1.3,
+                 prefer_sensitivity: bool = True) -> None:
+        if margin < 1.0:
+            raise ValueError(f"margin must be >= 1, got {margin}")
+        self.board = board or EvaluationBoard()
+        self.margin = margin
+        self.prefer_sensitivity = prefer_sensitivity
+
+    def _frontend_for(self, name: str, gain: object) -> ReceiverFrontEnd:
+        if name == "RX-LED":
+            return self.board.led_frontend()
+        assert isinstance(gain, PdGain)
+        return self.board.photodiode_frontend(gain=gain)
+
+    def choices(self, ambient_lux: float) -> list[ReceiverChoice]:
+        """All unsaturated receiver options for a noise floor.
+
+        Ordered by descending sensitivity.
+        """
+        if ambient_lux < 0.0:
+            raise ValueError("ambient level cannot be negative")
+        out: list[ReceiverChoice] = []
+        for name, gain in self._CANDIDATES:
+            fe = self._frontend_for(name, gain)
+            effective = ambient_lux * fe.ambient_transmission * self.margin
+            sat = fe.detector.saturation_lux
+            if effective < sat:
+                headroom = sat / effective if effective > 0.0 else float("inf")
+                out.append(ReceiverChoice(name=name, frontend=fe,
+                                          ambient_lux=ambient_lux,
+                                          headroom=headroom))
+        return out
+
+    def select(self, ambient_lux: float) -> ReceiverChoice:
+        """Pick the receiver for the given noise floor.
+
+        Raises:
+            SaturatedReceiverError: when even the RX-LED is railed
+                (noise floor beyond ~35 klux / margin).
+        """
+        options = self.choices(ambient_lux)
+        if not options:
+            raise SaturatedReceiverError(
+                f"all receivers saturate at a noise floor of "
+                f"{ambient_lux:.0f} lux (RX-LED limit is "
+                f"{35000 / self.margin:.0f} lux with margin {self.margin})")
+        if self.prefer_sensitivity:
+            return options[0]
+        return max(options, key=lambda c: c.headroom)
+
+    def selection_table(self, ambient_levels: list[float],
+                        ) -> list[tuple[float, str]]:
+        """Selection decisions across a sweep of noise floors.
+
+        Returns ``(ambient_lux, receiver_name)`` rows; saturated rows
+        report ``"saturated"``.
+        """
+        rows: list[tuple[float, str]] = []
+        for lux in ambient_levels:
+            try:
+                rows.append((lux, self.select(lux).name))
+            except SaturatedReceiverError:
+                rows.append((lux, "saturated"))
+        return rows

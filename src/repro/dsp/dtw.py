@@ -1,0 +1,124 @@
+"""Dynamic Time Warping (Section 4.2, channel distortion).
+
+"While many signal processing techniques could be used for
+classification problems, we use Dynamic Time Warping (DTW) to showcase
+our basic idea.  DTW is a method used in many areas to measure the
+similarity of two signals."
+
+The paper reports *normalized distances*: between the distorted packet
+of Fig. 8 and the two clean templates of Fig. 5 the distances are 326
+(wrong template) and 172 (correct template), with a self-distance of 131
+— self-distance is non-zero because their normalisation divides by the
+path length and compares independently noisy captures.
+
+This implementation provides the classic O(n*m) dynamic program with an
+optional Sakoe-Chiba band, path extraction, and path-length
+normalisation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["DtwResult", "dtw_distance", "dtw"]
+
+
+@dataclass
+class DtwResult:
+    """Outcome of one DTW alignment.
+
+    Attributes:
+        distance: accumulated cost along the optimal path.
+        normalized_distance: accumulated cost divided by path length.
+        path: optimal alignment as (i, j) index pairs, if requested.
+    """
+
+    distance: float
+    normalized_distance: float
+    path: list[tuple[int, int]] | None = None
+
+
+def _cost_matrix(a: np.ndarray, b: np.ndarray,
+                 band: int | None) -> np.ndarray:
+    """Accumulated-cost matrix with absolute-difference local cost."""
+    n, m = len(a), len(b)
+    acc = np.full((n + 1, m + 1), np.inf)
+    acc[0, 0] = 0.0
+    for i in range(1, n + 1):
+        if band is None:
+            j_lo, j_hi = 1, m
+        else:
+            centre = int(round(i * m / n))
+            j_lo = max(1, centre - band)
+            j_hi = min(m, centre + band)
+        ai = a[i - 1]
+        for j in range(j_lo, j_hi + 1):
+            cost = abs(ai - b[j - 1])
+            acc[i, j] = cost + min(acc[i - 1, j],      # insertion
+                                   acc[i, j - 1],      # deletion
+                                   acc[i - 1, j - 1])  # match
+    return acc
+
+
+def _traceback(acc: np.ndarray) -> list[tuple[int, int]]:
+    """Recover the optimal path from the accumulated-cost matrix."""
+    i, j = acc.shape[0] - 1, acc.shape[1] - 1
+    path: list[tuple[int, int]] = []
+    while i > 0 and j > 0:
+        path.append((i - 1, j - 1))
+        moves = (acc[i - 1, j - 1], acc[i - 1, j], acc[i, j - 1])
+        best = int(np.argmin(moves))
+        if best == 0:
+            i, j = i - 1, j - 1
+        elif best == 1:
+            i -= 1
+        else:
+            j -= 1
+    path.reverse()
+    return path
+
+
+def dtw(a: np.ndarray, b: np.ndarray, band_fraction: float | None = 0.2,
+        return_path: bool = False) -> DtwResult:
+    """Align two sequences and return their DTW distance.
+
+    Args:
+        a: first sequence (1-D).
+        b: second sequence (1-D).
+        band_fraction: Sakoe-Chiba band half-width as a fraction of the
+            longer sequence; None disables the constraint.  A band both
+            speeds the O(n*m) DP up and prevents degenerate warpings
+            (the paper's speed never changes by more than 2x).
+        return_path: include the alignment path in the result.
+
+    Raises:
+        ValueError: on empty inputs or an infeasible band.
+    """
+    x = np.asarray(a, dtype=float).ravel()
+    y = np.asarray(b, dtype=float).ravel()
+    if len(x) == 0 or len(y) == 0:
+        raise ValueError("cannot align empty sequences")
+    band: int | None = None
+    if band_fraction is not None:
+        if band_fraction <= 0.0:
+            raise ValueError(f"band fraction must be positive, got {band_fraction}")
+        band = max(1, int(round(band_fraction * max(len(x), len(y)))))
+        # The band must at least cover the length difference or no
+        # monotone path exists.
+        band = max(band, abs(len(x) - len(y)) + 1)
+    acc = _cost_matrix(x, y, band)
+    distance = float(acc[-1, -1])
+    if not np.isfinite(distance):
+        raise ValueError("no feasible alignment path (band too narrow)")
+    path = _traceback(acc)
+    normalized = distance / len(path) if path else 0.0
+    return DtwResult(distance=distance, normalized_distance=normalized,
+                     path=path if return_path else None)
+
+
+def dtw_distance(a: np.ndarray, b: np.ndarray,
+                 band_fraction: float | None = 0.2) -> float:
+    """Plain DTW distance (accumulated optimal-path cost)."""
+    return dtw(a, b, band_fraction=band_fraction).distance

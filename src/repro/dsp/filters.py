@@ -1,0 +1,115 @@
+"""Smoothing and detrending filters used by the decoders.
+
+The receiver's RSS stream carries 100 Hz lamp ripple (Fig. 7), detector
+noise and slow baseline drift (clouds, car body underneath).  The
+decoders pre-condition the signal with the small set of filters here —
+nothing exotic, because the paper's receiver is a constrained embedded
+platform.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import signal as sp_signal
+
+__all__ = [
+    "moving_average",
+    "detrend",
+    "lowpass",
+    "notch_ac_ripple",
+    "median_filter",
+]
+
+
+def moving_average(samples: np.ndarray, window: int) -> np.ndarray:
+    """Centred moving average with edge-replication padding.
+
+    Args:
+        samples: input signal.
+        window: window length in samples, >= 1 (even lengths are bumped
+            to the next odd number so the filter stays centred).
+    """
+    x = np.asarray(samples, dtype=float)
+    if window < 1:
+        raise ValueError(f"window must be >= 1, got {window}")
+    if window == 1 or len(x) == 0:
+        return x.copy()
+    if window % 2 == 0:
+        window += 1
+    window = min(window, 2 * len(x) - 1)
+    half = window // 2
+    padded = np.concatenate([np.full(half, x[0]), x, np.full(half, x[-1])])
+    kernel = np.ones(window) / window
+    return np.convolve(padded, kernel, mode="valid")
+
+
+def detrend(samples: np.ndarray, window: int) -> np.ndarray:
+    """Remove a slow baseline estimated by a wide moving average.
+
+    Used before FFT analysis so the spectrum is not dominated by the
+    packet envelope (Section 4.3).
+    """
+    x = np.asarray(samples, dtype=float)
+    if len(x) == 0:
+        return x.copy()
+    baseline = moving_average(x, window)
+    return x - baseline
+
+
+def lowpass(samples: np.ndarray, cutoff_hz: float, sample_rate_hz: float,
+            order: int = 4) -> np.ndarray:
+    """Zero-phase Butterworth low-pass (filtfilt).
+
+    Zero-phase filtering keeps symbol edges where they are, which
+    matters because the decoder's tau_t windows are anchored on peak
+    timestamps.
+    """
+    if cutoff_hz <= 0.0:
+        raise ValueError(f"cutoff must be positive, got {cutoff_hz}")
+    if sample_rate_hz <= 0.0:
+        raise ValueError("sample rate must be positive")
+    x = np.asarray(samples, dtype=float)
+    if cutoff_hz >= sample_rate_hz / 2.0:
+        return x.copy()
+    if len(x) < 3 * (order + 1):
+        return x.copy()
+    b, a = sp_signal.butter(order, cutoff_hz / (sample_rate_hz / 2.0))
+    return sp_signal.filtfilt(b, a, x)
+
+
+def notch_ac_ripple(samples: np.ndarray, sample_rate_hz: float,
+                    ripple_hz: float = 100.0, quality: float = 8.0) -> np.ndarray:
+    """Remove the lamp's AC ripple with an IIR notch.
+
+    Fig. 7's "thicker lines" come from the 100 Hz rectified-mains ripple
+    of fluorescent lights; notching it recovers the clean symbol
+    envelope when the symbol rate is well below the ripple frequency.
+    """
+    if sample_rate_hz <= 0.0:
+        raise ValueError("sample rate must be positive")
+    if ripple_hz <= 0.0 or ripple_hz >= sample_rate_hz / 2.0:
+        return np.asarray(samples, dtype=float).copy()
+    x = np.asarray(samples, dtype=float)
+    if len(x) < 12:
+        return x.copy()
+    b, a = sp_signal.iirnotch(ripple_hz, quality, fs=sample_rate_hz)
+    return sp_signal.filtfilt(b, a, x)
+
+
+def median_filter(samples: np.ndarray, window: int) -> np.ndarray:
+    """Median filter for impulse (glint) rejection.
+
+    Specular glints off crinkled tape produce sample-length spikes;
+    a short median removes them without smearing symbol edges.
+    """
+    x = np.asarray(samples, dtype=float)
+    if window < 1:
+        raise ValueError(f"window must be >= 1, got {window}")
+    if window == 1 or len(x) == 0:
+        return x.copy()
+    if window % 2 == 0:
+        window += 1
+    window = min(window, len(x) if len(x) % 2 == 1 else len(x) - 1)
+    if window < 3:
+        return x.copy()
+    return sp_signal.medfilt(x, kernel_size=window)

@@ -1,0 +1,56 @@
+"""Signal normalisation helpers.
+
+The paper plots "Normalized RSS" (min-max over the displayed window) and
+the DTW classifier compares signals after amplitude and length
+normalisation, since two passes of the same packet can differ in both
+ambient level and speed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["min_max_normalize", "z_normalize", "resample_to_length"]
+
+
+def min_max_normalize(samples: np.ndarray) -> np.ndarray:
+    """Scale a signal to [0, 1]; constant signals map to zeros."""
+    x = np.asarray(samples, dtype=float)
+    if len(x) == 0:
+        return x.copy()
+    lo, hi = float(x.min()), float(x.max())
+    if hi == lo:
+        return np.zeros_like(x)
+    return (x - lo) / (hi - lo)
+
+
+def z_normalize(samples: np.ndarray) -> np.ndarray:
+    """Zero-mean, unit-variance scaling; constant signals map to zeros."""
+    x = np.asarray(samples, dtype=float)
+    if len(x) == 0:
+        return x.copy()
+    mu = float(x.mean())
+    sigma = float(x.std())
+    if sigma == 0.0:
+        return np.zeros_like(x)
+    return (x - mu) / sigma
+
+
+def resample_to_length(samples: np.ndarray, n: int) -> np.ndarray:
+    """Linear-interpolation resample to exactly ``n`` samples.
+
+    Used to bring signals of different durations onto a common support
+    before DTW (speed differences then appear as *warping*, not as
+    length mismatch).
+
+    Raises:
+        ValueError: for ``n < 2`` or an input shorter than 2 samples.
+    """
+    x = np.asarray(samples, dtype=float)
+    if n < 2:
+        raise ValueError(f"target length must be >= 2, got {n}")
+    if len(x) < 2:
+        raise ValueError(f"input must have >= 2 samples, got {len(x)}")
+    old = np.linspace(0.0, 1.0, len(x))
+    new = np.linspace(0.0, 1.0, n)
+    return np.interp(new, old, x)

@@ -1,0 +1,108 @@
+"""Peak and valley detection for preamble acquisition.
+
+The adaptive decoder (Section 4.1) anchors its thresholds on "the first
+two peaks and the first valley present in the preamble, points A, B and
+C in Fig. 5(a)".  This module finds prominence-filtered extrema robustly
+on noisy RSS traces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import signal as sp_signal
+
+__all__ = ["Extremum", "find_peaks_and_valleys", "first_preamble_points"]
+
+
+@dataclass(frozen=True)
+class Extremum:
+    """One detected signal extremum.
+
+    Attributes:
+        index: sample index.
+        time_s: timestamp.
+        value: signal value at the extremum.
+        kind: ``"peak"`` or ``"valley"``.
+    """
+
+    index: int
+    time_s: float
+    value: float
+    kind: str
+
+
+def find_peaks_and_valleys(samples: np.ndarray, sample_rate_hz: float,
+                           start_time_s: float = 0.0,
+                           min_prominence: float | None = None,
+                           min_distance_s: float | None = None,
+                           ) -> list[Extremum]:
+    """All prominent peaks and valleys, in time order.
+
+    Args:
+        samples: the (usually smoothed) RSS trace.
+        sample_rate_hz: sampling rate.
+        start_time_s: timestamp of the first sample.
+        min_prominence: minimum prominence; defaults to 20 % of the
+            signal's peak-to-peak range (adaptive, per the paper's "no
+            a-priori calibration" requirement).
+        min_distance_s: minimum spacing between same-kind extrema.
+    """
+    x = np.asarray(samples, dtype=float)
+    if sample_rate_hz <= 0.0:
+        raise ValueError("sample rate must be positive")
+    if len(x) < 3:
+        return []
+    span = float(x.max() - x.min())
+    if span == 0.0:
+        return []
+    prominence = (min_prominence if min_prominence is not None
+                  else 0.2 * span)
+    distance = None
+    if min_distance_s is not None:
+        distance = max(1, int(round(min_distance_s * sample_rate_hz)))
+
+    peak_idx, _ = sp_signal.find_peaks(x, prominence=prominence,
+                                       distance=distance)
+    valley_idx, _ = sp_signal.find_peaks(-x, prominence=prominence,
+                                         distance=distance)
+    out = [Extremum(int(i), start_time_s + i / sample_rate_hz,
+                    float(x[i]), "peak") for i in peak_idx]
+    out += [Extremum(int(i), start_time_s + i / sample_rate_hz,
+                     float(x[i]), "valley") for i in valley_idx]
+    out.sort(key=lambda e: e.index)
+    return out
+
+
+def first_preamble_points(extrema: list[Extremum],
+                          ) -> tuple[Extremum, Extremum, Extremum] | None:
+    """Locate points A (peak), B (valley), C (peak) of the preamble.
+
+    Scans for the first peak -> valley -> peak triple in time order,
+    skipping any leading valleys (the trace may start on the dark ground
+    before the first HIGH strip arrives).
+
+    Returns:
+        ``(A, B, C)`` or None if the pattern is absent.
+    """
+    peaks_seen: list[Extremum] = []
+    a: Extremum | None = None
+    b: Extremum | None = None
+    for ext in extrema:
+        if ext.kind == "peak":
+            if a is None:
+                a = ext
+            elif b is not None:
+                return (a, b, ext)
+            else:
+                # Two peaks without a valley between them: restart from
+                # the later, stronger anchor.
+                if ext.value > a.value:
+                    a = ext
+        else:  # valley
+            if a is not None and b is None:
+                b = ext
+            elif a is not None and b is not None and ext.value < b.value:
+                b = ext
+    return None

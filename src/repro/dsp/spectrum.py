@@ -1,0 +1,140 @@
+"""Frequency-domain analysis (Section 4.3, 'Packet' collisions).
+
+When two packets share the FoV equally, the time-domain signal is an
+undecodable superposition — but the FFT still reveals "the presence of
+two different types of object" as two distinct spectral peaks
+(Fig. 10(f)).  This module computes the paper's ``P(f)`` power spectrum
+and extracts dominant symbol-rate peaks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import signal as sp_signal
+
+from .filters import detrend
+
+__all__ = ["PowerSpectrum", "power_spectrum", "dominant_frequencies",
+           "symbol_fundamental_hz"]
+
+
+@dataclass
+class PowerSpectrum:
+    """A one-sided power spectrum.
+
+    Attributes:
+        frequencies_hz: frequency bins (>= 0).
+        power: spectral magnitude per bin (the paper's ``P(f)``).
+    """
+
+    frequencies_hz: np.ndarray
+    power: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.frequencies_hz = np.asarray(self.frequencies_hz, dtype=float)
+        self.power = np.asarray(self.power, dtype=float)
+        if self.frequencies_hz.shape != self.power.shape:
+            raise ValueError("frequency and power arrays must match")
+
+    def band(self, f_lo: float, f_hi: float) -> "PowerSpectrum":
+        """Restrict to a frequency band."""
+        if f_hi <= f_lo:
+            raise ValueError("f_hi must exceed f_lo")
+        mask = (self.frequencies_hz >= f_lo) & (self.frequencies_hz <= f_hi)
+        return PowerSpectrum(self.frequencies_hz[mask], self.power[mask])
+
+    def peak_frequency(self) -> float:
+        """Frequency of the strongest bin."""
+        if len(self.power) == 0:
+            raise ValueError("empty spectrum")
+        return float(self.frequencies_hz[int(np.argmax(self.power))])
+
+
+def symbol_fundamental_hz(symbol_width_m: float, speed_mps: float) -> float:
+    """Fundamental frequency of an alternating HL pattern.
+
+    A HIGH/LOW alternation with symbol width ``w`` moving at speed ``v``
+    completes one period every two symbols: ``f0 = v / (2 w)``.
+    """
+    if symbol_width_m <= 0.0 or speed_mps <= 0.0:
+        raise ValueError("symbol width and speed must be positive")
+    return speed_mps / (2.0 * symbol_width_m)
+
+
+def power_spectrum(samples: np.ndarray, sample_rate_hz: float,
+                   detrend_window_s: float | None = 1.0,
+                   zero_pad_factor: int = 4) -> PowerSpectrum:
+    """Magnitude spectrum of an RSS trace, baseline-removed and windowed.
+
+    Args:
+        samples: RSS samples.
+        sample_rate_hz: sampling rate.
+        detrend_window_s: moving-average baseline width to remove before
+            the FFT (None disables; the paper's spectra have no DC spike
+            so their pipeline clearly removes the baseline).
+        zero_pad_factor: FFT zero padding for finer frequency bins.
+    """
+    x = np.asarray(samples, dtype=float)
+    if sample_rate_hz <= 0.0:
+        raise ValueError("sample rate must be positive")
+    if len(x) < 8:
+        raise ValueError(f"need at least 8 samples, got {len(x)}")
+    if zero_pad_factor < 1:
+        raise ValueError("zero pad factor must be >= 1")
+    if detrend_window_s is not None:
+        window = max(3, int(round(detrend_window_s * sample_rate_hz)))
+        x = detrend(x, window)
+    x = x * np.hanning(len(x))
+    n_fft = int(2 ** np.ceil(np.log2(len(x) * zero_pad_factor)))
+    spectrum = np.abs(np.fft.rfft(x, n=n_fft))
+    freqs = np.fft.rfftfreq(n_fft, d=1.0 / sample_rate_hz)
+    return PowerSpectrum(freqs, spectrum)
+
+
+def dominant_frequencies(spectrum: PowerSpectrum, max_peaks: int = 4,
+                         min_relative_height: float = 0.35,
+                         min_separation_hz: float = 0.8,
+                         f_min_hz: float = 0.3,
+                         min_snr_vs_median: float | None = None) -> list[float]:
+    """Distinct dominant spectral peaks, strongest first.
+
+    Args:
+        spectrum: input spectrum.
+        max_peaks: cap on the number of returned peaks.
+        min_relative_height: peaks below this fraction of the strongest
+            peak are ignored.
+        min_separation_hz: peaks closer than this to an already-accepted
+            peak are treated as the same component (harmonic sidelobes).
+        f_min_hz: ignore the near-DC region.
+        min_snr_vs_median: when set, every accepted peak must also stand
+            at least this factor above the band's median power — this is
+            what separates a genuine symbol-rate line from the random
+            crests of a white-noise spectrum.
+
+    Returns:
+        Peak frequencies in Hz, ordered by descending power.
+    """
+    if max_peaks < 1:
+        raise ValueError("max_peaks must be >= 1")
+    banded = spectrum.band(f_min_hz, float(spectrum.frequencies_hz[-1]))
+    if len(banded.power) < 3:
+        return []
+    height = min_relative_height * float(banded.power.max())
+    if min_snr_vs_median is not None:
+        floor = float(np.median(banded.power))
+        height = max(height, min_snr_vs_median * floor)
+    idx, props = sp_signal.find_peaks(banded.power, height=height)
+    if len(idx) == 0:
+        return []
+    order = np.argsort(props["peak_heights"])[::-1]
+    chosen: list[float] = []
+    for k in order:
+        f = float(banded.frequencies_hz[idx[k]])
+        if any(abs(f - c) < min_separation_hz for c in chosen):
+            continue
+        chosen.append(f)
+        if len(chosen) >= max_peaks:
+            break
+    return chosen

@@ -1,0 +1,51 @@
+"""Receiver hardware substrate: detectors, analog chain, ADC, board."""
+
+from .adc import Adc
+from .amplifier import Amplifier, first_order_lowpass
+from .board import EvaluationBoard, ReceiverKind
+from .energy import (
+    CAMERA_POWER_W,
+    OPT101_POWER_W,
+    AutonomyReport,
+    PowerBudget,
+    SolarPanel,
+    autonomy,
+    camera_receiver_budget,
+    photodiode_receiver_budget,
+)
+from .frontend import FovCap, ReceiverFrontEnd
+from .led_receiver import (
+    RX_LED_FOV_DEG,
+    RX_LED_RELATIVE_SENSITIVITY,
+    RX_LED_SATURATION_LUX,
+    LedReceiver,
+)
+from .photodiode import (
+    OPT101_FOV_DEG,
+    OpticalDetector,
+    PdGain,
+    Photodiode,
+    normalized_sensitivity,
+)
+
+__all__ = [
+    "Adc",
+    "Amplifier",
+    "first_order_lowpass",
+    "EvaluationBoard",
+    "ReceiverKind",
+    "CAMERA_POWER_W", "OPT101_POWER_W", "AutonomyReport", "PowerBudget",
+    "SolarPanel", "autonomy", "camera_receiver_budget",
+    "photodiode_receiver_budget",
+    "FovCap",
+    "ReceiverFrontEnd",
+    "LedReceiver",
+    "RX_LED_FOV_DEG",
+    "RX_LED_RELATIVE_SENSITIVITY",
+    "RX_LED_SATURATION_LUX",
+    "OpticalDetector",
+    "PdGain",
+    "Photodiode",
+    "OPT101_FOV_DEG",
+    "normalized_sensitivity",
+]

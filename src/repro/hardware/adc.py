@@ -1,0 +1,73 @@
+"""Analog-to-digital conversion (MCP3008 on the OpenVLC board).
+
+The MCP3008 is a 10-bit SAR converter; the outdoor evaluation samples at
+2 kS/s (Section 5).  The RSS values plotted throughout the paper are its
+output codes (0..1023 before normalisation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["Adc"]
+
+
+@dataclass
+class Adc:
+    """An ideal-linearity SAR ADC with quantisation and clipping.
+
+    Attributes:
+        bits: resolution (10 for the MCP3008).
+        v_ref_fullscale: input level (normalised volts) mapped to the
+            maximum code; inputs are clipped to [0, v_ref_fullscale].
+        sample_rate_hz: nominal sampling rate.
+    """
+
+    bits: int = 10
+    v_ref_fullscale: float = 1.0
+    sample_rate_hz: float = 2_000.0
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.bits <= 24:
+            raise ValueError(f"bits must be in [1, 24], got {self.bits}")
+        if self.v_ref_fullscale <= 0.0:
+            raise ValueError("reference must be positive")
+        if self.sample_rate_hz <= 0.0:
+            raise ValueError("sample rate must be positive")
+
+    @classmethod
+    def mcp3008(cls, sample_rate_hz: float = 2_000.0) -> "Adc":
+        """The board's converter at the paper's outdoor sampling rate."""
+        return cls(bits=10, v_ref_fullscale=1.0, sample_rate_hz=sample_rate_hz)
+
+    @property
+    def max_code(self) -> int:
+        """Largest output code (``2**bits - 1``)."""
+        return (1 << self.bits) - 1
+
+    @property
+    def lsb(self) -> float:
+        """Input step per code."""
+        return self.v_ref_fullscale / self.max_code
+
+    def convert(self, samples: np.ndarray) -> np.ndarray:
+        """Quantise a normalised-voltage signal into integer codes.
+
+        Args:
+            samples: input voltages (any shape).
+
+        Returns:
+            Integer codes, same shape, dtype int32.
+        """
+        x = np.asarray(samples, dtype=float)
+        codes = np.round(np.clip(x, 0.0, self.v_ref_fullscale) / self.lsb)
+        return codes.astype(np.int32)
+
+    def to_volts(self, codes: np.ndarray) -> np.ndarray:
+        """Map codes back to the centre of their quantisation bins."""
+        c = np.asarray(codes)
+        if np.any((c < 0) | (c > self.max_code)):
+            raise ValueError(f"codes must be in [0, {self.max_code}]")
+        return c.astype(float) * self.lsb

@@ -1,0 +1,96 @@
+"""The evaluation board: a two-receiver OpenVLC-style platform (Fig. 3).
+
+The paper's board carries both optical receivers — a low-power LED
+(receiver 1) and the OPT101 photodiode (receiver 2) — plus the analog
+chain (74HCT244N buffer, LM358N amplifier, ADG444 multiplexer, MCP3008
+ADC).  The multiplexer selects which receiver feeds the ADC; gain levels
+G1-G3 reconfigure the photodiode.  Section 4.4's conclusion is that a
+receiver with *both* components "can alleviate the noise floor problem by
+properly selecting the component" for the ambient conditions; the
+selection policy itself lives in :mod:`repro.core.receiver_select`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from .adc import Adc
+from .amplifier import Amplifier
+from .frontend import FovCap, ReceiverFrontEnd
+from .led_receiver import LedReceiver
+from .photodiode import PdGain, Photodiode
+
+__all__ = ["ReceiverKind", "EvaluationBoard"]
+
+
+class ReceiverKind(Enum):
+    """Which optical component is routed to the ADC."""
+
+    PHOTODIODE = "photodiode"
+    RX_LED = "rx_led"
+
+
+@dataclass
+class EvaluationBoard:
+    """A board with both optical receivers and a shared ADC.
+
+    Attributes:
+        pd_gain: current photodiode gain setting.
+        pd_cap: optional FoV cap mounted on the photodiode.
+        sample_rate_hz: ADC sampling rate (2 kS/s outdoors in the paper).
+        seed: RNG seed passed to the front ends.
+    """
+
+    pd_gain: PdGain = PdGain.G2
+    pd_cap: FovCap | None = None
+    sample_rate_hz: float = 2_000.0
+    seed: int | None = None
+
+    def __post_init__(self) -> None:
+        self._adc = Adc.mcp3008(sample_rate_hz=self.sample_rate_hz)
+        self._amplifier = Amplifier.lm358()
+
+    def photodiode_frontend(self, gain: PdGain | None = None,
+                            cap: FovCap | None | str = "board") -> ReceiverFrontEnd:
+        """Front end using the OPT101 receiver.
+
+        Args:
+            gain: overrides the board's gain setting for this capture.
+            cap: a cap to mount; the string ``"board"`` (default) keeps
+                whatever is mounted on the board, ``None`` removes it.
+        """
+        chosen_cap = self.pd_cap if cap == "board" else cap
+        return ReceiverFrontEnd(
+            detector=Photodiode.opt101(gain=gain if gain is not None else self.pd_gain),
+            cap=chosen_cap,
+            amplifier=self._amplifier,
+            adc=self._adc,
+            seed=self.seed,
+        )
+
+    def led_frontend(self) -> ReceiverFrontEnd:
+        """Front end using the RX-LED receiver (no cap: already narrow)."""
+        return ReceiverFrontEnd(
+            detector=LedReceiver.red_5mm(),
+            cap=None,
+            amplifier=self._amplifier,
+            adc=self._adc,
+            seed=self.seed,
+        )
+
+    def frontend(self, kind: ReceiverKind) -> ReceiverFrontEnd:
+        """Select a receiver via the multiplexer."""
+        if kind is ReceiverKind.PHOTODIODE:
+            return self.photodiode_frontend()
+        if kind is ReceiverKind.RX_LED:
+            return self.led_frontend()
+        raise ValueError(f"unknown receiver kind: {kind!r}")
+
+    def all_frontends(self) -> dict[str, ReceiverFrontEnd]:
+        """All receiver configurations the board supports (for sweeps)."""
+        out: dict[str, ReceiverFrontEnd] = {}
+        for gain in PdGain:
+            out[f"PD-{gain.name}"] = self.photodiode_frontend(gain=gain, cap=None)
+        out["RX-LED"] = self.led_frontend()
+        return out

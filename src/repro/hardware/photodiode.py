@@ -1,0 +1,175 @@
+"""Photodiode receiver model (TI OPT101, as used on the OpenVLC board).
+
+Fig. 11 of the paper characterises the optical receivers by two numbers,
+measured with the device facing the ambient light:
+
+=========  ================  ============================
+Receiver   Saturation (lux)  Sensitivity (norm. to PD G1)
+=========  ================  ============================
+PD (G1)    450               1
+PD (G2)    1200              0.45
+PD (G3)    5000              0.089
+LED        35000             0.013
+=========  ================  ============================
+
+The numbers encode a fixed-output-swing device whose gain setting trades
+input range against sensitivity: sensitivity is (nearly exactly) inversely
+proportional to the saturation illuminance (450/1200 = 0.375, 450/5000 =
+0.09, 450/35000 = 0.013).  The model therefore uses the *ambient-referred*
+saturation level as the full-scale input and derives the transfer slope
+from it, while reporting the paper's tabulated sensitivity values.
+
+The OPT101 is a wide-FoV device; Section 5.2 has to narrow it with a
+physical cap to decode under interference, which is modelled by
+:class:`repro.hardware.frontend.FovCap`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+import numpy as np
+
+from ..optics.geometry import FieldOfView
+
+__all__ = ["PdGain", "OpticalDetector", "Photodiode", "OPT101_FOV_DEG"]
+
+#: Full field-of-view angle of the bare OPT101 package.  The OPT101 has
+#: a flat window and no lens: its angular response is near-Lambertian,
+#: accepting light over most of the hemisphere.  This width is what
+#: makes the bare photodiode collect interference from surfaces around
+#: the tag (the car-roof problem of Fig. 16(a)) until a cap narrows it.
+OPT101_FOV_DEG = 110.0
+
+#: Reference saturation (G1) used to normalise sensitivities, lux.
+_REFERENCE_SATURATION_LUX = 450.0
+
+
+class PdGain(Enum):
+    """OPT101 transimpedance gain settings used in the paper.
+
+    G1 is the highest gain (most sensitive, easiest to saturate); G3 the
+    lowest.  Values carry ``(saturation_lux, relative_sensitivity)``
+    exactly as tabulated in Fig. 11.
+    """
+
+    G1 = (450.0, 1.0)
+    G2 = (1200.0, 0.45)
+    G3 = (5000.0, 0.089)
+
+    @property
+    def saturation_lux(self) -> float:
+        """Ambient-referred illuminance at which the output rails."""
+        return self.value[0]
+
+    @property
+    def relative_sensitivity(self) -> float:
+        """Sensitivity normalised to G1 (paper's Fig. 11 column)."""
+        return self.value[1]
+
+
+@dataclass
+class OpticalDetector:
+    """A generic light-to-voltage detector with saturation and noise.
+
+    The transfer is linear up to ``saturation_lux`` then hard-clipped —
+    the paper's "links disappear abruptly" saturation behaviour (Section
+    3, *Noise floor*).  The output is normalised so that full scale
+    (saturation) maps to 1.0; downstream stages (amplifier, ADC) work on
+    this normalised voltage.
+
+    Attributes:
+        name: device identifier for reports.
+        fov: angular acceptance.
+        saturation_lux: ambient-referred full-scale input (lux).
+        relative_sensitivity: sensitivity normalised to the PD at G1.
+        bandwidth_hz: -3 dB electrical bandwidth (first-order response);
+            limits the maximal supported object speed (Section 6).
+        noise_rms_fullscale: RMS additive noise, as a fraction of full
+            scale (thermal + dark-current noise floor).
+        shot_noise_coefficient: signal-dependent noise scale; the noise
+            variance grows linearly with the detected level.
+    """
+
+    name: str
+    fov: FieldOfView
+    saturation_lux: float
+    relative_sensitivity: float
+    bandwidth_hz: float = 1_000.0
+    noise_rms_fullscale: float = 1.0e-3
+    shot_noise_coefficient: float = 1.0e-3
+
+    def __post_init__(self) -> None:
+        if self.saturation_lux <= 0.0:
+            raise ValueError("saturation must be positive")
+        if self.relative_sensitivity <= 0.0:
+            raise ValueError("sensitivity must be positive")
+        if self.bandwidth_hz <= 0.0:
+            raise ValueError("bandwidth must be positive")
+        if self.noise_rms_fullscale < 0.0 or self.shot_noise_coefficient < 0.0:
+            raise ValueError("noise levels cannot be negative")
+
+    @property
+    def slope_per_lux(self) -> float:
+        """Normalised output volts per input lux (below saturation)."""
+        return 1.0 / self.saturation_lux
+
+    def respond(self, illuminance_lux: np.ndarray) -> np.ndarray:
+        """Noise-free static transfer: normalised output in [0, 1]."""
+        e = np.asarray(illuminance_lux, dtype=float)
+        if np.any(e < 0.0):
+            raise ValueError("illuminance cannot be negative")
+        return np.clip(e * self.slope_per_lux, 0.0, 1.0)
+
+    def is_saturated_by(self, illuminance_lux: float) -> bool:
+        """Whether a given ambient level rails the detector."""
+        return illuminance_lux >= self.saturation_lux
+
+    def noise_sigma(self, level_fullscale: np.ndarray) -> np.ndarray:
+        """RMS noise (fraction of full scale) at the given output level."""
+        level = np.clip(np.asarray(level_fullscale, dtype=float), 0.0, 1.0)
+        variance = (self.noise_rms_fullscale**2
+                    + (self.shot_noise_coefficient**2) * level)
+        return np.sqrt(variance)
+
+
+@dataclass
+class Photodiode(OpticalDetector):
+    """The OPT101 photodiode with a selectable gain level."""
+
+    gain: PdGain = PdGain.G2
+
+    @classmethod
+    def opt101(cls, gain: PdGain = PdGain.G2,
+               fov_deg: float = OPT101_FOV_DEG) -> "Photodiode":
+        """Build an OPT101 model at the given gain setting.
+
+        The OPT101's photovoltaic-mode bandwidth at these transimpedance
+        gains is in the low kHz — far above the sub-100 Hz signal band of
+        the passive channel, so it never limits the indoor experiments
+        but does bound the maximal supported vehicle speed.
+        """
+        return cls(
+            name=f"OPT101-{gain.name}",
+            fov=FieldOfView(fov_deg),
+            saturation_lux=gain.saturation_lux,
+            relative_sensitivity=gain.relative_sensitivity,
+            bandwidth_hz=2_000.0,
+            noise_rms_fullscale=1.5e-3,
+            shot_noise_coefficient=2.0e-3,
+            gain=gain,
+        )
+
+    def with_gain(self, gain: PdGain) -> "Photodiode":
+        """Return a copy of this photodiode at a different gain setting."""
+        return Photodiode.opt101(gain=gain, fov_deg=self.fov.full_angle_deg)
+
+
+def normalized_sensitivity(detector: OpticalDetector) -> float:
+    """Measured sensitivity normalised to PD G1, from the transfer slope.
+
+    Useful to verify that the model's slope reproduces Fig. 11's
+    sensitivity column: ``slope / slope(G1) = 450 / saturation``.
+    """
+    return detector.slope_per_lux * _REFERENCE_SATURATION_LUX

@@ -1,0 +1,11 @@
+"""Networked receivers (Section 6 future work): nodes, fusion, tracking."""
+
+from .fusion import FusedObservation, fuse_detections, group_by_pass
+from .node import Detection, ReceiverNode
+from .tracker import ReceiverNetwork, TrackEstimate, estimate_track
+
+__all__ = [
+    "FusedObservation", "fuse_detections", "group_by_pass",
+    "Detection", "ReceiverNode",
+    "ReceiverNetwork", "TrackEstimate", "estimate_track",
+]

@@ -1,0 +1,157 @@
+"""Multi-receiver object tracking.
+
+With detections from receivers at known positions, the network can
+estimate each object's speed and heading and predict where it will be —
+the "information about the tracked objects" that Section 6 proposes to
+share.  A :class:`networkx` graph models which receivers can exchange
+reports (low-end receivers have limited connectivity), and tracking is
+restricted to reports reachable from the querying node.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import networkx as nx
+import numpy as np
+
+from .fusion import FusedObservation, fuse_detections, group_by_pass
+from .node import Detection, ReceiverNode
+
+__all__ = ["TrackEstimate", "estimate_track", "ReceiverNetwork"]
+
+
+@dataclass(frozen=True)
+class TrackEstimate:
+    """Kinematic estimate for one tracked pass.
+
+    Attributes:
+        bits: fused payload.
+        speed_mps: least-squares speed over (position, time) pairs.
+        intercept_time_s: time the object passed position 0.
+        residual_rms_s: fit quality (RMS timing residual).
+        n_nodes: how many receivers contributed.
+    """
+
+    bits: str
+    speed_mps: float
+    intercept_time_s: float
+    residual_rms_s: float
+    n_nodes: int
+
+    def predicted_arrival_s(self, position_m: float) -> float:
+        """Predicted passing time at a downstream position."""
+        if self.speed_mps <= 0.0:
+            raise ValueError("cannot predict with a non-positive speed")
+        return self.intercept_time_s + position_m / self.speed_mps
+
+
+def estimate_track(detections: list[Detection]) -> TrackEstimate:
+    """Fit speed and timing from multi-node detections of one pass.
+
+    Least squares on ``t_i = t0 + x_i / v`` using every report with a
+    timestamp (decoded or not — even an undecoded node saw *something*
+    pass).
+
+    Raises:
+        ValueError: with fewer than two distinct positions.
+    """
+    if len(detections) < 2:
+        raise ValueError("need at least two detections to estimate a track")
+    xs = np.array([d.position_m for d in detections])
+    ts = np.array([d.timestamp_s for d in detections])
+    if len(np.unique(xs)) < 2:
+        raise ValueError("detections must come from distinct positions")
+    # t = t0 + x / v  ->  linear fit of t against x.
+    slope, intercept = np.polyfit(xs, ts, deg=1)
+    if slope <= 0.0:
+        raise ValueError(
+            f"non-positive time-vs-position slope ({slope:.4g}); object "
+            "does not move forward through the receivers")
+    predicted = intercept + slope * xs
+    residual = float(np.sqrt(np.mean((ts - predicted) ** 2)))
+    fused = fuse_detections(detections)
+    return TrackEstimate(
+        bits=fused.bits,
+        speed_mps=1.0 / slope,
+        intercept_time_s=float(intercept),
+        residual_rms_s=residual,
+        n_nodes=len(detections),
+    )
+
+
+class ReceiverNetwork:
+    """A set of receiver nodes with a communication topology.
+
+    Attributes:
+        graph: undirected connectivity graph; nodes are node ids.
+    """
+
+    def __init__(self) -> None:
+        self.graph = nx.Graph()
+        self._nodes: dict[str, ReceiverNode] = {}
+        self._detections: list[Detection] = []
+
+    def add_node(self, node: ReceiverNode) -> None:
+        """Register a receiver node.
+
+        Raises:
+            ValueError: on duplicate node ids.
+        """
+        if node.node_id in self._nodes:
+            raise ValueError(f"duplicate node id {node.node_id!r}")
+        self._nodes[node.node_id] = node
+        self.graph.add_node(node.node_id, position_m=node.position_m)
+
+    def connect(self, a: str, b: str) -> None:
+        """Create a communication link between two registered nodes."""
+        for node_id in (a, b):
+            if node_id not in self._nodes:
+                raise KeyError(f"unknown node {node_id!r}")
+        self.graph.add_edge(a, b)
+
+    def node(self, node_id: str) -> ReceiverNode:
+        """Look up a registered node."""
+        return self._nodes[node_id]
+
+    @property
+    def nodes(self) -> list[ReceiverNode]:
+        """All registered nodes, ordered by track position."""
+        return sorted(self._nodes.values(), key=lambda n: n.position_m)
+
+    def record(self, detection: Detection) -> None:
+        """Store a node's detection in the shared report pool."""
+        if detection.node_id not in self._nodes:
+            raise KeyError(f"unknown node {detection.node_id!r}")
+        self._detections.append(detection)
+
+    def reachable_detections(self, from_node: str) -> list[Detection]:
+        """Reports visible to a node: its own plus connected components'."""
+        if from_node not in self._nodes:
+            raise KeyError(f"unknown node {from_node!r}")
+        reachable = nx.node_connected_component(self.graph, from_node)
+        return [d for d in self._detections if d.node_id in reachable]
+
+    def fuse_at(self, node_id: str,
+                expected_speed_mps: float) -> list[FusedObservation]:
+        """Per-pass fused verdicts computed from one node's viewpoint."""
+        reports = self.reachable_detections(node_id)
+        if not reports:
+            return []
+        groups = group_by_pass(reports, expected_speed_mps)
+        return [fuse_detections(g) for g in groups]
+
+    def track_at(self, node_id: str,
+                 expected_speed_mps: float) -> list[TrackEstimate]:
+        """Per-pass kinematic estimates from one node's viewpoint.
+
+        Passes seen by fewer than two reachable nodes are skipped.
+        """
+        reports = self.reachable_detections(node_id)
+        groups = group_by_pass(reports, expected_speed_mps)
+        estimates: list[TrackEstimate] = []
+        for group in groups:
+            if len({d.position_m for d in group}) < 2:
+                continue
+            estimates.append(estimate_track(group))
+        return estimates

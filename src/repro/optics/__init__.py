@@ -1,0 +1,91 @@
+"""Optical substrate: geometry, photometry, materials, sources, reflection.
+
+This subpackage models everything that happens to light *before* it hits
+the receiver hardware: emission by ambient sources, reflection off tag
+materials and vehicle surfaces, and geometric transfer into the
+receiver's field of view.
+"""
+
+from .geometry import (
+    FieldOfView,
+    GroundFootprint,
+    Vec3,
+    deg_to_rad,
+    rad_to_deg,
+    incidence_cosine,
+    solid_angle_of_disc,
+)
+from .materials import (
+    ALUMINUM_TAPE,
+    BLACK_NAPKIN,
+    BLACK_PAPER_GROUND,
+    CAR_GLASS,
+    CAR_PAINT_METAL,
+    MATERIAL_LIBRARY,
+    MIRROR,
+    TARMAC,
+    WHITE_PAPER,
+    Material,
+    material_by_name,
+)
+from .photometry import (
+    LEVELS,
+    LUMINOUS_EFFICACY_555NM,
+    WHITE_LED_EFFICACY,
+    IlluminanceLevels,
+    illuminance_at_detector_from_patch,
+    illuminance_from_parallel_source,
+    illuminance_from_point_source,
+    lambertian_radiated_fraction,
+    luminance_from_diffuse_reflection,
+    lux_to_watts_per_m2,
+    watts_per_m2_to_lux,
+)
+from .propagation import (
+    FootprintKernel,
+    absolute_gain,
+    exact_patch_transfer_weights,
+    footprint_kernel,
+    patch_transfer_weights,
+)
+from .reflection import (
+    OVERHEAD_GEOMETRY,
+    IlluminationGeometry,
+    effective_reflectance,
+    effective_reflectance_profile,
+    mirror_direction,
+    phong_lobe_value,
+)
+from .sources import (
+    AmbientLightSource,
+    CompositeSource,
+    FluorescentCeiling,
+    IncandescentBulb,
+    LedLamp,
+    Sun,
+)
+
+__all__ = [
+    # geometry
+    "Vec3", "FieldOfView", "GroundFootprint", "deg_to_rad", "rad_to_deg",
+    "incidence_cosine", "solid_angle_of_disc",
+    # materials
+    "Material", "material_by_name", "MATERIAL_LIBRARY", "ALUMINUM_TAPE",
+    "BLACK_NAPKIN", "MIRROR", "WHITE_PAPER", "BLACK_PAPER_GROUND", "TARMAC",
+    "CAR_PAINT_METAL", "CAR_GLASS",
+    # photometry
+    "LUMINOUS_EFFICACY_555NM", "WHITE_LED_EFFICACY", "IlluminanceLevels",
+    "LEVELS", "lux_to_watts_per_m2", "watts_per_m2_to_lux",
+    "illuminance_from_point_source", "illuminance_from_parallel_source",
+    "lambertian_radiated_fraction", "luminance_from_diffuse_reflection",
+    "illuminance_at_detector_from_patch",
+    # propagation
+    "FootprintKernel", "footprint_kernel", "patch_transfer_weights",
+    "exact_patch_transfer_weights", "absolute_gain",
+    # reflection
+    "IlluminationGeometry", "OVERHEAD_GEOMETRY", "effective_reflectance",
+    "effective_reflectance_profile", "mirror_direction", "phong_lobe_value",
+    # sources
+    "AmbientLightSource", "LedLamp", "FluorescentCeiling",
+    "IncandescentBulb", "Sun", "CompositeSource",
+]

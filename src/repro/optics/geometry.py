@@ -1,0 +1,284 @@
+"""Geometric primitives for the passive visible-light channel.
+
+The simulation geometry follows the paper's setups (Sections 4-5): a
+receiver looking straight down at a work plane (or road), light sources
+above or beside it, and tags moving along a straight line on the plane.
+Everything is expressed in metres, in a right-handed frame where
+
+* ``x`` is the direction of tag motion,
+* ``y`` is the lateral direction on the plane, and
+* ``z`` points up (the plane is at ``z = 0``).
+
+The module provides a tiny vector class (kept deliberately simple and
+allocation-light — the hot loops work on numpy arrays, not on ``Vec3``),
+field-of-view cones, and the footprint a downward-looking receiver covers
+on the ground.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable
+
+import numpy as np
+
+__all__ = [
+    "Vec3",
+    "FieldOfView",
+    "GroundFootprint",
+    "incidence_cosine",
+    "solid_angle_of_disc",
+    "deg_to_rad",
+    "rad_to_deg",
+]
+
+
+def deg_to_rad(degrees: float) -> float:
+    """Convert degrees to radians (thin wrapper kept for API symmetry)."""
+    return math.radians(degrees)
+
+
+def rad_to_deg(radians: float) -> float:
+    """Convert radians to degrees."""
+    return math.degrees(radians)
+
+
+@dataclass(frozen=True)
+class Vec3:
+    """An immutable 3-D vector with the handful of operations we need."""
+
+    x: float
+    y: float
+    z: float
+
+    def __add__(self, other: "Vec3") -> "Vec3":
+        return Vec3(self.x + other.x, self.y + other.y, self.z + other.z)
+
+    def __sub__(self, other: "Vec3") -> "Vec3":
+        return Vec3(self.x - other.x, self.y - other.y, self.z - other.z)
+
+    def __mul__(self, scalar: float) -> "Vec3":
+        return Vec3(self.x * scalar, self.y * scalar, self.z * scalar)
+
+    __rmul__ = __mul__
+
+    def __neg__(self) -> "Vec3":
+        return Vec3(-self.x, -self.y, -self.z)
+
+    def dot(self, other: "Vec3") -> float:
+        """Scalar product."""
+        return self.x * other.x + self.y * other.y + self.z * other.z
+
+    def cross(self, other: "Vec3") -> "Vec3":
+        """Vector product."""
+        return Vec3(
+            self.y * other.z - self.z * other.y,
+            self.z * other.x - self.x * other.z,
+            self.x * other.y - self.y * other.x,
+        )
+
+    def norm(self) -> float:
+        """Euclidean length."""
+        return math.sqrt(self.dot(self))
+
+    def normalized(self) -> "Vec3":
+        """Unit vector in the same direction.
+
+        Raises:
+            ValueError: for the zero vector, which has no direction.
+        """
+        n = self.norm()
+        if n == 0.0:
+            raise ValueError("cannot normalise the zero vector")
+        return Vec3(self.x / n, self.y / n, self.z / n)
+
+    def distance_to(self, other: "Vec3") -> float:
+        """Euclidean distance between two points."""
+        return (self - other).norm()
+
+    def angle_to(self, other: "Vec3") -> float:
+        """Angle in radians between two vectors (both must be non-zero)."""
+        denom = self.norm() * other.norm()
+        if denom == 0.0:
+            raise ValueError("angle undefined for zero vectors")
+        cosine = max(-1.0, min(1.0, self.dot(other) / denom))
+        return math.acos(cosine)
+
+    def as_array(self) -> np.ndarray:
+        """Return the vector as a ``(3,)`` numpy array."""
+        return np.array([self.x, self.y, self.z], dtype=float)
+
+    @staticmethod
+    def from_array(arr: Iterable[float]) -> "Vec3":
+        """Build a ``Vec3`` from any length-3 iterable."""
+        x, y, z = arr
+        return Vec3(float(x), float(y), float(z))
+
+
+#: The straight-down direction used by ceiling-mounted receivers.
+DOWN = Vec3(0.0, 0.0, -1.0)
+#: The straight-up direction (surface normals of the ground plane).
+UP = Vec3(0.0, 0.0, 1.0)
+
+
+@dataclass(frozen=True)
+class FieldOfView:
+    """A circular field of view described by its *full* opening angle.
+
+    The paper repeatedly contrasts wide-FoV photodiodes against narrow-FoV
+    LEDs used as receivers (Sections 3 and 4.4).  A receiver accepts light
+    whose arrival direction is within ``half_angle`` of its boresight.
+
+    Attributes:
+        full_angle_deg: full cone opening angle in degrees, in (0, 180].
+    """
+
+    full_angle_deg: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.full_angle_deg <= 180.0:
+            raise ValueError(
+                f"full FoV angle must be in (0, 180] deg, got {self.full_angle_deg}"
+            )
+
+    @property
+    def half_angle_deg(self) -> float:
+        """Half opening angle in degrees."""
+        return self.full_angle_deg / 2.0
+
+    @property
+    def half_angle_rad(self) -> float:
+        """Half opening angle in radians."""
+        return math.radians(self.half_angle_deg)
+
+    def contains(self, boresight: Vec3, direction: Vec3) -> bool:
+        """Whether ``direction`` (towards the source) falls inside the cone."""
+        return boresight.angle_to(direction) <= self.half_angle_rad + 1e-12
+
+    def acceptance(self, off_axis_rad: float) -> float:
+        """Relative acceptance for a ray ``off_axis_rad`` from boresight.
+
+        A smooth raised-cosine roll-off is used instead of a hard cut: real
+        photodiodes and LED lenses have soft angular responses.  The value
+        is 1 on boresight and 0 at/after the half angle.
+        """
+        half = self.half_angle_rad
+        if off_axis_rad >= half:
+            return 0.0
+        return 0.5 * (1.0 + math.cos(math.pi * off_axis_rad / half))
+
+    def acceptance_array(self, off_axis_rad: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`acceptance`."""
+        off = np.asarray(off_axis_rad, dtype=float)
+        half = self.half_angle_rad
+        out = 0.5 * (1.0 + np.cos(np.pi * np.clip(off / half, 0.0, 1.0)))
+        return np.where(off >= half, 0.0, out)
+
+    def narrowed(self, factor: float) -> "FieldOfView":
+        """Return a FoV narrowed by ``factor`` (e.g. a physical cap).
+
+        Section 5.2 narrows the photodiode FoV with a small physical cap to
+        filter out interference from the car roof.
+
+        Args:
+            factor: multiplier in (0, 1] applied to the full angle.
+        """
+        if not 0.0 < factor <= 1.0:
+            raise ValueError(f"narrowing factor must be in (0, 1], got {factor}")
+        return FieldOfView(self.full_angle_deg * factor)
+
+
+@dataclass(frozen=True)
+class GroundFootprint:
+    """The disc a downward-looking receiver sees on the ground plane.
+
+    For a receiver at height ``h`` with half angle ``theta``, the footprint
+    is a disc of radius ``h * tan(theta)`` centred below the receiver.  The
+    footprint is what turns symbol strips into a *blurred* RSS waveform:
+    every strip inside it contributes simultaneously (Fig. 2(b)).
+
+    Attributes:
+        center_x: x coordinate of the footprint centre (m).
+        center_y: y coordinate of the footprint centre (m).
+        radius: footprint radius (m).
+    """
+
+    center_x: float
+    center_y: float
+    radius: float
+
+    def __post_init__(self) -> None:
+        if self.radius <= 0.0:
+            raise ValueError(f"footprint radius must be positive, got {self.radius}")
+
+    @staticmethod
+    def from_receiver(height: float, fov: FieldOfView, x: float = 0.0,
+                      y: float = 0.0) -> "GroundFootprint":
+        """Footprint of a receiver at ``height`` looking straight down."""
+        if height <= 0.0:
+            raise ValueError(f"receiver height must be positive, got {height}")
+        return GroundFootprint(x, y, height * math.tan(fov.half_angle_rad))
+
+    @property
+    def diameter(self) -> float:
+        """Footprint diameter (m)."""
+        return 2.0 * self.radius
+
+    @property
+    def area(self) -> float:
+        """Footprint area (m^2)."""
+        return math.pi * self.radius**2
+
+    def contains(self, x: float, y: float = 0.0) -> bool:
+        """Whether the ground point ``(x, y)`` lies inside the footprint."""
+        return (x - self.center_x) ** 2 + (y - self.center_y) ** 2 <= self.radius**2
+
+    def chord_length(self, x: float) -> float:
+        """Length of the footprint chord at longitudinal position ``x``.
+
+        When integrating a 1-D reflectance profile (strips spanning the full
+        lateral extent), the lateral dimension collapses into the chord
+        length of the disc at each ``x``; this is the exact weight of a
+        uniform-disc footprint.
+        """
+        dx = x - self.center_x
+        inside = self.radius**2 - dx**2
+        return 2.0 * math.sqrt(inside) if inside > 0.0 else 0.0
+
+    def chord_weights(self, xs: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`chord_length`, normalised to integrate to 1.
+
+        Returns a weight array suitable for use as a convolution kernel
+        over a 1-D reflectance profile sampled at ``xs`` (uniform grid).
+        """
+        xs = np.asarray(xs, dtype=float)
+        dx = xs - self.center_x
+        inside = np.clip(self.radius**2 - dx**2, 0.0, None)
+        w = 2.0 * np.sqrt(inside)
+        total = w.sum()
+        if total == 0.0:
+            raise ValueError("no sample points fall inside the footprint")
+        return w / total
+
+
+def incidence_cosine(surface_normal: Vec3, towards_light: Vec3) -> float:
+    """Cosine of the incidence angle, clamped at 0 for back-lit surfaces."""
+    n = surface_normal.normalized()
+    d = towards_light.normalized()
+    return max(0.0, n.dot(d))
+
+
+def solid_angle_of_disc(radius: float, distance: float) -> float:
+    """Solid angle subtended by a disc seen face-on from ``distance``.
+
+    Used for the small detector apertures: ``Omega = 2*pi*(1 - cos(alpha))``
+    with ``tan(alpha) = radius / distance``.
+
+    Raises:
+        ValueError: if either argument is non-positive.
+    """
+    if radius <= 0.0 or distance <= 0.0:
+        raise ValueError("radius and distance must be positive")
+    alpha = math.atan2(radius, distance)
+    return 2.0 * math.pi * (1.0 - math.cos(alpha))

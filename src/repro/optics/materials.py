@@ -1,0 +1,164 @@
+"""Reflective materials — the paper's passive "transmitter hardware".
+
+Section 4's coding scheme maps symbols to materials:
+
+* **HIGH** — aluminium tape: "relatively high reflection coefficient and
+  low diffused reflections";
+* **LOW** — black paper napkins: "lower reflection coefficient and higher
+  diffused reflections".
+
+Section 5 adds the intrinsic surfaces of cars (metal body panels and
+glass windshields) and the ground plane ("covered with black papers, to
+resemble tarmac").
+
+Each material is described by a total reflectance split into a specular
+and a diffuse component, plus a Phong-style lobe exponent for the
+specular part.  The split is what makes aluminium tape read HIGH under a
+receiver that sits near the mirror direction, while the napkin scatters
+most of the little light it reflects away from any particular receiver.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+__all__ = [
+    "Material",
+    "ALUMINUM_TAPE",
+    "BLACK_NAPKIN",
+    "MIRROR",
+    "WHITE_PAPER",
+    "BLACK_PAPER_GROUND",
+    "TARMAC",
+    "CAR_PAINT_METAL",
+    "CAR_GLASS",
+    "MATERIAL_LIBRARY",
+    "material_by_name",
+]
+
+
+@dataclass(frozen=True)
+class Material:
+    """An opaque reflective material.
+
+    Attributes:
+        name: human-readable identifier.
+        reflectance: total fraction of incident light reflected, in [0, 1].
+        specular_fraction: fraction of the reflected light in the specular
+            lobe (the rest is diffuse/Lambertian), in [0, 1].
+        specular_exponent: Phong lobe sharpness; large values approximate
+            a mirror, small values a broad sheen.
+    """
+
+    name: str
+    reflectance: float
+    specular_fraction: float
+    specular_exponent: float = 10.0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("material name must be non-empty")
+        if not 0.0 <= self.reflectance <= 1.0:
+            raise ValueError(
+                f"reflectance must be in [0, 1], got {self.reflectance}")
+        if not 0.0 <= self.specular_fraction <= 1.0:
+            raise ValueError(
+                f"specular fraction must be in [0, 1], got {self.specular_fraction}")
+        if self.specular_exponent < 0.0:
+            raise ValueError(
+                f"specular exponent must be >= 0, got {self.specular_exponent}")
+
+    @property
+    def diffuse_reflectance(self) -> float:
+        """Reflectance of the diffuse (Lambertian) component."""
+        return self.reflectance * (1.0 - self.specular_fraction)
+
+    @property
+    def specular_reflectance(self) -> float:
+        """Reflectance of the specular (lobed) component."""
+        return self.reflectance * self.specular_fraction
+
+    def degraded(self, dirt_factor: float) -> "Material":
+        """A dirt-degraded copy of this material.
+
+        Dirt both absorbs light (lower reflectance) and roughens the
+        surface (lower specular fraction) — one of the Section 3 channel
+        distortions.
+
+        Args:
+            dirt_factor: 0 = pristine, 1 = fully covered in dirt.
+        """
+        if not 0.0 <= dirt_factor <= 1.0:
+            raise ValueError(f"dirt factor must be in [0, 1], got {dirt_factor}")
+        return replace(
+            self,
+            name=f"{self.name}+dirt{dirt_factor:.2f}",
+            reflectance=self.reflectance * (1.0 - 0.7 * dirt_factor),
+            specular_fraction=self.specular_fraction * (1.0 - dirt_factor),
+        )
+
+
+#: Aluminium tape — the HIGH symbol (Section 4, "Coding").  Hand-applied
+#: tape is crinkled, so its specular lobe is broad (low exponent): it
+#: stays bright well away from the exact mirror direction, which is why
+#: the outdoor experiments work with the sun at oblique elevations.
+ALUMINUM_TAPE = Material("aluminum_tape", reflectance=0.85,
+                         specular_fraction=0.80, specular_exponent=5.0)
+
+#: Black paper napkin — the LOW symbol.
+BLACK_NAPKIN = Material("black_napkin", reflectance=0.06,
+                        specular_fraction=0.02, specular_exponent=2.0)
+
+#: An ideal front-surface mirror (Section 2's "pure mirror" extreme).
+MIRROR = Material("mirror", reflectance=0.98, specular_fraction=0.99,
+                  specular_exponent=500.0)
+
+#: Plain white printer paper — a bright diffuse reference.
+WHITE_PAPER = Material("white_paper", reflectance=0.75,
+                       specular_fraction=0.05, specular_exponent=3.0)
+
+#: The black paper covering the work plane "to resemble tarmac".
+BLACK_PAPER_GROUND = Material("black_paper_ground", reflectance=0.05,
+                              specular_fraction=0.02, specular_exponent=2.0)
+
+#: Real road tarmac (outdoor experiments, Section 5).
+TARMAC = Material("tarmac", reflectance=0.10, specular_fraction=0.05,
+                  specular_exponent=2.0)
+
+#: Painted car body metal (hood / roof / trunk) — strong reflector.
+CAR_PAINT_METAL = Material("car_paint_metal", reflectance=0.70,
+                           specular_fraction=0.60, specular_exponent=25.0)
+
+#: Car glass viewed from above — most light passes through or reflects
+#: away from an overhead receiver, so the effective upward reflectance is
+#: low (the windshield "valleys" of Figs. 13-14).
+CAR_GLASS = Material("car_glass", reflectance=0.12, specular_fraction=0.85,
+                     specular_exponent=120.0)
+
+
+MATERIAL_LIBRARY: dict[str, Material] = {
+    m.name: m
+    for m in (
+        ALUMINUM_TAPE,
+        BLACK_NAPKIN,
+        MIRROR,
+        WHITE_PAPER,
+        BLACK_PAPER_GROUND,
+        TARMAC,
+        CAR_PAINT_METAL,
+        CAR_GLASS,
+    )
+}
+
+
+def material_by_name(name: str) -> Material:
+    """Look up a library material by name.
+
+    Raises:
+        KeyError: with the list of known names if ``name`` is unknown.
+    """
+    try:
+        return MATERIAL_LIBRARY[name]
+    except KeyError:
+        known = ", ".join(sorted(MATERIAL_LIBRARY))
+        raise KeyError(f"unknown material {name!r}; known: {known}") from None

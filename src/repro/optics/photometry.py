@@ -1,0 +1,188 @@
+"""Photometric and radiometric quantities and conversions.
+
+The paper reports ambient conditions in **lux** (450 lux medium-lit room,
+100 lux dim, 3700-6200 lux cloudy daylight, >10 klux direct day) and
+receiver behaviour as functions of illuminance (Fig. 11).  The simulation
+therefore works photometrically: emitters produce illuminance on surfaces,
+surfaces reflect a luminance towards the receiver, and receivers convert
+the impinging illuminance into photocurrent.
+
+Only the conversions that the rest of the package needs are provided, with
+the standard luminous efficacy constant for converting between photometric
+and radiometric units at 555 nm and for white-ish broadband light.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "LUMINOUS_EFFICACY_555NM",
+    "WHITE_LED_EFFICACY",
+    "lux_to_watts_per_m2",
+    "watts_per_m2_to_lux",
+    "illuminance_from_point_source",
+    "illuminance_from_parallel_source",
+    "lambertian_radiated_fraction",
+    "luminance_from_diffuse_reflection",
+    "illuminance_at_detector_from_patch",
+    "IlluminanceLevels",
+]
+
+#: Peak luminous efficacy at 555 nm (lm/W) — the photopic maximum.
+LUMINOUS_EFFICACY_555NM = 683.0
+
+#: Typical effective efficacy for broadband white light (lm/W of optical
+#: power); used when converting ambient lux levels to irradiance.
+WHITE_LED_EFFICACY = 300.0
+
+
+def lux_to_watts_per_m2(lux: float | np.ndarray,
+                        efficacy: float = WHITE_LED_EFFICACY) -> float | np.ndarray:
+    """Convert illuminance (lux) to irradiance (W/m^2).
+
+    Args:
+        lux: illuminance value(s); must be non-negative.
+        efficacy: luminous efficacy of the light's spectrum in lm/W.
+    """
+    if efficacy <= 0.0:
+        raise ValueError(f"efficacy must be positive, got {efficacy}")
+    arr = np.asarray(lux, dtype=float)
+    if np.any(arr < 0.0):
+        raise ValueError("illuminance cannot be negative")
+    out = arr / efficacy
+    return float(out) if np.isscalar(lux) or out.ndim == 0 else out
+
+
+def watts_per_m2_to_lux(irradiance: float | np.ndarray,
+                        efficacy: float = WHITE_LED_EFFICACY) -> float | np.ndarray:
+    """Convert irradiance (W/m^2) to illuminance (lux)."""
+    if efficacy <= 0.0:
+        raise ValueError(f"efficacy must be positive, got {efficacy}")
+    arr = np.asarray(irradiance, dtype=float)
+    if np.any(arr < 0.0):
+        raise ValueError("irradiance cannot be negative")
+    out = arr * efficacy
+    return float(out) if np.isscalar(irradiance) or out.ndim == 0 else out
+
+
+def illuminance_from_point_source(luminous_intensity: float, distance: float,
+                                  incidence_cos: float = 1.0) -> float:
+    """Illuminance produced by a point source: ``E = I * cos(theta) / d^2``.
+
+    This is the inverse-square law the paper invokes in Section 3 ("the
+    signal strength of visible light waves decrease exponentially with
+    distance" — in free space the geometric term is quadratic; additional
+    medium attenuation is modelled in :mod:`repro.channel.distortion`).
+
+    Args:
+        luminous_intensity: source intensity in candela (lm/sr).
+        distance: source-to-surface distance in metres, > 0.
+        incidence_cos: cosine of the light's incidence angle on the surface.
+    """
+    if luminous_intensity < 0.0:
+        raise ValueError("luminous intensity cannot be negative")
+    if distance <= 0.0:
+        raise ValueError(f"distance must be positive, got {distance}")
+    return luminous_intensity * max(0.0, incidence_cos) / distance**2
+
+
+def illuminance_from_parallel_source(normal_illuminance: float,
+                                     incidence_cos: float = 1.0) -> float:
+    """Illuminance from a collimated (solar) source on a tilted surface.
+
+    Sunlight arrives with effectively parallel rays, so there is no
+    inverse-square dependence across a scene: only the incidence angle
+    matters.
+
+    Args:
+        normal_illuminance: illuminance on a surface facing the sun (lux).
+        incidence_cos: cosine of the incidence angle.
+    """
+    if normal_illuminance < 0.0:
+        raise ValueError("illuminance cannot be negative")
+    return normal_illuminance * max(0.0, incidence_cos)
+
+
+def lambertian_radiated_fraction(order: float, angle_rad: float) -> float:
+    """Normalised Lambertian emission pattern ``(m+1)/(2*pi) * cos^m``.
+
+    Generalised Lambertian sources (LEDs) concentrate light with order
+    ``m``; ``m = 1`` is the ideal diffuse source.  Returns the radiant
+    intensity per unit solid angle for unit total flux.
+
+    Args:
+        order: Lambertian mode number ``m`` (>= 0).
+        angle_rad: angle from the source's optical axis.
+    """
+    if order < 0.0:
+        raise ValueError(f"Lambertian order must be >= 0, got {order}")
+    c = math.cos(angle_rad)
+    if c <= 0.0:
+        return 0.0
+    return (order + 1.0) / (2.0 * math.pi) * c**order
+
+
+def luminance_from_diffuse_reflection(illuminance: float,
+                                      reflectance: float) -> float:
+    """Luminance of a perfectly diffuse patch: ``L = rho * E / pi``.
+
+    A Lambertian reflector distributes the reflected flux over the
+    hemisphere with the characteristic ``1/pi`` factor.
+
+    Args:
+        illuminance: illuminance on the patch (lux).
+        reflectance: diffuse reflection coefficient in [0, 1].
+    """
+    if illuminance < 0.0:
+        raise ValueError("illuminance cannot be negative")
+    if not 0.0 <= reflectance <= 1.0:
+        raise ValueError(f"reflectance must be in [0, 1], got {reflectance}")
+    return reflectance * illuminance / math.pi
+
+
+def illuminance_at_detector_from_patch(patch_luminance: float,
+                                       patch_area: float,
+                                       distance: float,
+                                       emission_cos: float = 1.0,
+                                       arrival_cos: float = 1.0) -> float:
+    """Illuminance at a detector produced by a small luminous patch.
+
+    The standard small-patch photometric transfer:
+    ``E = L * A * cos(theta_e) * cos(theta_a) / d^2``.
+
+    Args:
+        patch_luminance: luminance of the patch (cd/m^2).
+        patch_area: patch area (m^2).
+        distance: patch-to-detector distance (m), > 0.
+        emission_cos: cosine of the emission angle at the patch.
+        arrival_cos: cosine of the arrival angle at the detector.
+    """
+    if patch_luminance < 0.0 or patch_area < 0.0:
+        raise ValueError("luminance and area cannot be negative")
+    if distance <= 0.0:
+        raise ValueError(f"distance must be positive, got {distance}")
+    return (patch_luminance * patch_area * max(0.0, emission_cos)
+            * max(0.0, arrival_cos) / distance**2)
+
+
+@dataclass(frozen=True)
+class IlluminanceLevels:
+    """Reference ambient illuminance levels used throughout the paper."""
+
+    DARK_ROOM: float = 1.0
+    DIM_INDOOR: float = 100.0       # Fig. 15(b) / Fig. 16
+    MEDIUM_ROOM: float = 450.0      # Fig. 15(a); PD G1 saturation point
+    BRIGHT_INDOOR: float = 1200.0   # PD G2 saturation point
+    OVERCAST_LOW: float = 3700.0    # Fig. 17(b)
+    OVERCAST_MID: float = 5500.0    # Fig. 17(c)
+    OVERCAST_HIGH: float = 6200.0   # Fig. 17(a)
+    DAYLIGHT: float = 10_000.0      # "outdoor scenarios can easily go above"
+    LED_SATURATION: float = 35_000.0
+
+
+#: Singleton instance for convenient imports.
+LEVELS = IlluminanceLevels()

@@ -1,0 +1,358 @@
+"""Ambient light sources — the unmodulated "emitters" of the system.
+
+The paper uses three emitter types (Section 4): an LED lamp (controlled
+dark-room experiments), ceiling fluorescent lights (2.3 m high, with the
+characteristic AC-supply ripple that makes Fig. 7's lines "thicker"), and
+the sun (outdoor evaluation, Section 5).  An incandescent model is also
+provided (Fig. 7's caption mentions an incandescent bulb).
+
+A source must answer two questions for the channel simulator:
+
+1. ``ground_illuminance(x, t)`` — how many lux land on the ground/work
+   plane at longitudinal position ``x`` at time ``t``; this is what tags
+   reflect towards the receiver.
+2. ``receiver_plane_illuminance(t)`` — the lux-meter reading at the
+   receiver's location, i.e. the paper's *noise floor* that saturates
+   photodiodes (Section 4.4).
+
+Both are vectorised over numpy arrays.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .geometry import Vec3
+from .photometry import lambertian_radiated_fraction
+
+__all__ = [
+    "AmbientLightSource",
+    "LedLamp",
+    "FluorescentCeiling",
+    "IncandescentBulb",
+    "Sun",
+    "CompositeSource",
+]
+
+#: European mains frequency; light ripple appears at twice this.
+MAINS_FREQUENCY_HZ = 50.0
+
+
+class AmbientLightSource:
+    """Base class for unmodulated ambient light sources."""
+
+    #: Descriptive name used in reports.
+    name: str = "ambient"
+
+    def ground_illuminance(self, x: np.ndarray | float,
+                           t: np.ndarray | float) -> np.ndarray:
+        """Illuminance (lux) on the ground plane at ``x`` and time ``t``.
+
+        Arguments broadcast together following numpy rules.
+        """
+        raise NotImplementedError
+
+    def receiver_plane_illuminance(self, t: np.ndarray | float) -> np.ndarray:
+        """Noise-floor illuminance (lux) at the receiver's position."""
+        raise NotImplementedError
+
+    def flicker(self, t: np.ndarray | float) -> np.ndarray:
+        """Multiplicative intensity waveform; 1.0 for a perfectly DC source."""
+        return np.ones_like(np.asarray(t, dtype=float))
+
+    def incident_direction(self, ground_x: float = 0.0) -> Vec3:
+        """Unit propagation direction of the light at a ground point.
+
+        Used to evaluate the specular lobe geometry; diffuse overhead
+        lighting defaults to straight down.
+        """
+        return Vec3(0.0, 0.0, -1.0)
+
+    def diffuse_fraction(self) -> float:
+        """Fraction of the light arriving as a uniform hemisphere.
+
+        Collimated emitters (sun, a small lamp) return 0; extended
+        ceiling luminaires return ~1.  Feeds the specular-lobe model in
+        :mod:`repro.optics.reflection`.
+        """
+        return 0.0
+
+
+def _ac_ripple(t: np.ndarray | float, depth: float, mains_hz: float,
+               phase: float) -> np.ndarray:
+    """Rectified-sine ripple of an AC-driven lamp.
+
+    Lamps driven from the mains flicker at ``2 * mains_hz``; ``depth`` is
+    the peak-to-peak modulation relative to the mean.
+    """
+    tt = np.asarray(t, dtype=float)
+    ripple = np.abs(np.sin(2.0 * math.pi * mains_hz * tt + phase))
+    # Rectified |sin| has mean 2/pi; recentre so the mean level is 1.0.
+    return 1.0 + depth * (ripple - 2.0 / math.pi)
+
+
+@dataclass
+class LedLamp(AmbientLightSource):
+    """A DC-driven LED lamp — the controlled dark-room emitter.
+
+    The lamp is a generalised Lambertian point source aimed straight down.
+    In the paper's ideal-scenario setup (Fig. 5) the lamp and receiver are
+    both 20 cm above the work plane, 12 cm apart horizontally.
+
+    Attributes:
+        position: lamp location (m).
+        luminous_intensity: on-axis intensity (candela).
+        lambertian_order: beam concentration ``m`` (1 = ideal diffuse).
+        ripple_depth: residual driver ripple (LED drivers are nearly DC).
+    """
+
+    position: Vec3 = field(default_factory=lambda: Vec3(0.0, 0.0, 0.2))
+    luminous_intensity: float = 20.0
+    lambertian_order: float = 2.0
+    ripple_depth: float = 0.0
+    name: str = "led_lamp"
+
+    def __post_init__(self) -> None:
+        if self.luminous_intensity < 0.0:
+            raise ValueError("luminous intensity cannot be negative")
+        if self.position.z <= 0.0:
+            raise ValueError("lamp must be above the ground plane (z > 0)")
+        if not 0.0 <= self.ripple_depth < 1.0:
+            raise ValueError("ripple depth must be in [0, 1)")
+
+    def flicker(self, t: np.ndarray | float) -> np.ndarray:
+        if self.ripple_depth == 0.0:
+            return np.ones_like(np.asarray(t, dtype=float))
+        return _ac_ripple(t, self.ripple_depth, MAINS_FREQUENCY_HZ, 0.0)
+
+    def _illuminance_at_ground_point(self, x: np.ndarray) -> np.ndarray:
+        """Static (flicker-free) lux profile along the ground line y=0."""
+        dx = np.asarray(x, dtype=float) - self.position.x
+        h = self.position.z
+        d2 = dx**2 + self.position.y**2 + h**2
+        d = np.sqrt(d2)
+        cos_emit = h / d  # angle off the downward axis
+        # Radiant intensity pattern relative to on-axis.
+        pattern = np.where(
+            cos_emit > 0.0,
+            cos_emit**self.lambertian_order,
+            0.0,
+        )
+        cos_incidence = cos_emit  # flat ground, normal straight up
+        return self.luminous_intensity * pattern * cos_incidence / d2
+
+    def ground_illuminance(self, x, t):
+        return self._illuminance_at_ground_point(x) * self.flicker(t)
+
+    def receiver_plane_illuminance(self, t):
+        # The lamp shines downward; what reaches a co-located, downward
+        # looking receiver is mostly ground-reflected light.  A small
+        # coupling constant models stray/scattered light at the receiver.
+        stray = 0.05 * self.luminous_intensity / self.position.z**2
+        return stray * self.flicker(t)
+
+    def incident_direction(self, ground_x: float = 0.0) -> Vec3:
+        """Direction of rays from the lamp towards a ground point."""
+        to_ground = Vec3(ground_x, 0.0, 0.0) - self.position
+        return to_ground.normalized()
+
+
+@dataclass
+class FluorescentCeiling(AmbientLightSource):
+    """Ceiling fluorescent tubes with mains ripple (Fig. 7's emitter).
+
+    Modelled as a uniform illuminated ceiling: the ground receives a
+    near-constant illuminance over the small scene extent, multiplied by
+    a 100 Hz rectified-sine ripple from the AC supply [Kuo et al., VLCS'14].
+
+    Attributes:
+        ground_lux: mean illuminance delivered to the work plane.
+        height: luminaire height (2.3 m in the paper).
+        ripple_depth: relative peak-to-peak ripple (fluorescents on
+            magnetic ballasts flicker strongly).
+        phase: ripple phase offset (radians).
+    """
+
+    ground_lux: float = 300.0
+    height: float = 2.3
+    ripple_depth: float = 0.35
+    phase: float = 0.0
+    name: str = "fluorescent_ceiling"
+
+    def __post_init__(self) -> None:
+        if self.ground_lux < 0.0:
+            raise ValueError("ground illuminance cannot be negative")
+        if self.height <= 0.0:
+            raise ValueError("luminaire height must be positive")
+        if not 0.0 <= self.ripple_depth < 1.0:
+            raise ValueError("ripple depth must be in [0, 1)")
+
+    def flicker(self, t):
+        if self.ripple_depth == 0.0:
+            return np.ones_like(np.asarray(t, dtype=float))
+        return _ac_ripple(t, self.ripple_depth, MAINS_FREQUENCY_HZ, self.phase)
+
+    def ground_illuminance(self, x, t):
+        base = np.full_like(np.asarray(x, dtype=float), self.ground_lux)
+        return base * self.flicker(t)
+
+    def receiver_plane_illuminance(self, t):
+        # A receiver near the floor of an evenly lit room sees roughly the
+        # same illuminance as the work plane.
+        return self.ground_lux * self.flicker(t)
+
+    def diffuse_fraction(self) -> float:
+        """Ceiling tubes light the scene from a broad solid angle."""
+        return 1.0
+
+
+@dataclass
+class IncandescentBulb(AmbientLightSource):
+    """An incandescent bulb: AC-driven but thermally smoothed.
+
+    The filament's thermal inertia attenuates the 100 Hz ripple compared
+    to a fluorescent tube.
+    """
+
+    ground_lux: float = 250.0
+    height: float = 2.0
+    ripple_depth: float = 0.10
+    phase: float = 0.0
+    name: str = "incandescent_bulb"
+
+    def __post_init__(self) -> None:
+        if self.ground_lux < 0.0:
+            raise ValueError("ground illuminance cannot be negative")
+        if self.height <= 0.0:
+            raise ValueError("bulb height must be positive")
+        if not 0.0 <= self.ripple_depth < 1.0:
+            raise ValueError("ripple depth must be in [0, 1)")
+
+    def flicker(self, t):
+        if self.ripple_depth == 0.0:
+            return np.ones_like(np.asarray(t, dtype=float))
+        return _ac_ripple(t, self.ripple_depth, MAINS_FREQUENCY_HZ, self.phase)
+
+    def ground_illuminance(self, x, t):
+        base = np.full_like(np.asarray(x, dtype=float), self.ground_lux)
+        return base * self.flicker(t)
+
+    def receiver_plane_illuminance(self, t):
+        return self.ground_lux * self.flicker(t)
+
+    def diffuse_fraction(self) -> float:
+        """A frosted bulb plus room reflections: mostly diffuse."""
+        return 0.8
+
+
+@dataclass
+class Sun(AmbientLightSource):
+    """The sun — a collimated, ripple-free, very bright emitter.
+
+    Section 5 runs on cloudy days at noon and late afternoon, with noise
+    floors between 100 lux (heavy overcast, late) and 6200 lux.  Solar
+    illumination is uniform across the scene (parallel rays) and
+    perfectly DC; a slow drift term models passing clouds.
+
+    Attributes:
+        ground_lux: illuminance on the horizontal ground (lux).
+        elevation_deg: solar elevation above the horizon, in (0, 90].
+        cloud_drift_depth: relative amplitude of a slow illuminance drift.
+        cloud_drift_period_s: period of that drift.
+        sky_diffuse_fraction: share of the illuminance arriving as
+            skylight rather than direct beam.  The paper's outdoor runs
+            are on *cloudy* days, where much of the light is diffuse.
+    """
+
+    ground_lux: float = 6200.0
+    elevation_deg: float = 45.0
+    cloud_drift_depth: float = 0.0
+    cloud_drift_period_s: float = 120.0
+    sky_diffuse_fraction: float = 0.6
+    name: str = "sun"
+
+    def __post_init__(self) -> None:
+        if self.ground_lux < 0.0:
+            raise ValueError("ground illuminance cannot be negative")
+        if not 0.0 < self.elevation_deg <= 90.0:
+            raise ValueError("solar elevation must be in (0, 90] degrees")
+        if not 0.0 <= self.cloud_drift_depth < 1.0:
+            raise ValueError("cloud drift depth must be in [0, 1)")
+        if self.cloud_drift_period_s <= 0.0:
+            raise ValueError("cloud drift period must be positive")
+        if not 0.0 <= self.sky_diffuse_fraction <= 1.0:
+            raise ValueError("sky diffuse fraction must be in [0, 1]")
+
+    def flicker(self, t):
+        tt = np.asarray(t, dtype=float)
+        if self.cloud_drift_depth == 0.0:
+            return np.ones_like(tt)
+        drift = np.sin(2.0 * math.pi * tt / self.cloud_drift_period_s)
+        return 1.0 + self.cloud_drift_depth * drift
+
+    def ground_illuminance(self, x, t):
+        base = np.full_like(np.asarray(x, dtype=float), self.ground_lux)
+        return base * self.flicker(t)
+
+    def receiver_plane_illuminance(self, t):
+        return self.ground_lux * self.flicker(t)
+
+    def incident_direction(self, ground_x: float = 0.0) -> Vec3:
+        """Sunlight arrives at the complement of the solar elevation."""
+        elev = math.radians(self.elevation_deg)
+        return Vec3(math.cos(elev), 0.0, -math.sin(elev)).normalized()
+
+    def diffuse_fraction(self) -> float:
+        """Cloud cover share configured on the source."""
+        return self.sky_diffuse_fraction
+
+
+@dataclass
+class CompositeSource(AmbientLightSource):
+    """Superposition of several sources (e.g. sun + street lamp)."""
+
+    sources: list[AmbientLightSource] = field(default_factory=list)
+    name: str = "composite"
+
+    def __post_init__(self) -> None:
+        if not self.sources:
+            raise ValueError("a composite source needs at least one component")
+
+    def ground_illuminance(self, x, t):
+        xs = np.asarray(x, dtype=float)
+        total = np.zeros(np.broadcast(xs, np.asarray(t, dtype=float)).shape)
+        for src in self.sources:
+            total = total + src.ground_illuminance(x, t)
+        return total
+
+    def receiver_plane_illuminance(self, t):
+        total = np.zeros_like(np.asarray(t, dtype=float))
+        for src in self.sources:
+            total = total + src.receiver_plane_illuminance(t)
+        return total
+
+    def flicker(self, t):
+        # The composite waveform is illuminance-weighted; expose the mean.
+        tt = np.asarray(t, dtype=float)
+        num = np.zeros_like(tt)
+        den = 0.0
+        for src in self.sources:
+            level = float(np.mean(src.receiver_plane_illuminance(0.0)))
+            num = num + level * src.flicker(tt)
+            den += level
+        if den == 0.0:
+            return np.ones_like(tt)
+        return num / den
+
+    def diffuse_fraction(self) -> float:
+        """Illuminance-weighted mean of the components' fractions."""
+        num = 0.0
+        den = 0.0
+        for src in self.sources:
+            level = float(np.mean(src.receiver_plane_illuminance(0.0)))
+            num += level * src.diffuse_fraction()
+            den += level
+        return num / den if den > 0.0 else 0.0

@@ -1,0 +1,44 @@
+"""Passive 'packets': coding, packet format, physical tag surfaces."""
+
+from .codebook import (
+    Codebook,
+    build_max_distance_codebook,
+    hamming_distance,
+    min_pairwise_distance,
+)
+from .dynamic import DynamicTag, DynamicTechnology
+from .framing import FrameError, FramedPayload, crc4
+from .encoding import (
+    ManchesterError,
+    Symbol,
+    manchester_decode,
+    manchester_encode,
+    symbols_from_string,
+    symbols_to_string,
+)
+from .packet import PREAMBLE, Packet
+from .surface import CompositeSurface, LinearSurface, Strip, TagSurface
+
+__all__ = [
+    "Codebook",
+    "build_max_distance_codebook",
+    "hamming_distance",
+    "min_pairwise_distance",
+    "DynamicTag",
+    "DynamicTechnology",
+    "ManchesterError",
+    "Symbol",
+    "manchester_decode",
+    "manchester_encode",
+    "symbols_from_string",
+    "symbols_to_string",
+    "PREAMBLE",
+    "Packet",
+    "FrameError",
+    "FramedPayload",
+    "crc4",
+    "CompositeSurface",
+    "LinearSurface",
+    "Strip",
+    "TagSurface",
+]

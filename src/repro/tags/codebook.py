@@ -1,0 +1,129 @@
+"""Codebooks with maximised inter-Hamming distance (Section 4.2).
+
+Under channel distortion the paper falls back from decoding to
+*classification*: "Clearly, in this case we will not be able to use 2^N
+codes.  We will be constrained to use far less codes making sure that
+their inter-Hamming distances are maximized."
+
+This module selects such code sets greedily and provides the distance
+tooling the DTW classifier needs to reason about confusability.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+__all__ = ["hamming_distance", "min_pairwise_distance", "Codebook",
+           "build_max_distance_codebook"]
+
+
+def hamming_distance(a: Sequence[int], b: Sequence[int]) -> int:
+    """Number of positions where two equal-length codes differ.
+
+    Raises:
+        ValueError: if the codes have different lengths.
+    """
+    if len(a) != len(b):
+        raise ValueError(f"codes must have equal length, got {len(a)} and {len(b)}")
+    return sum(1 for x, y in zip(a, b) if x != y)
+
+
+def min_pairwise_distance(codes: Sequence[Sequence[int]]) -> int:
+    """Minimum Hamming distance over all pairs (0 for fewer than 2 codes)."""
+    if len(codes) < 2:
+        return 0
+    return min(hamming_distance(a, b)
+               for a, b in itertools.combinations(codes, 2))
+
+
+@dataclass(frozen=True)
+class Codebook:
+    """A set of equal-length bit codes used for classification.
+
+    Attributes:
+        codes: the selected codewords.
+        n_bits: code length.
+    """
+
+    codes: tuple[tuple[int, ...], ...]
+    n_bits: int
+
+    def __post_init__(self) -> None:
+        if not self.codes:
+            raise ValueError("a codebook needs at least one code")
+        for code in self.codes:
+            if len(code) != self.n_bits:
+                raise ValueError(
+                    f"code {code} has length {len(code)}, expected {self.n_bits}")
+            if any(b not in (0, 1) for b in code):
+                raise ValueError(f"codes must be binary, got {code}")
+        if len(set(self.codes)) != len(self.codes):
+            raise ValueError("codebook contains duplicate codes")
+
+    @property
+    def size(self) -> int:
+        """Number of codewords."""
+        return len(self.codes)
+
+    @property
+    def min_distance(self) -> int:
+        """Minimum pairwise Hamming distance of the book."""
+        return min_pairwise_distance(self.codes)
+
+    def correctable_errors(self) -> int:
+        """Bit errors correctable by nearest-code classification."""
+        return max(0, (self.min_distance - 1) // 2)
+
+    def nearest(self, observed: Sequence[int]) -> tuple[tuple[int, ...], int]:
+        """Classify an observed bit vector to the nearest codeword.
+
+        Returns:
+            ``(codeword, distance)`` of the best match; ties break towards
+            the earlier codeword in the book (deterministic).
+        """
+        best_code = self.codes[0]
+        best_dist = hamming_distance(observed, best_code)
+        for code in self.codes[1:]:
+            d = hamming_distance(observed, code)
+            if d < best_dist:
+                best_code, best_dist = code, d
+        return best_code, best_dist
+
+
+def build_max_distance_codebook(n_bits: int, n_codes: int) -> Codebook:
+    """Greedily pick ``n_codes`` codewords maximising the min distance.
+
+    A farthest-point greedy construction: start from the all-zeros word,
+    then repeatedly add the word whose minimum distance to the chosen set
+    is largest.  Exact for the small code sizes the paper needs (the
+    classification fallback uses "far less" than 2^N codes).
+
+    Args:
+        n_bits: code length (kept small: the search is exhaustive).
+        n_codes: number of codewords, ``2 <= n_codes <= 2**n_bits``.
+
+    Raises:
+        ValueError: if the request is infeasible or too large to search.
+    """
+    if n_bits < 1 or n_bits > 16:
+        raise ValueError(f"n_bits must be in [1, 16], got {n_bits}")
+    if not 1 <= n_codes <= 2**n_bits:
+        raise ValueError(
+            f"cannot pick {n_codes} distinct codes of {n_bits} bits")
+    universe = [tuple(int(b) for b in format(i, f"0{n_bits}b"))
+                for i in range(2**n_bits)]
+    chosen: list[tuple[int, ...]] = [universe[0]]
+    while len(chosen) < n_codes:
+        best_candidate = None
+        best_score = -1
+        for cand in universe:
+            if cand in chosen:
+                continue
+            score = min(hamming_distance(cand, c) for c in chosen)
+            if score > best_score:
+                best_candidate, best_score = cand, score
+        assert best_candidate is not None
+        chosen.append(best_candidate)
+    return Codebook(codes=tuple(chosen), n_bits=n_bits)

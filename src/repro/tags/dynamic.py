@@ -1,0 +1,133 @@
+"""Dynamic tags: switchable reflective surfaces (Section 6, future work).
+
+"Encoding dynamic information is feasible by adopting advance materials
+whose reflection is adjustable (e.g. E-ink screens or LCD shutters)."
+
+A dynamic tag holds a queue of packets and re-renders its strip pattern
+between passes (e-ink: slow, bistable, zero hold power) or continuously
+(LCD shutter: fast, needs power — "at an increased carbon footprint", as
+the paper notes when discussing Retro-VLC).  The channel simulator asks
+the tag for its surface *for a given pass*, so successive passes of the
+same physical object can carry different payloads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from ..optics.materials import Material
+from .packet import Packet
+from .surface import TagSurface
+
+__all__ = ["DynamicTechnology", "DynamicTag"]
+
+
+class DynamicTechnology(Enum):
+    """Reconfigurable-surface technologies with their switching costs."""
+
+    #: Bistable electrophoretic display: ~0.5 s refresh, no hold power.
+    E_INK = ("e_ink", 0.5, 0.0)
+    #: Liquid-crystal shutter: ~5 ms switching, continuous hold power.
+    LCD_SHUTTER = ("lcd_shutter", 0.005, 0.2)
+
+    @property
+    def switch_time_s(self) -> float:
+        """Time to re-render the full surface pattern."""
+        return self.value[1]
+
+    @property
+    def hold_power_w(self) -> float:
+        """Power needed to hold the pattern (0 for bistable tech)."""
+        return self.value[2]
+
+
+#: Contrast ratios achievable by each technology relative to the
+#: aluminium-tape / black-napkin pair (LCD shutters and e-ink have lower
+#: optical contrast than tape vs napkin).
+_CONTRAST_SCALE = {
+    DynamicTechnology.E_INK: 0.55,
+    DynamicTechnology.LCD_SHUTTER: 0.40,
+}
+
+
+@dataclass
+class DynamicTag:
+    """A reconfigurable tag cycling through a queue of packets.
+
+    Attributes:
+        packets: payload queue; pass ``k`` renders ``packets[k % len]``.
+        technology: the switchable-surface technology.
+        high_material: material representing HIGH at full contrast.
+        low_material: material representing LOW at full contrast.
+        label: name for reports.
+    """
+
+    packets: list[Packet]
+    technology: DynamicTechnology = DynamicTechnology.E_INK
+    high_material: Material | None = None
+    low_material: Material | None = None
+    label: str = "dynamic-tag"
+
+    def __post_init__(self) -> None:
+        if not self.packets:
+            raise ValueError("a dynamic tag needs at least one packet")
+        self._pass_index = 0
+
+    def _contrast_materials(self) -> tuple[Material, Material]:
+        """HIGH/LOW materials scaled to the technology's contrast."""
+        from ..optics.materials import ALUMINUM_TAPE, BLACK_NAPKIN
+
+        high = self.high_material or ALUMINUM_TAPE
+        low = self.low_material or BLACK_NAPKIN
+        scale = _CONTRAST_SCALE[self.technology]
+        # Shrink the reflectance gap symmetrically around its midpoint.
+        mid = (high.reflectance + low.reflectance) / 2.0
+        half_gap = (high.reflectance - low.reflectance) / 2.0 * scale
+        high_scaled = Material(
+            name=f"{high.name}@{self.technology.name.lower()}",
+            reflectance=min(1.0, mid + half_gap),
+            specular_fraction=high.specular_fraction * scale,
+            specular_exponent=high.specular_exponent,
+        )
+        low_scaled = Material(
+            name=f"{low.name}@{self.technology.name.lower()}",
+            reflectance=max(0.0, mid - half_gap),
+            specular_fraction=low.specular_fraction,
+            specular_exponent=low.specular_exponent,
+        )
+        return high_scaled, low_scaled
+
+    def surface_for_pass(self, pass_index: int | None = None) -> TagSurface:
+        """Render the surface shown during a given pass.
+
+        Args:
+            pass_index: explicit pass number; defaults to an internal
+                counter that advances on each call.
+        """
+        if pass_index is None:
+            pass_index = self._pass_index
+            self._pass_index += 1
+        if pass_index < 0:
+            raise ValueError(f"pass index cannot be negative, got {pass_index}")
+        packet = self.packets[pass_index % len(self.packets)]
+        high, low = self._contrast_materials()
+        return TagSurface.from_packet(
+            packet, high_material=high, low_material=low,
+            label=f"{self.label}#pass{pass_index}")
+
+    def reconfiguration_energy_j(self, interval_s: float) -> float:
+        """Energy to hold + switch the pattern once per ``interval_s``.
+
+        Quantifies the paper's "increased carbon footprint" remark: an
+        LCD tag pays hold power continuously, an e-ink tag only pays
+        during the switch.
+
+        Args:
+            interval_s: time between pattern changes, > 0.
+        """
+        if interval_s <= 0.0:
+            raise ValueError(f"interval must be positive, got {interval_s}")
+        switch_energy = 0.05 * self.technology.switch_time_s
+        hold_energy = self.technology.hold_power_w * interval_s
+        return switch_energy + hold_energy

@@ -1,0 +1,127 @@
+"""Symbol alphabet and Manchester coding (Section 4, "Coding").
+
+The channel alphabet has two symbols: **HIGH** (a strongly reflective
+strip — aluminium tape) and **LOW** (a weakly reflective strip — black
+napkin).  Bits are Manchester coded "to enable an easy and stable
+decoding at the receiver":
+
+* bit ``0``  ->  HIGH-LOW
+* bit ``1``  ->  LOW-HIGH
+
+Manchester coding guarantees a transition inside every bit, which is what
+lets the adaptive decoder track the symbol clock without calibration.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Iterable, Sequence
+
+__all__ = [
+    "Symbol",
+    "manchester_encode",
+    "manchester_decode",
+    "symbols_from_string",
+    "symbols_to_string",
+    "ManchesterError",
+]
+
+
+class Symbol(Enum):
+    """One reflective strip's worth of channel state."""
+
+    HIGH = "H"
+    LOW = "L"
+
+    def inverted(self) -> "Symbol":
+        """The opposite symbol."""
+        return Symbol.LOW if self is Symbol.HIGH else Symbol.HIGH
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+class ManchesterError(ValueError):
+    """Raised when a symbol sequence is not a valid Manchester stream."""
+
+
+#: bit value -> symbol pair
+_BIT_TO_SYMBOLS: dict[int, tuple[Symbol, Symbol]] = {
+    0: (Symbol.HIGH, Symbol.LOW),
+    1: (Symbol.LOW, Symbol.HIGH),
+}
+
+#: symbol pair -> bit value
+_SYMBOLS_TO_BIT: dict[tuple[Symbol, Symbol], int] = {
+    v: k for k, v in _BIT_TO_SYMBOLS.items()
+}
+
+
+def manchester_encode(bits: Iterable[int]) -> list[Symbol]:
+    """Encode a bit sequence into Manchester symbols.
+
+    Args:
+        bits: iterable of 0/1 values (booleans accepted).
+
+    Returns:
+        A list of ``2 * len(bits)`` symbols.
+
+    Raises:
+        ManchesterError: if any element is not a 0/1 value.
+    """
+    out: list[Symbol] = []
+    for i, bit in enumerate(bits):
+        if bit not in (0, 1, False, True):
+            raise ManchesterError(f"bit {i} is {bit!r}; expected 0 or 1")
+        out.extend(_BIT_TO_SYMBOLS[int(bit)])
+    return out
+
+
+def manchester_decode(symbols: Sequence[Symbol]) -> list[int]:
+    """Decode Manchester symbols back into bits.
+
+    Args:
+        symbols: sequence of symbols; length must be even.
+
+    Returns:
+        Decoded bits, one per symbol pair.
+
+    Raises:
+        ManchesterError: on odd length or an invalid (HH/LL) pair.
+    """
+    if len(symbols) % 2 != 0:
+        raise ManchesterError(
+            f"Manchester stream must have even length, got {len(symbols)}")
+    bits: list[int] = []
+    for i in range(0, len(symbols), 2):
+        pair = (symbols[i], symbols[i + 1])
+        bit = _SYMBOLS_TO_BIT.get(pair)
+        if bit is None:
+            raise ManchesterError(
+                f"invalid Manchester pair {pair[0]}{pair[1]} at symbol {i}")
+        bits.append(bit)
+    return bits
+
+
+def symbols_from_string(text: str) -> list[Symbol]:
+    """Parse a compact symbol string like ``"HLHL"`` (dots are ignored).
+
+    The paper writes packets as e.g. ``'HLHL.LHHL'`` with a dot between
+    preamble and data; this parser accepts that notation directly.
+    """
+    out: list[Symbol] = []
+    for i, ch in enumerate(text):
+        if ch in ".,- ":
+            continue
+        if ch.upper() == "H":
+            out.append(Symbol.HIGH)
+        elif ch.upper() == "L":
+            out.append(Symbol.LOW)
+        else:
+            raise ValueError(f"invalid symbol character {ch!r} at index {i}")
+    return out
+
+
+def symbols_to_string(symbols: Iterable[Symbol]) -> str:
+    """Render symbols as a compact ``"HLHL"`` string."""
+    return "".join(s.value for s in symbols)

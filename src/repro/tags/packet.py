@@ -1,0 +1,136 @@
+"""Packet format: fixed preamble + Manchester-coded data (Fig. 4).
+
+"Each packet has two fields: preamble and data.  The preamble is fixed
+and consists of four symbols HIGH-LOW-HIGH-LOW. [...] The Data field
+comes after the preamble and includes 2N symbols, representing the
+modulated N-bit data."
+
+The symbol width is constant *within* a packet but may differ *between*
+packets — each moving object picks its own width, materials and speed,
+and the receiver adapts per packet (Section 4.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from .encoding import (
+    ManchesterError,
+    Symbol,
+    manchester_decode,
+    manchester_encode,
+    symbols_from_string,
+    symbols_to_string,
+)
+
+__all__ = ["PREAMBLE", "Packet"]
+
+#: The fixed four-symbol preamble: HIGH-LOW-HIGH-LOW.
+PREAMBLE: tuple[Symbol, ...] = (
+    Symbol.HIGH, Symbol.LOW, Symbol.HIGH, Symbol.LOW,
+)
+
+
+@dataclass(frozen=True)
+class Packet:
+    """A passive-channel packet.
+
+    Attributes:
+        data_bits: the N payload bits.
+        symbol_width_m: physical width of one symbol strip (m); constant
+            within the packet.
+    """
+
+    data_bits: tuple[int, ...]
+    symbol_width_m: float = 0.03
+
+    def __post_init__(self) -> None:
+        if not self.data_bits:
+            raise ValueError("a packet needs at least one data bit")
+        if any(b not in (0, 1) for b in self.data_bits):
+            raise ValueError(f"data bits must be 0/1, got {self.data_bits}")
+        if self.symbol_width_m <= 0.0:
+            raise ValueError(
+                f"symbol width must be positive, got {self.symbol_width_m}")
+
+    @classmethod
+    def from_bits(cls, bits: Sequence[int],
+                  symbol_width_m: float = 0.03) -> "Packet":
+        """Build a packet from a bit sequence."""
+        return cls(data_bits=tuple(int(b) for b in bits),
+                   symbol_width_m=symbol_width_m)
+
+    @classmethod
+    def from_bitstring(cls, bits: str, symbol_width_m: float = 0.03) -> "Packet":
+        """Build a packet from a string like ``"10"``."""
+        if not bits or any(c not in "01" for c in bits):
+            raise ValueError(f"bit string must be non-empty 0/1, got {bits!r}")
+        return cls.from_bits([int(c) for c in bits], symbol_width_m)
+
+    @classmethod
+    def from_symbol_string(cls, text: str,
+                           symbol_width_m: float = 0.03) -> "Packet":
+        """Build a packet from the paper's notation, e.g. ``'HLHL.LHHL'``.
+
+        The leading four symbols must be the fixed preamble; the rest must
+        be a valid Manchester stream.
+        """
+        symbols = symbols_from_string(text)
+        if tuple(symbols[:4]) != PREAMBLE:
+            raise ValueError(
+                f"packet must start with the HLHL preamble, got "
+                f"{symbols_to_string(symbols[:4])!r}")
+        data_symbols = symbols[4:]
+        if not data_symbols:
+            raise ValueError("packet has no data symbols after the preamble")
+        try:
+            bits = manchester_decode(data_symbols)
+        except ManchesterError as exc:
+            raise ValueError(f"invalid data field: {exc}") from exc
+        return cls.from_bits(bits, symbol_width_m)
+
+    @property
+    def data_symbols(self) -> list[Symbol]:
+        """The 2N Manchester symbols of the data field."""
+        return manchester_encode(self.data_bits)
+
+    @property
+    def symbols(self) -> list[Symbol]:
+        """All symbols: preamble followed by data."""
+        return list(PREAMBLE) + self.data_symbols
+
+    @property
+    def n_symbols(self) -> int:
+        """Total symbol count (4 preamble + 2N data)."""
+        return 4 + 2 * len(self.data_bits)
+
+    @property
+    def length_m(self) -> float:
+        """Physical length of the packet on the object's surface."""
+        return self.n_symbols * self.symbol_width_m
+
+    def symbol_string(self) -> str:
+        """Paper-style rendering: ``'HLHL.LHHL'``."""
+        return (symbols_to_string(PREAMBLE) + "."
+                + symbols_to_string(self.data_symbols))
+
+    def bit_string(self) -> str:
+        """Payload as a string of 0/1 characters."""
+        return "".join(str(b) for b in self.data_bits)
+
+    def with_symbol_width(self, symbol_width_m: float) -> "Packet":
+        """Same payload at a different symbol width."""
+        return Packet(self.data_bits, symbol_width_m)
+
+    def duration_at_speed(self, speed_mps: float) -> float:
+        """Time for the whole packet to cross a point at constant speed."""
+        if speed_mps <= 0.0:
+            raise ValueError(f"speed must be positive, got {speed_mps}")
+        return self.length_m / speed_mps
+
+    def symbol_rate_at_speed(self, speed_mps: float) -> float:
+        """Channel symbol rate (symbols/second) at a given speed."""
+        if speed_mps <= 0.0:
+            raise ValueError(f"speed must be positive, got {speed_mps}")
+        return speed_mps / self.symbol_width_m

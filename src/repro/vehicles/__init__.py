@@ -1,0 +1,26 @@
+"""Vehicles: car optical signatures and roof-tag decoding (Section 5)."""
+
+from .profiles import (
+    CAR_LIBRARY,
+    CarProfile,
+    CarSegment,
+    bmw_3_series,
+    car_by_name,
+    volvo_v40,
+)
+from .rooftag import TaggedCar, TwoPhaseDecoder, tagged_car_surface
+from .signature import (
+    CarSignature,
+    LongPreambleDetector,
+    SignatureFeature,
+    extract_signature,
+    match_car,
+)
+
+__all__ = [
+    "CAR_LIBRARY", "CarProfile", "CarSegment", "bmw_3_series",
+    "car_by_name", "volvo_v40",
+    "TaggedCar", "TwoPhaseDecoder", "tagged_car_surface",
+    "CarSignature", "LongPreambleDetector", "SignatureFeature",
+    "extract_signature", "match_car",
+]

@@ -1,0 +1,86 @@
+"""Shared fixtures: standard scenes, receivers and captures."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.channel.mobility import ConstantSpeed
+from repro.channel.scene import MovingObject, PassiveScene
+from repro.channel.simulator import ChannelSimulator, SimulatorConfig
+from repro.hardware.frontend import FovCap, ReceiverFrontEnd
+from repro.hardware.led_receiver import LedReceiver
+from repro.hardware.photodiode import PdGain, Photodiode
+from repro.optics.geometry import Vec3
+from repro.optics.materials import TARMAC
+from repro.optics.sources import LedLamp, Sun
+from repro.tags.packet import Packet
+from repro.tags.surface import TagSurface
+
+
+@pytest.fixture
+def indoor_receiver() -> ReceiverFrontEnd:
+    """The paper's dark-room receiver: OPT101 at G1 with the FoV cap."""
+    return ReceiverFrontEnd(detector=Photodiode.opt101(gain=PdGain.G1),
+                            cap=FovCap.paper_cap(), seed=42)
+
+
+@pytest.fixture
+def led_receiver() -> ReceiverFrontEnd:
+    """The outdoor RX-LED receiver."""
+    return ReceiverFrontEnd(detector=LedReceiver.red_5mm(), seed=42)
+
+
+def build_indoor_scene(bits: str = "00", symbol_width_m: float = 0.03,
+                       height_m: float = 0.2,
+                       speed_mps: float = 0.08) -> PassiveScene:
+    """Fig. 5 style dark-room scene."""
+    packet = Packet.from_bitstring(bits, symbol_width_m=symbol_width_m)
+    tag = TagSurface.from_packet(packet)
+    return PassiveScene(
+        source=LedLamp(position=Vec3(0.12, 0.0, height_m),
+                       luminous_intensity=2.0),
+        receiver_height_m=height_m,
+        objects=[MovingObject(tag, ConstantSpeed(speed_mps, -0.3), "tag")],
+    )
+
+
+def build_outdoor_scene(bits: str = "00", noise_floor_lux: float = 6200.0,
+                        height_m: float = 0.75,
+                        symbol_width_m: float = 0.1,
+                        speed_mps: float = 5.0) -> PassiveScene:
+    """Section 5 style outdoor scene (bare tag, no car)."""
+    packet = Packet.from_bitstring(bits, symbol_width_m=symbol_width_m)
+    tag = TagSurface.from_packet(packet)
+    return PassiveScene(
+        source=Sun(ground_lux=noise_floor_lux),
+        receiver_height_m=height_m,
+        ground=TARMAC,
+        objects=[MovingObject(tag, ConstantSpeed(speed_mps, -1.5), "tag")],
+    )
+
+
+@pytest.fixture
+def indoor_scene() -> PassiveScene:
+    """Default Fig. 5 scene ('00', 3 cm symbols, h = 0.2 m)."""
+    return build_indoor_scene()
+
+
+@pytest.fixture
+def outdoor_scene() -> PassiveScene:
+    """Default Fig. 17(a) scene."""
+    return build_outdoor_scene()
+
+
+@pytest.fixture
+def indoor_capture_00(indoor_scene, indoor_receiver):
+    """A deterministic clean capture of code '00'."""
+    sim = ChannelSimulator(indoor_scene, indoor_receiver,
+                           SimulatorConfig(sample_rate_hz=500.0, seed=42))
+    return sim.capture_pass()
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic RNG for test data generation."""
+    return np.random.default_rng(2024)

@@ -1,0 +1,94 @@
+"""Tests for repro.analysis.metrics."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.metrics import (
+    bit_error_rate,
+    fit_exponential,
+    fit_linear,
+    symbol_error_rate,
+    throughput_sps,
+)
+
+
+class TestErrorRates:
+    def test_perfect(self):
+        assert symbol_error_rate("HLHL", "HLHL") == 0.0
+
+    def test_one_error(self):
+        assert symbol_error_rate("HLHL", "HLHH") == pytest.approx(0.25)
+
+    def test_short_received_counts_missing(self):
+        assert symbol_error_rate("HLHL", "HL") == pytest.approx(0.5)
+
+    def test_long_received_counts_extra(self):
+        assert symbol_error_rate("HL", "HLHL") == pytest.approx(0.5)
+
+    def test_empty_sent_rejected(self):
+        with pytest.raises(ValueError):
+            symbol_error_rate("", "HL")
+
+    def test_ber_same_semantics(self):
+        assert bit_error_rate("1010", "1011") == pytest.approx(0.25)
+
+
+class TestThroughput:
+    def test_outdoor_case(self):
+        assert throughput_sps(5.0, 0.1) == pytest.approx(50.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            throughput_sps(0.0, 0.1)
+
+
+class TestLinearFit:
+    def test_exact_line(self):
+        x = np.array([0.0, 1.0, 2.0, 3.0])
+        fit = fit_linear(x, 2.0 * x + 1.0)
+        assert fit.slope == pytest.approx(2.0)
+        assert fit.intercept == pytest.approx(1.0)
+        assert fit.r_squared == pytest.approx(1.0)
+
+    def test_predict(self):
+        fit = fit_linear(np.array([0.0, 1.0]), np.array([1.0, 3.0]))
+        assert float(fit.predict(2.0)) == pytest.approx(5.0)
+
+    def test_noisy_r_squared_below_one(self):
+        rng = np.random.default_rng(0)
+        x = np.linspace(0, 1, 50)
+        y = x + rng.normal(0.0, 0.3, 50)
+        fit = fit_linear(x, y)
+        assert 0.0 < fit.r_squared < 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            fit_linear(np.array([1.0]), np.array([1.0]))
+        with pytest.raises(ValueError):
+            fit_linear(np.array([1.0, 2.0]), np.array([1.0]))
+
+
+class TestExponentialFit:
+    def test_exact_exponential(self):
+        x = np.linspace(0.0, 1.0, 20)
+        y = 3.0 * np.exp(-2.0 * x)
+        fit = fit_exponential(x, y)
+        assert fit.amplitude == pytest.approx(3.0, rel=1e-6)
+        assert fit.rate == pytest.approx(-2.0, rel=1e-6)
+        assert fit.r_squared == pytest.approx(1.0)
+
+    def test_predict(self):
+        x = np.linspace(0.0, 1.0, 10)
+        fit = fit_exponential(x, 2.0 * np.exp(1.5 * x))
+        assert float(fit.predict(0.0)) == pytest.approx(2.0, rel=1e-6)
+
+    def test_non_positive_y_rejected(self):
+        with pytest.raises(ValueError):
+            fit_exponential(np.array([0.0, 1.0]), np.array([1.0, 0.0]))
+
+    def test_fig6b_style_decay(self):
+        """A 9x decay over 0.3 m implies rate ~ -7.3 per metre."""
+        x = np.array([0.2, 0.3, 0.4, 0.5])
+        y = 9.0 * np.exp(-7.324 * (x - 0.2))
+        fit = fit_exponential(x, y)
+        assert fit.rate == pytest.approx(-7.324, rel=1e-3)

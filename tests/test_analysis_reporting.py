@@ -1,0 +1,62 @@
+"""Tests for repro.analysis.reporting."""
+
+import pytest
+
+from repro.analysis.experiments import ExperimentResult
+from repro.analysis.reporting import (
+    format_series,
+    format_table,
+    summarize_results,
+)
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        text = format_table(["a", "blob"], [[1, 2], [333, 4]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        # Header, separator, rows all align on the same columns.
+        assert lines[0].index("blob") == lines[2].index("2")
+
+    def test_row_width_mismatch(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+
+class TestFormatSeries:
+    def test_bars_scale(self):
+        text = format_series([1.0, 2.0], [1.0, 2.0], "x", "y", width=10)
+        lines = text.splitlines()
+        assert lines[2].count("#") > lines[1].count("#")
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            format_series([1.0], [1.0, 2.0], "x", "y")
+
+    def test_empty(self):
+        assert "empty" in format_series([], [], "x", "y")
+
+
+class TestSummarize:
+    def test_pass_fail_rendering(self):
+        results = [
+            ExperimentResult("fig1", "t1", "claim", {}, True),
+            ExperimentResult("fig2", "t2", "claim", {}, False),
+        ]
+        text = summarize_results(results)
+        assert "PASS" in text
+        assert "FAIL" in text
+        assert "fig1" in text and "fig2" in text
+
+
+class TestExperimentReport:
+    def test_report_contains_everything(self):
+        result = ExperimentResult(
+            experiment_id="figX", title="Title", paper_claim="Claim",
+            measured={"key": 1.23}, passed=True, notes="note text")
+        report = result.report()
+        assert "figX" in report
+        assert "Claim" in report
+        assert "key: 1.23" in report
+        assert "PASS" in report
+        assert "note text" in report

@@ -1,0 +1,73 @@
+"""Tests for repro.analysis.sweeps."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.sweeps import (
+    DecodabilityGrid,
+    sweep_decodability,
+    sweep_frontier,
+    sweep_throughput,
+)
+from repro.core.capacity import IndoorSetup
+
+QUICK = IndoorSetup(seeds=(11,))
+
+
+class TestGridStructure:
+    def _grid(self):
+        return DecodabilityGrid(
+            heights_m=np.array([0.2, 0.3, 0.4]),
+            widths_m=np.array([0.03, 0.06]),
+            decodable=np.array([[True, True],
+                                [False, True],
+                                [False, False]]))
+
+    def test_max_height_per_width(self):
+        grid = self._grid()
+        assert grid.max_height_for_width(0) == pytest.approx(0.2)
+        assert grid.max_height_for_width(1) == pytest.approx(0.3)
+
+    def test_frontier(self):
+        frontier = self._grid().frontier()
+        assert frontier == [(0.03, pytest.approx(0.2)),
+                            (0.06, pytest.approx(0.3))]
+
+    def test_all_failed_column(self):
+        grid = DecodabilityGrid(
+            heights_m=np.array([0.2]), widths_m=np.array([0.01]),
+            decodable=np.array([[False]]))
+        assert grid.max_height_for_width(0) is None
+        assert grid.frontier() == []
+
+    def test_render_shows_region(self):
+        text = self._grid().render()
+        assert "#" in text and "." in text
+        assert "symbol width" in text
+
+
+class TestSweeps:
+    def test_decodability_grid_shape(self):
+        grid = sweep_decodability(QUICK,
+                                  heights_m=np.array([0.2, 0.45]),
+                                  widths_m=np.array([0.02, 0.08]))
+        assert grid.decodable.shape == (2, 2)
+        # Wide symbols low down must decode; narrow symbols high up not.
+        assert grid.decodable[0, 1]
+        assert not grid.decodable[1, 0]
+
+    def test_empty_grid_rejected(self):
+        with pytest.raises(ValueError):
+            sweep_decodability(QUICK, np.array([]), np.array([0.05]))
+
+    def test_frontier_monotone(self):
+        frontier = sweep_frontier(QUICK, np.array([0.05, 0.09]),
+                                  tolerance_m=0.05)
+        assert len(frontier) == 2
+        assert frontier[1][1] >= frontier[0][1]
+
+    def test_throughput_decreases(self):
+        curve = sweep_throughput(QUICK, np.array([0.2, 0.45]),
+                                 tolerance_m=0.006)
+        assert len(curve) == 2
+        assert curve[0][1] > curve[1][1]

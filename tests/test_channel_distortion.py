@@ -1,0 +1,85 @@
+"""Tests for repro.channel.distortion (fog/haze models)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.channel.distortion import (
+    CLEAR,
+    DENSE_FOG,
+    HAZE,
+    LIGHT_FOG,
+    Atmosphere,
+    visibility_to_extinction,
+)
+
+
+class TestKoschmieder:
+    def test_standard_relation(self):
+        assert visibility_to_extinction(3912.0) == pytest.approx(1e-3)
+
+    def test_positive_visibility_required(self):
+        with pytest.raises(ValueError):
+            visibility_to_extinction(0.0)
+
+
+class TestTransmission:
+    def test_clear_air_transparent(self):
+        assert CLEAR.transmission(100.0) == pytest.approx(1.0)
+
+    def test_beer_lambert(self):
+        atm = Atmosphere(extinction_per_m=0.01)
+        assert atm.transmission(100.0) == pytest.approx(math.exp(-1.0))
+
+    def test_vectorised(self):
+        atm = Atmosphere(extinction_per_m=0.1)
+        paths = np.array([0.0, 1.0, 2.0])
+        out = atm.transmission(paths)
+        assert np.allclose(out, np.exp(-0.1 * paths))
+
+    def test_negative_path_rejected(self):
+        with pytest.raises(ValueError):
+            CLEAR.transmission(-1.0)
+
+    def test_denser_fog_attenuates_more(self):
+        assert (DENSE_FOG.transmission(10.0) < LIGHT_FOG.transmission(10.0)
+                < HAZE.transmission(10.0))
+
+
+class TestSignalAttenuation:
+    def test_bounded(self):
+        for atm in (CLEAR, HAZE, LIGHT_FOG, DENSE_FOG):
+            a = atm.signal_attenuation(1.0)
+            assert 0.0 < a <= 1.0
+
+    def test_positive_height_required(self):
+        with pytest.raises(ValueError):
+            CLEAR.signal_attenuation(0.0)
+
+
+class TestVeilingGlare:
+    def test_clear_air_adds_nothing(self):
+        assert CLEAR.ambient_pedestal(1000.0) == 0.0
+
+    def test_fog_raises_noise_floor(self):
+        assert DENSE_FOG.ambient_pedestal(1000.0) > LIGHT_FOG.ambient_pedestal(1000.0) > 0.0
+
+    def test_negative_ambient_rejected(self):
+        with pytest.raises(ValueError):
+            DENSE_FOG.ambient_pedestal(-1.0)
+
+
+class TestValidation:
+    def test_negative_extinction_rejected(self):
+        with pytest.raises(ValueError):
+            Atmosphere(extinction_per_m=-0.1)
+
+    def test_glare_fraction_bounds(self):
+        with pytest.raises(ValueError):
+            Atmosphere(veiling_glare_fraction=1.0)
+
+    def test_from_visibility_builds_consistent(self):
+        atm = Atmosphere.from_visibility(500.0)
+        assert atm.extinction_per_m == pytest.approx(3.912 / 500.0)
+        assert 0.0 < atm.veiling_glare_fraction <= 0.5

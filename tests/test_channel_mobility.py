@@ -1,0 +1,140 @@
+"""Tests for repro.channel.mobility."""
+
+import numpy as np
+import pytest
+
+from repro.channel.mobility import (
+    KMH_TO_MPS,
+    ConstantSpeed,
+    LinearRamp,
+    PiecewiseConstantSpeed,
+    SpeedJitter,
+    speed_doubling_profile,
+    time_to_reach,
+)
+
+
+class TestConstantSpeed:
+    def test_position(self):
+        m = ConstantSpeed(2.0, start_position_m=-1.0)
+        assert float(m.position(0.5)) == pytest.approx(0.0)
+
+    def test_speed(self):
+        m = ConstantSpeed(0.08)
+        assert np.allclose(m.speed(np.linspace(0, 10, 5)), 0.08)
+
+    def test_positive_speed_required(self):
+        with pytest.raises(ValueError):
+            ConstantSpeed(0.0)
+
+    def test_paper_car_speed(self):
+        assert 18.0 * KMH_TO_MPS == pytest.approx(5.0)
+
+
+class TestPiecewise:
+    def test_speed_changes_at_breakpoint(self):
+        m = PiecewiseConstantSpeed(breakpoints_m=[1.0],
+                                   speeds_mps=[1.0, 2.0],
+                                   start_position_m=0.0)
+        # Breakpoint reached at t = 1; after that speed is 2.
+        assert float(m.position(1.0)) == pytest.approx(1.0)
+        assert float(m.position(1.5)) == pytest.approx(2.0)
+        assert float(m.speed(0.5)) == pytest.approx(1.0)
+        assert float(m.speed(1.5)) == pytest.approx(2.0)
+
+    def test_position_continuous(self):
+        m = PiecewiseConstantSpeed(breakpoints_m=[0.5, 1.5],
+                                   speeds_mps=[1.0, 3.0, 0.5],
+                                   start_position_m=-0.5)
+        t = np.linspace(0.0, 5.0, 2001)
+        x = m.position(t)
+        assert np.all(np.diff(x) > 0.0)
+        assert float(np.abs(np.diff(x)).max()) < 0.02  # no jumps
+
+    def test_counts_validated(self):
+        with pytest.raises(ValueError):
+            PiecewiseConstantSpeed(breakpoints_m=[1.0], speeds_mps=[1.0])
+
+    def test_breakpoints_sorted(self):
+        with pytest.raises(ValueError):
+            PiecewiseConstantSpeed(breakpoints_m=[2.0, 1.0],
+                                   speeds_mps=[1.0, 1.0, 1.0])
+
+    def test_breakpoints_ahead_of_start(self):
+        with pytest.raises(ValueError):
+            PiecewiseConstantSpeed(breakpoints_m=[0.0],
+                                   speeds_mps=[1.0, 2.0],
+                                   start_position_m=0.5)
+
+
+class TestSpeedDoubling:
+    def test_fig8_profile(self):
+        """Speed doubles when the packet midpoint crosses the receiver."""
+        m = speed_doubling_profile(packet_length_m=0.24,
+                                   initial_speed_mps=0.08,
+                                   start_position_m=-0.3)
+        # Change point: leading edge at half a packet past the receiver.
+        change_at = 0.12
+        t_change = (change_at - (-0.3)) / 0.08
+        assert float(m.speed(t_change - 0.1)) == pytest.approx(0.08)
+        assert float(m.speed(t_change + 0.1)) == pytest.approx(0.16)
+
+    def test_invalid_length(self):
+        with pytest.raises(ValueError):
+            speed_doubling_profile(0.0, 0.08, -0.3)
+
+
+class TestLinearRamp:
+    def test_constant_acceleration(self):
+        m = LinearRamp(initial_speed_mps=1.0, acceleration_mps2=2.0)
+        assert float(m.position(1.0)) == pytest.approx(2.0)
+        assert float(m.speed(1.0)) == pytest.approx(3.0)
+
+    def test_deceleration_stalls_without_reversing(self):
+        m = LinearRamp(initial_speed_mps=1.0, acceleration_mps2=-0.5)
+        x_stall = float(m.position(2.0))  # v hits 0 at t = 2
+        assert float(m.position(10.0)) == pytest.approx(x_stall)
+        assert float(m.speed(10.0)) == 0.0
+
+    def test_positive_initial_speed(self):
+        with pytest.raises(ValueError):
+            LinearRamp(initial_speed_mps=0.0)
+
+
+class TestSpeedJitter:
+    def test_monotone_for_small_deviation(self):
+        m = SpeedJitter(base=ConstantSpeed(1.0), relative_deviation=0.2,
+                        wavelength_s=1.0, seed=4)
+        t = np.linspace(0.0, 5.0, 2001)
+        x = m.position(t)
+        assert np.all(np.diff(x) > 0.0)
+
+    def test_deterministic_per_seed(self):
+        a = SpeedJitter(base=ConstantSpeed(1.0), seed=7)
+        b = SpeedJitter(base=ConstantSpeed(1.0), seed=7)
+        t = np.linspace(0.0, 3.0, 100)
+        assert np.allclose(a.position(t), b.position(t))
+
+    def test_deviation_bounds(self):
+        with pytest.raises(ValueError):
+            SpeedJitter(base=ConstantSpeed(1.0), relative_deviation=0.95)
+
+
+class TestTimeToReach:
+    def test_constant_speed(self):
+        m = ConstantSpeed(2.0, start_position_m=0.0)
+        assert time_to_reach(m, 4.0) == pytest.approx(2.0, abs=1e-6)
+
+    def test_already_there(self):
+        m = ConstantSpeed(1.0, start_position_m=5.0)
+        assert time_to_reach(m, 4.0) == 0.0
+
+    def test_unreachable(self):
+        m = ConstantSpeed(0.001)
+        with pytest.raises(ValueError):
+            time_to_reach(m, 100.0, t_max_s=10.0)
+
+    def test_piecewise(self):
+        m = PiecewiseConstantSpeed(breakpoints_m=[1.0],
+                                   speeds_mps=[1.0, 2.0])
+        assert time_to_reach(m, 3.0) == pytest.approx(2.0, abs=1e-6)

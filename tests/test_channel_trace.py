@@ -1,0 +1,102 @@
+"""Tests for repro.channel.trace."""
+
+import numpy as np
+import pytest
+
+from repro.channel.trace import SignalTrace
+
+
+def make_trace(samples=None, fs=100.0, t0=0.0):
+    if samples is None:
+        samples = np.arange(10, dtype=float)
+    return SignalTrace(np.asarray(samples, dtype=float), fs, t0)
+
+
+class TestBasics:
+    def test_duration(self):
+        assert make_trace(np.zeros(200), fs=100.0).duration_s == pytest.approx(2.0)
+
+    def test_times(self):
+        tr = make_trace(np.zeros(3), fs=10.0, t0=1.0)
+        assert np.allclose(tr.times(), [1.0, 1.1, 1.2])
+
+    def test_len(self):
+        assert len(make_trace(np.zeros(7))) == 7
+
+    def test_non_1d_rejected(self):
+        with pytest.raises(ValueError):
+            SignalTrace(np.zeros((3, 3)), 10.0)
+
+    def test_bad_rate(self):
+        with pytest.raises(ValueError):
+            SignalTrace(np.zeros(5), 0.0)
+
+
+class TestNormalization:
+    def test_unit_interval(self):
+        tr = make_trace([2.0, 6.0, 4.0]).normalized()
+        assert tr.samples.min() == 0.0
+        assert tr.samples.max() == 1.0
+
+    def test_constant_maps_to_zero(self):
+        tr = make_trace([5.0, 5.0, 5.0]).normalized()
+        assert np.all(tr.samples == 0.0)
+
+    def test_metadata_flag(self):
+        assert make_trace().normalized().meta.get("normalized") is True
+
+    def test_original_untouched(self):
+        tr = make_trace([2.0, 6.0])
+        tr.normalized()
+        assert tr.samples.max() == 6.0
+
+
+class TestSlicing:
+    def test_slice_time(self):
+        tr = make_trace(np.arange(100), fs=10.0)
+        sub = tr.slice_time(2.0, 4.0)
+        assert sub.start_time_s == pytest.approx(2.0)
+        assert sub.samples[0] == 20.0
+
+    def test_empty_window_rejected(self):
+        tr = make_trace(np.arange(100), fs=10.0)
+        with pytest.raises(ValueError):
+            tr.slice_time(50.0, 60.0)
+        with pytest.raises(ValueError):
+            tr.slice_time(3.0, 3.0)
+
+    def test_slice_is_copy(self):
+        tr = make_trace(np.arange(100), fs=10.0)
+        sub = tr.slice_time(0.0, 1.0)
+        sub.samples[0] = 999.0
+        assert tr.samples[0] == 0.0
+
+
+class TestResample:
+    def test_length_scales(self):
+        tr = make_trace(np.sin(np.linspace(0, 6, 300)), fs=100.0)
+        up = tr.resampled(200.0)
+        assert len(up) == pytest.approx(600, abs=2)
+
+    def test_preserves_shape(self):
+        t = np.linspace(0.0, 1.0, 101)
+        tr = SignalTrace(np.sin(2 * np.pi * 2 * t), 100.0)
+        down = tr.resampled(50.0)
+        t2 = down.times()
+        assert np.allclose(down.samples, np.sin(2 * np.pi * 2 * t2),
+                           atol=0.01)
+
+    def test_bad_rate(self):
+        with pytest.raises(ValueError):
+            make_trace().resampled(0.0)
+
+
+class TestStats:
+    def test_swing(self):
+        assert make_trace([1.0, 5.0, 3.0]).swing() == pytest.approx(4.0)
+
+    def test_mean(self):
+        assert make_trace([1.0, 3.0]).mean() == pytest.approx(2.0)
+
+    def test_describe_contains_rate(self):
+        assert "100" in make_trace().describe()

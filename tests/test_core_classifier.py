@@ -1,0 +1,116 @@
+"""Tests for repro.core.classifier (DTW fallback, Section 4.2)."""
+
+import numpy as np
+import pytest
+
+from repro.channel.mobility import speed_doubling_profile
+from repro.channel.simulator import ChannelSimulator, SimulatorConfig
+from repro.core.classifier import DtwClassifier
+from repro.core.errors import ClassificationError
+from repro.tags.packet import Packet
+
+from .conftest import build_indoor_scene
+from .test_core_decoder import synthetic_packet_trace
+
+
+class TestTemplates:
+    def test_add_and_list(self):
+        clf = DtwClassifier()
+        clf.add_template("00", synthetic_packet_trace("HLHLHLHL"))
+        assert len(clf.templates) == 1
+        assert clf.templates[0].label == "00"
+
+    def test_multiple_exemplars_allowed(self):
+        clf = DtwClassifier()
+        clf.add_template("00", synthetic_packet_trace("HLHLHLHL", seed=1,
+                                                      noise=2.0))
+        clf.add_template("00", synthetic_packet_trace("HLHLHLHL", seed=2,
+                                                      noise=2.0))
+        assert len(clf.templates) == 2
+
+    def test_empty_label_rejected(self):
+        with pytest.raises(ValueError):
+            DtwClassifier().add_template("", synthetic_packet_trace("HLHL"))
+
+    def test_template_conditioned(self):
+        clf = DtwClassifier(resample_points=64)
+        t = clf.add_template("x", synthetic_packet_trace("HLHLHLHL"))
+        assert len(t.samples) == 64
+        assert t.samples.min() >= 0.0
+        assert t.samples.max() <= 1.0
+
+    def test_too_few_points_rejected(self):
+        with pytest.raises(ValueError):
+            DtwClassifier(resample_points=4)
+
+
+class TestClassification:
+    def _trained(self):
+        clf = DtwClassifier()
+        clf.add_template("00", synthetic_packet_trace("HLHLHLHL"))
+        clf.add_template("10", synthetic_packet_trace("HLHLLHHL"))
+        return clf
+
+    def test_classifies_clean_copy(self):
+        clf = self._trained()
+        query = synthetic_packet_trace("HLHLLHHL", noise=3.0, seed=5)
+        result = clf.classify(query)
+        assert result.label == "10"
+
+    def test_classifies_speed_distorted(self):
+        """Slowed/accelerated copies still match their own template."""
+        clf = self._trained()
+        query = synthetic_packet_trace("HLHLLHHL", symbol_duration_s=0.6)
+        assert clf.classify(query).label == "10"
+
+    def test_distances_reported_per_label(self):
+        clf = self._trained()
+        result = clf.classify(synthetic_packet_trace("HLHLHLHL"))
+        assert set(result.distances) == {"00", "10"}
+        assert result.distances["00"] < result.distances["10"]
+
+    def test_margin_above_one(self):
+        clf = self._trained()
+        result = clf.classify(synthetic_packet_trace("HLHLHLHL"))
+        assert result.margin >= 1.0
+
+    def test_single_template_infinite_margin(self):
+        clf = DtwClassifier()
+        clf.add_template("00", synthetic_packet_trace("HLHLHLHL"))
+        result = clf.classify(synthetic_packet_trace("HLHLHLHL"))
+        assert result.margin == float("inf")
+        assert result.confident
+
+    def test_no_templates_raises(self):
+        with pytest.raises(ClassificationError):
+            DtwClassifier().classify(synthetic_packet_trace("HLHL"))
+
+    def test_amplitude_invariance(self):
+        clf = self._trained()
+        base = synthetic_packet_trace("HLHLLHHL")
+        scaled_samples = base.samples * 10.0 + 500.0
+        from repro.channel.trace import SignalTrace
+        scaled = SignalTrace(scaled_samples, base.sample_rate_hz)
+        assert clf.classify(scaled).label == "10"
+
+
+class TestFig8EndToEnd:
+    def test_variable_speed_classified(self, indoor_receiver):
+        """The full Fig. 8 pipeline through the channel simulator."""
+        clf = DtwClassifier()
+        cfg = SimulatorConfig(sample_rate_hz=500.0, seed=6)
+        for bits in ("00", "10"):
+            scene = build_indoor_scene(bits=bits)
+            trace = ChannelSimulator(scene, indoor_receiver, cfg).capture_pass()
+            clf.add_template(bits, trace)
+
+        packet = Packet.from_bitstring("10", symbol_width_m=0.03)
+        scene = build_indoor_scene(bits="10")
+        scene.objects[0].motion = speed_doubling_profile(
+            packet.length_m, 0.08, -0.3)
+        distorted = ChannelSimulator(
+            scene, indoor_receiver,
+            SimulatorConfig(sample_rate_hz=500.0, seed=9)).capture_pass()
+        result = clf.classify(distorted)
+        assert result.label == "10"
+        assert result.distances["10"] < result.distances["00"]

@@ -1,0 +1,78 @@
+"""Tests for repro.core.collision (Section 4.3)."""
+
+import numpy as np
+import pytest
+
+from repro.channel.trace import SignalTrace
+from repro.core.collision import CollisionAnalyzer, CollisionReport
+
+from .test_core_decoder import synthetic_packet_trace
+
+
+def two_tone_trace(f1=1.0, f2=2.0, a1=1.0, a2=1.0, fs=500.0, duration=6.0):
+    t = np.arange(int(fs * duration)) / fs
+    x = 100.0 + 30.0 * (a1 * np.sin(2 * np.pi * f1 * t)
+                        + a2 * np.sin(2 * np.pi * f2 * t))
+    return SignalTrace(x, fs)
+
+
+class TestSpectrumPeaks:
+    def test_two_components_detected(self):
+        analyzer = CollisionAnalyzer(min_separation_hz=0.7)
+        freqs = analyzer.spectrum_peaks(two_tone_trace())
+        assert len(freqs) == 2
+        assert sorted(round(f) for f in freqs) == [1, 2]
+
+    def test_single_component(self):
+        analyzer = CollisionAnalyzer()
+        freqs = analyzer.spectrum_peaks(two_tone_trace(a2=0.0))
+        assert len(freqs) == 1
+        assert freqs[0] == pytest.approx(1.0, abs=0.1)
+
+    def test_band_limits_respected(self):
+        analyzer = CollisionAnalyzer(f_band_hz=(1.5, 12.0))
+        freqs = analyzer.spectrum_peaks(two_tone_trace())
+        assert all(f >= 1.5 for f in freqs)
+
+
+class TestAnalyze:
+    def test_clean_packet_decodable_single_component(self):
+        analyzer = CollisionAnalyzer()
+        trace = synthetic_packet_trace("HLHLHLHL", symbol_duration_s=0.4)
+        report = analyzer.analyze(trace, n_data_symbols=4)
+        assert report.time_domain_decodable
+        assert not report.collision_detected
+
+    def test_expected_bits_gate(self):
+        analyzer = CollisionAnalyzer()
+        trace = synthetic_packet_trace("HLHLHLHL")
+        ok = analyzer.analyze(trace, n_data_symbols=4, expected_bits="00")
+        assert ok.time_domain_decodable
+        wrong = analyzer.analyze(trace, n_data_symbols=4, expected_bits="11")
+        assert not wrong.time_domain_decodable
+
+    def test_undecodable_mixture_still_reports_components(self):
+        analyzer = CollisionAnalyzer(min_separation_hz=0.7)
+        report = analyzer.analyze(two_tone_trace())
+        assert report.collision_detected
+        assert report.n_components == 2
+
+    def test_summary_format(self):
+        analyzer = CollisionAnalyzer()
+        report = analyzer.analyze(two_tone_trace())
+        text = report.summary()
+        assert "component" in text
+        assert "Hz" in text
+
+
+class TestValidation:
+    def test_band_ordering(self):
+        with pytest.raises(ValueError):
+            CollisionAnalyzer(f_band_hz=(5.0, 1.0))
+
+    def test_report_counts(self):
+        report = CollisionReport(time_domain_decodable=False,
+                                 decode_result=None,
+                                 detected_frequencies_hz=[1.0, 2.0, 3.0])
+        assert report.n_components == 3
+        assert report.collision_detected

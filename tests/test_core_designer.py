@@ -1,0 +1,159 @@
+"""Tests for repro.core.designer (the Section 4.1 designer questions)."""
+
+import pytest
+
+from repro.core.designer import TagDesigner
+from repro.core.decoder import AdaptiveThresholdDecoder
+from repro.core.errors import DecodeError, PreambleNotFoundError
+from repro.channel.mobility import ConstantSpeed
+from repro.channel.scene import MovingObject, PassiveScene
+from repro.channel.simulator import ChannelSimulator, SimulatorConfig
+from repro.hardware.frontend import FovCap, ReceiverFrontEnd
+from repro.hardware.led_receiver import LedReceiver
+from repro.hardware.photodiode import PdGain, Photodiode
+from repro.optics.geometry import Vec3
+from repro.optics.materials import TARMAC
+from repro.optics.sources import LedLamp, Sun
+from repro.tags.packet import Packet
+from repro.tags.surface import TagSurface
+
+
+def outdoor_designer(lux=6200.0, height=0.75):
+    return TagDesigner(
+        source=Sun(ground_lux=lux),
+        frontend=ReceiverFrontEnd(detector=LedReceiver.red_5mm()),
+        receiver_height_m=height)
+
+
+def indoor_designer(height=0.2):
+    return TagDesigner(
+        source=LedLamp(position=Vec3(0.12, 0.0, height),
+                       luminous_intensity=2.0),
+        frontend=ReceiverFrontEnd(detector=Photodiode.opt101(gain=PdGain.G1),
+                                  cap=FovCap.paper_cap()),
+        receiver_height_m=height)
+
+
+class TestConstraints:
+    def test_min_width_grows_with_height(self):
+        """Blur scales with height, so recommended strips must widen."""
+        low = outdoor_designer(height=0.25).min_symbol_width_m()
+        high = outdoor_designer(height=1.0).min_symbol_width_m()
+        assert high > 2 * low
+
+    def test_narrow_fov_allows_narrower_strips(self):
+        led = outdoor_designer(height=0.25)
+        pd = TagDesigner(
+            source=Sun(ground_lux=6200.0),
+            frontend=ReceiverFrontEnd(detector=Photodiode.opt101()),
+            receiver_height_m=0.25)
+        assert led.min_symbol_width_m() < pd.min_symbol_width_m()
+
+    def test_contrast_falls_with_ambient(self):
+        bright, _ = outdoor_designer(lux=6200.0).contrast_analysis()
+        dim, _ = outdoor_designer(lux=100.0).contrast_analysis()
+        assert bright > dim
+
+    def test_saturating_receiver_flagged(self):
+        designer = TagDesigner(
+            source=Sun(ground_lux=6200.0),
+            frontend=ReceiverFrontEnd(
+                detector=Photodiode.opt101(gain=PdGain.G2)),
+            receiver_height_m=0.75)
+        _, headroom = designer.contrast_analysis()
+        assert headroom < 1.0
+
+    def test_positive_height_required(self):
+        with pytest.raises(ValueError):
+            TagDesigner(source=Sun(),
+                        frontend=ReceiverFrontEnd(
+                            detector=LedReceiver.red_5mm()),
+                        receiver_height_m=0.0)
+
+
+class TestDesign:
+    def test_car_roof_design_feasible(self):
+        """The paper's own deployment must come out feasible."""
+        design = outdoor_designer().design(object_length_m=1.4,
+                                           speed_mps=5.0)
+        assert design.feasible
+        assert design.max_payload_bits >= 2
+        assert design.symbol_rate_sps > 10.0
+        assert design.packet is not None
+
+    def test_bit_rate_is_half_symbol_rate(self):
+        design = outdoor_designer().design(1.4, 5.0)
+        assert design.bit_rate_bps == pytest.approx(
+            design.symbol_rate_sps / 2.0)
+
+    def test_too_short_object_infeasible(self):
+        design = outdoor_designer().design(object_length_m=0.2,
+                                           speed_mps=5.0)
+        assert not design.feasible
+        assert design.max_payload_bits == 0
+        assert design.packet is None
+        assert any("too short" in n for n in design.notes)
+
+    def test_excessive_speed_noted(self):
+        design = outdoor_designer().design(1.4, speed_mps=500.0)
+        assert not design.feasible
+        assert any("speed" in n for n in design.notes)
+
+    def test_dim_site_infeasible(self):
+        design = outdoor_designer(lux=50.0, height=0.25).design(1.4, 5.0)
+        assert not design.feasible
+        assert any("contrast" in n for n in design.notes)
+
+    def test_codebook_attached(self):
+        design = outdoor_designer().design(1.4, 5.0, n_codes_needed=4)
+        assert design.codebook is not None
+        assert design.codebook.size == 4
+        assert design.codebook.min_distance >= 1
+
+    def test_codebook_capped_by_payload(self):
+        design = outdoor_designer().design(0.9, 5.0, n_codes_needed=1000)
+        assert design.codebook is not None
+        assert design.codebook.size <= 2**design.max_payload_bits
+        assert any("codes" in n for n in design.notes)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            outdoor_designer().design(0.0, 5.0)
+        with pytest.raises(ValueError):
+            outdoor_designer().design(1.0, 0.0)
+
+    def test_summary_renders(self):
+        text = outdoor_designer().design(1.4, 5.0).summary()
+        assert "symbol width" in text
+        assert "feasible" in text
+
+
+class TestDesignActuallyDecodes:
+    """The design sheet must survive contact with the simulator."""
+
+    @pytest.mark.parametrize("factory,speed", [
+        (outdoor_designer, 5.0),
+        (indoor_designer, 0.08),
+    ])
+    def test_recommended_width_decodes(self, factory, speed):
+        designer = factory()
+        design = designer.design(object_length_m=1.2, speed_mps=speed)
+        assert design.feasible
+        bits = "10".ljust(min(design.max_payload_bits, 3), "0")
+        packet = Packet.from_bitstring(bits,
+                                       symbol_width_m=design.symbol_width_m)
+        tag = TagSurface.from_packet(packet)
+        scene = PassiveScene(
+            source=designer.source,
+            receiver_height_m=designer.receiver_height_m,
+            ground=TARMAC,
+            objects=[MovingObject(
+                tag, ConstantSpeed(speed, -(1.0 + packet.length_m)),
+                "design-probe")])
+        designer.frontend.seed = 5
+        sim = ChannelSimulator(scene, designer.frontend,
+                               SimulatorConfig(sample_rate_hz=2000.0,
+                                               seed=5))
+        result = AdaptiveThresholdDecoder().decode(
+            sim.capture_pass(), n_data_symbols=2 * len(bits))
+        assert result.bit_string() == bits

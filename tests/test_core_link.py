@@ -1,0 +1,99 @@
+"""Tests for repro.core.link (the high-level API)."""
+
+import pytest
+
+from repro.core.link import PassiveLink
+from repro.hardware.frontend import FovCap, ReceiverFrontEnd
+from repro.hardware.led_receiver import LedReceiver
+from repro.hardware.photodiode import PdGain, Photodiode
+from repro.optics.geometry import Vec3
+from repro.optics.materials import TARMAC
+from repro.optics.sources import LedLamp, Sun
+from repro.tags.packet import Packet
+
+
+def indoor_link():
+    return PassiveLink(
+        source=LedLamp(position=Vec3(0.12, 0.0, 0.2),
+                       luminous_intensity=2.0),
+        frontend=ReceiverFrontEnd(detector=Photodiode.opt101(gain=PdGain.G1),
+                                  cap=FovCap.paper_cap(), seed=3),
+        receiver_height_m=0.2,
+        sample_rate_hz=500.0,
+        seed=3,
+    )
+
+
+def outdoor_link(lux=6200.0, height=0.75):
+    return PassiveLink(
+        source=Sun(ground_lux=lux),
+        frontend=ReceiverFrontEnd(detector=LedReceiver.red_5mm(), seed=3),
+        receiver_height_m=height,
+        ground=TARMAC,
+        seed=3,
+    )
+
+
+class TestTransmit:
+    def test_indoor_round_trip(self):
+        report = indoor_link().transmit("10", speed_mps=0.08)
+        assert report.success
+        assert report.decoded_bits == "10"
+        assert report.sent_bits == "10"
+
+    def test_outdoor_round_trip(self):
+        packet = Packet.from_bitstring("00", symbol_width_m=0.1)
+        report = outdoor_link().transmit(packet, speed_mps=5.0)
+        assert report.success
+
+    def test_symbol_rate_reported(self):
+        packet = Packet.from_bitstring("00", symbol_width_m=0.1)
+        report = outdoor_link().transmit(packet, speed_mps=5.0)
+        assert report.symbol_rate_sps == pytest.approx(50.0)
+
+    def test_trace_attached(self):
+        report = indoor_link().transmit("00", speed_mps=0.08)
+        assert len(report.trace) > 100
+
+    def test_failure_reported_not_raised(self):
+        """A dead link (starlight-level ambient) reports failure."""
+        report = outdoor_link(lux=2.0, height=1.0).transmit("00",
+                                                            speed_mps=5.0)
+        assert not report.success
+
+    def test_bad_speed(self):
+        with pytest.raises(ValueError):
+            indoor_link().transmit("00", speed_mps=0.0)
+
+
+class TestLinkBudget:
+    def test_contrast_positive(self):
+        budget = indoor_link().link_budget(
+            Packet.from_bitstring("00", symbol_width_m=0.03))
+        assert budget.high_signal_lux > budget.low_signal_lux
+        assert budget.swing_lux > 0.0
+
+    def test_outdoor_budget_feasible(self):
+        budget = outdoor_link().link_budget(
+            Packet.from_bitstring("00", symbol_width_m=0.1))
+        assert budget.feasible()
+        assert budget.saturation_headroom > 1.0
+
+    def test_dim_outdoor_budget_infeasible(self):
+        """The Fig. 15(b) failure shows up in the budget as low SNR."""
+        budget = outdoor_link(lux=100.0, height=0.25).link_budget(
+            Packet.from_bitstring("00", symbol_width_m=0.1))
+        assert not budget.feasible(min_snr=6.0)
+
+    def test_saturating_receiver_flagged(self):
+        link = PassiveLink(
+            source=Sun(ground_lux=6200.0),
+            frontend=ReceiverFrontEnd(
+                detector=Photodiode.opt101(gain=PdGain.G2), seed=1),
+            receiver_height_m=0.75,
+            ground=TARMAC,
+        )
+        budget = link.link_budget(
+            Packet.from_bitstring("00", symbol_width_m=0.1))
+        assert budget.saturation_headroom < 1.0
+        assert not budget.feasible()

@@ -1,0 +1,94 @@
+"""Tests for repro.core.pipeline (the staged receive chain)."""
+
+import numpy as np
+import pytest
+
+from repro.channel.trace import SignalTrace
+from repro.core.classifier import DtwClassifier
+from repro.core.pipeline import PipelineResult, PipelineStage, ReceiverPipeline
+
+from .test_core_collision import two_tone_trace
+from .test_core_decoder import synthetic_packet_trace
+
+
+class TestStageDecoded:
+    def test_clean_packet_decodes(self):
+        pipeline = ReceiverPipeline()
+        result = pipeline.process(synthetic_packet_trace("HLHLLHHL"),
+                                  n_data_symbols=4)
+        assert result.stage is PipelineStage.DECODED
+        assert result.bits == "10"
+        assert result.recovered
+
+    def test_expected_bits_gate(self):
+        pipeline = ReceiverPipeline()
+        result = pipeline.process(synthetic_packet_trace("HLHLLHHL"),
+                                  n_data_symbols=4, expected_bits="11")
+        assert result.stage is not PipelineStage.DECODED
+
+
+class TestStageSaturated:
+    def test_railed_capture_flagged(self):
+        pipeline = ReceiverPipeline()
+        railed = SignalTrace(np.full(1000, 1023.0), 500.0)
+        result = pipeline.process(railed)
+        assert result.stage is PipelineStage.SATURATED
+        assert not result.recovered
+
+    def test_partial_rail_tolerated(self):
+        pipeline = ReceiverPipeline()
+        x = synthetic_packet_trace("HLHLHLHL").samples
+        x[:10] = 1023.0  # brief glint only
+        result = pipeline.process(SignalTrace(x, 200.0), n_data_symbols=4)
+        assert result.stage is not PipelineStage.SATURATED
+
+
+class TestStageClassified:
+    def _pipeline_with_templates(self):
+        clf = DtwClassifier()
+        clf.add_template("00", synthetic_packet_trace("HLHLHLHL"))
+        clf.add_template("10", synthetic_packet_trace("HLHLLHHL"))
+        return ReceiverPipeline(classifier=clf)
+
+    def test_distorted_falls_through_to_dtw(self):
+        pipeline = self._pipeline_with_templates()
+        # Second half compressed 2x: decoding breaks, DTW still matches.
+        base = synthetic_packet_trace("HLHLLHHL").samples
+        n = len(base)
+        distorted = np.concatenate([base[: n // 2], base[n // 2::2]])
+        result = pipeline.process(SignalTrace(distorted, 200.0),
+                                  n_data_symbols=4, expected_bits="10")
+        assert result.stage in (PipelineStage.CLASSIFIED,
+                                PipelineStage.DECODED)
+        assert result.bits == "10"
+
+    def test_classifier_skipped_when_empty(self):
+        pipeline = ReceiverPipeline(classifier=DtwClassifier())
+        result = pipeline.process(two_tone_trace())
+        assert result.classification is None
+
+
+class TestStageCollision:
+    def test_mixture_reports_collision(self):
+        pipeline = ReceiverPipeline()
+        result = pipeline.process(two_tone_trace())
+        assert result.stage is PipelineStage.COLLISION
+        assert result.collision_report is not None
+        assert result.collision_report.n_components == 2
+        assert not result.recovered
+
+
+class TestStageFailed:
+    def test_flat_noise_fails_cleanly(self):
+        pipeline = ReceiverPipeline()
+        rng = np.random.default_rng(0)
+        trace = SignalTrace(rng.normal(100.0, 1.0, 2000), 500.0)
+        result = pipeline.process(trace)
+        assert result.stage is PipelineStage.FAILED
+        assert result.bits == ""
+
+
+class TestValidation:
+    def test_saturation_fraction_bounds(self):
+        with pytest.raises(ValueError):
+            ReceiverPipeline(saturation_fraction=0.2)

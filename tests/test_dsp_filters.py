@@ -1,0 +1,126 @@
+"""Tests for repro.dsp.filters."""
+
+import numpy as np
+import pytest
+
+from repro.dsp.filters import (
+    detrend,
+    lowpass,
+    median_filter,
+    moving_average,
+    notch_ac_ripple,
+)
+
+
+class TestMovingAverage:
+    def test_constant_preserved(self):
+        x = np.full(50, 3.0)
+        assert np.allclose(moving_average(x, 7), 3.0)
+
+    def test_length_preserved(self):
+        x = np.random.default_rng(0).normal(size=101)
+        assert len(moving_average(x, 9)) == 101
+
+    def test_reduces_noise(self):
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=2000)
+        assert np.std(moving_average(x, 21)) < 0.4 * np.std(x)
+
+    def test_window_one_is_identity(self):
+        x = np.arange(10, dtype=float)
+        assert np.array_equal(moving_average(x, 1), x)
+
+    def test_even_window_bumped(self):
+        x = np.arange(20, dtype=float)
+        assert np.allclose(moving_average(x, 4), moving_average(x, 5))
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            moving_average(np.zeros(5), 0)
+
+    def test_empty(self):
+        assert len(moving_average(np.array([]), 3)) == 0
+
+
+class TestDetrend:
+    def test_removes_slow_baseline(self):
+        t = np.linspace(0.0, 1.0, 1000)
+        slow = 5.0 * t
+        fast = np.sin(2 * np.pi * 30 * t)
+        out = detrend(slow + fast, 201)
+        assert abs(np.polyfit(t, out, 1)[0]) < 0.5  # slope mostly gone
+
+    def test_zero_mean_after(self):
+        x = np.linspace(0, 10, 500)
+        out = detrend(x, 51)
+        assert abs(out.mean()) < 0.5
+
+
+class TestLowpass:
+    def test_passes_low_blocks_high(self):
+        fs = 1000.0
+        t = np.arange(2000) / fs
+        x = np.sin(2 * np.pi * 2 * t) + np.sin(2 * np.pi * 200 * t)
+        y = lowpass(x, 20.0, fs)
+        # The 2 Hz component survives; the 200 Hz one dies.
+        assert np.corrcoef(y, np.sin(2 * np.pi * 2 * t))[0, 1] > 0.99
+
+    def test_zero_phase(self):
+        """filtfilt must not delay the signal (symbol timing matters)."""
+        fs = 1000.0
+        t = np.arange(1000) / fs
+        x = np.sin(2 * np.pi * 5 * t)
+        y = lowpass(x, 50.0, fs)
+        lag = np.argmax(np.correlate(y, x, mode="full")) - (len(x) - 1)
+        assert abs(lag) <= 1
+
+    def test_short_input_passthrough(self):
+        x = np.arange(5, dtype=float)
+        assert np.array_equal(lowpass(x, 10.0, 100.0), x)
+
+    def test_cutoff_above_nyquist_passthrough(self):
+        x = np.random.default_rng(0).normal(size=100)
+        assert np.array_equal(lowpass(x, 1000.0, 100.0), x)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            lowpass(np.zeros(100), 0.0, 100.0)
+
+
+class TestNotch:
+    def test_kills_100hz(self):
+        fs = 2000.0
+        t = np.arange(4000) / fs
+        ripple = np.sin(2 * np.pi * 100 * t)
+        symbol = np.sin(2 * np.pi * 1.5 * t)
+        out = notch_ac_ripple(symbol + 0.5 * ripple, fs)
+        residual = out - symbol
+        assert np.std(residual) < 0.15 * np.std(0.5 * ripple)
+
+    def test_preserves_symbol_band(self):
+        fs = 2000.0
+        t = np.arange(4000) / fs
+        symbol = np.sin(2 * np.pi * 1.5 * t)
+        out = notch_ac_ripple(symbol, fs)
+        assert np.corrcoef(out, symbol)[0, 1] > 0.999
+
+    def test_passthrough_when_ripple_above_nyquist(self):
+        x = np.random.default_rng(0).normal(size=200)
+        assert np.array_equal(notch_ac_ripple(x, 150.0, ripple_hz=100.0), x)
+
+
+class TestMedian:
+    def test_removes_impulses(self):
+        x = np.ones(100)
+        x[50] = 100.0
+        out = median_filter(x, 5)
+        assert out[50] == pytest.approx(1.0)
+
+    def test_preserves_steps(self):
+        x = np.concatenate([np.zeros(50), np.ones(50)])
+        out = median_filter(x, 5)
+        assert np.array_equal(np.unique(out), [0.0, 1.0])
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            median_filter(np.zeros(5), 0)

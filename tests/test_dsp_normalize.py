@@ -1,0 +1,64 @@
+"""Tests for repro.dsp.normalize."""
+
+import numpy as np
+import pytest
+
+from repro.dsp.normalize import (
+    min_max_normalize,
+    resample_to_length,
+    z_normalize,
+)
+
+
+class TestMinMax:
+    def test_unit_range(self):
+        out = min_max_normalize(np.array([3.0, 7.0, 5.0]))
+        assert out.min() == 0.0
+        assert out.max() == 1.0
+
+    def test_constant_to_zeros(self):
+        assert np.all(min_max_normalize(np.full(5, 9.0)) == 0.0)
+
+    def test_empty(self):
+        assert len(min_max_normalize(np.array([]))) == 0
+
+    def test_order_preserved(self):
+        x = np.array([1.0, 5.0, 3.0])
+        out = min_max_normalize(x)
+        assert np.array_equal(np.argsort(out), np.argsort(x))
+
+
+class TestZNormalize:
+    def test_zero_mean_unit_std(self):
+        rng = np.random.default_rng(0)
+        out = z_normalize(rng.normal(5.0, 3.0, 1000))
+        assert abs(out.mean()) < 1e-12
+        assert out.std() == pytest.approx(1.0)
+
+    def test_constant_to_zeros(self):
+        assert np.all(z_normalize(np.full(5, 2.0)) == 0.0)
+
+
+class TestResample:
+    def test_exact_length(self):
+        out = resample_to_length(np.arange(10, dtype=float), 25)
+        assert len(out) == 25
+
+    def test_endpoints_preserved(self):
+        x = np.array([2.0, 4.0, 8.0])
+        out = resample_to_length(x, 7)
+        assert out[0] == 2.0
+        assert out[-1] == 8.0
+
+    def test_linear_exact_on_line(self):
+        x = np.linspace(0.0, 1.0, 11)
+        out = resample_to_length(x, 101)
+        assert np.allclose(out, np.linspace(0.0, 1.0, 101))
+
+    def test_invalid_target(self):
+        with pytest.raises(ValueError):
+            resample_to_length(np.arange(5, dtype=float), 1)
+
+    def test_short_input(self):
+        with pytest.raises(ValueError):
+            resample_to_length(np.array([1.0]), 10)

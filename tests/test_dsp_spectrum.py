@@ -1,0 +1,103 @@
+"""Tests for repro.dsp.spectrum (the FFT collision tooling)."""
+
+import numpy as np
+import pytest
+
+from repro.dsp.spectrum import (
+    PowerSpectrum,
+    dominant_frequencies,
+    power_spectrum,
+    symbol_fundamental_hz,
+)
+
+
+def tone(freq, fs=500.0, duration=8.0, amplitude=1.0):
+    t = np.arange(int(fs * duration)) / fs
+    return amplitude * np.sin(2 * np.pi * freq * t)
+
+
+class TestSymbolFundamental:
+    def test_paper_outdoor_case(self):
+        """10 cm symbols at 5 m/s alternate at 25 Hz."""
+        assert symbol_fundamental_hz(0.1, 5.0) == pytest.approx(25.0)
+
+    def test_indoor_case(self):
+        assert symbol_fundamental_hz(0.03, 0.08) == pytest.approx(4.0 / 3.0)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            symbol_fundamental_hz(0.0, 1.0)
+
+
+class TestPowerSpectrum:
+    def test_single_tone_peak(self):
+        spec = power_spectrum(tone(3.0), 500.0)
+        assert spec.band(1.0, 10.0).peak_frequency() == pytest.approx(3.0,
+                                                                      abs=0.1)
+
+    def test_two_tones_resolved(self):
+        x = tone(2.0) + 0.8 * tone(6.0)
+        spec = power_spectrum(x, 500.0)
+        freqs = dominant_frequencies(spec.band(0.5, 20.0), max_peaks=2,
+                                     min_relative_height=0.3)
+        assert len(freqs) == 2
+        assert sorted(round(f) for f in freqs) == [2, 6]
+
+    def test_detrending_removes_dc_drift(self):
+        t = np.arange(4000) / 500.0
+        x = 5.0 * t + tone(4.0)
+        spec = power_spectrum(x, 500.0, detrend_window_s=1.0)
+        assert spec.band(1.0, 10.0).peak_frequency() == pytest.approx(4.0,
+                                                                      abs=0.15)
+
+    def test_short_input_rejected(self):
+        with pytest.raises(ValueError):
+            power_spectrum(np.zeros(4), 100.0)
+
+    def test_band_validation(self):
+        spec = power_spectrum(tone(2.0), 500.0)
+        with pytest.raises(ValueError):
+            spec.band(5.0, 1.0)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            PowerSpectrum(np.zeros(4), np.zeros(5))
+
+
+class TestDominantFrequencies:
+    def test_strongest_first(self):
+        x = 0.5 * tone(2.0) + 1.0 * tone(7.0)
+        spec = power_spectrum(x, 500.0)
+        freqs = dominant_frequencies(spec.band(0.5, 20.0),
+                                     min_relative_height=0.3)
+        assert freqs[0] == pytest.approx(7.0, abs=0.2)
+
+    def test_weak_peaks_suppressed(self):
+        x = tone(3.0) + 0.05 * tone(9.0)
+        spec = power_spectrum(x, 500.0)
+        freqs = dominant_frequencies(spec.band(0.5, 20.0),
+                                     min_relative_height=0.35)
+        assert len(freqs) == 1
+
+    def test_close_peaks_merged(self):
+        x = tone(3.0) + tone(3.3)
+        spec = power_spectrum(x, 500.0)
+        freqs = dominant_frequencies(spec.band(0.5, 20.0),
+                                     min_separation_hz=0.8)
+        assert len(freqs) == 1
+
+    def test_max_peaks_cap(self):
+        x = sum(tone(f) for f in (2.0, 4.0, 6.0, 8.0, 10.0))
+        spec = power_spectrum(x, 500.0)
+        freqs = dominant_frequencies(spec.band(0.5, 20.0), max_peaks=3,
+                                     min_relative_height=0.2)
+        assert len(freqs) <= 3
+
+    def test_empty_spectrum(self):
+        spec = PowerSpectrum(np.array([0.0, 1.0]), np.array([0.0, 0.0]))
+        assert dominant_frequencies(spec) == []
+
+    def test_invalid_max_peaks(self):
+        spec = power_spectrum(tone(2.0), 500.0)
+        with pytest.raises(ValueError):
+            dominant_frequencies(spec, max_peaks=0)

@@ -1,0 +1,79 @@
+"""Tests for repro.hardware.adc (MCP3008 model)."""
+
+import numpy as np
+import pytest
+
+from repro.hardware.adc import Adc
+
+
+class TestMcp3008:
+    def test_ten_bits(self):
+        adc = Adc.mcp3008()
+        assert adc.bits == 10
+        assert adc.max_code == 1023
+
+    def test_outdoor_rate(self):
+        assert Adc.mcp3008(sample_rate_hz=2000.0).sample_rate_hz == 2000.0
+
+
+class TestConversion:
+    def test_full_scale(self):
+        adc = Adc.mcp3008()
+        assert adc.convert(np.array([1.0]))[0] == 1023
+
+    def test_zero(self):
+        adc = Adc.mcp3008()
+        assert adc.convert(np.array([0.0]))[0] == 0
+
+    def test_clipping(self):
+        adc = Adc.mcp3008()
+        codes = adc.convert(np.array([-0.5, 2.0]))
+        assert codes[0] == 0
+        assert codes[1] == 1023
+
+    def test_monotone(self):
+        adc = Adc.mcp3008()
+        v = np.linspace(0.0, 1.0, 5000)
+        codes = adc.convert(v)
+        assert np.all(np.diff(codes) >= 0)
+
+    def test_quantisation_error_bounded(self):
+        adc = Adc.mcp3008()
+        rng = np.random.default_rng(3)
+        v = rng.uniform(0.0, 1.0, 1000)
+        recovered = adc.to_volts(adc.convert(v))
+        assert float(np.abs(recovered - v).max()) <= adc.lsb / 2 + 1e-12
+
+    def test_dtype_integer(self):
+        adc = Adc.mcp3008()
+        assert adc.convert(np.array([0.3])).dtype == np.int32
+
+
+class TestToVolts:
+    def test_round_trip_codes(self):
+        adc = Adc.mcp3008()
+        codes = np.array([0, 100, 512, 1023])
+        assert np.array_equal(adc.convert(adc.to_volts(codes)), codes)
+
+    def test_out_of_range_codes_rejected(self):
+        adc = Adc.mcp3008()
+        with pytest.raises(ValueError):
+            adc.to_volts(np.array([-1]))
+        with pytest.raises(ValueError):
+            adc.to_volts(np.array([1024]))
+
+
+class TestValidation:
+    def test_bits_bounds(self):
+        with pytest.raises(ValueError):
+            Adc(bits=0)
+        with pytest.raises(ValueError):
+            Adc(bits=25)
+
+    def test_positive_reference(self):
+        with pytest.raises(ValueError):
+            Adc(v_ref_fullscale=0.0)
+
+    def test_positive_rate(self):
+        with pytest.raises(ValueError):
+            Adc(sample_rate_hz=-1.0)

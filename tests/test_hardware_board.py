@@ -1,0 +1,45 @@
+"""Tests for repro.hardware.board (the two-receiver evaluation board)."""
+
+import pytest
+
+from repro.hardware.board import EvaluationBoard, ReceiverKind
+from repro.hardware.frontend import FovCap
+from repro.hardware.photodiode import PdGain
+
+
+class TestBoard:
+    def test_both_receivers_available(self):
+        board = EvaluationBoard()
+        pd = board.frontend(ReceiverKind.PHOTODIODE)
+        led = board.frontend(ReceiverKind.RX_LED)
+        assert "OPT101" in pd.detector.name
+        assert "RX-LED" in led.detector.name
+
+    def test_shared_adc(self):
+        board = EvaluationBoard(sample_rate_hz=2000.0)
+        pd = board.photodiode_frontend()
+        led = board.led_frontend()
+        assert pd.adc is led.adc
+        assert pd.adc.sample_rate_hz == 2000.0
+
+    def test_gain_override(self):
+        board = EvaluationBoard(pd_gain=PdGain.G1)
+        fe = board.photodiode_frontend(gain=PdGain.G3)
+        assert fe.detector.saturation_lux == 5000.0
+
+    def test_board_cap_kept_by_default(self):
+        board = EvaluationBoard(pd_cap=FovCap.paper_cap())
+        assert board.photodiode_frontend().cap is not None
+        assert board.photodiode_frontend(cap=None).cap is None
+
+    def test_led_never_capped(self):
+        board = EvaluationBoard(pd_cap=FovCap.paper_cap())
+        assert board.led_frontend().cap is None
+
+    def test_all_frontends_cover_fig11_rows(self):
+        board = EvaluationBoard()
+        frontends = board.all_frontends()
+        assert set(frontends) == {"PD-G1", "PD-G2", "PD-G3", "RX-LED"}
+        saturations = [fe.detector.saturation_lux
+                       for fe in frontends.values()]
+        assert sorted(saturations) == [450.0, 1200.0, 5000.0, 35000.0]

@@ -1,0 +1,95 @@
+"""Tests for repro.hardware.energy (the sustainability argument)."""
+
+import pytest
+
+from repro.hardware.energy import (
+    CAMERA_POWER_W,
+    OPT101_POWER_W,
+    PowerBudget,
+    SolarPanel,
+    autonomy,
+    camera_receiver_budget,
+    photodiode_receiver_budget,
+)
+
+
+class TestPaperNumbers:
+    def test_opt101_quote(self):
+        """'1.5 mW (power consumption of the photodiode...)'"""
+        assert OPT101_POWER_W == pytest.approx(1.5e-3)
+
+    def test_camera_quote(self):
+        """'upwards of 1000 mW'"""
+        assert CAMERA_POWER_W >= 1.0
+
+    def test_orders_of_magnitude_gap(self):
+        """'cameras consume orders of magnitude more energy'"""
+        box = photodiode_receiver_budget()
+        camera = camera_receiver_budget()
+        assert camera.total_w > 100 * box.total_w
+
+
+class TestPowerBudget:
+    def test_total_sums_components(self):
+        budget = PowerBudget("x", 1e-3, 2e-3, 3e-3, 4e-3)
+        assert budget.total_w == pytest.approx(10e-3)
+
+    def test_daily_energy(self):
+        budget = PowerBudget("x", 1e-3, 0.0, 0.0, 0.0)
+        assert budget.daily_energy_j() == pytest.approx(86.4)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            PowerBudget("x", -1e-3, 0.0, 0.0, 0.0)
+
+    def test_rx_led_cheaper_than_pd(self):
+        led = photodiode_receiver_budget(use_rx_led=True)
+        pd = photodiode_receiver_budget(use_rx_led=False)
+        assert led.total_w < pd.total_w
+
+    def test_duty_cycling_scales(self):
+        full = photodiode_receiver_budget(duty_cycle=1.0)
+        tenth = photodiode_receiver_budget(duty_cycle=0.1)
+        assert tenth.total_w == pytest.approx(full.total_w / 10.0)
+
+    def test_duty_cycle_bounds(self):
+        with pytest.raises(ValueError):
+            photodiode_receiver_budget(duty_cycle=0.0)
+
+
+class TestSolarPanel:
+    def test_harvest_scales_with_light(self):
+        panel = SolarPanel()
+        assert panel.harvest_w(10_000.0) == pytest.approx(
+            10.0 * panel.harvest_w(1_000.0))
+
+    def test_zero_light_zero_harvest(self):
+        assert SolarPanel().harvest_w(0.0) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SolarPanel(area_m2=0.0)
+        with pytest.raises(ValueError):
+            SolarPanel(efficiency=0.9)
+        with pytest.raises(ValueError):
+            SolarPanel().harvest_w(-1.0)
+
+
+class TestAutonomy:
+    def test_paper_claim_outdoors(self):
+        """A credit-card panel powers the tiny box under daylight."""
+        report = autonomy(photodiode_receiver_budget(), 6200.0)
+        assert report.autonomous
+        assert report.margin > 1.5
+
+    def test_camera_never_autonomous_on_credit_card(self):
+        report = autonomy(camera_receiver_budget(), 10_000.0)
+        assert not report.autonomous
+
+    def test_dim_indoor_needs_duty_cycling(self):
+        """At office light a continuously-on box struggles; a 10 %
+        duty cycle rescues it."""
+        always_on = autonomy(photodiode_receiver_budget(), 450.0)
+        cycled = autonomy(photodiode_receiver_budget(duty_cycle=0.1), 450.0)
+        assert cycled.margin > always_on.margin
+        assert cycled.autonomous

@@ -1,0 +1,64 @@
+"""Tests for repro.hardware.led_receiver (the Fig. 11 LED row)."""
+
+import pytest
+
+from repro.hardware.led_receiver import (
+    RX_LED_FOV_DEG,
+    RX_LED_RELATIVE_SENSITIVITY,
+    RX_LED_SATURATION_LUX,
+    LedReceiver,
+)
+from repro.hardware.photodiode import OPT101_FOV_DEG, Photodiode, PdGain
+
+
+class TestFig11Row:
+    def test_saturation(self):
+        assert LedReceiver.red_5mm().saturation_lux == 35_000.0
+
+    def test_sensitivity(self):
+        assert LedReceiver.red_5mm().relative_sensitivity == 0.013
+
+    def test_constants_match(self):
+        led = LedReceiver.red_5mm()
+        assert led.saturation_lux == RX_LED_SATURATION_LUX
+        assert led.relative_sensitivity == RX_LED_RELATIVE_SENSITIVITY
+
+
+class TestKeyProperties:
+    """Section 4.4: 'narrow FoV and narrow optical bandwidth'."""
+
+    def test_fov_much_narrower_than_pd(self):
+        assert RX_LED_FOV_DEG < OPT101_FOV_DEG / 4.0
+
+    def test_less_sensitive_than_every_pd_gain(self):
+        led = LedReceiver.red_5mm()
+        for gain in PdGain:
+            pd = Photodiode.opt101(gain=gain)
+            assert led.slope_per_lux < pd.slope_per_lux
+
+    def test_higher_saturation_than_every_pd_gain(self):
+        led = LedReceiver.red_5mm()
+        for gain in PdGain:
+            assert led.saturation_lux > gain.saturation_lux
+
+    def test_daylight_headroom(self):
+        """The RX-LED must survive >10 klux outdoor noise floors."""
+        led = LedReceiver.red_5mm()
+        assert not led.is_saturated_by(10_000.0)
+        assert led.is_saturated_by(35_000.0)
+
+    def test_spectral_fraction_bounds(self):
+        led = LedReceiver.red_5mm()
+        assert 0.0 < led.spectral_fraction <= 1.0
+
+
+class TestPhotovoltaicMode:
+    def test_photovoltaic_quieter(self):
+        """Photovoltaic mode minimises dark current (the paper's choice)."""
+        pv = LedReceiver.red_5mm(photovoltaic=True)
+        pc = LedReceiver.red_5mm(photovoltaic=False)
+        assert pv.noise_rms_fullscale < pc.noise_rms_fullscale
+
+    def test_mode_tagged_in_name(self):
+        assert "photoconductive" in LedReceiver.red_5mm(
+            photovoltaic=False).name

@@ -1,0 +1,108 @@
+"""Tests for repro.hardware.photodiode (the Fig. 11 PD rows)."""
+
+import numpy as np
+import pytest
+
+from repro.hardware.photodiode import (
+    OPT101_FOV_DEG,
+    OpticalDetector,
+    PdGain,
+    Photodiode,
+    normalized_sensitivity,
+)
+from repro.optics.geometry import FieldOfView
+
+
+class TestPdGainTable:
+    """The gain enum must carry Fig. 11's numbers verbatim."""
+
+    def test_saturation_values(self):
+        assert PdGain.G1.saturation_lux == 450.0
+        assert PdGain.G2.saturation_lux == 1200.0
+        assert PdGain.G3.saturation_lux == 5000.0
+
+    def test_sensitivity_values(self):
+        assert PdGain.G1.relative_sensitivity == 1.0
+        assert PdGain.G2.relative_sensitivity == 0.45
+        assert PdGain.G3.relative_sensitivity == 0.089
+
+    def test_sensitivity_inverse_to_saturation(self):
+        """The paper's columns are ~inversely proportional."""
+        for gain in PdGain:
+            product = gain.saturation_lux * gain.relative_sensitivity
+            assert 420.0 <= product <= 560.0
+
+
+class TestTransfer:
+    def test_linear_below_saturation(self):
+        pd = Photodiode.opt101(gain=PdGain.G1)
+        e = np.array([0.0, 100.0, 200.0, 400.0])
+        v = pd.respond(e)
+        assert np.allclose(v, e / 450.0)
+
+    def test_hard_clip_at_saturation(self):
+        pd = Photodiode.opt101(gain=PdGain.G1)
+        assert pd.respond(np.array([450.0]))[0] == pytest.approx(1.0)
+        assert pd.respond(np.array([10_000.0]))[0] == pytest.approx(1.0)
+
+    def test_is_saturated_by(self):
+        pd = Photodiode.opt101(gain=PdGain.G2)
+        assert not pd.is_saturated_by(1000.0)
+        assert pd.is_saturated_by(1200.0)
+        assert pd.is_saturated_by(6200.0)
+
+    def test_negative_illuminance_rejected(self):
+        pd = Photodiode.opt101()
+        with pytest.raises(ValueError):
+            pd.respond(np.array([-1.0]))
+
+    def test_gain_switch(self):
+        pd = Photodiode.opt101(gain=PdGain.G1)
+        pd3 = pd.with_gain(PdGain.G3)
+        assert pd3.saturation_lux == 5000.0
+        assert pd3.fov.full_angle_deg == pd.fov.full_angle_deg
+
+
+class TestNoise:
+    def test_noise_grows_with_level(self):
+        pd = Photodiode.opt101()
+        low = float(pd.noise_sigma(np.array([0.0]))[0])
+        high = float(pd.noise_sigma(np.array([1.0]))[0])
+        assert high > low > 0.0
+
+    def test_negative_noise_config_rejected(self):
+        with pytest.raises(ValueError):
+            OpticalDetector(name="x", fov=FieldOfView(60.0),
+                            saturation_lux=100.0, relative_sensitivity=1.0,
+                            noise_rms_fullscale=-0.1)
+
+
+class TestFov:
+    def test_bare_pd_is_wide(self):
+        """No lens: the OPT101 must accept a near-hemispherical field,
+        which is what makes the Fig. 16(a) roof interference possible."""
+        assert OPT101_FOV_DEG >= 90.0
+
+
+class TestNormalizedSensitivity:
+    def test_g1_reference(self):
+        assert normalized_sensitivity(
+            Photodiode.opt101(gain=PdGain.G1)) == pytest.approx(1.0)
+
+    def test_matches_table_within_tolerance(self):
+        for gain, expected in ((PdGain.G2, 0.45), (PdGain.G3, 0.089)):
+            measured = normalized_sensitivity(Photodiode.opt101(gain=gain))
+            assert measured == pytest.approx(expected, rel=0.25)
+
+
+class TestValidation:
+    def test_bad_saturation(self):
+        with pytest.raises(ValueError):
+            OpticalDetector(name="x", fov=FieldOfView(60.0),
+                            saturation_lux=0.0, relative_sensitivity=1.0)
+
+    def test_bad_bandwidth(self):
+        with pytest.raises(ValueError):
+            OpticalDetector(name="x", fov=FieldOfView(60.0),
+                            saturation_lux=100.0, relative_sensitivity=1.0,
+                            bandwidth_hz=0.0)

@@ -1,0 +1,190 @@
+"""Cross-module integration tests: full passes through the whole stack."""
+
+import numpy as np
+import pytest
+
+from repro.channel.mobility import ConstantSpeed, SpeedJitter
+from repro.channel.distortion import DENSE_FOG, LIGHT_FOG
+from repro.channel.scene import MovingObject, PassiveScene
+from repro.channel.simulator import ChannelSimulator, SimulatorConfig
+from repro.core.decoder import AdaptiveThresholdDecoder
+from repro.core.errors import DecodeError, PreambleNotFoundError
+from repro.core.link import PassiveLink
+from repro.core.pipeline import PipelineStage, ReceiverPipeline
+from repro.core.receiver_select import DualReceiverController
+from repro.hardware.frontend import FovCap, ReceiverFrontEnd
+from repro.hardware.led_receiver import LedReceiver
+from repro.hardware.photodiode import PdGain, Photodiode
+from repro.net.node import ReceiverNode
+from repro.net.tracker import ReceiverNetwork
+from repro.optics.geometry import Vec3
+from repro.optics.materials import TARMAC
+from repro.optics.sources import LedLamp, Sun
+from repro.tags.dynamic import DynamicTag
+from repro.tags.packet import Packet
+from repro.tags.surface import TagSurface
+
+from .conftest import build_indoor_scene, build_outdoor_scene
+
+
+class TestSelectThenDecode:
+    """Section 4.4's loop: measure ambient, pick receiver, decode."""
+
+    @pytest.mark.parametrize("lux,height", [(250.0, 0.2), (3700.0, 0.3),
+                                            (6200.0, 0.75)])
+    def test_selected_receiver_decodes(self, lux, height):
+        controller = DualReceiverController()
+        choice = controller.select(lux)
+        frontend = choice.frontend
+        frontend.seed = 5
+        if choice.name.startswith("PD"):
+            # The bare PD's wide acceptance cannot resolve symbols; cap
+            # it, which also means PD picks only work close-up.
+            frontend = frontend.with_cap()
+        width = 0.1 if height > 0.5 else 0.05
+        speed = 5.0 if height > 0.5 else 0.2
+        scene = build_outdoor_scene(bits="10", noise_floor_lux=lux,
+                                    height_m=height, symbol_width_m=width,
+                                    speed_mps=speed)
+        sim = ChannelSimulator(scene, frontend,
+                               SimulatorConfig(sample_rate_hz=2000.0, seed=5))
+        result = AdaptiveThresholdDecoder().decode(sim.capture_pass(),
+                                                   n_data_symbols=4)
+        assert result.bit_string() == "10"
+
+
+class TestDistortionRobustness:
+    def test_light_fog_still_decodes(self):
+        scene = build_outdoor_scene(bits="00")
+        scene.atmosphere = LIGHT_FOG
+        fe = ReceiverFrontEnd(detector=LedReceiver.red_5mm(), seed=4)
+        sim = ChannelSimulator(scene, fe, SimulatorConfig(seed=4))
+        result = AdaptiveThresholdDecoder().decode(sim.capture_pass(),
+                                                   n_data_symbols=4)
+        assert result.bit_string() == "00"
+
+    def test_dense_fog_degrades(self):
+        """Dense fog shrinks the contrast relative to clear air."""
+        def swing(atmosphere):
+            scene = build_outdoor_scene(bits="00")
+            scene.atmosphere = atmosphere
+            fe = ReceiverFrontEnd(detector=LedReceiver.red_5mm(), seed=4)
+            sim = ChannelSimulator(scene, fe,
+                                   SimulatorConfig(seed=4,
+                                                   include_noise=False))
+            return sim.optical_pass().swing()
+
+        from repro.channel.distortion import CLEAR
+
+        assert swing(DENSE_FOG) < swing(CLEAR)
+
+    def test_speed_jitter_tolerated(self):
+        scene = build_indoor_scene(bits="10", symbol_width_m=0.04)
+        scene.objects[0].motion = SpeedJitter(
+            base=ConstantSpeed(0.08, -0.3), relative_deviation=0.08,
+            wavelength_s=2.0, seed=3)
+        fe = ReceiverFrontEnd(detector=Photodiode.opt101(gain=PdGain.G1),
+                              cap=FovCap.paper_cap(), seed=3)
+        sim = ChannelSimulator(scene, fe,
+                               SimulatorConfig(sample_rate_hz=500.0, seed=3))
+        result = AdaptiveThresholdDecoder().decode(sim.capture_pass(),
+                                                   n_data_symbols=4)
+        assert result.bit_string() == "10"
+
+    def test_dirty_tag_lower_contrast(self):
+        packet = Packet.from_bitstring("00", symbol_width_m=0.05)
+        clean_tag = TagSurface.from_packet(packet)
+        dirty_tag = clean_tag.degraded(0.7)
+        fe = ReceiverFrontEnd(detector=Photodiode.opt101(gain=PdGain.G1),
+                              cap=FovCap.paper_cap(), seed=1)
+        def swing(tag):
+            scene = PassiveScene(
+                source=LedLamp(position=Vec3(0.12, 0.0, 0.2),
+                               luminous_intensity=2.0),
+                receiver_height_m=0.2,
+                objects=[MovingObject(tag, ConstantSpeed(0.08, -0.3), "t")])
+            sim = ChannelSimulator(scene, fe,
+                                   SimulatorConfig(sample_rate_hz=500.0,
+                                                   include_noise=False))
+            return sim.optical_pass().swing()
+        assert swing(dirty_tag) < swing(clean_tag)
+
+
+class TestDynamicTagsEndToEnd:
+    def test_two_passes_two_payloads(self):
+        """A dynamic tag transmits different codes on successive passes
+        (the Section 6 'encoding dynamic data' extension)."""
+        tag = DynamicTag(packets=[
+            Packet.from_bitstring("00", symbol_width_m=0.05),
+            Packet.from_bitstring("11", symbol_width_m=0.05),
+        ])
+        fe = ReceiverFrontEnd(detector=Photodiode.opt101(gain=PdGain.G1),
+                              cap=FovCap.paper_cap(), seed=8)
+        decoded = []
+        for k in range(2):
+            scene = PassiveScene(
+                source=LedLamp(position=Vec3(0.12, 0.0, 0.2),
+                               luminous_intensity=2.0),
+                receiver_height_m=0.2,
+                objects=[MovingObject(tag.surface_for_pass(k),
+                                      ConstantSpeed(0.08, -0.3), "dyn")])
+            sim = ChannelSimulator(scene, fe,
+                                   SimulatorConfig(sample_rate_hz=500.0,
+                                                   seed=8))
+            result = AdaptiveThresholdDecoder().decode(sim.capture_pass(),
+                                                       n_data_symbols=4)
+            decoded.append(result.bit_string())
+        assert decoded == ["00", "11"]
+
+
+class TestNetworkedReceiversEndToEnd:
+    def test_three_nodes_track_one_tag(self):
+        """Three receivers along a road each capture the same tagged
+        object; the network fuses the code and estimates the speed."""
+        positions = [0.0, 20.0, 40.0]
+        speed = 5.0
+        packet = Packet.from_bitstring("10", symbol_width_m=0.1)
+        net = ReceiverNetwork()
+        for i, pos in enumerate(positions):
+            net.add_node(ReceiverNode(
+                node_id=f"n{i}", position_m=pos,
+                frontend=ReceiverFrontEnd(detector=LedReceiver.red_5mm(),
+                                          seed=10 + i)))
+        net.connect("n0", "n1")
+        net.connect("n1", "n2")
+
+        for i, pos in enumerate(positions):
+            # Each node sees the pass in its own local frame; global
+            # timing follows from the track position.
+            tag = TagSurface.from_packet(packet)
+            scene = PassiveScene(
+                source=Sun(ground_lux=6200.0), receiver_height_m=0.75,
+                ground=TARMAC,
+                objects=[MovingObject(
+                    tag, ConstantSpeed(speed, -1.5 - pos), "tag")])
+            sim = ChannelSimulator(
+                scene, net.node(f"n{i}").frontend,
+                SimulatorConfig(sample_rate_hz=2000.0, seed=10 + i))
+            trace = sim.capture_pass()
+            net.record(net.node(f"n{i}").observe(trace, n_data_symbols=4))
+
+        fused = net.fuse_at("n0", expected_speed_mps=speed)
+        assert len(fused) == 1
+        assert fused[0].bits == "10"
+        tracks = net.track_at("n0", expected_speed_mps=speed)
+        assert len(tracks) == 1
+        assert tracks[0].speed_mps == pytest.approx(speed, rel=0.05)
+
+
+class TestPipelineOverLink:
+    def test_pipeline_consumes_link_capture(self):
+        link = PassiveLink(
+            source=Sun(ground_lux=6200.0),
+            frontend=ReceiverFrontEnd(detector=LedReceiver.red_5mm(),
+                                      seed=2),
+            receiver_height_m=0.75, ground=TARMAC, seed=2)
+        report = link.transmit("01", speed_mps=5.0)
+        pipeline = ReceiverPipeline()
+        outcome = pipeline.process(report.trace, n_data_symbols=4)
+        assert outcome.stage is PipelineStage.DECODED
+        assert outcome.bits == "01"

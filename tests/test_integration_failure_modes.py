@@ -1,0 +1,150 @@
+"""Failure-injection integration tests: how the system breaks.
+
+The paper's Section 3 catalogues the channel's failure modes (noise
+floor saturation, distortions, collisions).  These tests drive each
+failure through the full simulated stack and assert the system fails
+the way the paper says it does — abruptly on saturation, gracefully to
+fallbacks otherwise.
+"""
+
+import numpy as np
+import pytest
+
+from repro.channel.mobility import ConstantSpeed
+from repro.channel.scene import MovingObject, PassiveScene
+from repro.channel.simulator import ChannelSimulator, SimulatorConfig
+from repro.core.decoder import AdaptiveThresholdDecoder
+from repro.core.errors import DecodeError, PreambleNotFoundError
+from repro.core.pipeline import PipelineStage, ReceiverPipeline
+from repro.hardware.frontend import FovCap, ReceiverFrontEnd
+from repro.hardware.photodiode import PdGain, Photodiode
+from repro.hardware.led_receiver import LedReceiver
+from repro.optics.materials import TARMAC
+from repro.optics.sources import Sun
+from repro.tags.packet import Packet
+from repro.tags.surface import TagSurface
+
+from .conftest import build_outdoor_scene
+
+
+def _capture(scene, frontend, seed=3, fs=2000.0):
+    sim = ChannelSimulator(scene, frontend,
+                           SimulatorConfig(sample_rate_hz=fs, seed=seed))
+    return sim.capture_pass()
+
+
+class TestSaturationFailure:
+    """'These noise floor changes can easily saturate a photodiode,
+    which make links disappear abruptly.' (Section 3)"""
+
+    def test_pd_g1_rails_outdoors(self):
+        scene = build_outdoor_scene(noise_floor_lux=6200.0)
+        frontend = ReceiverFrontEnd(detector=Photodiode.opt101(PdGain.G1),
+                                    seed=3)
+        trace = _capture(scene, frontend)
+        # Railed at full scale for essentially the whole pass.
+        assert float((trace.samples >= 1015).mean()) > 0.9
+
+    def test_pipeline_reports_saturated_stage(self):
+        scene = build_outdoor_scene(noise_floor_lux=6200.0)
+        frontend = ReceiverFrontEnd(detector=Photodiode.opt101(PdGain.G1),
+                                    seed=3)
+        outcome = ReceiverPipeline().process(_capture(scene, frontend),
+                                             n_data_symbols=4)
+        assert outcome.stage is PipelineStage.SATURATED
+
+    def test_abrupt_disappearance(self):
+        """The link is binary across the saturation boundary: fine
+        below, gone above — no graceful degradation."""
+        def decodes(lux, gain):
+            scene = build_outdoor_scene(bits="00", noise_floor_lux=lux,
+                                        height_m=0.25)
+            frontend = ReceiverFrontEnd(detector=Photodiode.opt101(gain),
+                                        cap=FovCap.paper_cap(), seed=3)
+            try:
+                result = AdaptiveThresholdDecoder().decode(
+                    _capture(scene, frontend), n_data_symbols=4)
+            except (PreambleNotFoundError, DecodeError):
+                return False
+            return result.bit_string() == "00"
+
+        # G2 with the cap: ambient rejection 0.35 puts the effective
+        # rail at ~3400 lux ambient.
+        assert decodes(1000.0, PdGain.G2)
+        assert not decodes(6200.0, PdGain.G2)
+
+
+class TestTruncatedPasses:
+    def test_packet_cut_off_mid_data(self):
+        """A capture that ends inside the data field cannot produce a
+        full payload and must fail loudly, not fabricate bits."""
+        scene = build_outdoor_scene(bits="0110")
+        frontend = ReceiverFrontEnd(detector=LedReceiver.red_5mm(), seed=3)
+        sim = ChannelSimulator(scene, frontend,
+                               SimulatorConfig(sample_rate_hz=2000.0,
+                                               seed=3))
+        t_start, duration = sim.pass_window()
+        trace = sim.capture(duration * 0.55, t_start)  # cut mid-packet
+        decoder = AdaptiveThresholdDecoder()
+        try:
+            result = decoder.decode(trace, n_data_symbols=8)
+            assert result.bit_string() != "0110"
+        except (PreambleNotFoundError, DecodeError):
+            pass  # equally acceptable
+
+    def test_missing_preamble_entirely(self):
+        """A capture window that starts after the tag passed sees only
+        ground and must raise PreambleNotFound."""
+        scene = build_outdoor_scene(bits="00")
+        frontend = ReceiverFrontEnd(detector=LedReceiver.red_5mm(), seed=3)
+        sim = ChannelSimulator(scene, frontend,
+                               SimulatorConfig(sample_rate_hz=2000.0,
+                                               seed=3))
+        t_start, duration = sim.pass_window()
+        late = sim.capture(0.3, t_start + duration + 1.0)
+        with pytest.raises(PreambleNotFoundError):
+            AdaptiveThresholdDecoder().decode(late, n_data_symbols=4)
+
+
+class TestContrastInversionRejected:
+    def test_inverted_tag_does_not_decode_as_original(self):
+        """A tag built with swapped materials (LOW where HIGH should
+        be) must not silently decode as the intended payload."""
+        from repro.optics.materials import ALUMINUM_TAPE, BLACK_NAPKIN
+
+        packet = Packet.from_bitstring("10", symbol_width_m=0.1)
+        inverted = TagSurface.from_packet(packet,
+                                          high_material=BLACK_NAPKIN,
+                                          low_material=ALUMINUM_TAPE)
+        scene = PassiveScene(
+            source=Sun(ground_lux=6200.0), receiver_height_m=0.75,
+            ground=TARMAC,
+            objects=[MovingObject(inverted, ConstantSpeed(5.0, -1.5),
+                                  "inverted")])
+        frontend = ReceiverFrontEnd(detector=LedReceiver.red_5mm(), seed=3)
+        try:
+            result = AdaptiveThresholdDecoder().decode(
+                _capture(scene, frontend), n_data_symbols=4)
+            assert result.bit_string() != "10"
+        except (PreambleNotFoundError, DecodeError):
+            pass
+
+
+class TestStationaryObject:
+    def test_parked_tag_produces_no_packet(self):
+        """An object parked inside the FoV modulates nothing — the
+        channel only exists for *moving* surfaces."""
+        packet = Packet.from_bitstring("00", symbol_width_m=0.1)
+        tag = TagSurface.from_packet(packet)
+        scene = PassiveScene(
+            source=Sun(ground_lux=6200.0), receiver_height_m=0.75,
+            ground=TARMAC,
+            objects=[MovingObject(tag, ConstantSpeed(1e-9, -0.4),
+                                  "parked")])
+        frontend = ReceiverFrontEnd(detector=LedReceiver.red_5mm(), seed=3)
+        sim = ChannelSimulator(scene, frontend,
+                               SimulatorConfig(sample_rate_hz=2000.0,
+                                               seed=3))
+        trace = sim.capture(1.0)
+        with pytest.raises(PreambleNotFoundError):
+            AdaptiveThresholdDecoder().decode(trace, n_data_symbols=4)

@@ -1,0 +1,83 @@
+"""Tests for repro.net.fusion."""
+
+import pytest
+
+from repro.net.fusion import fuse_detections, group_by_pass
+from repro.net.node import Detection
+
+
+def det(node, pos, t, bits, conf):
+    return Detection(node_id=node, position_m=pos, timestamp_s=t,
+                     bits=bits, confidence=conf)
+
+
+class TestFusion:
+    def test_unanimous(self):
+        obs = fuse_detections([det("a", 0.0, 1.0, "10", 0.9),
+                               det("b", 5.0, 2.0, "10", 0.8)])
+        assert obs.bits == "10"
+        assert obs.n_decoded == 2
+        assert obs.agreement == pytest.approx(1.0)
+
+    def test_majority_by_confidence(self):
+        """One confident node outvotes two shaky ones."""
+        obs = fuse_detections([det("a", 0.0, 1.0, "10", 0.9),
+                               det("b", 5.0, 2.0, "11", 0.2),
+                               det("c", 10.0, 3.0, "11", 0.3)])
+        assert obs.bits == "10"
+
+    def test_undecoded_do_not_vote(self):
+        obs = fuse_detections([det("a", 0.0, 1.0, "", 0.0),
+                               det("b", 5.0, 2.0, "01", 0.5),
+                               det("c", 10.0, 3.0, "", 0.0)])
+        assert obs.bits == "01"
+        assert obs.n_reports == 3
+        assert obs.n_decoded == 1
+
+    def test_nothing_decoded(self):
+        obs = fuse_detections([det("a", 0.0, 1.0, "", 0.0)])
+        assert obs.bits == ""
+        assert obs.agreement == 0.0
+
+    def test_tie_breaks_to_earlier_report(self):
+        obs = fuse_detections([det("b", 5.0, 2.0, "11", 0.5),
+                               det("a", 0.0, 1.0, "00", 0.5)])
+        assert obs.bits == "00"
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            fuse_detections([])
+
+
+class TestGrouping:
+    def test_single_pass_grouped(self):
+        """Detections consistent with one object at 5 m/s cluster."""
+        reports = [det("a", 0.0, 10.0, "10", 0.9),
+                   det("b", 25.0, 15.0, "10", 0.9),   # 25 m at 5 m/s
+                   det("c", 50.0, 20.0, "10", 0.9)]
+        groups = group_by_pass(reports, expected_speed_mps=5.0)
+        assert len(groups) == 1
+        assert len(groups[0]) == 3
+
+    def test_two_passes_separated(self):
+        reports = [det("a", 0.0, 10.0, "10", 0.9),
+                   det("b", 25.0, 15.0, "10", 0.9),
+                   det("a", 0.0, 100.0, "01", 0.9),
+                   det("b", 25.0, 105.0, "01", 0.9)]
+        groups = group_by_pass(reports, expected_speed_mps=5.0)
+        assert len(groups) == 2
+        assert all(len(g) == 2 for g in groups)
+
+    def test_tolerance_respected(self):
+        reports = [det("a", 0.0, 10.0, "10", 0.9),
+                   det("b", 25.0, 18.0, "10", 0.9)]  # 3 s late
+        strict = group_by_pass(reports, 5.0, tolerance_s=1.0)
+        loose = group_by_pass(reports, 5.0, tolerance_s=5.0)
+        assert len(strict) == 2
+        assert len(loose) == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            group_by_pass([], 0.0)
+        with pytest.raises(ValueError):
+            group_by_pass([], 5.0, tolerance_s=0.0)

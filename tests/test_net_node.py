@@ -1,0 +1,67 @@
+"""Tests for repro.net.node."""
+
+import numpy as np
+import pytest
+
+from repro.channel.simulator import ChannelSimulator, SimulatorConfig
+from repro.channel.trace import SignalTrace
+from repro.hardware.frontend import FovCap, ReceiverFrontEnd
+from repro.hardware.photodiode import PdGain, Photodiode
+from repro.net.node import Detection, ReceiverNode
+
+from .conftest import build_indoor_scene
+
+
+def _node(node_id="n1", position=0.0, seed=42):
+    return ReceiverNode(
+        node_id=node_id, position_m=position,
+        frontend=ReceiverFrontEnd(detector=Photodiode.opt101(gain=PdGain.G1),
+                                  cap=FovCap.paper_cap(), seed=seed))
+
+
+class TestDetection:
+    def test_decoded_flag(self):
+        assert Detection("n", 0.0, 1.0, "10", 0.8).decoded
+        assert not Detection("n", 0.0, 1.0, "", 0.0).decoded
+
+
+class TestReceiverNode:
+    def test_id_required(self):
+        with pytest.raises(ValueError):
+            _node(node_id="")
+
+    def test_observe_clean_capture(self, indoor_capture_00):
+        det = _node().observe(indoor_capture_00, n_data_symbols=4)
+        assert det.bits == "00"
+        assert det.confidence > 0.3
+        assert det.symbol_period_s > 0.0
+
+    def test_observe_flat_capture(self):
+        det = _node().observe(SignalTrace(np.full(1000, 50.0), 500.0))
+        assert det.bits == ""
+        assert det.confidence == 0.0
+
+    def test_timestamp_is_preamble_anchor(self, indoor_capture_00):
+        det = _node().observe(indoor_capture_00, n_data_symbols=4)
+        t0 = indoor_capture_00.start_time_s
+        t1 = t0 + indoor_capture_00.duration_s
+        assert t0 <= det.timestamp_s <= t1
+
+    def test_confidence_orders_clean_vs_degraded(self):
+        """Shrinking the decision margins must lower the confidence."""
+        scene = build_indoor_scene(bits="00")
+        fe_a = ReceiverFrontEnd(detector=Photodiode.opt101(gain=PdGain.G1),
+                                cap=FovCap.paper_cap(), seed=1)
+        clean = ChannelSimulator(
+            scene, fe_a, SimulatorConfig(sample_rate_hz=500.0, seed=1,
+                                         include_noise=False)).capture_pass()
+        # Compress the contrast towards the mean: decisions get closer
+        # to the threshold, so the margin term of the score drops.
+        mean = clean.samples.mean()
+        squeezed = SignalTrace(mean + 0.25 * (clean.samples - mean),
+                               clean.sample_rate_hz, clean.start_time_s)
+        node = _node()
+        d_clean = node.observe(clean, n_data_symbols=4)
+        d_squeezed = node.observe(squeezed, n_data_symbols=4)
+        assert 0.0 <= d_squeezed.confidence <= 1.0
+        assert d_clean.confidence > 0.4

@@ -1,0 +1,116 @@
+"""Tests for repro.net.tracker."""
+
+import pytest
+
+from repro.hardware.frontend import ReceiverFrontEnd
+from repro.hardware.led_receiver import LedReceiver
+from repro.net.node import Detection, ReceiverNode
+from repro.net.tracker import ReceiverNetwork, estimate_track
+
+
+def det(node, pos, t, bits="10", conf=0.8):
+    return Detection(node_id=node, position_m=pos, timestamp_s=t,
+                     bits=bits, confidence=conf)
+
+
+def _node(node_id, pos):
+    return ReceiverNode(node_id=node_id, position_m=pos,
+                        frontend=ReceiverFrontEnd(
+                            detector=LedReceiver.red_5mm(), seed=1))
+
+
+class TestEstimateTrack:
+    def test_exact_speed_recovered(self):
+        reports = [det("a", 0.0, 10.0), det("b", 25.0, 15.0),
+                   det("c", 50.0, 20.0)]
+        track = estimate_track(reports)
+        assert track.speed_mps == pytest.approx(5.0)
+        assert track.residual_rms_s == pytest.approx(0.0, abs=1e-9)
+        assert track.bits == "10"
+
+    def test_noisy_timing_still_close(self):
+        reports = [det("a", 0.0, 10.0), det("b", 25.0, 15.2),
+                   det("c", 50.0, 19.9)]
+        track = estimate_track(reports)
+        assert track.speed_mps == pytest.approx(5.0, rel=0.1)
+        assert track.residual_rms_s < 0.5
+
+    def test_prediction_downstream(self):
+        reports = [det("a", 0.0, 10.0), det("b", 25.0, 15.0)]
+        track = estimate_track(reports)
+        assert track.predicted_arrival_s(50.0) == pytest.approx(20.0)
+
+    def test_needs_two_positions(self):
+        with pytest.raises(ValueError):
+            estimate_track([det("a", 0.0, 10.0)])
+        with pytest.raises(ValueError):
+            estimate_track([det("a", 0.0, 10.0), det("a", 0.0, 11.0)])
+
+    def test_backwards_motion_rejected(self):
+        with pytest.raises(ValueError):
+            estimate_track([det("a", 0.0, 20.0), det("b", 25.0, 10.0)])
+
+
+class TestReceiverNetwork:
+    def _network(self):
+        net = ReceiverNetwork()
+        for node_id, pos in (("a", 0.0), ("b", 25.0), ("c", 50.0)):
+            net.add_node(_node(node_id, pos))
+        net.connect("a", "b")
+        net.connect("b", "c")
+        return net
+
+    def test_duplicate_node_rejected(self):
+        net = self._network()
+        with pytest.raises(ValueError):
+            net.add_node(_node("a", 1.0))
+
+    def test_connect_unknown_rejected(self):
+        net = self._network()
+        with pytest.raises(KeyError):
+            net.connect("a", "zz")
+
+    def test_nodes_ordered_by_position(self):
+        net = self._network()
+        assert [n.node_id for n in net.nodes] == ["a", "b", "c"]
+
+    def test_reachability_respects_topology(self):
+        net = ReceiverNetwork()
+        for node_id, pos in (("a", 0.0), ("b", 25.0), ("c", 50.0)):
+            net.add_node(_node(node_id, pos))
+        net.connect("a", "b")  # c is isolated
+        net.record(det("a", 0.0, 10.0))
+        net.record(det("b", 25.0, 15.0))
+        net.record(det("c", 50.0, 20.0))
+        assert len(net.reachable_detections("a")) == 2
+        assert len(net.reachable_detections("c")) == 1
+
+    def test_fusion_recovers_code_despite_one_bad_node(self):
+        net = self._network()
+        net.record(det("a", 0.0, 10.0, bits="10", conf=0.9))
+        net.record(det("b", 25.0, 15.0, bits="", conf=0.0))
+        net.record(det("c", 50.0, 20.0, bits="10", conf=0.7))
+        fused = net.fuse_at("a", expected_speed_mps=5.0)
+        assert len(fused) == 1
+        assert fused[0].bits == "10"
+        assert fused[0].n_decoded == 2
+
+    def test_track_estimation_through_network(self):
+        net = self._network()
+        net.record(det("a", 0.0, 10.0))
+        net.record(det("b", 25.0, 15.0))
+        net.record(det("c", 50.0, 20.0))
+        tracks = net.track_at("b", expected_speed_mps=5.0)
+        assert len(tracks) == 1
+        assert tracks[0].speed_mps == pytest.approx(5.0)
+        assert tracks[0].n_nodes == 3
+
+    def test_single_node_pass_skipped_in_tracking(self):
+        net = self._network()
+        net.record(det("a", 0.0, 10.0))
+        assert net.track_at("a", expected_speed_mps=5.0) == []
+
+    def test_record_unknown_node_rejected(self):
+        net = self._network()
+        with pytest.raises(KeyError):
+            net.record(det("zz", 0.0, 1.0))

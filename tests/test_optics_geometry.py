@@ -1,0 +1,182 @@
+"""Tests for repro.optics.geometry."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.optics.geometry import (
+    FieldOfView,
+    GroundFootprint,
+    Vec3,
+    deg_to_rad,
+    incidence_cosine,
+    rad_to_deg,
+    solid_angle_of_disc,
+)
+
+
+class TestVec3:
+    def test_add_sub(self):
+        a = Vec3(1.0, 2.0, 3.0)
+        b = Vec3(0.5, -1.0, 2.0)
+        assert a + b == Vec3(1.5, 1.0, 5.0)
+        assert a - b == Vec3(0.5, 3.0, 1.0)
+
+    def test_scalar_multiplication_commutes(self):
+        v = Vec3(1.0, -2.0, 0.5)
+        assert 2.0 * v == v * 2.0 == Vec3(2.0, -4.0, 1.0)
+
+    def test_negation(self):
+        assert -Vec3(1.0, -2.0, 3.0) == Vec3(-1.0, 2.0, -3.0)
+
+    def test_dot_orthogonal(self):
+        assert Vec3(1, 0, 0).dot(Vec3(0, 1, 0)) == 0.0
+
+    def test_cross_right_handed(self):
+        assert Vec3(1, 0, 0).cross(Vec3(0, 1, 0)) == Vec3(0, 0, 1)
+
+    def test_norm(self):
+        assert Vec3(3.0, 4.0, 0.0).norm() == pytest.approx(5.0)
+
+    def test_normalized_unit_length(self):
+        v = Vec3(2.0, -3.0, 6.0).normalized()
+        assert v.norm() == pytest.approx(1.0)
+
+    def test_normalized_zero_raises(self):
+        with pytest.raises(ValueError):
+            Vec3(0.0, 0.0, 0.0).normalized()
+
+    def test_distance(self):
+        assert Vec3(0, 0, 0).distance_to(Vec3(1, 2, 2)) == pytest.approx(3.0)
+
+    def test_angle_right(self):
+        angle = Vec3(1, 0, 0).angle_to(Vec3(0, 0, 1))
+        assert angle == pytest.approx(math.pi / 2)
+
+    def test_angle_zero_vector_raises(self):
+        with pytest.raises(ValueError):
+            Vec3(1, 0, 0).angle_to(Vec3(0, 0, 0))
+
+    def test_array_round_trip(self):
+        v = Vec3(0.1, 0.2, 0.3)
+        assert Vec3.from_array(v.as_array()) == v
+
+
+class TestFieldOfView:
+    def test_invalid_angles(self):
+        for bad in (0.0, -10.0, 181.0):
+            with pytest.raises(ValueError):
+                FieldOfView(bad)
+
+    def test_half_angle(self):
+        assert FieldOfView(60.0).half_angle_deg == 30.0
+        assert FieldOfView(60.0).half_angle_rad == pytest.approx(math.pi / 6)
+
+    def test_contains_boresight(self):
+        fov = FieldOfView(30.0)
+        assert fov.contains(Vec3(0, 0, -1), Vec3(0, 0, -1))
+
+    def test_contains_outside(self):
+        fov = FieldOfView(30.0)
+        assert not fov.contains(Vec3(0, 0, -1), Vec3(1, 0, 0))
+
+    def test_acceptance_boresight_is_one(self):
+        assert FieldOfView(40.0).acceptance(0.0) == pytest.approx(1.0)
+
+    def test_acceptance_zero_at_edge(self):
+        fov = FieldOfView(40.0)
+        assert fov.acceptance(fov.half_angle_rad) == 0.0
+        assert fov.acceptance(fov.half_angle_rad * 1.5) == 0.0
+
+    def test_acceptance_monotone(self):
+        fov = FieldOfView(60.0)
+        angles = np.linspace(0.0, fov.half_angle_rad, 32)
+        acc = fov.acceptance_array(angles)
+        assert np.all(np.diff(acc) <= 1e-12)
+
+    def test_acceptance_array_matches_scalar(self):
+        fov = FieldOfView(50.0)
+        angles = np.linspace(0.0, 0.6, 16)
+        vector = fov.acceptance_array(angles)
+        scalars = [fov.acceptance(a) for a in angles]
+        assert np.allclose(vector, scalars)
+
+    def test_narrowed(self):
+        fov = FieldOfView(100.0).narrowed(0.25)
+        assert fov.full_angle_deg == pytest.approx(25.0)
+
+    def test_narrowed_invalid_factor(self):
+        with pytest.raises(ValueError):
+            FieldOfView(100.0).narrowed(0.0)
+        with pytest.raises(ValueError):
+            FieldOfView(100.0).narrowed(1.5)
+
+
+class TestGroundFootprint:
+    def test_from_receiver_radius(self):
+        fp = GroundFootprint.from_receiver(1.0, FieldOfView(90.0))
+        assert fp.radius == pytest.approx(1.0)
+
+    def test_from_receiver_bad_height(self):
+        with pytest.raises(ValueError):
+            GroundFootprint.from_receiver(0.0, FieldOfView(30.0))
+
+    def test_radius_scales_with_height(self):
+        fov = FieldOfView(24.0)
+        r1 = GroundFootprint.from_receiver(0.5, fov).radius
+        r2 = GroundFootprint.from_receiver(1.0, fov).radius
+        assert r2 == pytest.approx(2.0 * r1)
+
+    def test_contains(self):
+        fp = GroundFootprint(0.0, 0.0, 0.5)
+        assert fp.contains(0.3, 0.3)
+        assert not fp.contains(0.5, 0.5)
+
+    def test_chord_length_center_and_edge(self):
+        fp = GroundFootprint(0.0, 0.0, 1.0)
+        assert fp.chord_length(0.0) == pytest.approx(2.0)
+        assert fp.chord_length(1.0) == 0.0
+        assert fp.chord_length(2.0) == 0.0
+
+    def test_chord_weights_normalised(self):
+        fp = GroundFootprint(0.0, 0.0, 0.2)
+        xs = np.linspace(-0.2, 0.2, 101)
+        w = fp.chord_weights(xs)
+        assert w.sum() == pytest.approx(1.0)
+        assert np.all(w >= 0.0)
+
+    def test_chord_weights_outside_raises(self):
+        fp = GroundFootprint(0.0, 0.0, 0.1)
+        with pytest.raises(ValueError):
+            fp.chord_weights(np.array([5.0, 6.0]))
+
+    def test_area(self):
+        fp = GroundFootprint(0.0, 0.0, 2.0)
+        assert fp.area == pytest.approx(math.pi * 4.0)
+
+    def test_negative_radius_rejected(self):
+        with pytest.raises(ValueError):
+            GroundFootprint(0.0, 0.0, -0.1)
+
+
+class TestHelpers:
+    def test_deg_rad_round_trip(self):
+        assert rad_to_deg(deg_to_rad(73.0)) == pytest.approx(73.0)
+
+    def test_incidence_cosine_normal(self):
+        assert incidence_cosine(Vec3(0, 0, 1), Vec3(0, 0, 1)) == pytest.approx(1.0)
+
+    def test_incidence_cosine_grazing_clamped(self):
+        assert incidence_cosine(Vec3(0, 0, 1), Vec3(0, 0, -1)) == 0.0
+
+    def test_solid_angle_small_disc(self):
+        # Far-field: Omega ~ pi r^2 / d^2.
+        omega = solid_angle_of_disc(0.01, 10.0)
+        assert omega == pytest.approx(math.pi * 1e-6, rel=1e-3)
+
+    def test_solid_angle_invalid(self):
+        with pytest.raises(ValueError):
+            solid_angle_of_disc(0.0, 1.0)
+        with pytest.raises(ValueError):
+            solid_angle_of_disc(1.0, -1.0)

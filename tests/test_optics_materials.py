@@ -1,0 +1,89 @@
+"""Tests for repro.optics.materials."""
+
+import pytest
+
+from repro.optics.materials import (
+    ALUMINUM_TAPE,
+    BLACK_NAPKIN,
+    MATERIAL_LIBRARY,
+    MIRROR,
+    Material,
+    material_by_name,
+)
+
+
+class TestMaterialValidation:
+    def test_reflectance_bounds(self):
+        with pytest.raises(ValueError):
+            Material("x", reflectance=1.2, specular_fraction=0.5)
+        with pytest.raises(ValueError):
+            Material("x", reflectance=-0.1, specular_fraction=0.5)
+
+    def test_specular_fraction_bounds(self):
+        with pytest.raises(ValueError):
+            Material("x", reflectance=0.5, specular_fraction=1.5)
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            Material("", reflectance=0.5, specular_fraction=0.5)
+
+    def test_negative_exponent_rejected(self):
+        with pytest.raises(ValueError):
+            Material("x", reflectance=0.5, specular_fraction=0.5,
+                     specular_exponent=-1.0)
+
+
+class TestComponentSplit:
+    def test_split_sums_to_total(self):
+        for mat in MATERIAL_LIBRARY.values():
+            assert (mat.diffuse_reflectance + mat.specular_reflectance
+                    == pytest.approx(mat.reflectance))
+
+    def test_symbol_materials_contrast(self):
+        """HIGH material must reflect far more than LOW (Section 4)."""
+        assert ALUMINUM_TAPE.reflectance > 5 * BLACK_NAPKIN.reflectance
+        assert ALUMINUM_TAPE.specular_fraction > BLACK_NAPKIN.specular_fraction
+
+    def test_mirror_is_extreme(self):
+        assert MIRROR.reflectance > ALUMINUM_TAPE.reflectance
+        assert MIRROR.specular_exponent > ALUMINUM_TAPE.specular_exponent
+
+
+class TestDegradation:
+    def test_dirt_reduces_reflectance(self):
+        dirty = ALUMINUM_TAPE.degraded(0.5)
+        assert dirty.reflectance < ALUMINUM_TAPE.reflectance
+        assert dirty.specular_fraction < ALUMINUM_TAPE.specular_fraction
+
+    def test_no_dirt_is_identity_values(self):
+        clean = ALUMINUM_TAPE.degraded(0.0)
+        assert clean.reflectance == pytest.approx(ALUMINUM_TAPE.reflectance)
+        assert clean.specular_fraction == pytest.approx(
+            ALUMINUM_TAPE.specular_fraction)
+
+    def test_full_dirt_kills_specular(self):
+        dirty = ALUMINUM_TAPE.degraded(1.0)
+        assert dirty.specular_fraction == pytest.approx(0.0)
+        assert dirty.reflectance > 0.0  # dirt absorbs, not perfectly black
+
+    def test_dirt_bounds(self):
+        with pytest.raises(ValueError):
+            ALUMINUM_TAPE.degraded(1.5)
+        with pytest.raises(ValueError):
+            ALUMINUM_TAPE.degraded(-0.1)
+
+    def test_degraded_name_tagged(self):
+        assert "dirt" in ALUMINUM_TAPE.degraded(0.3).name
+
+
+class TestLibrary:
+    def test_lookup_known(self):
+        assert material_by_name("aluminum_tape") is ALUMINUM_TAPE
+
+    def test_lookup_unknown_lists_names(self):
+        with pytest.raises(KeyError, match="aluminum_tape"):
+            material_by_name("vantablack")
+
+    def test_all_library_names_consistent(self):
+        for name, mat in MATERIAL_LIBRARY.items():
+            assert mat.name == name

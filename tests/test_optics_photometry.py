@@ -1,0 +1,143 @@
+"""Tests for repro.optics.photometry."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.optics.photometry import (
+    LEVELS,
+    WHITE_LED_EFFICACY,
+    illuminance_at_detector_from_patch,
+    illuminance_from_parallel_source,
+    illuminance_from_point_source,
+    lambertian_radiated_fraction,
+    luminance_from_diffuse_reflection,
+    lux_to_watts_per_m2,
+    watts_per_m2_to_lux,
+)
+
+
+class TestUnitConversions:
+    def test_round_trip(self):
+        assert watts_per_m2_to_lux(lux_to_watts_per_m2(540.0)) == pytest.approx(540.0)
+
+    def test_lux_to_watts_scalar(self):
+        assert lux_to_watts_per_m2(WHITE_LED_EFFICACY) == pytest.approx(1.0)
+
+    def test_vectorised(self):
+        lux = np.array([0.0, 300.0, 600.0])
+        w = lux_to_watts_per_m2(lux)
+        assert isinstance(w, np.ndarray)
+        assert np.allclose(watts_per_m2_to_lux(w), lux)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            lux_to_watts_per_m2(-1.0)
+        with pytest.raises(ValueError):
+            watts_per_m2_to_lux(-1.0)
+
+    def test_bad_efficacy(self):
+        with pytest.raises(ValueError):
+            lux_to_watts_per_m2(100.0, efficacy=0.0)
+
+
+class TestPointSource:
+    def test_inverse_square(self):
+        e1 = illuminance_from_point_source(100.0, 1.0)
+        e2 = illuminance_from_point_source(100.0, 2.0)
+        assert e1 / e2 == pytest.approx(4.0)
+
+    def test_incidence_projection(self):
+        full = illuminance_from_point_source(100.0, 1.0, 1.0)
+        angled = illuminance_from_point_source(100.0, 1.0, 0.5)
+        assert angled == pytest.approx(full / 2.0)
+
+    def test_backlit_clamps_to_zero(self):
+        assert illuminance_from_point_source(100.0, 1.0, -0.3) == 0.0
+
+    def test_zero_distance_rejected(self):
+        with pytest.raises(ValueError):
+            illuminance_from_point_source(100.0, 0.0)
+
+
+class TestParallelSource:
+    def test_no_distance_dependence(self):
+        assert illuminance_from_parallel_source(1000.0) == pytest.approx(1000.0)
+
+    def test_projection(self):
+        cos45 = math.cos(math.radians(45.0))
+        assert illuminance_from_parallel_source(1000.0, cos45) == pytest.approx(
+            1000.0 * cos45)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            illuminance_from_parallel_source(-5.0)
+
+
+class TestLambertianPattern:
+    def test_normalisation_over_hemisphere(self):
+        # Integral of pattern * 2*pi*sin(theta) d(theta) over the
+        # hemisphere must equal... the cos^m pattern integrates to
+        # (m+1)/(2pi) * 2pi/(m+1) = 1.
+        for m in (1.0, 2.0, 5.0):
+            thetas = np.linspace(0.0, math.pi / 2, 20001)
+            vals = np.array([lambertian_radiated_fraction(m, t)
+                             for t in thetas])
+            integral = np.trapezoid(vals * 2.0 * math.pi * np.sin(thetas),
+                                    thetas)
+            assert integral == pytest.approx(1.0, rel=1e-3)
+
+    def test_higher_order_concentrates(self):
+        on_axis_1 = lambertian_radiated_fraction(1.0, 0.0)
+        on_axis_10 = lambertian_radiated_fraction(10.0, 0.0)
+        assert on_axis_10 > on_axis_1
+
+    def test_behind_is_zero(self):
+        assert lambertian_radiated_fraction(2.0, math.pi * 0.75) == 0.0
+
+    def test_negative_order_rejected(self):
+        with pytest.raises(ValueError):
+            lambertian_radiated_fraction(-1.0, 0.0)
+
+
+class TestDiffuseReflection:
+    def test_pi_factor(self):
+        assert luminance_from_diffuse_reflection(math.pi, 1.0) == pytest.approx(1.0)
+
+    def test_reflectance_bounds(self):
+        with pytest.raises(ValueError):
+            luminance_from_diffuse_reflection(100.0, 1.5)
+        with pytest.raises(ValueError):
+            luminance_from_diffuse_reflection(100.0, -0.1)
+
+
+class TestPatchTransfer:
+    def test_inverse_square(self):
+        e1 = illuminance_at_detector_from_patch(10.0, 0.01, 1.0)
+        e2 = illuminance_at_detector_from_patch(10.0, 0.01, 2.0)
+        assert e1 / e2 == pytest.approx(4.0)
+
+    def test_linear_in_area_and_luminance(self):
+        base = illuminance_at_detector_from_patch(10.0, 0.01, 1.0)
+        assert illuminance_at_detector_from_patch(20.0, 0.01, 1.0) == pytest.approx(2 * base)
+        assert illuminance_at_detector_from_patch(10.0, 0.02, 1.0) == pytest.approx(2 * base)
+
+    def test_cosine_projections(self):
+        base = illuminance_at_detector_from_patch(10.0, 0.01, 1.0, 1.0, 1.0)
+        both_half = illuminance_at_detector_from_patch(10.0, 0.01, 1.0, 0.5, 0.5)
+        assert both_half == pytest.approx(base / 4.0)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            illuminance_at_detector_from_patch(-1.0, 0.01, 1.0)
+        with pytest.raises(ValueError):
+            illuminance_at_detector_from_patch(1.0, 0.01, 0.0)
+
+
+class TestLevels:
+    def test_paper_reference_levels(self):
+        assert LEVELS.MEDIUM_ROOM == 450.0
+        assert LEVELS.BRIGHT_INDOOR == 1200.0
+        assert LEVELS.LED_SATURATION == 35_000.0
+        assert LEVELS.DIM_INDOOR < LEVELS.MEDIUM_ROOM < LEVELS.OVERCAST_HIGH

@@ -1,0 +1,138 @@
+"""Tests for repro.optics.sources."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.optics.geometry import Vec3
+from repro.optics.sources import (
+    CompositeSource,
+    FluorescentCeiling,
+    IncandescentBulb,
+    LedLamp,
+    Sun,
+)
+
+
+class TestLedLamp:
+    def test_ground_peak_under_lamp(self):
+        lamp = LedLamp(position=Vec3(0.1, 0.0, 0.3), luminous_intensity=5.0)
+        xs = np.linspace(-0.5, 0.5, 201)
+        e = lamp.ground_illuminance(xs, 0.0)
+        assert xs[np.argmax(e)] == pytest.approx(0.1, abs=0.01)
+
+    def test_inverse_square_with_height(self):
+        low = LedLamp(position=Vec3(0, 0, 0.2), luminous_intensity=5.0)
+        high = LedLamp(position=Vec3(0, 0, 0.4), luminous_intensity=5.0)
+        e_low = float(low.ground_illuminance(0.0, 0.0))
+        e_high = float(high.ground_illuminance(0.0, 0.0))
+        assert e_low / e_high == pytest.approx(4.0)
+
+    def test_dc_flicker(self):
+        lamp = LedLamp()
+        t = np.linspace(0.0, 0.1, 100)
+        assert np.allclose(lamp.flicker(t), 1.0)
+
+    def test_incident_direction_points_down_and_towards_point(self):
+        lamp = LedLamp(position=Vec3(0.0, 0.0, 0.5))
+        d = lamp.incident_direction(0.5)
+        assert d.z < 0.0
+        assert d.x > 0.0
+        assert d.norm() == pytest.approx(1.0)
+
+    def test_collimated(self):
+        assert LedLamp().diffuse_fraction() == 0.0
+
+    def test_below_ground_rejected(self):
+        with pytest.raises(ValueError):
+            LedLamp(position=Vec3(0, 0, -0.1))
+
+
+class TestFluorescentCeiling:
+    def test_uniform_ground(self):
+        src = FluorescentCeiling(ground_lux=300.0)
+        xs = np.linspace(-1.0, 1.0, 11)
+        e = src.ground_illuminance(xs, 0.0)
+        assert np.allclose(e, e[0])
+
+    def test_ac_ripple_at_100hz(self):
+        src = FluorescentCeiling(ground_lux=300.0, ripple_depth=0.35)
+        t = np.linspace(0.0, 0.02, 2001)  # one 100 Hz period is 10 ms
+        f = src.flicker(t)
+        # Mean level preserved; modulation present.
+        assert float(np.mean(f)) == pytest.approx(1.0, abs=0.01)
+        assert f.max() - f.min() > 0.2
+        # Periodicity at 10 ms.
+        assert f[0] == pytest.approx(f[1000], abs=1e-6)
+
+    def test_diffuse(self):
+        assert FluorescentCeiling().diffuse_fraction() == 1.0
+
+    def test_ripple_depth_bounds(self):
+        with pytest.raises(ValueError):
+            FluorescentCeiling(ripple_depth=1.0)
+
+
+class TestIncandescent:
+    def test_weaker_ripple_than_fluorescent(self):
+        t = np.linspace(0.0, 0.05, 2000)
+        fluor = FluorescentCeiling(ripple_depth=0.35).flicker(t)
+        inc = IncandescentBulb().flicker(t)
+        assert (inc.max() - inc.min()) < (fluor.max() - fluor.min())
+
+    def test_mostly_diffuse(self):
+        assert 0.0 < IncandescentBulb().diffuse_fraction() <= 1.0
+
+
+class TestSun:
+    def test_uniform_and_constant(self):
+        sun = Sun(ground_lux=6200.0)
+        xs = np.linspace(-10.0, 10.0, 7)
+        e = sun.ground_illuminance(xs, 0.0)
+        assert np.allclose(e, 6200.0)
+
+    def test_incident_direction_elevation(self):
+        sun = Sun(elevation_deg=90.0)
+        d = sun.incident_direction()
+        assert d.z == pytest.approx(-1.0)
+        sun45 = Sun(elevation_deg=45.0)
+        d45 = sun45.incident_direction()
+        assert d45.z == pytest.approx(-math.sin(math.radians(45.0)))
+
+    def test_cloud_drift(self):
+        sun = Sun(ground_lux=5000.0, cloud_drift_depth=0.2,
+                  cloud_drift_period_s=10.0)
+        t = np.linspace(0.0, 10.0, 1001)
+        f = sun.flicker(t)
+        assert f.max() == pytest.approx(1.2, abs=0.01)
+        assert f.min() == pytest.approx(0.8, abs=0.01)
+
+    def test_elevation_bounds(self):
+        with pytest.raises(ValueError):
+            Sun(elevation_deg=0.0)
+        with pytest.raises(ValueError):
+            Sun(elevation_deg=91.0)
+
+    def test_noise_floor_equals_ground(self):
+        sun = Sun(ground_lux=3700.0)
+        assert float(sun.receiver_plane_illuminance(0.0)) == pytest.approx(3700.0)
+
+
+class TestCompositeSource:
+    def test_superposition(self):
+        a = Sun(ground_lux=1000.0)
+        b = FluorescentCeiling(ground_lux=200.0, ripple_depth=0.0)
+        comp = CompositeSource(sources=[a, b])
+        e = float(np.asarray(comp.ground_illuminance(0.0, 0.0)))
+        assert e == pytest.approx(1200.0)
+
+    def test_diffuse_fraction_weighted(self):
+        a = Sun(ground_lux=1000.0, sky_diffuse_fraction=0.0)
+        b = FluorescentCeiling(ground_lux=1000.0, ripple_depth=0.0)
+        comp = CompositeSource(sources=[a, b])
+        assert comp.diffuse_fraction() == pytest.approx(0.5)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            CompositeSource(sources=[])

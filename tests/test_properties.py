@@ -1,0 +1,194 @@
+"""Property-based tests (hypothesis) on core data structures/invariants."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.channel.trace import SignalTrace
+from repro.dsp.dtw import dtw_distance
+from repro.dsp.filters import moving_average
+from repro.dsp.normalize import min_max_normalize, resample_to_length
+from repro.hardware.adc import Adc
+from repro.optics.geometry import FieldOfView, GroundFootprint, Vec3
+from repro.optics.photometry import lux_to_watts_per_m2, watts_per_m2_to_lux
+from repro.optics.propagation import footprint_kernel
+from repro.tags.codebook import build_max_distance_codebook, hamming_distance
+from repro.tags.encoding import manchester_decode, manchester_encode
+from repro.tags.packet import Packet
+
+bits_strategy = st.lists(st.integers(min_value=0, max_value=1),
+                         min_size=1, max_size=24)
+finite_floats = st.floats(min_value=-1e6, max_value=1e6,
+                          allow_nan=False, allow_infinity=False)
+small_arrays = st.lists(finite_floats, min_size=2, max_size=64)
+
+
+class TestManchesterProperties:
+    @given(bits=bits_strategy)
+    def test_round_trip(self, bits):
+        assert manchester_decode(manchester_encode(bits)) == bits
+
+    @given(bits=bits_strategy)
+    def test_balanced_symbols(self, bits):
+        """Manchester output is DC-balanced: equal HIGH and LOW counts."""
+        symbols = manchester_encode(bits)
+        highs = sum(1 for s in symbols if s.value == "H")
+        assert highs == len(symbols) // 2
+
+    @given(bits=bits_strategy)
+    def test_no_triple_runs(self, bits):
+        """Manchester never produces three identical symbols in a row."""
+        symbols = [s.value for s in manchester_encode(bits)]
+        for i in range(len(symbols) - 2):
+            assert not (symbols[i] == symbols[i + 1] == symbols[i + 2])
+
+
+class TestPacketProperties:
+    @given(bits=bits_strategy,
+           width=st.floats(min_value=1e-3, max_value=0.5,
+                           allow_nan=False))
+    def test_length_formula(self, bits, width):
+        packet = Packet.from_bits(bits, symbol_width_m=width)
+        assert packet.length_m == pytest.approx(
+            (4 + 2 * len(bits)) * width)
+
+    @given(bits=bits_strategy)
+    def test_symbol_string_round_trip(self, bits):
+        packet = Packet.from_bits(bits)
+        recovered = Packet.from_symbol_string(packet.symbol_string())
+        assert recovered.data_bits == packet.data_bits
+
+
+class TestDtwProperties:
+    @given(xs=small_arrays)
+    @settings(max_examples=30, deadline=None)
+    def test_identity(self, xs):
+        arr = np.asarray(xs)
+        assert dtw_distance(arr, arr, band_fraction=None) == 0.0
+
+    @given(xs=small_arrays, ys=small_arrays)
+    @settings(max_examples=30, deadline=None)
+    def test_symmetry(self, xs, ys):
+        a, b = np.asarray(xs), np.asarray(ys)
+        assert dtw_distance(a, b, band_fraction=None) == pytest.approx(
+            dtw_distance(b, a, band_fraction=None), rel=1e-9, abs=1e-9)
+
+    @given(xs=small_arrays, ys=small_arrays)
+    @settings(max_examples=30, deadline=None)
+    def test_non_negative(self, xs, ys):
+        assert dtw_distance(np.asarray(xs), np.asarray(ys),
+                            band_fraction=None) >= 0.0
+
+    @given(xs=small_arrays,
+           shift=st.floats(min_value=-100.0, max_value=100.0,
+                           allow_nan=False))
+    @settings(max_examples=30, deadline=None)
+    def test_shift_both_invariant(self, xs, shift):
+        """Shifting both sequences together changes nothing."""
+        a = np.asarray(xs)
+        assert dtw_distance(a + shift, a + shift,
+                            band_fraction=None) == pytest.approx(0.0)
+
+
+class TestDspProperties:
+    @given(xs=small_arrays,
+           window=st.integers(min_value=1, max_value=15))
+    def test_moving_average_bounded(self, xs, window):
+        """Smoothing never exceeds the input's range."""
+        x = np.asarray(xs)
+        out = moving_average(x, window)
+        assert out.min() >= x.min() - 1e-9
+        assert out.max() <= x.max() + 1e-9
+
+    @given(xs=small_arrays)
+    def test_min_max_into_unit_interval(self, xs):
+        out = min_max_normalize(np.asarray(xs))
+        assert np.all(out >= 0.0)
+        assert np.all(out <= 1.0)
+
+    @given(xs=small_arrays, n=st.integers(min_value=2, max_value=100))
+    def test_resample_preserves_bounds(self, xs, n):
+        x = np.asarray(xs)
+        out = resample_to_length(x, n)
+        assert len(out) == n
+        assert out.min() >= x.min() - 1e-9
+        assert out.max() <= x.max() + 1e-9
+
+
+class TestAdcProperties:
+    @given(v=st.lists(st.floats(min_value=-2.0, max_value=3.0,
+                                allow_nan=False),
+                      min_size=1, max_size=64))
+    def test_codes_in_range(self, v):
+        adc = Adc.mcp3008()
+        codes = adc.convert(np.asarray(v))
+        assert codes.min() >= 0
+        assert codes.max() <= adc.max_code
+
+    @given(a=st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+           b=st.floats(min_value=0.0, max_value=1.0, allow_nan=False))
+    def test_monotone(self, a, b):
+        adc = Adc.mcp3008()
+        ca, cb = adc.convert(np.array([a, b]))
+        if a <= b:
+            assert ca <= cb
+
+
+class TestPhotometryProperties:
+    @given(lux=st.floats(min_value=0.0, max_value=1e6, allow_nan=False))
+    def test_conversion_round_trip(self, lux):
+        assert watts_per_m2_to_lux(
+            lux_to_watts_per_m2(lux)) == pytest.approx(lux, rel=1e-9)
+
+
+class TestGeometryProperties:
+    @given(x=st.floats(min_value=-10, max_value=10, allow_nan=False),
+           y=st.floats(min_value=-10, max_value=10, allow_nan=False),
+           z=st.floats(min_value=-10, max_value=10, allow_nan=False))
+    def test_normalization_unit(self, x, y, z):
+        v = Vec3(x, y, z)
+        if v.norm() > 1e-6:
+            assert v.normalized().norm() == pytest.approx(1.0)
+
+    @given(height=st.floats(min_value=0.05, max_value=3.0,
+                            allow_nan=False),
+           angle=st.floats(min_value=5.0, max_value=120.0,
+                           allow_nan=False))
+    @settings(max_examples=25, deadline=None)
+    def test_kernel_normalised_for_any_geometry(self, height, angle):
+        fov = FieldOfView(angle)
+        radius = GroundFootprint.from_receiver(height, fov).radius
+        kern = footprint_kernel(height, fov, radius / 16.0)
+        assert kern.weights.sum() == pytest.approx(1.0)
+        assert np.all(kern.weights >= 0.0)
+        assert kern.gain > 0.0
+
+
+class TestCodebookProperties:
+    @given(n_bits=st.integers(min_value=2, max_value=6),
+           n_codes=st.integers(min_value=2, max_value=8))
+    @settings(max_examples=25, deadline=None)
+    def test_greedy_codebook_valid(self, n_bits, n_codes):
+        n_codes = min(n_codes, 2**n_bits)
+        book = build_max_distance_codebook(n_bits, n_codes)
+        assert book.size == n_codes
+        assert book.min_distance >= 1
+        # Every pair respects the reported minimum.
+        for i, a in enumerate(book.codes):
+            for b in book.codes[i + 1:]:
+                assert hamming_distance(a, b) >= book.min_distance
+
+
+class TestTraceProperties:
+    @given(xs=st.lists(st.floats(min_value=0.0, max_value=1023.0,
+                                 allow_nan=False),
+                       min_size=2, max_size=128))
+    def test_normalized_trace_invariants(self, xs):
+        trace = SignalTrace(np.asarray(xs), 100.0)
+        norm = trace.normalized()
+        assert len(norm) == len(trace)
+        assert norm.samples.min() >= 0.0
+        assert norm.samples.max() <= 1.0

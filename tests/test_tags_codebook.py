@@ -1,0 +1,86 @@
+"""Tests for repro.tags.codebook (max-Hamming-distance code sets)."""
+
+import pytest
+
+from repro.tags.codebook import (
+    Codebook,
+    build_max_distance_codebook,
+    hamming_distance,
+    min_pairwise_distance,
+)
+
+
+class TestHamming:
+    def test_identical(self):
+        assert hamming_distance([1, 0, 1], [1, 0, 1]) == 0
+
+    def test_all_different(self):
+        assert hamming_distance([0, 0], [1, 1]) == 2
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            hamming_distance([0], [0, 1])
+
+    def test_min_pairwise(self):
+        codes = [(0, 0, 0), (1, 1, 1), (0, 1, 1)]
+        assert min_pairwise_distance(codes) == 1
+
+    def test_min_pairwise_trivial(self):
+        assert min_pairwise_distance([(0, 1)]) == 0
+
+
+class TestCodebook:
+    def test_nearest_classification(self):
+        book = Codebook(codes=((0, 0, 0, 0), (1, 1, 1, 1)), n_bits=4)
+        code, dist = book.nearest((0, 1, 0, 0))
+        assert code == (0, 0, 0, 0)
+        assert dist == 1
+
+    def test_correctable_errors(self):
+        book = Codebook(codes=((0, 0, 0, 0), (1, 1, 1, 1)), n_bits=4)
+        assert book.min_distance == 4
+        assert book.correctable_errors() == 1
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(ValueError):
+            Codebook(codes=((0, 1), (0, 1)), n_bits=2)
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            Codebook(codes=((0, 1, 0),), n_bits=2)
+
+    def test_nonbinary_rejected(self):
+        with pytest.raises(ValueError):
+            Codebook(codes=((0, 2),), n_bits=2)
+
+
+class TestGreedyConstruction:
+    def test_two_codes_are_complements(self):
+        """With 2 codes the greedy picks the all-ones complement."""
+        book = build_max_distance_codebook(n_bits=4, n_codes=2)
+        assert book.min_distance == 4
+
+    def test_fewer_codes_more_distance(self):
+        """Section 4.2: 'far less codes ... inter-Hamming distances are
+        maximized'."""
+        small = build_max_distance_codebook(n_bits=4, n_codes=4)
+        full = build_max_distance_codebook(n_bits=4, n_codes=16)
+        assert small.min_distance > full.min_distance
+
+    def test_requested_size(self):
+        book = build_max_distance_codebook(n_bits=5, n_codes=6)
+        assert book.size == 6
+        assert book.n_bits == 5
+
+    def test_4bit_8codes_distance_two(self):
+        """The extended Hamming-style bound: 8 codes of 4 bits, d = 2."""
+        book = build_max_distance_codebook(n_bits=4, n_codes=8)
+        assert book.min_distance == 2
+
+    def test_infeasible_rejected(self):
+        with pytest.raises(ValueError):
+            build_max_distance_codebook(n_bits=2, n_codes=5)
+
+    def test_too_many_bits_rejected(self):
+        with pytest.raises(ValueError):
+            build_max_distance_codebook(n_bits=32, n_codes=2)

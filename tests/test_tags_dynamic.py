@@ -1,0 +1,98 @@
+"""Tests for repro.tags.dynamic (LCD/e-ink tags — Section 6 extension)."""
+
+import numpy as np
+import pytest
+
+from repro.optics.reflection import OVERHEAD_GEOMETRY
+from repro.tags.dynamic import DynamicTag, DynamicTechnology
+from repro.tags.packet import Packet
+from repro.tags.surface import TagSurface
+
+
+def _packets():
+    return [Packet.from_bitstring("00", symbol_width_m=0.05),
+            Packet.from_bitstring("11", symbol_width_m=0.05)]
+
+
+class TestPassCycling:
+    def test_queue_cycles(self):
+        tag = DynamicTag(packets=_packets())
+        s0 = tag.surface_for_pass()
+        s1 = tag.surface_for_pass()
+        s2 = tag.surface_for_pass()
+        xs = np.linspace(0.0, s0.length_m, 64)
+        p0 = s0.reflectance_samples(xs, OVERHEAD_GEOMETRY)
+        p1 = s1.reflectance_samples(xs, OVERHEAD_GEOMETRY)
+        p2 = s2.reflectance_samples(xs, OVERHEAD_GEOMETRY)
+        assert not np.allclose(p0, p1)   # different payloads
+        assert np.allclose(p0, p2)       # cycle wraps
+
+    def test_explicit_pass_index(self):
+        tag = DynamicTag(packets=_packets())
+        xs = np.linspace(0.0, 0.3, 32)
+        a = tag.surface_for_pass(0).reflectance_samples(xs, OVERHEAD_GEOMETRY)
+        b = tag.surface_for_pass(0).reflectance_samples(xs, OVERHEAD_GEOMETRY)
+        assert np.allclose(a, b)
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(ValueError):
+            DynamicTag(packets=_packets()).surface_for_pass(-1)
+
+    def test_empty_queue_rejected(self):
+        with pytest.raises(ValueError):
+            DynamicTag(packets=[])
+
+
+class TestContrast:
+    def test_dynamic_contrast_below_tape(self):
+        """Switchable surfaces trade contrast for reconfigurability."""
+        static = TagSurface.from_packet(_packets()[0])
+        dynamic = DynamicTag(packets=_packets()).surface_for_pass(0)
+        xs = np.linspace(0.0, static.length_m, 256)
+        static_profile = static.reflectance_samples(xs, OVERHEAD_GEOMETRY)
+        dyn_profile = dynamic.reflectance_samples(xs, OVERHEAD_GEOMETRY)
+        static_contrast = static_profile.max() - static_profile.min()
+        dyn_contrast = dyn_profile.max() - dyn_profile.min()
+        assert 0.0 < dyn_contrast < static_contrast
+
+    def test_lcd_lower_contrast_than_eink(self):
+        eink = DynamicTag(packets=_packets(),
+                          technology=DynamicTechnology.E_INK)
+        lcd = DynamicTag(packets=_packets(),
+                         technology=DynamicTechnology.LCD_SHUTTER)
+        xs = np.linspace(0.0, 0.6, 256)
+        ce = np.ptp(eink.surface_for_pass(0).reflectance_samples(
+            xs, OVERHEAD_GEOMETRY))
+        cl = np.ptp(lcd.surface_for_pass(0).reflectance_samples(
+            xs, OVERHEAD_GEOMETRY))
+        assert cl < ce
+
+
+class TestEnergy:
+    def test_eink_bistable_cheaper_at_long_intervals(self):
+        """'at an increased carbon footprint' — the LCD pays hold power."""
+        eink = DynamicTag(packets=_packets(),
+                          technology=DynamicTechnology.E_INK)
+        lcd = DynamicTag(packets=_packets(),
+                         technology=DynamicTechnology.LCD_SHUTTER)
+        assert (eink.reconfiguration_energy_j(60.0)
+                < lcd.reconfiguration_energy_j(60.0))
+
+    def test_energy_grows_with_interval_for_lcd(self):
+        lcd = DynamicTag(packets=_packets(),
+                         technology=DynamicTechnology.LCD_SHUTTER)
+        assert lcd.reconfiguration_energy_j(10.0) < lcd.reconfiguration_energy_j(100.0)
+
+    def test_invalid_interval(self):
+        with pytest.raises(ValueError):
+            DynamicTag(packets=_packets()).reconfiguration_energy_j(0.0)
+
+
+class TestTechnology:
+    def test_lcd_faster_than_eink(self):
+        assert (DynamicTechnology.LCD_SHUTTER.switch_time_s
+                < DynamicTechnology.E_INK.switch_time_s)
+
+    def test_eink_zero_hold_power(self):
+        assert DynamicTechnology.E_INK.hold_power_w == 0.0
+        assert DynamicTechnology.LCD_SHUTTER.hold_power_w > 0.0

@@ -1,0 +1,81 @@
+"""Tests for repro.tags.encoding (Manchester coding)."""
+
+import pytest
+
+from repro.tags.encoding import (
+    ManchesterError,
+    Symbol,
+    manchester_decode,
+    manchester_encode,
+    symbols_from_string,
+    symbols_to_string,
+)
+
+
+class TestSymbol:
+    def test_inversion(self):
+        assert Symbol.HIGH.inverted() is Symbol.LOW
+        assert Symbol.LOW.inverted() is Symbol.HIGH
+
+
+class TestEncode:
+    def test_paper_mapping(self):
+        """'0' -> HIGH-LOW, '1' -> LOW-HIGH (Section 4, Coding)."""
+        assert manchester_encode([0]) == [Symbol.HIGH, Symbol.LOW]
+        assert manchester_encode([1]) == [Symbol.LOW, Symbol.HIGH]
+
+    def test_fig5_codes(self):
+        assert symbols_to_string(manchester_encode([0, 0])) == "HLHL"
+        assert symbols_to_string(manchester_encode([1, 0])) == "LHHL"
+
+    def test_length_doubles(self):
+        assert len(manchester_encode([0, 1, 1, 0, 1])) == 10
+
+    def test_booleans_accepted(self):
+        assert manchester_encode([True, False]) == manchester_encode([1, 0])
+
+    def test_invalid_bit(self):
+        with pytest.raises(ManchesterError):
+            manchester_encode([2])
+
+
+class TestDecode:
+    def test_round_trip(self):
+        for bits in ([0], [1], [0, 1], [1, 1, 0, 0, 1, 0, 1]):
+            assert manchester_decode(manchester_encode(bits)) == bits
+
+    def test_odd_length_rejected(self):
+        with pytest.raises(ManchesterError):
+            manchester_decode([Symbol.HIGH])
+
+    def test_invalid_pairs_rejected(self):
+        with pytest.raises(ManchesterError):
+            manchester_decode([Symbol.HIGH, Symbol.HIGH])
+        with pytest.raises(ManchesterError):
+            manchester_decode([Symbol.LOW, Symbol.LOW])
+
+    def test_error_message_locates_pair(self):
+        with pytest.raises(ManchesterError, match="symbol 2"):
+            manchester_decode([Symbol.HIGH, Symbol.LOW,
+                               Symbol.LOW, Symbol.LOW])
+
+
+class TestStringParsing:
+    def test_parse_plain(self):
+        assert symbols_from_string("HLHL") == [
+            Symbol.HIGH, Symbol.LOW, Symbol.HIGH, Symbol.LOW]
+
+    def test_parse_paper_notation(self):
+        """The paper writes 'HLHL.LHHL' with a separator dot."""
+        assert len(symbols_from_string("HLHL.LHHL")) == 8
+
+    def test_case_insensitive(self):
+        assert symbols_from_string("hl") == [Symbol.HIGH, Symbol.LOW]
+
+    def test_invalid_character(self):
+        with pytest.raises(ValueError, match="index 1"):
+            symbols_from_string("HXL")
+
+    def test_round_trip_string(self):
+        text = "HLLHHLLH"
+        assert symbols_to_string(symbols_from_string(text)) == text

@@ -1,0 +1,119 @@
+"""Tests for repro.tags.framing (structured payloads + CRC-4)."""
+
+import pytest
+
+from repro.tags.framing import FrameError, FramedPayload, crc4
+
+
+class TestCrc4:
+    def test_deterministic(self):
+        assert crc4("101010") == crc4("101010")
+
+    def test_four_bits(self):
+        for msg in ("0", "1", "10110010", "1" * 20):
+            out = crc4(msg)
+            assert len(out) == 4
+            assert set(out) <= {"0", "1"}
+
+    def test_detects_single_bit_errors(self):
+        msg = "10110010"
+        reference = crc4(msg)
+        for i in range(len(msg)):
+            flipped = msg[:i] + ("1" if msg[i] == "0" else "0") + msg[i + 1:]
+            assert crc4(flipped) != reference
+
+    def test_detects_double_bit_errors(self):
+        msg = "10110010"
+        reference = crc4(msg)
+        n = len(msg)
+        for i in range(n):
+            for j in range(i + 1, n):
+                flipped = list(msg)
+                flipped[i] = "1" if msg[i] == "0" else "0"
+                flipped[j] = "1" if msg[j] == "0" else "0"
+                assert crc4("".join(flipped)) != reference
+
+    def test_invalid_input(self):
+        with pytest.raises(ValueError):
+            crc4("")
+        with pytest.raises(ValueError):
+            crc4("10a")
+
+
+class TestFramedPayload:
+    def test_round_trip(self):
+        frame = FramedPayload(object_id=42, type_code=2)
+        recovered = FramedPayload.from_bits(frame.to_bits())
+        assert recovered == frame
+
+    def test_all_ids_round_trip(self):
+        for object_id in range(2**6):
+            frame = FramedPayload(object_id=object_id, type_code=1)
+            assert FramedPayload.from_bits(frame.to_bits()) == frame
+
+    def test_length(self):
+        frame = FramedPayload(object_id=1, type_code=0, id_bits=8,
+                              type_bits=4)
+        assert frame.n_bits == 16
+        assert len(frame.to_bits()) == 16
+
+    def test_field_overflow_rejected(self):
+        with pytest.raises(ValueError):
+            FramedPayload(object_id=64, type_code=0)  # 6-bit id
+        with pytest.raises(ValueError):
+            FramedPayload(object_id=0, type_code=4)   # 2-bit type
+
+    def test_corruption_detected(self):
+        bits = FramedPayload(object_id=42, type_code=2).to_bits()
+        for i in range(len(bits)):
+            corrupted = bits[:i] + ("1" if bits[i] == "0" else "0") + bits[i + 1:]
+            with pytest.raises(FrameError):
+                FramedPayload.from_bits(corrupted)
+
+    def test_wrong_length_rejected(self):
+        with pytest.raises(FrameError):
+            FramedPayload.from_bits("1010")
+
+    def test_try_from_bits(self):
+        bits = FramedPayload(object_id=3, type_code=1).to_bits()
+        assert FramedPayload.try_from_bits(bits) is not None
+        assert FramedPayload.try_from_bits("0" * 12) is None or \
+            FramedPayload.try_from_bits("0" * 12).object_id == 0
+
+    def test_to_packet(self):
+        frame = FramedPayload(object_id=7, type_code=3)
+        packet = frame.to_packet(symbol_width_m=0.05)
+        assert packet.bit_string() == frame.to_bits()
+        assert packet.symbol_width_m == 0.05
+
+
+class TestFramedOverChannel:
+    def test_frame_survives_the_channel(self):
+        """End to end: frame -> tag -> simulate -> decode -> validate."""
+        from repro.channel.mobility import ConstantSpeed
+        from repro.channel.scene import MovingObject, PassiveScene
+        from repro.channel.simulator import ChannelSimulator, SimulatorConfig
+        from repro.core.decoder import AdaptiveThresholdDecoder
+        from repro.hardware.frontend import ReceiverFrontEnd
+        from repro.hardware.led_receiver import LedReceiver
+        from repro.optics.materials import TARMAC
+        from repro.optics.sources import Sun
+        from repro.tags.surface import TagSurface
+
+        frame = FramedPayload(object_id=42, type_code=2)
+        packet = frame.to_packet(symbol_width_m=0.1)
+        scene = PassiveScene(
+            source=Sun(ground_lux=6200.0), receiver_height_m=0.75,
+            ground=TARMAC,
+            objects=[MovingObject(TagSurface.from_packet(packet),
+                                  ConstantSpeed(5.0, -2.5), "framed")])
+        frontend = ReceiverFrontEnd(detector=LedReceiver.red_5mm(), seed=4)
+        sim = ChannelSimulator(scene, frontend,
+                               SimulatorConfig(sample_rate_hz=2000.0,
+                                               seed=4))
+        result = AdaptiveThresholdDecoder().decode(
+            sim.capture_pass(), n_data_symbols=2 * frame.n_bits)
+        recovered = FramedPayload.try_from_bits(result.bit_string())
+        assert recovered is not None
+        assert recovered.object_id == 42
+        assert recovered.type_code == 2

@@ -1,0 +1,92 @@
+"""Tests for repro.tags.packet (preamble + data format, Fig. 4)."""
+
+import pytest
+
+from repro.tags.encoding import Symbol
+from repro.tags.packet import PREAMBLE, Packet
+
+
+class TestPreamble:
+    def test_fixed_hlhl(self):
+        assert PREAMBLE == (Symbol.HIGH, Symbol.LOW, Symbol.HIGH, Symbol.LOW)
+
+
+class TestConstruction:
+    def test_from_bits(self):
+        p = Packet.from_bits([1, 0], symbol_width_m=0.05)
+        assert p.data_bits == (1, 0)
+        assert p.symbol_width_m == 0.05
+
+    def test_from_bitstring(self):
+        assert Packet.from_bitstring("101").data_bits == (1, 0, 1)
+
+    def test_from_symbol_string_paper_notation(self):
+        p = Packet.from_symbol_string("HLHL.LHHL")
+        assert p.bit_string() == "10"
+
+    def test_symbol_string_round_trip(self):
+        p = Packet.from_bitstring("0110")
+        assert Packet.from_symbol_string(p.symbol_string()).data_bits == p.data_bits
+
+    def test_wrong_preamble_rejected(self):
+        with pytest.raises(ValueError, match="preamble"):
+            Packet.from_symbol_string("LHLH.HLHL")
+
+    def test_empty_data_rejected(self):
+        with pytest.raises(ValueError):
+            Packet.from_symbol_string("HLHL")
+        with pytest.raises(ValueError):
+            Packet.from_bits([])
+
+    def test_invalid_manchester_data_rejected(self):
+        with pytest.raises(ValueError, match="data field"):
+            Packet.from_symbol_string("HLHL.HH")
+
+    def test_invalid_bits_rejected(self):
+        with pytest.raises(ValueError):
+            Packet.from_bitstring("102")
+        with pytest.raises(ValueError):
+            Packet.from_bitstring("")
+
+    def test_non_positive_width_rejected(self):
+        with pytest.raises(ValueError):
+            Packet.from_bitstring("1", symbol_width_m=0.0)
+
+
+class TestLayout:
+    def test_symbol_count(self):
+        """4 preamble + 2N data symbols (Fig. 4)."""
+        assert Packet.from_bitstring("10").n_symbols == 8
+        assert Packet.from_bitstring("1011").n_symbols == 12
+
+    def test_physical_length(self):
+        p = Packet.from_bitstring("10", symbol_width_m=0.03)
+        assert p.length_m == pytest.approx(8 * 0.03)
+
+    def test_symbols_start_with_preamble(self):
+        p = Packet.from_bitstring("11")
+        assert tuple(p.symbols[:4]) == PREAMBLE
+
+    def test_width_change_preserves_payload(self):
+        p = Packet.from_bitstring("01", symbol_width_m=0.03)
+        q = p.with_symbol_width(0.1)
+        assert q.data_bits == p.data_bits
+        assert q.symbol_width_m == 0.1
+
+
+class TestTiming:
+    def test_duration(self):
+        p = Packet.from_bitstring("00", symbol_width_m=0.1)  # 0.8 m
+        assert p.duration_at_speed(5.0) == pytest.approx(0.16)
+
+    def test_symbol_rate_outdoor_case(self):
+        """18 km/h over 10 cm symbols = 50 symbols/s (Section 5.3)."""
+        p = Packet.from_bitstring("00", symbol_width_m=0.1)
+        assert p.symbol_rate_at_speed(5.0) == pytest.approx(50.0)
+
+    def test_non_positive_speed_rejected(self):
+        p = Packet.from_bitstring("1")
+        with pytest.raises(ValueError):
+            p.duration_at_speed(0.0)
+        with pytest.raises(ValueError):
+            p.symbol_rate_at_speed(-1.0)

@@ -1,0 +1,123 @@
+"""Tests for repro.tags.surface (physical tags and composites)."""
+
+import numpy as np
+import pytest
+
+from repro.optics.materials import ALUMINUM_TAPE, BLACK_NAPKIN, WHITE_PAPER
+from repro.optics.reflection import OVERHEAD_GEOMETRY, effective_reflectance
+from repro.tags.packet import Packet
+from repro.tags.surface import CompositeSurface, LinearSurface, Strip, TagSurface
+
+
+class TestStrip:
+    def test_positive_width(self):
+        with pytest.raises(ValueError):
+            Strip(ALUMINUM_TAPE, 0.0)
+
+
+class TestTagSurface:
+    def test_from_packet_strip_count(self):
+        p = Packet.from_bitstring("10", symbol_width_m=0.03)
+        tag = TagSurface.from_packet(p)
+        assert tag.symbol_count() == p.n_symbols
+        assert tag.length_m == pytest.approx(p.length_m)
+
+    def test_min_feature(self):
+        p = Packet.from_bitstring("10", symbol_width_m=0.04)
+        assert TagSurface.from_packet(p).min_feature_m == pytest.approx(0.04)
+
+    def test_material_mapping(self):
+        p = Packet.from_bitstring("0", symbol_width_m=0.03)
+        tag = TagSurface.from_packet(p)
+        # Preamble H L H L, then data HL: positions at strip centres.
+        assert tag.material_at(0.015) is ALUMINUM_TAPE   # H
+        assert tag.material_at(0.045) is BLACK_NAPKIN    # L
+
+    def test_material_outside_is_none(self):
+        p = Packet.from_bitstring("0", symbol_width_m=0.03)
+        tag = TagSurface.from_packet(p)
+        assert tag.material_at(-0.01) is None
+        assert tag.material_at(tag.length_m + 0.01) is None
+
+    def test_custom_materials(self):
+        p = Packet.from_bitstring("0", symbol_width_m=0.03)
+        tag = TagSurface.from_packet(p, high_material=WHITE_PAPER)
+        assert tag.material_at(0.015) is WHITE_PAPER
+
+    def test_reflectance_profile_values(self):
+        p = Packet.from_bitstring("0", symbol_width_m=0.03)
+        tag = TagSurface.from_packet(p)
+        high = effective_reflectance(ALUMINUM_TAPE, OVERHEAD_GEOMETRY)
+        low = effective_reflectance(BLACK_NAPKIN, OVERHEAD_GEOMETRY)
+        xs = np.array([0.015, 0.045, 0.075, 0.105])
+        profile = tag.reflectance_samples(xs, OVERHEAD_GEOMETRY)
+        assert profile[0] == pytest.approx(high)
+        assert profile[1] == pytest.approx(low)
+        assert profile[2] == pytest.approx(high)
+        assert profile[3] == pytest.approx(low)
+
+    def test_profile_zero_outside(self):
+        p = Packet.from_bitstring("0", symbol_width_m=0.03)
+        tag = TagSurface.from_packet(p)
+        xs = np.array([-0.1, tag.length_m + 0.1])
+        assert np.all(tag.reflectance_samples(xs, OVERHEAD_GEOMETRY) == 0.0)
+
+    def test_degraded_lowers_contrast(self):
+        p = Packet.from_bitstring("0", symbol_width_m=0.03)
+        tag = TagSurface.from_packet(p)
+        dirty = tag.degraded(0.6)
+        xs = np.array([0.015])
+        assert (dirty.reflectance_samples(xs, OVERHEAD_GEOMETRY)[0]
+                < tag.reflectance_samples(xs, OVERHEAD_GEOMETRY)[0])
+
+    def test_satisfies_protocol(self):
+        p = Packet.from_bitstring("0")
+        assert isinstance(TagSurface.from_packet(p), LinearSurface)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            TagSurface(strips=[])
+
+
+class TestCompositeSurface:
+    def _tag(self, bits="0", width=0.1):
+        return TagSurface.from_packet(
+            Packet.from_bitstring(bits, symbol_width_m=width))
+
+    def test_total_length_default(self):
+        tag = self._tag()
+        comp = CompositeSurface(parts=[(0.5, tag)])
+        assert comp.length_m == pytest.approx(0.5 + tag.length_m)
+
+    def test_later_parts_override(self):
+        base = self._tag("0", 0.1)          # H at [0, 0.1)
+        overlay = self._tag("1", 0.05)      # different pattern
+        comp = CompositeSurface(parts=[(0.0, base), (0.0, overlay)])
+        xs = np.array([0.025])
+        expected = overlay.reflectance_samples(xs, OVERHEAD_GEOMETRY)
+        assert np.allclose(
+            comp.reflectance_samples(xs, OVERHEAD_GEOMETRY), expected)
+
+    def test_base_reflectance_in_gaps(self):
+        tag = self._tag()
+        comp = CompositeSurface(parts=[(1.0, tag)], base_reflectance=0.02)
+        assert comp.reflectance_samples(
+            np.array([0.5]), OVERHEAD_GEOMETRY)[0] == pytest.approx(0.02)
+
+    def test_min_feature_from_parts(self):
+        comp = CompositeSurface(parts=[(0.0, self._tag("0", 0.1)),
+                                       (2.0, self._tag("0", 0.03))])
+        assert comp.min_feature_m == pytest.approx(0.03)
+
+    def test_too_short_total_rejected(self):
+        tag = self._tag()
+        with pytest.raises(ValueError):
+            CompositeSurface(parts=[(1.0, tag)], total_length_m=0.5)
+
+    def test_negative_offset_rejected(self):
+        with pytest.raises(ValueError):
+            CompositeSurface(parts=[(-0.1, self._tag())])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            CompositeSurface(parts=[])

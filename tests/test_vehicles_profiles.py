@@ -1,0 +1,112 @@
+"""Tests for repro.vehicles.profiles."""
+
+import numpy as np
+import pytest
+
+from repro.optics.geometry import Vec3
+from repro.optics.materials import CAR_GLASS, CAR_PAINT_METAL
+from repro.optics.reflection import OVERHEAD_GEOMETRY, IlluminationGeometry
+from repro.vehicles.profiles import (
+    CAR_LIBRARY,
+    CarProfile,
+    CarSegment,
+    bmw_3_series,
+    car_by_name,
+    volvo_v40,
+)
+
+
+class TestSegments:
+    def test_positive_length(self):
+        with pytest.raises(ValueError):
+            CarSegment("hood", CAR_PAINT_METAL, 0.0)
+
+    def test_profile_needs_segments(self):
+        with pytest.raises(ValueError):
+            CarProfile(model="empty", segments=[])
+
+
+class TestLibraryCars:
+    def test_realistic_lengths(self):
+        for car in (volvo_v40(), bmw_3_series()):
+            assert 3.5 < car.length_m < 5.5
+
+    def test_volvo_is_hatchback(self):
+        """Fig. 13: long rear glass, only a short tail lip."""
+        volvo = volvo_v40()
+        rw_start, rw_end = volvo.segment_span("rear_window")
+        lip_start, lip_end = volvo.segment_span("tailgate_lip")
+        assert (rw_end - rw_start) > 2 * (lip_end - lip_start)
+
+    def test_bmw_is_sedan(self):
+        """Fig. 14: a long trunk deck produces the E peak."""
+        bmw = bmw_3_series()
+        t_start, t_end = bmw.segment_span("trunk")
+        assert (t_end - t_start) > 0.8
+
+    def test_metal_glass_alternation(self):
+        for car in (volvo_v40(), bmw_3_series()):
+            kinds = [seg.material.name for seg in car.segments]
+            for i in range(len(kinds) - 1):
+                assert kinds[i] != kinds[i + 1], "segments must alternate"
+
+    def test_segment_lookup(self):
+        volvo = volvo_v40()
+        start, end = volvo.segment_span("hood")
+        assert start == 0.0
+        assert end == pytest.approx(0.95)
+        with pytest.raises(KeyError):
+            volvo.segment_span("spoiler")
+
+    def test_segment_at(self):
+        volvo = volvo_v40()
+        assert volvo.segment_at(0.5).name == "hood"
+        assert volvo.segment_at(1.2).name == "windshield"
+        assert volvo.segment_at(-0.1) is None
+        assert volvo.segment_at(volvo.length_m + 1.0) is None
+
+    def test_metal_and_glass_lists(self):
+        bmw = bmw_3_series()
+        assert "hood" in bmw.metal_segments()
+        assert "windshield" in bmw.glass_segments()
+
+    def test_min_feature(self):
+        volvo = volvo_v40()
+        assert volvo.min_feature_m == pytest.approx(0.25)
+
+
+#: Cloudy 45-degree sun — the Section 5 illumination.  Exactly-overhead
+#: collimated light is the degenerate retro-glint case where flat glass
+#: mirrors the source straight back; real scenes never sit there.
+SUN_45 = IlluminationGeometry(
+    incident_direction=Vec3(1.0, 0.0, -1.0).normalized(),
+    view_direction=Vec3(0.0, 0.0, 1.0),
+    diffuse_fraction=0.6,
+)
+
+
+class TestReflectanceProfile:
+    def test_metal_brighter_than_glass(self):
+        volvo = volvo_v40()
+        xs = np.array([0.5, 1.2])  # hood (metal), windshield (glass)
+        rho = volvo.reflectance_samples(xs, SUN_45)
+        assert rho[0] > 2 * rho[1]
+
+    def test_zero_outside(self):
+        volvo = volvo_v40()
+        rho = volvo.reflectance_samples(np.array([-1.0, 10.0]), SUN_45)
+        assert np.all(rho == 0.0)
+
+
+class TestLibraryLookup:
+    def test_by_name(self):
+        assert car_by_name("volvo_v40").model == "Volvo V40"
+        assert car_by_name("bmw_3_series").model == "BMW 3 series"
+
+    def test_unknown_lists_known(self):
+        with pytest.raises(KeyError, match="volvo_v40"):
+            car_by_name("tesla_model_s")
+
+    def test_library_builds_fresh_instances(self):
+        assert car_by_name("volvo_v40") is not car_by_name("volvo_v40")
+        assert set(CAR_LIBRARY) == {"volvo_v40", "bmw_3_series"}
