@@ -4,21 +4,28 @@ The paper reports two operating points for the RX-LED at 25 cm: works
 at 450 lux, fails at 100 lux.  This bench sweeps the noise floor across
 the whole range and locates the decode cliff, checking that the paper's
 two points straddle it.
+
+The sweep is a (noise floor x seed) grid executed through the
+``repro.engine`` batch runner instead of a hand-rolled seed loop.
 """
 
-from repro.analysis.waterfall import noise_floor_waterfall
-from repro.hardware.frontend import ReceiverFrontEnd
-from repro.hardware.led_receiver import LedReceiver
+from repro.analysis.experiments import outdoor_tag_spec
+from repro.analysis.waterfall import WaterfallCurve, WaterfallPoint
+from repro.engine import BatchRunner, expand_grid, success_rate_by
 
 
 def test_ablation_noise_floor_waterfall(benchmark):
     levels = [3000.0, 1000.0, 450.0, 250.0, 100.0, 50.0]
+    specs = expand_grid(outdoor_tag_spec("00", levels[0], 0.25),
+                        {"ground_lux": levels, "seed": [2, 3, 4, 5, 6]})
+    runner = BatchRunner(workers=2)
 
     def run():
-        return noise_floor_waterfall(
-            lambda seed: ReceiverFrontEnd(detector=LedReceiver.red_5mm(),
-                                          seed=seed),
-            lux_levels=levels, height_m=0.25, seeds=(2, 3, 4, 5, 6))
+        rates = success_rate_by(runner.run(specs).records, "ground_lux")
+        return WaterfallCurve(
+            parameter="noise floor (lux)",
+            points=[WaterfallPoint(stress=lux, decode_rate=rates[lux])
+                    for lux in levels])
 
     curve = benchmark.pedantic(run, rounds=1, iterations=1)
     print()

@@ -4,15 +4,22 @@ Paper: with the tag at 18 km/h and the receiver at 25 cm, the RX-LED
 decodes at a 450 lux noise floor but fails at 100 lux — the system
 harnesses ambient light, and too little of it leaves nothing to
 modulate.
+
+The ten seeded passes (2 noise floors x 5 seeds) execute as one batch
+through the ``repro.engine`` worker pool.
 """
 
 from repro.analysis.experiments import experiment_fig15
+from repro.engine import BatchRunner
 
 from conftest import report
 
 
 def test_fig15_led_noise_floor_threshold(benchmark):
-    result = benchmark.pedantic(experiment_fig15, rounds=1, iterations=1)
+    def run():
+        return experiment_fig15(runner=BatchRunner(workers=2))
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
     report(result)
     assert result.passed, result.report()
     assert result.measured["decode_rate_at_450lux"] >= 0.6

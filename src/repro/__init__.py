@@ -30,6 +30,20 @@ Subpackages:
 * ``repro.vehicles``  — car optical signatures (Section 5)
 * ``repro.net``       — networked receivers (Section 6 future work)
 * ``repro.analysis``  — metrics, sweeps, per-figure experiments
+* ``repro.engine``    — batched, parallel scenario execution with a
+  content-hash result cache and the ``repro-engine`` CLI
+
+Scenario grids run through the engine::
+
+    from repro.engine import BatchRunner, ScenarioSpec, expand_grid
+
+    template = ScenarioSpec(source="sun", detector="led", cap=False,
+                            ground="tarmac", bits="00",
+                            symbol_width_m=0.1, speed_mps=5.0,
+                            receiver_height_m=0.25)
+    specs = expand_grid(template, {"ground_lux": [100.0, 450.0, 6200.0],
+                                   "seed": [2, 3, 4, 5, 6]})
+    result = BatchRunner.local().run(specs)
 """
 
 from .channel import (
@@ -47,6 +61,13 @@ from .core import (
     DualReceiverController,
     PassiveLink,
     ReceiverPipeline,
+)
+from .engine import (
+    BatchRunner,
+    ResultCache,
+    RunRecord,
+    ScenarioSpec,
+    expand_grid,
 )
 from .hardware import (
     EvaluationBoard,
@@ -67,7 +88,7 @@ from .optics import (
 )
 from .tags import Packet, TagSurface
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "__version__",
@@ -77,6 +98,9 @@ __all__ = [
     # core
     "AdaptiveThresholdDecoder", "CollisionAnalyzer", "DtwClassifier",
     "DualReceiverController", "PassiveLink", "ReceiverPipeline",
+    # engine
+    "BatchRunner", "ResultCache", "RunRecord", "ScenarioSpec",
+    "expand_grid",
     # hardware
     "EvaluationBoard", "FovCap", "LedReceiver", "PdGain", "Photodiode",
     "ReceiverFrontEnd",

@@ -28,6 +28,7 @@ from ..core.collision import CollisionAnalyzer
 from ..core.decoder import AdaptiveThresholdDecoder
 from ..core.errors import DecodeError, PreambleNotFoundError
 from ..core.receiver_select import DualReceiverController
+from ..engine import BatchRunner, ScenarioSpec, expand_grid, success_rate_by
 from ..hardware.frontend import FovCap, ReceiverFrontEnd
 from ..hardware.led_receiver import LedReceiver
 from ..hardware.photodiode import PdGain, Photodiode, normalized_sensitivity
@@ -192,14 +193,36 @@ def _decode_ok(trace: SignalTrace, packet: Packet,
     return result.bit_string() == packet.bit_string()
 
 
-def _majority_outdoor_tag(bits: str, lux: float, height: float,
-                          receiver_factory, seeds=(2, 3, 4, 5, 6)) -> float:
-    wins = 0
-    for seed in seeds:
-        trace, packet = outdoor_tag_capture(bits, lux, height,
-                                            receiver_factory(), seed=seed)
-        wins += _decode_ok(trace, packet)
-    return wins / len(seeds)
+def outdoor_tag_spec(bits: str, noise_floor_lux: float,
+                     height_m: float) -> ScenarioSpec:
+    """Engine spec for a bare tag passing outdoors under the RX-LED.
+
+    Matches :func:`outdoor_tag_capture` + the adaptive decoder exactly
+    (same sun, tarmac, 18 km/h pass from -1.5 m, 2 kS/s).
+    """
+    return ScenarioSpec(
+        bits=bits,
+        symbol_width_m=CAR_SYMBOL_WIDTH_M,
+        receiver_height_m=height_m,
+        speed_mps=CAR_SPEED_MPS,
+        source="sun",
+        ground_lux=noise_floor_lux,
+        detector="led",
+        cap=False,
+        ground="tarmac",
+        start_position_m=-1.5,
+        sample_rate_hz=OUTDOOR_SAMPLE_RATE_HZ,
+    )
+
+
+def outdoor_car_spec(bits: str, noise_floor_lux: float, height_m: float,
+                     car: str = "volvo_v40") -> ScenarioSpec:
+    """Engine spec for a tagged car decoded with the two-phase decoder.
+
+    Matches :func:`outdoor_car_capture` + :class:`TwoPhaseDecoder`.
+    """
+    return outdoor_tag_spec(bits, noise_floor_lux, height_m).replace(
+        car=car, decoder="two_phase")
 
 
 # ----------------------------------------------------------------------
@@ -638,11 +661,15 @@ def experiment_fig14(seed: int = 3) -> ExperimentResult:
 # Section 5.2 — Figs. 15-16 (mild illumination)
 # ----------------------------------------------------------------------
 
-def experiment_fig15(seeds=(2, 3, 4, 5, 6)) -> ExperimentResult:
+def experiment_fig15(seeds=(2, 3, 4, 5, 6),
+                     runner: BatchRunner | None = None) -> ExperimentResult:
     """Fig. 15: RX-LED at h = 25 cm works at 450 lux, fails at 100 lux."""
-    make_led = lambda: ReceiverFrontEnd(detector=LedReceiver.red_5mm())
-    rate_450 = _majority_outdoor_tag("00", 450.0, 0.25, make_led, seeds)
-    rate_100 = _majority_outdoor_tag("00", 100.0, 0.25, make_led, seeds)
+    runner = runner or BatchRunner()
+    specs = expand_grid(outdoor_tag_spec("00", 450.0, 0.25),
+                        {"ground_lux": [450.0, 100.0],
+                         "seed": list(seeds)})
+    rates = success_rate_by(runner.run(specs).records, "ground_lux")
+    rate_450, rate_100 = rates[450.0], rates[100.0]
     passed = rate_450 >= 0.6 and rate_100 <= 0.2
     return ExperimentResult(
         experiment_id="fig15",
@@ -658,22 +685,16 @@ def experiment_fig15(seeds=(2, 3, 4, 5, 6)) -> ExperimentResult:
     )
 
 
-def experiment_fig16(seeds=(2, 3, 4, 5, 6)) -> ExperimentResult:
+def experiment_fig16(seeds=(2, 3, 4, 5, 6),
+                     runner: BatchRunner | None = None) -> ExperimentResult:
     """Fig. 16: PD(G2) at 100 lux fails bare, works with the FoV cap."""
-    decoder = TwoPhaseDecoder()
-    results = {"no_cap": 0, "with_cap": 0}
-    for seed in seeds:
-        for label, cap in (("no_cap", None), ("with_cap", FovCap.paper_cap())):
-            receiver = ReceiverFrontEnd(
-                detector=Photodiode.opt101(gain=PdGain.G2), cap=cap,
-                seed=seed)
-            trace, packet = outdoor_car_capture("00", 100.0, 0.25, receiver,
-                                                seed=seed)
-            res = decoder.try_decode(trace, n_data_symbols=4)
-            if res is not None and res.bit_string() == "00":
-                results[label] += 1
-    rate_nocap = results["no_cap"] / len(seeds)
-    rate_cap = results["with_cap"] / len(seeds)
+    runner = runner or BatchRunner()
+    template = outdoor_car_spec("00", 100.0, 0.25).replace(
+        detector="pd", pd_gain="G2")
+    specs = expand_grid(template, {"cap": [False, True],
+                                   "seed": list(seeds)})
+    rates = success_rate_by(runner.run(specs).records, "cap")
+    rate_nocap, rate_cap = rates[False], rates[True]
     passed = rate_nocap <= 0.2 and rate_cap >= 0.6
     return ExperimentResult(
         experiment_id="fig16",
@@ -695,27 +716,27 @@ def experiment_fig16(seeds=(2, 3, 4, 5, 6)) -> ExperimentResult:
 # Section 5.3 — Fig. 17 (well illuminated)
 # ----------------------------------------------------------------------
 
-def experiment_fig17(seeds=(2, 3, 4, 5, 6)) -> ExperimentResult:
+def experiment_fig17(seeds=(2, 3, 4, 5, 6),
+                     runner: BatchRunner | None = None) -> ExperimentResult:
     """Fig. 17: RX-LED outdoors — three decodable configurations."""
-    decoder = TwoPhaseDecoder()
+    runner = runner or BatchRunner()
     configs = {
         "a_6200lux_h75cm_code00": (6200.0, 0.75, "00"),
         "b_3700lux_h100cm_code00": (3700.0, 1.00, "00"),
         "c_5500lux_h100cm_code10": (5500.0, 1.00, "10"),
     }
+    # One flat batch across all configurations and seeds: the engine
+    # runs (and caches) the 15 passes together instead of 15 serial
+    # simulator builds.
+    specs = [outdoor_car_spec(bits, lux, height).replace(seed=seed)
+             for (lux, height, bits) in configs.values()
+             for seed in seeds]
+    records = runner.run(specs).records
     measured: dict[str, Any] = {}
     rates: dict[str, float] = {}
-    for label, (lux, height, bits) in configs.items():
-        wins = 0
-        for seed in seeds:
-            receiver = ReceiverFrontEnd(detector=LedReceiver.red_5mm(),
-                                        seed=seed)
-            trace, packet = outdoor_car_capture(bits, lux, height, receiver,
-                                                seed=seed)
-            res = decoder.try_decode(trace, n_data_symbols=2 * len(bits))
-            if res is not None and res.bit_string() == bits:
-                wins += 1
-        rates[label] = wins / len(seeds)
+    for k, label in enumerate(configs):
+        batch = records[k * len(seeds):(k + 1) * len(seeds)]
+        rates[label] = sum(r.success for r in batch) / len(seeds)
         measured[f"decode_rate_{label}"] = rates[label]
     symbol_rate = CAR_SPEED_MPS / CAR_SYMBOL_WIDTH_M
     measured["throughput_sps"] = symbol_rate

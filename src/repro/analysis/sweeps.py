@@ -1,9 +1,15 @@
-"""Parameter-sweep engine for the Fig. 6 capacity maps.
+"""Parameter sweeps for the Fig. 6 capacity maps.
 
 The Fig. 6 experiments sweep emitter/receiver height against symbol
 width, probing decodability at each grid point (paper: heights 20-55 cm,
-widths 1.5-7.5 cm, speed 8 cm/s).  The engine reuses the single-point
-probes in :mod:`repro.core.capacity`.
+widths 1.5-7.5 cm, speed 8 cm/s).  Grid sweeps execute through
+:mod:`repro.engine` — every (height, width, seed) cell becomes a
+:class:`~repro.engine.ScenarioSpec` and runs through a
+:class:`~repro.engine.BatchRunner`, so sweeps parallelize across cores
+and repeated sweeps hit the engine's result cache.  The bisection-based
+frontier searches reuse the sequential single-point probes in
+:mod:`repro.core.capacity` (each probe depends on the previous verdict,
+so there is nothing to batch).
 """
 
 from __future__ import annotations
@@ -12,14 +18,37 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..core.capacity import (
-    IndoorSetup,
-    min_decodable_width,
-    probe_decodable,
-)
+from ..core.capacity import IndoorSetup, min_decodable_width
+from ..engine import BatchRunner, ScenarioSpec, expand_grid
 
-__all__ = ["DecodabilityGrid", "sweep_decodability",
+__all__ = ["DecodabilityGrid", "probe_spec", "sweep_decodability",
            "sweep_frontier", "sweep_throughput"]
+
+
+def probe_spec(setup: IndoorSetup, height_m: float, symbol_width_m: float,
+               seed: int, speed_mps: float | None = None) -> ScenarioSpec:
+    """The engine spec equivalent to one dark-room decodability probe.
+
+    Reproduces :func:`repro.core.capacity.probe_decodable`'s scene
+    exactly — same lamp, start margin, sampling rule, decoder and seed —
+    so engine-run grids agree with the sequential probes cell for cell.
+    """
+    speed = speed_mps if speed_mps is not None else setup.speed_mps
+    return ScenarioSpec(
+        bits=setup.data_bits,
+        symbol_width_m=symbol_width_m,
+        receiver_height_m=height_m,
+        speed_mps=speed,
+        source="led_lamp",
+        lamp_intensity_cd=setup.lamp_intensity_cd,
+        lamp_offset_m=setup.lamp_offset_m,
+        detector="pd",
+        pd_gain=setup.pd_gain.name,
+        cap=True,
+        sample_rate_hz=setup.sample_rate_hz(symbol_width_m, speed),
+        threshold_rule=setup.threshold_rule,
+        seed=seed,
+    )
 
 
 @dataclass
@@ -67,25 +96,44 @@ class DecodabilityGrid:
 
 def sweep_decodability(setup: IndoorSetup,
                        heights_m: np.ndarray,
-                       widths_m: np.ndarray) -> DecodabilityGrid:
-    """Probe every (height, width) grid point.
+                       widths_m: np.ndarray,
+                       runner: BatchRunner | None = None,
+                       ) -> DecodabilityGrid:
+    """Probe every (height, width) grid point through the engine.
 
-    Exploits monotonicity within a column: once a width fails at some
-    height, greater heights are not probed (assumed undecodable), which
-    cuts the sweep cost roughly in half.
+    Every cell fans out into one scenario per noise seed; the whole
+    (height x width x seed) batch executes through ``runner`` — pass a
+    parallel, cached :class:`~repro.engine.BatchRunner` to spread the
+    sweep across cores and make repeated sweeps near-free.  A cell is
+    decodable when the majority of its seeds recover the exact payload
+    (the same vote :func:`repro.core.capacity.probe_decodable` takes).
+
+    The default runner spreads the batch over every core — unlike the
+    old serial loop, the full grid is probed (no monotonicity
+    early-exit), so parallelism is what keeps the sweep cheap.
     """
     heights = np.sort(np.asarray(heights_m, dtype=float))
     widths = np.sort(np.asarray(widths_m, dtype=float))
     if len(heights) == 0 or len(widths) == 0:
         raise ValueError("sweep grids must be non-empty")
+    runner = runner or BatchRunner.local()
+    specs = []
+    for width in widths:
+        # The sampling rate follows the symbol width, so the grid is
+        # expanded per column with (height x seed) as the inner axes.
+        specs.extend(expand_grid(
+            probe_spec(setup, heights[0], float(width), setup.seeds[0]),
+            {"receiver_height_m": [float(h) for h in heights],
+             "seed": list(setup.seeds)}))
+    records = runner.run(specs).records
     grid = np.zeros((len(heights), len(widths)), dtype=bool)
-    for j, width in enumerate(widths):
-        for i, height in enumerate(heights):
-            ok = probe_decodable(setup, float(height), float(width))
-            grid[i, j] = ok
-            if not ok and i > 0 and grid[i - 1, j]:
-                # Past the frontier: deeper probes would all fail.
-                break
+    n_seeds = len(setup.seeds)
+    index = 0
+    for j in range(len(widths)):
+        for i in range(len(heights)):
+            cell = records[index:index + n_seeds]
+            index += n_seeds
+            grid[i, j] = sum(r.success for r in cell) * 2 > n_seeds
     return DecodabilityGrid(heights_m=heights, widths_m=widths,
                             decodable=grid)
 

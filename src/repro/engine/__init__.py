@@ -1,0 +1,56 @@
+"""repro.engine — batched, parallel scenario-execution runtime.
+
+The engine turns the reproduction from a bag of figure scripts into a
+service-shaped system:
+
+* :class:`ScenarioSpec` — one channel scenario as declarative data,
+  with :func:`expand_grid` fanning a template out over parameter axes;
+* :class:`BatchRunner` — executes scenario batches serially or across a
+  process pool, with deterministic per-scenario seeds (``workers=N`` is
+  byte-identical to ``workers=1``);
+* :class:`ResultCache` — content-hash result store on disk, so repeated
+  sweeps are near-free;
+* :mod:`repro.engine.report` — decode-rate aggregation over records;
+* the ``repro-engine`` CLI (:mod:`repro.engine.cli`) — run / sweep /
+  report from the shell.
+
+Quickstart::
+
+    from repro.engine import BatchRunner, ScenarioSpec, expand_grid
+
+    template = ScenarioSpec(source="sun", detector="led", cap=False,
+                            ground="tarmac", bits="00",
+                            symbol_width_m=0.1, speed_mps=5.0,
+                            receiver_height_m=0.25)
+    specs = expand_grid(template, {"ground_lux": [100.0, 450.0, 6200.0],
+                                   "seed": [2, 3, 4, 5, 6]})
+    result = BatchRunner(workers=4).run(specs)
+    print(result.success_rate())
+"""
+
+from .cache import CacheStats, ResultCache
+from .executor import (
+    build_frontend,
+    build_scene,
+    build_simulator,
+    execute_scenario,
+)
+from .records import RunRecord
+from .report import (
+    group_table,
+    mean_ber,
+    stage_counts,
+    success_rate,
+    success_rate_by,
+    summarize,
+)
+from .runner import BatchResult, BatchRunner, RunStats, run_grid
+from .spec import GridSpec, ScenarioSpec, expand_grid, grid_size
+
+__all__ = [
+    "BatchResult", "BatchRunner", "CacheStats", "GridSpec", "ResultCache",
+    "RunRecord", "RunStats", "ScenarioSpec",
+    "build_frontend", "build_scene", "build_simulator", "execute_scenario",
+    "expand_grid", "grid_size", "group_table", "mean_ber", "run_grid",
+    "stage_counts", "success_rate", "success_rate_by", "summarize",
+]

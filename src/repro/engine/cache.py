@@ -1,0 +1,102 @@
+"""Content-addressed result cache.
+
+Records are stored one JSON file per resolved-spec hash, sharded by the
+first two hex digits (``<root>/ab/<hash>.json``) so directories stay
+small even for hundred-thousand-scenario sweeps.  Writes are atomic
+(temp file + rename), which makes the cache safe to share between the
+parallel workers of several concurrent sweeps: a reader either sees a
+complete record or a miss, never a torn file.
+
+Any spec change — a different seed, a nudged height, a new decoder —
+changes the content hash and therefore misses the cache; stale entries
+are never returned, only orphaned (and reclaimable via :meth:`clear`).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from .records import RunRecord
+
+__all__ = ["CacheStats", "ResultCache"]
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss accounting for one cache instance's lifetime.
+
+    Attributes:
+        hits: lookups that returned a record.
+        misses: lookups that found nothing (or an unreadable file).
+        writes: records persisted.
+    """
+
+    hits: int = 0
+    misses: int = 0
+    writes: int = 0
+
+
+class ResultCache:
+    """Disk-backed spec-hash -> :class:`RunRecord` store."""
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.stats = CacheStats()
+
+    def _path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> RunRecord | None:
+        """The cached record for a spec hash, or None.
+
+        Corrupt or half-written files count as misses rather than
+        errors — the scenario simply re-executes and overwrites them.
+        """
+        path = self._path(key)
+        try:
+            data = json.loads(path.read_text())
+            record = RunRecord.from_dict(data)
+        except (OSError, ValueError, TypeError):
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return record
+
+    def put(self, record: RunRecord) -> None:
+        """Persist a record atomically under its spec hash."""
+        path = self._path(record.spec_hash)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(record.to_dict(), handle)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        self.stats.writes += 1
+
+    def __contains__(self, key: str) -> bool:
+        return self._path(key).exists()
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob("??/*.json"))
+
+    def clear(self) -> int:
+        """Delete every cached record; returns how many were removed."""
+        removed = 0
+        for path in self.root.glob("??/*.json"):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed

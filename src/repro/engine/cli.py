@@ -1,0 +1,228 @@
+"""``repro-engine`` — the engine's command-line entry point.
+
+Three subcommands::
+
+    repro-engine run   --set source=sun --set detector=led --set cap=false \\
+                       --set bits=00 --set receiver_height_m=0.25
+    repro-engine sweep --set source=sun --set detector=led --set cap=false \\
+                       --axis ground_lux=100,450,3700,6200 --axis seed=2,3,4 \\
+                       --workers 4 --cache-dir .engine-cache --out runs.jsonl
+    repro-engine report runs.jsonl --group-by ground_lux
+
+``run`` executes a single scenario and prints its record as JSON.
+``sweep`` expands a grid (template + axes) through the batch runner.
+``report`` re-reads a results file and summarizes it; records embed
+their spec, so any spec field works for ``--group-by``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Any, Sequence
+
+from .cache import ResultCache
+from .records import RunRecord
+from .report import group_table, summarize
+from .runner import BatchRunner
+from .spec import GridSpec, ScenarioSpec, expand_grid
+
+__all__ = ["main", "build_parser"]
+
+
+_BOOL_FIELDS = {"cap", "include_noise"}
+_INT_FIELDS = {"seed"}
+_STR_FIELDS = {"bits", "source", "detector", "pd_gain", "ground", "car",
+               "decoder", "threshold_rule"}
+_NONEABLE = {"seed", "car", "visibility_m", "start_position_m",
+             "sample_rate_hz"}
+
+
+def _coerce(name: str, text: str) -> Any:
+    """Parse one CLI value into the spec field's native type."""
+    if name in _NONEABLE and text.lower() in ("none", "null", "auto"):
+        return None
+    if name in _BOOL_FIELDS:
+        lowered = text.lower()
+        if lowered in ("1", "true", "yes", "on"):
+            return True
+        if lowered in ("0", "false", "no", "off"):
+            return False
+        raise ValueError(f"{name} expects a boolean, got {text!r}")
+    if name in _INT_FIELDS:
+        return int(text)
+    if name in _STR_FIELDS:
+        return text
+    return float(text)
+
+
+def _parse_sets(pairs: Sequence[str]) -> dict[str, Any]:
+    updates: dict[str, Any] = {}
+    for pair in pairs:
+        if "=" not in pair:
+            raise ValueError(f"--set expects field=value, got {pair!r}")
+        name, text = pair.split("=", 1)
+        updates[name.strip()] = _coerce(name.strip(), text)
+    return updates
+
+
+def _parse_axis(pair: str) -> tuple[str, list[Any]]:
+    """``name=v1,v2,...`` or ``name=lo:hi:n`` (inclusive linspace)."""
+    if "=" not in pair:
+        raise ValueError(f"--axis expects name=values, got {pair!r}")
+    name, text = pair.split("=", 1)
+    name = name.strip()
+    if ":" in text:
+        lo_s, hi_s, n_s = text.split(":")
+        lo, hi, n = float(lo_s), float(hi_s), int(n_s)
+        if n < 1:
+            raise ValueError(f"axis {name!r} needs >= 1 points, got {n}")
+        if n == 1:
+            values: list[Any] = [lo]
+        else:
+            step = (hi - lo) / (n - 1)
+            values = [lo + step * i for i in range(n)]
+        if name in _INT_FIELDS:
+            values = [int(round(v)) for v in values]
+        return name, values
+    return name, [_coerce(name, item) for item in text.split(",") if item]
+
+
+def _load_template(args: argparse.Namespace) -> ScenarioSpec:
+    template = ScenarioSpec()
+    if getattr(args, "spec", None):
+        template = ScenarioSpec.from_dict(
+            json.loads(Path(args.spec).read_text()))
+    overrides = _parse_sets(args.set or [])
+    return template.replace(**overrides) if overrides else template
+
+
+def _make_runner(args: argparse.Namespace) -> BatchRunner:
+    cache = (ResultCache(args.cache_dir)
+             if getattr(args, "cache_dir", None) else None)
+    return BatchRunner(workers=getattr(args, "workers", 1) or 1,
+                       cache=cache)
+
+
+def _write_records(records: Sequence[RunRecord], path: str | None) -> None:
+    if path is None:
+        return
+    with open(path, "w") as handle:
+        for record in records:
+            handle.write(json.dumps(record.to_dict()) + "\n")
+
+
+def _read_records(path: str) -> list[RunRecord]:
+    records = []
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                records.append(RunRecord.from_dict(json.loads(line)))
+    return records
+
+
+# ----------------------------------------------------------------------
+# Subcommands
+# ----------------------------------------------------------------------
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    spec = _load_template(args)
+    result = _make_runner(args).run([spec])
+    record = result.records[0]
+    _write_records(result.records, args.out)
+    print(json.dumps(record.to_dict(), indent=2, sort_keys=True))
+    return 0 if record.success or args.allow_failure else 1
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    if args.grid:
+        grid = GridSpec.from_dict(json.loads(Path(args.grid).read_text()))
+        template, axes = grid.template, grid.axes
+        overrides = _parse_sets(args.set or [])
+        if overrides:
+            template = template.replace(**overrides)
+    else:
+        template = _load_template(args)
+        axes = {}
+    for pair in args.axis or []:
+        name, values = _parse_axis(pair)
+        axes[name] = values
+    specs = expand_grid(template, axes)
+    runner = _make_runner(args)
+    result = runner.run(specs)
+    _write_records(result.records, args.out)
+    print(f"ran {result.stats.total} scenarios "
+          f"({result.stats.cache_hits} cached, "
+          f"{result.stats.executed} simulated, "
+          f"{result.stats.workers} workers, "
+          f"{result.stats.elapsed_s:.1f}s)")
+    print(summarize(result.records))
+    for axis in args.group_by or []:
+        print(group_table(result.records, axis))
+    if args.out:
+        print(f"records written to {args.out}")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    records = _read_records(args.results)
+    print(summarize(records))
+    for axis in args.group_by or []:
+        print(group_table(records, axis))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-engine",
+        description="Batched scenario-execution runtime for the "
+                    "passive-VLC reproduction.")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_common(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--spec", help="JSON file with template spec fields")
+        p.add_argument("--set", action="append", metavar="FIELD=VALUE",
+                       help="override one spec field (repeatable)")
+        p.add_argument("--cache-dir", help="result cache directory")
+        p.add_argument("--out", help="write records to this JSONL file")
+
+    run_p = sub.add_parser("run", help="execute a single scenario")
+    add_common(run_p)
+    run_p.add_argument("--allow-failure", action="store_true",
+                       help="exit 0 even when the decode fails")
+    run_p.set_defaults(func=_cmd_run)
+
+    sweep_p = sub.add_parser("sweep", help="expand and run a scenario grid")
+    add_common(sweep_p)
+    sweep_p.add_argument("--grid", help="JSON file with {template, axes}")
+    sweep_p.add_argument("--axis", action="append",
+                         metavar="FIELD=V1,V2|FIELD=LO:HI:N",
+                         help="sweep one spec field (repeatable)")
+    sweep_p.add_argument("--workers", type=int, default=1,
+                         help="worker processes (default: 1, serial)")
+    sweep_p.add_argument("--group-by", action="append", metavar="FIELD",
+                         help="print a decode-rate table per axis value")
+    sweep_p.set_defaults(func=_cmd_sweep)
+
+    report_p = sub.add_parser("report", help="summarize a results file")
+    report_p.add_argument("results", help="JSONL file written by sweep/run")
+    report_p.add_argument("--group-by", action="append", metavar="FIELD")
+    report_p.set_defaults(func=_cmd_report)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except (ValueError, OSError, KeyError) as exc:
+        print(f"repro-engine: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,183 @@
+"""Spec -> simulation: build and run one scenario.
+
+:func:`execute_scenario` is the single choke point through which every
+engine-driven simulation passes.  It reconstructs exactly the scene /
+front-end / simulator assembly the analysis layer used to hand-roll
+(:mod:`repro.core.capacity`, :mod:`repro.analysis.experiments`), so
+engine results are bit-identical to the legacy code paths for the same
+parameters and seed.
+
+The function is a module-level callable of one picklable argument on
+purpose: it is what :class:`repro.engine.BatchRunner` ships to worker
+processes.
+"""
+
+from __future__ import annotations
+
+import time
+
+from ..channel.distortion import CLEAR, Atmosphere
+from ..channel.mobility import ConstantSpeed
+from ..channel.scene import MovingObject, PassiveScene
+from ..channel.simulator import ChannelSimulator, SimulatorConfig
+from ..core.decoder import AdaptiveThresholdDecoder, DecoderConfig
+from ..core.errors import DecodeError, PreambleNotFoundError
+from ..hardware.frontend import FovCap, ReceiverFrontEnd
+from ..hardware.led_receiver import LedReceiver
+from ..hardware.photodiode import PdGain, Photodiode
+from ..optics.geometry import Vec3
+from ..optics.materials import material_by_name
+from ..optics.sources import FluorescentCeiling, LedLamp, Sun
+from ..tags.packet import Packet
+from ..tags.surface import TagSurface
+from ..vehicles.profiles import bmw_3_series, volvo_v40
+from ..vehicles.rooftag import TaggedCar, TwoPhaseDecoder
+from .records import RunRecord
+from .spec import ScenarioSpec
+
+__all__ = ["build_scene", "build_frontend", "build_simulator",
+           "execute_scenario"]
+
+
+_CAR_FACTORIES = {"volvo_v40": volvo_v40, "bmw_3_series": bmw_3_series}
+
+
+def _build_source(spec: ScenarioSpec):
+    if spec.source == "led_lamp":
+        return LedLamp(
+            position=Vec3(spec.lamp_offset_m, 0.0, spec.receiver_height_m),
+            luminous_intensity=spec.lamp_intensity_cd)
+    if spec.source == "sun":
+        return Sun(ground_lux=spec.ground_lux)
+    return FluorescentCeiling(ground_lux=spec.ground_lux,
+                              height=spec.fluorescent_height_m)
+
+
+def _build_object(spec: ScenarioSpec, packet: Packet) -> MovingObject:
+    start = spec.start_position_m
+    if start is None:
+        start = spec.auto_start_position_m()
+    motion = ConstantSpeed(spec.speed_mps, start)
+    if spec.car is not None:
+        car = _CAR_FACTORIES[spec.car]()
+        surface = TaggedCar(car=car, packet=packet).surface()
+        return MovingObject(surface, motion, car.model)
+    tag = TagSurface.from_packet(packet)
+    if spec.dirt > 0.0:
+        tag = tag.degraded(spec.dirt)
+    return MovingObject(tag, motion, "tag")
+
+
+def build_scene(spec: ScenarioSpec) -> PassiveScene:
+    """Assemble the :class:`PassiveScene` a spec describes."""
+    packet = Packet.from_bitstring(spec.bits,
+                                   symbol_width_m=spec.symbol_width_m)
+    atmosphere = (CLEAR if spec.visibility_m is None
+                  else Atmosphere.from_visibility(spec.visibility_m))
+    return PassiveScene(
+        source=_build_source(spec),
+        receiver_height_m=spec.receiver_height_m,
+        objects=[_build_object(spec, packet)],
+        ground=material_by_name(spec.ground),
+        atmosphere=atmosphere,
+    )
+
+
+def build_frontend(spec: ScenarioSpec) -> ReceiverFrontEnd:
+    """Assemble the receiver chain a spec describes."""
+    if spec.detector == "pd":
+        detector = Photodiode.opt101(gain=PdGain[spec.pd_gain])
+    else:
+        detector = LedReceiver.red_5mm()
+    cap = FovCap.paper_cap() if spec.cap else None
+    return ReceiverFrontEnd(detector=detector, cap=cap, seed=spec.seed)
+
+
+def build_simulator(spec: ScenarioSpec) -> ChannelSimulator:
+    """Scene + front end + config, ready to capture."""
+    spec = spec.resolve()
+    return ChannelSimulator(
+        build_scene(spec), build_frontend(spec),
+        SimulatorConfig(sample_rate_hz=spec.sample_rate_hz,
+                        include_noise=spec.include_noise,
+                        seed=spec.seed))
+
+
+def _build_decoder(spec: ScenarioSpec):
+    adaptive = AdaptiveThresholdDecoder(
+        DecoderConfig(threshold_rule=spec.threshold_rule))
+    if spec.decoder == "two_phase":
+        return TwoPhaseDecoder(decoder=adaptive)
+    return adaptive
+
+
+def _bit_error_rate(sent: str, decoded: str) -> float:
+    if not decoded:
+        return 1.0
+    n = max(len(sent), len(decoded))
+    errors = sum(a != b for a, b in zip(sent, decoded))
+    errors += abs(len(sent) - len(decoded))
+    return errors / n
+
+
+def execute_scenario(spec: ScenarioSpec) -> RunRecord:
+    """Run one scenario end to end and record the outcome.
+
+    Deterministic: the resolved spec carries its concrete seed, so the
+    same spec yields the same record no matter where or when it runs.
+    """
+    spec = spec.resolve()
+    started = time.perf_counter()
+    packet = Packet.from_bitstring(spec.bits,
+                                   symbol_width_m=spec.symbol_width_m)
+    sent = packet.bit_string()
+    try:
+        sim = build_simulator(spec)
+        trace = sim.capture_pass()
+    except Exception as exc:
+        # Contain per-scenario failures (a tag that does not fit the
+        # car roof, a degenerate geometry): one bad grid point must
+        # not abort a thousand-scenario batch.
+        return RunRecord(
+            spec_hash=spec.content_hash(),
+            spec=spec.to_dict(),
+            seed=spec.seed,
+            sent_bits=sent,
+            decoded_bits="",
+            success=False,
+            stage="simulation_failed",
+            ber=1.0,
+            n_samples=0,
+            trace_duration_s=0.0,
+            sample_rate_hz=spec.sample_rate_hz,
+            noise_floor_lux=0.0,
+            error=f"{type(exc).__name__}: {exc}",
+            elapsed_s=time.perf_counter() - started,
+        )
+    decoded = ""
+    stage = "decode_failed"
+    try:
+        result = _build_decoder(spec).decode(
+            trace, n_data_symbols=2 * len(packet.data_bits))
+        decoded = result.bit_string()
+        stage = "decoded" if decoded == sent else "bit_errors"
+    except PreambleNotFoundError:
+        stage = "preamble_not_found"
+    except DecodeError:
+        stage = "decode_failed"
+
+    return RunRecord(
+        spec_hash=spec.content_hash(),
+        spec=spec.to_dict(),
+        seed=spec.seed,
+        sent_bits=sent,
+        decoded_bits=decoded,
+        success=decoded == sent,
+        stage=stage,
+        ber=_bit_error_rate(sent, decoded),
+        n_samples=len(trace.samples),
+        trace_duration_s=len(trace.samples) / trace.sample_rate_hz,
+        sample_rate_hz=trace.sample_rate_hz,
+        noise_floor_lux=sim.scene.nominal_noise_floor_lux(),
+        elapsed_s=time.perf_counter() - started,
+    )

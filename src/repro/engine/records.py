@@ -1,0 +1,94 @@
+"""Run records: the engine's unit of result.
+
+A :class:`RunRecord` is everything a sweep consumer needs from one
+scenario execution — decode outcome, failure stage, bit error rate,
+trace statistics and timing — plus the originating spec, so records are
+self-describing: reports can group by any spec field without access to
+the grid that produced them.
+
+Equality deliberately excludes wall-clock timing: two runs of the same
+resolved spec compare equal whether they executed serially, in a worker
+pool, or on different machines.  :meth:`RunRecord.canonical_json` is the
+byte-stable form used by determinism tests and the on-disk cache.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+__all__ = ["RunRecord", "STAGES"]
+
+
+#: Pipeline stages a scenario can end in, ordered by progress.
+STAGES = ("simulation_failed", "preamble_not_found", "decode_failed",
+          "bit_errors", "decoded")
+
+
+@dataclass
+class RunRecord:
+    """Outcome of executing one resolved :class:`ScenarioSpec`.
+
+    Attributes:
+        spec_hash: content hash of the resolved spec (cache key).
+        spec: the resolved spec as a plain dict.
+        seed: the concrete noise seed that ran.
+        sent_bits: payload physically encoded on the tag.
+        decoded_bits: what the decoder recovered ('' on failure).
+        success: exact payload match.
+        stage: how far the pipeline got (see :data:`STAGES`).
+        ber: bit error rate vs the sent payload (1.0 when nothing
+            decoded).
+        n_samples: RSS samples in the captured pass.
+        trace_duration_s: captured window length (simulated seconds).
+        sample_rate_hz: concrete sampling rate used.
+        noise_floor_lux: the scene's nominal ambient level.
+        error: the simulator's error message when ``stage`` is
+            ``simulation_failed`` ('' otherwise).
+        elapsed_s: wall-clock execution time (excluded from equality).
+    """
+
+    spec_hash: str
+    spec: dict[str, Any]
+    seed: int
+    sent_bits: str
+    decoded_bits: str
+    success: bool
+    stage: str
+    ber: float
+    n_samples: int
+    trace_duration_s: float
+    sample_rate_hz: float
+    noise_floor_lux: float
+    error: str = ""
+    elapsed_s: float = field(default=0.0, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.stage not in STAGES:
+            raise ValueError(f"stage must be one of {STAGES}, "
+                             f"got {self.stage!r}")
+
+    def to_dict(self, include_timing: bool = True) -> dict[str, Any]:
+        """Plain-dict form (JSON-safe)."""
+        data = dataclasses.asdict(self)
+        if not include_timing:
+            data.pop("elapsed_s")
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "RunRecord":
+        """Inverse of :meth:`to_dict`; tolerates a missing timing."""
+        known = {f.name for f in dataclasses.fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(f"unknown record fields: {sorted(unknown)}")
+        return cls(**dict(data))
+
+    def canonical_json(self) -> str:
+        """Byte-stable JSON excluding timing — the determinism contract:
+        identical resolved specs must produce identical bytes regardless
+        of worker count."""
+        return json.dumps(self.to_dict(include_timing=False),
+                          sort_keys=True, separators=(",", ":"))

@@ -1,0 +1,83 @@
+"""Aggregation and reporting over run records.
+
+Sweeps produce flat record lists; consumers almost always want rates
+grouped by one spec axis (decode rate vs noise floor, vs height, ...).
+These helpers work on any iterable of :class:`RunRecord` — fresh from a
+:class:`BatchRunner`, or re-read from a results file — because records
+embed their originating spec.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from typing import Any, Iterable, Sequence
+
+from .records import STAGES, RunRecord
+
+__all__ = ["success_rate", "success_rate_by", "stage_counts",
+           "mean_ber", "summarize", "group_table"]
+
+
+def success_rate(records: Sequence[RunRecord]) -> float:
+    """Fraction of records that decoded the exact payload."""
+    if not records:
+        return 0.0
+    return sum(r.success for r in records) / len(records)
+
+
+def success_rate_by(records: Iterable[RunRecord],
+                    axis: str) -> dict[Any, float]:
+    """Decode rate grouped by one spec field, in first-seen order.
+
+    Args:
+        records: any run records (their specs must carry ``axis``).
+        axis: spec field name to group on, e.g. ``"ground_lux"``.
+    """
+    groups: dict[Any, list[RunRecord]] = defaultdict(list)
+    for record in records:
+        if axis not in record.spec:
+            raise KeyError(f"record spec has no field {axis!r}")
+        groups[record.spec[axis]].append(record)
+    return {value: success_rate(group) for value, group in groups.items()}
+
+
+def stage_counts(records: Iterable[RunRecord]) -> dict[str, int]:
+    """How many records ended in each pipeline stage."""
+    counts = Counter(r.stage for r in records)
+    return {stage: counts.get(stage, 0) for stage in STAGES
+            if counts.get(stage, 0)}
+
+
+def mean_ber(records: Sequence[RunRecord]) -> float:
+    """Average bit error rate across records (1.0 = nothing decoded)."""
+    if not records:
+        return 0.0
+    return sum(r.ber for r in records) / len(records)
+
+
+def summarize(records: Sequence[RunRecord]) -> str:
+    """Multi-line human summary of a record set."""
+    lines = [f"scenarios: {len(records)}"]
+    if not records:
+        return lines[0]
+    lines.append(f"decoded exactly: {sum(r.success for r in records)} "
+                 f"({100.0 * success_rate(records):.1f}%)")
+    lines.append(f"mean BER: {mean_ber(records):.3f}")
+    for stage, count in stage_counts(records).items():
+        lines.append(f"  stage {stage}: {count}")
+    sim_time = sum(r.trace_duration_s for r in records)
+    wall = sum(r.elapsed_s for r in records)
+    lines.append(f"simulated {sim_time:.1f} s of channel time in "
+                 f"{wall:.1f} s of compute")
+    return "\n".join(lines)
+
+
+def group_table(records: Sequence[RunRecord], axis: str) -> str:
+    """ASCII decode-rate table grouped by one spec axis."""
+    rates = success_rate_by(records, axis)
+    width = max((len(str(v)) for v in rates), default=1)
+    lines = [f"decode rate by {axis}"]
+    for value, rate in rates.items():
+        bar = "#" * int(round(30 * rate))
+        lines.append(f"  {value!s:>{width}} | {bar} {rate:.2f}")
+    return "\n".join(lines)

@@ -1,0 +1,279 @@
+"""Declarative scenario descriptions and grid expansion.
+
+A :class:`ScenarioSpec` captures everything the simulation stack needs
+to run one pass — source, geometry, tag payload, receiver chain, motion,
+noise and decoder — as plain data.  Plain data means scenarios can be
+hashed (for the result cache), pickled (for the worker pool), serialized
+to JSON (for the CLI) and fanned out over parameter grids without
+touching any simulator object.
+
+:func:`expand_grid` is the matrix expander: it takes a template spec and
+a mapping of field name -> values and produces the Cartesian product as
+concrete specs, in deterministic order.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import itertools
+import json
+import math
+from dataclasses import dataclass
+from typing import Any, Mapping, Sequence
+
+__all__ = ["ScenarioSpec", "GridSpec", "expand_grid", "grid_size"]
+
+
+#: Recognised ambient sources.
+SOURCES = ("led_lamp", "sun", "fluorescent")
+
+#: Recognised detector families.
+DETECTORS = ("pd", "led")
+
+#: Photodiode gain settings (mirrors :class:`repro.hardware.PdGain`).
+PD_GAINS = ("G1", "G2", "G3")
+
+#: Recognised decoding strategies.
+DECODERS = ("adaptive", "two_phase")
+
+#: Vehicle profiles a tag can ride on (``None`` = bare tag).
+CARS = ("volvo_v40", "bmw_3_series")
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One fully-described channel scenario, as data.
+
+    Attributes:
+        bits: payload bit string (e.g. ``"10"``).
+        symbol_width_m: physical strip width of one symbol.
+        receiver_height_m: receiver height above the tag plane.
+        speed_mps: constant pass speed of the moving object.
+        source: ambient source kind (``led_lamp``/``sun``/``fluorescent``).
+        lamp_intensity_cd: LED lamp on-axis intensity (``led_lamp``).
+        lamp_offset_m: horizontal lamp-receiver distance (``led_lamp``).
+        ground_lux: scene noise floor (``sun``/``fluorescent``).
+        fluorescent_height_m: luminaire height (``fluorescent``).
+        detector: ``pd`` (OPT101) or ``led`` (RX-LED).
+        pd_gain: OPT101 gain setting (``pd`` only).
+        cap: mount the paper's FoV cap on the detector.
+        ground: material name of the uncovered plane.
+        car: carry the tag on this vehicle's roof (``None``: bare tag).
+        dirt: tag degradation factor in [0, 1] (bare tags only).
+        visibility_m: meteorological visibility; ``None`` = clear air.
+        start_position_m: leading-edge start; ``None`` picks the
+            standard upstream margin ``-(0.6 h + 3 w)``.
+        sample_rate_hz: RSS sampling rate; ``None`` targets ~40 samples
+            per symbol clamped to [200, 2000] Hz.
+        decoder: ``adaptive`` thresholds or the ``two_phase`` car
+            decoder (long preamble first).
+        threshold_rule: adaptive-decoder thresholding variant.
+        include_noise: disable for noiseless optical truth.
+        seed: noise seed; ``None`` derives a deterministic seed from the
+            spec content, so every grid point gets its own stable seed.
+    """
+
+    bits: str = "10"
+    symbol_width_m: float = 0.05
+    receiver_height_m: float = 0.2
+    speed_mps: float = 0.08
+    source: str = "led_lamp"
+    lamp_intensity_cd: float = 2.0
+    lamp_offset_m: float = 0.12
+    ground_lux: float = 6200.0
+    fluorescent_height_m: float = 2.3
+    detector: str = "pd"
+    pd_gain: str = "G1"
+    cap: bool = True
+    ground: str = "black_paper_ground"
+    car: str | None = None
+    dirt: float = 0.0
+    visibility_m: float | None = None
+    start_position_m: float | None = None
+    sample_rate_hz: float | None = None
+    decoder: str = "adaptive"
+    threshold_rule: str = "midpoint"
+    include_noise: bool = True
+    seed: int | None = None
+
+    def __post_init__(self) -> None:
+        if not self.bits or any(c not in "01" for c in self.bits):
+            raise ValueError(f"bits must be a non-empty 0/1 string, "
+                             f"got {self.bits!r}")
+        for name in ("symbol_width_m", "receiver_height_m", "speed_mps",
+                     "lamp_intensity_cd", "ground_lux",
+                     "fluorescent_height_m"):
+            if getattr(self, name) <= 0.0:
+                raise ValueError(f"{name} must be positive, "
+                                 f"got {getattr(self, name)}")
+        if self.source not in SOURCES:
+            raise ValueError(f"source must be one of {SOURCES}, "
+                             f"got {self.source!r}")
+        if self.detector not in DETECTORS:
+            raise ValueError(f"detector must be one of {DETECTORS}, "
+                             f"got {self.detector!r}")
+        if self.pd_gain not in PD_GAINS:
+            raise ValueError(f"pd_gain must be one of {PD_GAINS}, "
+                             f"got {self.pd_gain!r}")
+        if self.decoder not in DECODERS:
+            raise ValueError(f"decoder must be one of {DECODERS}, "
+                             f"got {self.decoder!r}")
+        if self.car is not None and self.car not in CARS:
+            raise ValueError(f"car must be one of {CARS} or None, "
+                             f"got {self.car!r}")
+        if not 0.0 <= self.dirt <= 1.0:
+            raise ValueError(f"dirt must be in [0, 1], got {self.dirt}")
+        if self.dirt > 0.0 and self.car is not None:
+            raise ValueError("dirt degradation applies to bare tags only")
+        if self.visibility_m is not None and self.visibility_m <= 0.0:
+            raise ValueError("visibility must be positive")
+        if self.sample_rate_hz is not None and self.sample_rate_hz <= 0.0:
+            raise ValueError("sample rate must be positive")
+
+    # ------------------------------------------------------------------
+    # Derived quantities
+    # ------------------------------------------------------------------
+    def auto_sample_rate_hz(self) -> float:
+        """~40 samples per symbol, clamped to [200, 2000] Hz."""
+        rate = 40.0 * self.speed_mps / self.symbol_width_m
+        return float(min(2000.0, max(200.0, rate)))
+
+    def auto_start_position_m(self) -> float:
+        """Standard upstream start: quiet baseline before the packet."""
+        return -(0.6 * self.receiver_height_m + 3.0 * self.symbol_width_m)
+
+    def resolve(self) -> "ScenarioSpec":
+        """Fill every ``None``/auto field with its concrete value.
+
+        Resolution is idempotent and happens before hashing, so a
+        template with ``sample_rate_hz=None`` and one spelling the same
+        rate explicitly share a cache entry.
+        """
+        updates: dict[str, Any] = {}
+        if self.sample_rate_hz is None:
+            updates["sample_rate_hz"] = self.auto_sample_rate_hz()
+        if self.start_position_m is None:
+            updates["start_position_m"] = self.auto_start_position_m()
+        spec = self.replace(**updates) if updates else self
+        if spec.seed is None:
+            spec = spec.replace(seed=spec.derived_seed())
+        return spec
+
+    def derived_seed(self) -> int:
+        """Deterministic per-scenario seed from the spec content.
+
+        Hashes the auto-resolved payload minus the seed field itself,
+        so the derivation is stable under resolution and a spec
+        spelling an auto value explicitly seeds identically to the
+        auto form; every other field perturbs it, giving each grid
+        point independent noise.
+        """
+        payload = self.to_dict()
+        payload.pop("seed")
+        if payload["sample_rate_hz"] is None:
+            payload["sample_rate_hz"] = self.auto_sample_rate_hz()
+        if payload["start_position_m"] is None:
+            payload["start_position_m"] = self.auto_start_position_m()
+        digest = hashlib.blake2b(
+            json.dumps(payload, sort_keys=True).encode(),
+            digest_size=4).digest()
+        return int.from_bytes(digest, "big") % (2**31 - 1)
+
+    # ------------------------------------------------------------------
+    # Serialization and identity
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict[str, Any]:
+        """Plain-dict form (JSON-safe)."""
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ScenarioSpec":
+        """Inverse of :meth:`to_dict`; rejects unknown fields."""
+        known = {f.name for f in dataclasses.fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(f"unknown spec fields: {sorted(unknown)}")
+        return cls(**dict(data))
+
+    def replace(self, **updates: Any) -> "ScenarioSpec":
+        """Copy with fields changed (validation re-runs)."""
+        known = {f.name for f in dataclasses.fields(self)}
+        unknown = set(updates) - known
+        if unknown:
+            raise ValueError(f"unknown spec fields: {sorted(unknown)}")
+        return dataclasses.replace(self, **updates)
+
+    def canonical_json(self) -> str:
+        """Stable JSON encoding used for hashing and cache keys."""
+        return json.dumps(self.to_dict(), sort_keys=True,
+                          separators=(",", ":"))
+
+    def content_hash(self) -> str:
+        """SHA-256 over the resolved spec — the cache key."""
+        resolved = self.resolve()
+        return hashlib.sha256(resolved.canonical_json().encode()).hexdigest()
+
+
+# ----------------------------------------------------------------------
+# Grid expansion
+# ----------------------------------------------------------------------
+
+def grid_size(axes: Mapping[str, Sequence[Any]]) -> int:
+    """Number of scenarios a grid expands to."""
+    return math.prod(len(values) for values in axes.values()) if axes else 1
+
+
+def expand_grid(template: ScenarioSpec,
+                axes: Mapping[str, Sequence[Any]]) -> list[ScenarioSpec]:
+    """Fan a template out over the Cartesian product of axis values.
+
+    Args:
+        template: base spec supplying every non-swept field.
+        axes: field name -> sequence of values.  Order is significant:
+            the last axis varies fastest (row-major), so results line up
+            with ``itertools.product`` of the values.
+
+    Returns:
+        ``prod(len(v))`` concrete specs, deterministic order.
+    """
+    field_names = {f.name for f in dataclasses.fields(ScenarioSpec)}
+    for name, values in axes.items():
+        if name not in field_names:
+            raise ValueError(f"unknown spec field in grid axis: {name!r}")
+        if len(values) == 0:
+            raise ValueError(f"grid axis {name!r} has no values")
+    names = list(axes)
+    specs = []
+    for combo in itertools.product(*(axes[n] for n in names)):
+        specs.append(template.replace(**dict(zip(names, combo))))
+    return specs
+
+
+@dataclass(frozen=True)
+class GridSpec:
+    """A template + axes pair, the JSON form the CLI consumes.
+
+    Example document::
+
+        {"template": {"source": "sun", "detector": "led", "cap": false},
+         "axes": {"ground_lux": [100, 450, 3700],
+                  "seed": [2, 3, 4, 5, 6]}}
+    """
+
+    template: ScenarioSpec
+    axes: dict[str, list[Any]]
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "GridSpec":
+        template = ScenarioSpec.from_dict(data.get("template", {}))
+        axes = {str(k): list(v) for k, v in data.get("axes", {}).items()}
+        return cls(template=template, axes=axes)
+
+    def expand(self) -> list[ScenarioSpec]:
+        """The concrete scenario list."""
+        return expand_grid(self.template, self.axes)
+
+    def size(self) -> int:
+        """Scenario count without expanding."""
+        return grid_size(self.axes)

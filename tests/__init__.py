@@ -1,0 +1,6 @@
+"""Test package for the passive-VLC reproduction.
+
+Being a real package lets test modules share the scene builders in
+``tests/conftest.py`` via relative imports without colliding with the
+separate ``benchmarks/conftest.py`` module namespace.
+"""

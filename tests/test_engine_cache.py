@@ -1,0 +1,100 @@
+"""Tests for repro.engine.cache — the content-hash result store."""
+
+import json
+
+import pytest
+
+from repro.engine import ResultCache, RunRecord
+
+
+def make_record(spec_hash="ab" + "0" * 62, seed=7, success=True):
+    return RunRecord(
+        spec_hash=spec_hash,
+        spec={"bits": "00", "seed": seed},
+        seed=seed,
+        sent_bits="00",
+        decoded_bits="00" if success else "",
+        success=success,
+        stage="decoded" if success else "preamble_not_found",
+        ber=0.0 if success else 1.0,
+        n_samples=500,
+        trace_duration_s=0.25,
+        sample_rate_hz=2000.0,
+        noise_floor_lux=450.0,
+        elapsed_s=0.01,
+    )
+
+
+class TestRoundtrip:
+    def test_put_get(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        record = make_record()
+        cache.put(record)
+        assert cache.get(record.spec_hash) == record
+        assert record.spec_hash in cache
+        assert len(cache) == 1
+
+    def test_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        assert cache.get("cd" + "1" * 62) is None
+        assert cache.stats.misses == 1
+        assert cache.stats.hits == 0
+
+    def test_stats_track_hits_and_writes(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        record = make_record()
+        cache.put(record)
+        cache.get(record.spec_hash)
+        cache.get("ff" + "2" * 62)
+        assert cache.stats.writes == 1
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+
+    def test_timing_survives_roundtrip(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        record = make_record()
+        cache.put(record)
+        assert cache.get(record.spec_hash).elapsed_s == record.elapsed_s
+
+
+class TestRobustness:
+    def test_corrupt_file_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        record = make_record()
+        cache.put(record)
+        cache._path(record.spec_hash).write_text("{not json")
+        assert cache.get(record.spec_hash) is None
+
+    def test_wrong_schema_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        record = make_record()
+        cache.put(record)
+        cache._path(record.spec_hash).write_text(json.dumps({"bogus": 1}))
+        assert cache.get(record.spec_hash) is None
+
+    def test_clear(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(make_record(spec_hash="ab" + "0" * 62))
+        cache.put(make_record(spec_hash="cd" + "1" * 62))
+        assert cache.clear() == 2
+        assert len(cache) == 0
+
+    def test_overwrite_updates(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(make_record(success=True))
+        cache.put(make_record(success=False))
+        assert cache.get(make_record().spec_hash).success is False
+
+
+class TestInvalidation:
+    def test_spec_change_misses(self, tmp_path):
+        """A changed spec gets a new hash, so stale results never leak."""
+        from repro.engine import ScenarioSpec
+
+        cache = ResultCache(tmp_path)
+        spec = ScenarioSpec(seed=1)
+        record = make_record(spec_hash=spec.content_hash())
+        cache.put(record)
+        assert cache.get(spec.content_hash()) == record
+        nudged = spec.replace(receiver_height_m=0.21)
+        assert cache.get(nudged.content_hash()) is None

@@ -1,0 +1,98 @@
+"""Tests for the repro-engine CLI (run / sweep / report)."""
+
+import json
+
+import pytest
+
+from repro.engine.cli import main
+
+FAST_SETS = ["--set", "source=sun", "--set", "detector=led",
+             "--set", "cap=false", "--set", "ground=tarmac",
+             "--set", "bits=00", "--set", "symbol_width_m=0.1",
+             "--set", "speed_mps=5.0", "--set", "receiver_height_m=0.25",
+             "--set", "start_position_m=-1.5",
+             "--set", "sample_rate_hz=2000", "--set", "seed=3"]
+
+
+class TestRun:
+    def test_run_prints_record(self, capsys):
+        code = main(["run", *FAST_SETS, "--set", "ground_lux=450"])
+        assert code == 0
+        record = json.loads(capsys.readouterr().out)
+        assert record["success"] is True
+        assert record["stage"] == "decoded"
+        assert record["spec"]["ground_lux"] == 450.0
+
+    def test_run_failure_exit_code(self, capsys):
+        assert main(["run", *FAST_SETS, "--set", "ground_lux=100"]) == 1
+        assert main(["run", *FAST_SETS, "--set", "ground_lux=100",
+                     "--allow-failure"]) == 0
+
+    def test_run_from_spec_file(self, tmp_path, capsys):
+        spec_file = tmp_path / "spec.json"
+        spec_file.write_text(json.dumps({
+            "source": "sun", "detector": "led", "cap": False,
+            "ground": "tarmac", "bits": "00", "symbol_width_m": 0.1,
+            "speed_mps": 5.0, "receiver_height_m": 0.25,
+            "start_position_m": -1.5, "sample_rate_hz": 2000.0,
+            "ground_lux": 450.0, "seed": 3}))
+        assert main(["run", "--spec", str(spec_file)]) == 0
+
+    def test_bad_field_is_an_error(self, capsys):
+        assert main(["run", "--set", "wavelength=650"]) == 2
+        assert "repro-engine" in capsys.readouterr().err
+
+
+class TestSweep:
+    def test_sweep_axes_out_and_cache(self, tmp_path, capsys):
+        out = tmp_path / "runs.jsonl"
+        cache_dir = tmp_path / "cache"
+        argv = ["sweep", *FAST_SETS,
+                "--axis", "ground_lux=450,100",
+                "--axis", "seed=2,3",
+                "--cache-dir", str(cache_dir),
+                "--out", str(out),
+                "--group-by", "ground_lux"]
+        assert main(argv) == 0
+        text = capsys.readouterr().out
+        assert "ran 4 scenarios" in text
+        assert "decode rate by ground_lux" in text
+        lines = [json.loads(l) for l in out.read_text().splitlines()]
+        assert len(lines) == 4
+
+        # Second pass answers entirely from the cache.
+        assert main(argv) == 0
+        assert "4 cached, 0 simulated" in capsys.readouterr().out
+
+    def test_sweep_linspace_axis(self, capsys):
+        assert main(["sweep", *FAST_SETS, "--set", "ground_lux=450",
+                     "--axis", "seed=1:3:3"]) == 0
+        assert "ran 3 scenarios" in capsys.readouterr().out
+
+    def test_sweep_grid_file(self, tmp_path, capsys):
+        grid_file = tmp_path / "grid.json"
+        grid_file.write_text(json.dumps({
+            "template": {"source": "sun", "detector": "led", "cap": False,
+                         "ground": "tarmac", "bits": "00",
+                         "symbol_width_m": 0.1, "speed_mps": 5.0,
+                         "receiver_height_m": 0.25,
+                         "start_position_m": -1.5,
+                         "sample_rate_hz": 2000.0},
+            "axes": {"ground_lux": [450.0, 100.0], "seed": [2, 3]}}))
+        assert main(["sweep", "--grid", str(grid_file)]) == 0
+        assert "ran 4 scenarios" in capsys.readouterr().out
+
+
+class TestReport:
+    def test_report_reads_results(self, tmp_path, capsys):
+        out = tmp_path / "runs.jsonl"
+        main(["sweep", *FAST_SETS, "--axis", "ground_lux=450,100",
+              "--axis", "seed=2,3", "--out", str(out)])
+        capsys.readouterr()
+        assert main(["report", str(out), "--group-by", "ground_lux"]) == 0
+        text = capsys.readouterr().out
+        assert "scenarios: 4" in text
+        assert "decode rate by ground_lux" in text
+
+    def test_report_missing_file(self, capsys):
+        assert main(["report", "/nonexistent/runs.jsonl"]) == 2

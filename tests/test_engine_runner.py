@@ -1,0 +1,156 @@
+"""Tests for repro.engine.runner — batching, parallelism, caching.
+
+The determinism and cache contracts here are the engine's acceptance
+criteria: ``workers=N`` must be byte-identical to ``workers=1``, and a
+repeated sweep must answer entirely from the cache without invoking the
+simulator once.
+"""
+
+import pytest
+
+import repro.engine.runner as runner_mod
+from repro.engine import (
+    BatchRunner,
+    ResultCache,
+    ScenarioSpec,
+    execute_scenario,
+    expand_grid,
+    run_grid,
+    success_rate_by,
+)
+
+#: A cheap, fast outdoor scenario (~5 ms per simulation).
+FAST = ScenarioSpec(source="sun", detector="led", cap=False,
+                    ground="tarmac", bits="00", symbol_width_m=0.1,
+                    speed_mps=5.0, receiver_height_m=0.25,
+                    start_position_m=-1.5, sample_rate_hz=2000.0)
+
+GRID = {"ground_lux": [450.0, 100.0], "seed": [2, 3, 4]}
+
+
+class TestExecution:
+    def test_single_record_fields(self):
+        record = execute_scenario(FAST.replace(ground_lux=450.0, seed=3))
+        assert record.sent_bits == "00"
+        assert record.success and record.stage == "decoded"
+        assert record.ber == 0.0
+        assert record.sample_rate_hz == 2000.0
+        assert record.noise_floor_lux == pytest.approx(450.0)
+        assert record.n_samples > 0
+        assert record.spec_hash == FAST.replace(
+            ground_lux=450.0, seed=3).content_hash()
+
+    def test_simulation_failure_contained(self):
+        """A bad grid point (tag too long for the car roof) yields a
+        simulation_failed record instead of aborting the batch."""
+        bad = FAST.replace(car="volvo_v40", decoder="two_phase",
+                           bits="0" * 40, seed=3)
+        result = BatchRunner().run([bad, FAST.replace(ground_lux=450.0,
+                                                      seed=3)])
+        failed, ok = result.records
+        assert failed.stage == "simulation_failed"
+        assert not failed.success and failed.ber == 1.0
+        assert failed.n_samples == 0
+        assert "roof" in failed.error
+        assert ok.success
+
+    def test_failure_stage_recorded(self):
+        record = execute_scenario(FAST.replace(ground_lux=100.0, seed=3))
+        assert not record.success
+        assert record.stage in ("preamble_not_found", "decode_failed",
+                                "bit_errors")
+        assert record.ber > 0.0
+
+    def test_order_preserved(self):
+        specs = expand_grid(FAST, GRID)
+        records = BatchRunner().run(specs).records
+        assert [r.spec for r in records] == [s.resolve().to_dict()
+                                             for s in specs]
+
+    def test_run_grid_convenience(self):
+        result = run_grid(FAST, {"seed": [2, 3]})
+        assert result.stats.total == 2
+        assert success_rate_by(result.records, "seed").keys() == {2, 3}
+
+
+class TestDeterminism:
+    def test_parallel_byte_identical_to_serial(self):
+        specs = expand_grid(FAST, GRID)
+        serial = BatchRunner(workers=1).run(specs)
+        parallel = BatchRunner(workers=3).run(specs)
+        assert serial.stats.workers == 1 and parallel.stats.workers == 3
+        assert ([r.canonical_json() for r in serial.records]
+                == [r.canonical_json() for r in parallel.records])
+
+    def test_rerun_byte_identical(self):
+        specs = expand_grid(FAST, {"seed": [2, 3]})
+        first = BatchRunner().run(specs).records
+        second = BatchRunner().run(specs).records
+        assert ([r.canonical_json() for r in first]
+                == [r.canonical_json() for r in second])
+
+
+class TestCaching:
+    def test_second_pass_hits_cache_for_every_scenario(self, tmp_path):
+        specs = expand_grid(FAST, GRID)
+        cache = ResultCache(tmp_path)
+        first = BatchRunner(cache=cache).run(specs)
+        assert first.stats.executed == len(specs)
+        assert first.stats.cache_hits == 0
+        second = BatchRunner(cache=cache).run(specs)
+        assert second.stats.executed == 0
+        assert second.stats.cache_hits == len(specs)
+        assert ([r.canonical_json() for r in first.records]
+                == [r.canonical_json() for r in second.records])
+
+    def test_zero_simulator_invocations_on_second_pass(self, tmp_path,
+                                                       monkeypatch):
+        specs = expand_grid(FAST, {"seed": [2, 3]})
+        cache = ResultCache(tmp_path)
+        BatchRunner(cache=cache).run(specs)
+
+        def explode(spec):
+            raise AssertionError(
+                "simulator invoked despite a warm cache")
+
+        monkeypatch.setattr(runner_mod, "execute_scenario", explode)
+        result = BatchRunner(cache=cache).run(specs)
+        assert result.stats.executed == 0
+        assert all(r.success for r in result.records)
+
+    def test_spec_change_invalidates(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        BatchRunner(cache=cache).run([FAST.replace(seed=2)])
+        result = BatchRunner(cache=cache).run(
+            [FAST.replace(seed=2, receiver_height_m=0.26)])
+        assert result.stats.executed == 1
+        assert result.stats.cache_hits == 0
+
+    def test_shared_cache_across_worker_counts(self, tmp_path):
+        specs = expand_grid(FAST, GRID)
+        cache = ResultCache(tmp_path)
+        BatchRunner(workers=3, cache=cache).run(specs)
+        second = BatchRunner(workers=1, cache=cache).run(specs)
+        assert second.stats.executed == 0
+
+
+class TestStatsAndHelpers:
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            BatchRunner(workers=0)
+        with pytest.raises(ValueError):
+            BatchRunner(chunk_size=0)
+
+    def test_empty_batch(self):
+        result = BatchRunner().run([])
+        assert result.records == []
+        assert result.stats.total == 0
+        assert result.success_rate() == 0.0
+
+    def test_success_partition(self):
+        result = BatchRunner().run(expand_grid(FAST, GRID))
+        assert (len(result.successes()) + len(result.failures())
+                == len(result.records))
+        # 450 lux decodes, 100 lux does not (the Fig. 15 cliff).
+        rates = success_rate_by(result.records, "ground_lux")
+        assert rates[450.0] > rates[100.0]
