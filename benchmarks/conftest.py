@@ -4,9 +4,30 @@ Each ``bench_figXX_*.py`` regenerates one figure/table from the paper's
 evaluation, asserts its shape-level claim, and prints the
 paper-vs-measured report (run with ``-s`` to see the reports of passing
 benches; failures always show them).
+
+The benchmarks re-simulate whole paper figures, so they are gated: they
+collect but auto-skip unless ``--run-slow`` (defined in the repo-root
+``conftest.py``) is passed::
+
+    python -m pytest benchmarks --run-slow
 """
 
+from pathlib import Path
+
 import pytest
+
+
+def pytest_collection_modifyitems(config, items):
+    """Mark every benchmark item slow; skip them without --run-slow."""
+    skip = pytest.mark.skip(
+        reason="benchmark: pass --run-slow to execute")
+    run_slow = config.getoption("--run-slow", default=False)
+    for item in items:
+        if not Path(str(item.fspath)).name.startswith("bench_"):
+            continue
+        item.add_marker(pytest.mark.slow)
+        if not run_slow:
+            item.add_marker(skip)
 
 
 def report(result) -> None:

@@ -1,0 +1,16 @@
+"""Repo-root pytest configuration.
+
+Defines the ``--run-slow`` switch gating the full-figure reproduction
+benchmarks: ``pytest benchmarks`` collects the ``bench_*.py`` files but
+skips every item unless ``--run-slow`` is given (see
+``benchmarks/conftest.py`` for the skip logic).  The tier-1 suite under
+``tests/`` is unaffected.
+"""
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--run-slow", action="store_true", default=False,
+        help="run the bench_*.py full-figure reproduction benchmarks "
+             "(skipped by default — they re-simulate whole paper "
+             "figures)")

@@ -32,6 +32,8 @@ Subpackages:
 * ``repro.analysis``  — metrics, sweeps, per-figure experiments
 * ``repro.engine``    — batched, parallel scenario execution with a
   content-hash result cache and the ``repro-engine`` CLI
+* ``repro.scenarios`` — composable traffic-scenario families (convoys,
+  intersections, weather and light regimes) feeding the engine
 
 Scenario grids run through the engine::
 
@@ -44,6 +46,12 @@ Scenario grids run through the engine::
     specs = expand_grid(template, {"ground_lux": [100.0, 450.0, 6200.0],
                                    "seed": [2, 3, 4, 5, 6]})
     result = BatchRunner.local().run(specs)
+
+Or draw whole scenario families from the zoo::
+
+    from repro import expand_family
+
+    specs = expand_family("convoy*fog", count=500, seed=1)
 """
 
 from .channel import (
@@ -77,6 +85,7 @@ from .hardware import (
     Photodiode,
     ReceiverFrontEnd,
 )
+from .scenarios import ScenarioFamily, compose, expand_family, family_names
 from .optics import (
     ALUMINUM_TAPE,
     BLACK_NAPKIN,
@@ -88,7 +97,7 @@ from .optics import (
 )
 from .tags import Packet, TagSurface
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "__version__",
@@ -101,6 +110,8 @@ __all__ = [
     # engine
     "BatchRunner", "ResultCache", "RunRecord", "ScenarioSpec",
     "expand_grid",
+    # scenarios
+    "ScenarioFamily", "compose", "expand_family", "family_names",
     # hardware
     "EvaluationBoard", "FovCap", "LedReceiver", "PdGain", "Photodiode",
     "ReceiverFrontEnd",

@@ -37,6 +37,7 @@ from .sweeps import (
     DecodabilityGrid,
     sweep_decodability,
     sweep_frontier,
+    sweep_scenario_family,
     sweep_throughput,
 )
 
@@ -50,7 +51,7 @@ __all__ = [
     "fit_linear", "symbol_error_rate", "throughput_sps",
     "format_series", "format_table", "summarize_results",
     "DecodabilityGrid", "sweep_decodability", "sweep_frontier",
-    "sweep_throughput",
+    "sweep_scenario_family", "sweep_throughput",
     "WaterfallCurve", "WaterfallPoint", "decode_rate",
     "noise_floor_waterfall", "dirt_waterfall", "fog_waterfall",
 ]

@@ -19,10 +19,11 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..core.capacity import IndoorSetup, min_decodable_width
-from ..engine import BatchRunner, ScenarioSpec, expand_grid
+from ..engine import BatchResult, BatchRunner, ScenarioSpec, expand_grid
+from ..scenarios import expand_family
 
 __all__ = ["DecodabilityGrid", "probe_spec", "sweep_decodability",
-           "sweep_frontier", "sweep_throughput"]
+           "sweep_frontier", "sweep_scenario_family", "sweep_throughput"]
 
 
 def probe_spec(setup: IndoorSetup, height_m: float, symbol_width_m: float,
@@ -136,6 +137,28 @@ def sweep_decodability(setup: IndoorSetup,
             grid[i, j] = sum(r.success for r in cell) * 2 > n_seeds
     return DecodabilityGrid(heights_m=heights, widths_m=widths,
                             decodable=grid)
+
+
+def sweep_scenario_family(expr: str, count: int = 100, seed: int = 0,
+                          template: ScenarioSpec | None = None,
+                          runner: BatchRunner | None = None) -> BatchResult:
+    """Expand a scenario family (or composition) and run it.
+
+    The analysis-layer entry to the scenario zoo: any registered family
+    expression (``"convoy"``, ``"highway*fog"``) becomes one engine
+    batch — parallel across cores by default, cacheable by passing a
+    runner with a :class:`~repro.engine.ResultCache`.
+
+    Args:
+        expr: family name or ``*``-composition (see
+            :func:`repro.scenarios.family_names`).
+        count: scenarios to draw.
+        seed: expansion seed (same seed -> same scenarios).
+        template: base spec the family varies.
+        runner: batch runner; defaults to one worker per core.
+    """
+    specs = expand_family(expr, count=count, seed=seed, template=template)
+    return (runner or BatchRunner.local()).run(specs)
 
 
 def sweep_frontier(setup: IndoorSetup, widths_m: np.ndarray,

@@ -1,18 +1,24 @@
 """``repro-engine`` — the engine's command-line entry point.
 
-Three subcommands::
+Four subcommands::
 
     repro-engine run   --set source=sun --set detector=led --set cap=false \\
                        --set bits=00 --set receiver_height_m=0.25
     repro-engine sweep --set source=sun --set detector=led --set cap=false \\
                        --axis ground_lux=100,450,3700,6200 --axis seed=2,3,4 \\
                        --workers 4 --cache-dir .engine-cache --out runs.jsonl
+    repro-engine sweep --scenario convoy,fog --count 200 --workers 8 \\
+                       --group-by car
     repro-engine report runs.jsonl --group-by ground_lux
+    repro-engine scenarios
 
 ``run`` executes a single scenario and prints its record as JSON.
-``sweep`` expands a grid (template + axes) through the batch runner.
+``sweep`` expands a grid (template + axes), a registered scenario
+family (``--scenario``, composable with ``*``), or both — ``--axis``
+fans each family scenario out further — through the batch runner.
 ``report`` re-reads a results file and summarizes it; records embed
 their spec, so any spec field works for ``--group-by``.
+``scenarios`` lists the registered scenario families.
 """
 
 from __future__ import annotations
@@ -35,7 +41,7 @@ __all__ = ["main", "build_parser"]
 _BOOL_FIELDS = {"cap", "include_noise"}
 _INT_FIELDS = {"seed"}
 _STR_FIELDS = {"bits", "source", "detector", "pd_gain", "ground", "car",
-               "decoder", "threshold_rule"}
+               "motion", "decoder", "threshold_rule"}
 _NONEABLE = {"seed", "car", "visibility_m", "start_position_m",
              "sample_rate_hz"}
 
@@ -150,7 +156,21 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     for pair in args.axis or []:
         name, values = _parse_axis(pair)
         axes[name] = values
-    specs = expand_grid(template, axes)
+    if args.scenario:
+        from ..scenarios import expand_family
+
+        bases = expand_family(args.scenario,
+                              count=(100 if args.count is None
+                                     else args.count),
+                              seed=args.family_seed or 0,
+                              template=template)
+        specs = [spec for base in bases
+                 for spec in expand_grid(base, axes)]
+    else:
+        if args.count is not None or args.family_seed is not None:
+            raise ValueError(
+                "--count/--family-seed only apply with --scenario")
+        specs = expand_grid(template, axes)
     runner = _make_runner(args)
     result = runner.run(specs)
     _write_records(result.records, args.out)
@@ -172,6 +192,15 @@ def _cmd_report(args: argparse.Namespace) -> int:
     print(summarize(records))
     for axis in args.group_by or []:
         print(group_table(records, axis))
+    return 0
+
+
+def _cmd_scenarios(args: argparse.Namespace) -> int:
+    from ..scenarios import describe_families
+
+    print(describe_families())
+    print("\ncompose families with ',' (or '*'), e.g. "
+          "`repro-engine sweep --scenario convoy,fog --count 200`")
     return 0
 
 
@@ -201,6 +230,15 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_p.add_argument("--axis", action="append",
                          metavar="FIELD=V1,V2|FIELD=LO:HI:N",
                          help="sweep one spec field (repeatable)")
+    sweep_p.add_argument("--scenario", metavar="FAMILY[,FAMILY...]",
+                         help="expand a registered scenario family "
+                              "(compose with ',' — shell-safe — or "
+                              "'*'; see the 'scenarios' subcommand)")
+    sweep_p.add_argument("--count", type=int, default=None,
+                         help="scenarios to draw from --scenario "
+                              "(default: 100)")
+    sweep_p.add_argument("--family-seed", type=int, default=None,
+                         help="expansion seed for --scenario (default: 0)")
     sweep_p.add_argument("--workers", type=int, default=1,
                          help="worker processes (default: 1, serial)")
     sweep_p.add_argument("--group-by", action="append", metavar="FIELD",
@@ -211,6 +249,10 @@ def build_parser() -> argparse.ArgumentParser:
     report_p.add_argument("results", help="JSONL file written by sweep/run")
     report_p.add_argument("--group-by", action="append", metavar="FIELD")
     report_p.set_defaults(func=_cmd_report)
+
+    scen_p = sub.add_parser("scenarios",
+                            help="list the registered scenario families")
+    scen_p.set_defaults(func=_cmd_scenarios)
     return parser
 
 

@@ -17,7 +17,12 @@ from __future__ import annotations
 import time
 
 from ..channel.distortion import CLEAR, Atmosphere
-from ..channel.mobility import ConstantSpeed
+from ..channel.mobility import (
+    ConstantSpeed,
+    MotionProfile,
+    SpeedJitter,
+    speed_doubling_profile,
+)
 from ..channel.scene import MovingObject, PassiveScene
 from ..channel.simulator import ChannelSimulator, SimulatorConfig
 from ..core.decoder import AdaptiveThresholdDecoder, DecoderConfig
@@ -53,19 +58,39 @@ def _build_source(spec: ScenarioSpec):
                               height=spec.fluorescent_height_m)
 
 
+def _build_motion(spec: ScenarioSpec, packet: Packet, start: float,
+                  packet_offset_m: float = 0.0) -> MotionProfile:
+    if spec.motion == "speed_doubling":
+        # The Fig. 8 semantics: the speed doubles when the *packet*
+        # midpoint passes the receiver.  On a car the packet sits
+        # ``packet_offset_m`` behind the object's leading edge, which
+        # is what the motion profile tracks — shift the halfway mark
+        # accordingly (0 for bare tags).
+        return speed_doubling_profile(packet.length_m, spec.speed_mps,
+                                      start,
+                                      halfway_offset_m=packet_offset_m)
+    base = ConstantSpeed(spec.speed_mps, start)
+    if spec.motion == "speed_jitter":
+        return SpeedJitter(base, relative_deviation=spec.motion_param,
+                           seed=spec.seed if spec.seed is not None else 0)
+    return base
+
+
 def _build_object(spec: ScenarioSpec, packet: Packet) -> MovingObject:
     start = spec.start_position_m
     if start is None:
         start = spec.auto_start_position_m()
-    motion = ConstantSpeed(spec.speed_mps, start)
     if spec.car is not None:
         car = _CAR_FACTORIES[spec.car]()
-        surface = TaggedCar(car=car, packet=packet).surface()
+        tagged = TaggedCar(car=car, packet=packet)
+        surface = tagged.surface()
+        tag_offset = car.segment_span("roof")[0] + tagged.roof_offset_m
+        motion = _build_motion(spec, packet, start, tag_offset)
         return MovingObject(surface, motion, car.model)
     tag = TagSurface.from_packet(packet)
     if spec.dirt > 0.0:
         tag = tag.degraded(spec.dirt)
-    return MovingObject(tag, motion, "tag")
+    return MovingObject(tag, _build_motion(spec, packet, start), "tag")
 
 
 def build_scene(spec: ScenarioSpec) -> PassiveScene:

@@ -22,7 +22,8 @@ import math
 from dataclasses import dataclass
 from typing import Any, Mapping, Sequence
 
-__all__ = ["ScenarioSpec", "GridSpec", "expand_grid", "grid_size"]
+__all__ = ["ScenarioSpec", "GridSpec", "expand_grid", "grid_size",
+           "MOTIONS"]
 
 
 #: Recognised ambient sources.
@@ -39,6 +40,9 @@ DECODERS = ("adaptive", "two_phase")
 
 #: Vehicle profiles a tag can ride on (``None`` = bare tag).
 CARS = ("volvo_v40", "bmw_3_series")
+
+#: Recognised motion profiles (see :mod:`repro.channel.mobility`).
+MOTIONS = ("constant", "speed_doubling", "speed_jitter")
 
 
 @dataclass(frozen=True)
@@ -66,6 +70,13 @@ class ScenarioSpec:
             standard upstream margin ``-(0.6 h + 3 w)``.
         sample_rate_hz: RSS sampling rate; ``None`` targets ~40 samples
             per symbol clamped to [200, 2000] Hz.
+        motion: motion profile — ``constant`` speed, ``speed_doubling``
+            (the Fig. 8 distortion: speed doubles when the packet
+            midpoint passes the receiver) or ``speed_jitter`` (smooth
+            random wander around the nominal speed).
+        motion_param: profile parameter; for ``speed_jitter`` the
+            relative speed deviation in [0, 0.9], must stay 0.0
+            otherwise.
         decoder: ``adaptive`` thresholds or the ``two_phase`` car
             decoder (long preamble first).
         threshold_rule: adaptive-decoder thresholding variant.
@@ -92,6 +103,8 @@ class ScenarioSpec:
     visibility_m: float | None = None
     start_position_m: float | None = None
     sample_rate_hz: float | None = None
+    motion: str = "constant"
+    motion_param: float = 0.0
     decoder: str = "adaptive"
     threshold_rule: str = "midpoint"
     include_noise: bool = True
@@ -130,6 +143,16 @@ class ScenarioSpec:
             raise ValueError("visibility must be positive")
         if self.sample_rate_hz is not None and self.sample_rate_hz <= 0.0:
             raise ValueError("sample rate must be positive")
+        if self.motion not in MOTIONS:
+            raise ValueError(f"motion must be one of {MOTIONS}, "
+                             f"got {self.motion!r}")
+        if self.motion == "speed_jitter":
+            if not 0.0 <= self.motion_param <= 0.9:
+                raise ValueError("speed_jitter deviation must be in "
+                                 f"[0, 0.9], got {self.motion_param}")
+        elif self.motion_param != 0.0:
+            raise ValueError(f"motion_param applies to speed_jitter only, "
+                             f"got {self.motion_param} for {self.motion!r}")
 
     # ------------------------------------------------------------------
     # Derived quantities

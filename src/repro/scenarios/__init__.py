@@ -1,0 +1,38 @@
+"""repro.scenarios — the composable traffic-scenario library.
+
+A registry of named :class:`ScenarioFamily` generators that expand to
+arbitrarily many concrete :class:`~repro.engine.ScenarioSpec`s for the
+execution engine, plus :func:`compose` for stacking families (convoys
+in the rain under flickering lights).
+
+Quickstart::
+
+    from repro.engine import BatchRunner
+    from repro.scenarios import expand_family, family_names
+
+    print(family_names())                     # the zoo
+    specs = expand_family("convoy*fog", count=200, seed=1)
+    result = BatchRunner.local().run(specs)
+    print(result.success_rate())
+
+From the shell::
+
+    repro-engine scenarios
+    repro-engine sweep --scenario convoy,fog --count 200 --workers 8
+"""
+
+from .base import ScenarioFamily, VariantFn, compose, seed_stream
+from .library import (
+    FAMILIES,
+    describe_families,
+    expand_family,
+    family_names,
+    get_family,
+    register,
+)
+
+__all__ = [
+    "FAMILIES", "ScenarioFamily", "VariantFn", "compose",
+    "describe_families", "expand_family", "family_names", "get_family",
+    "register", "seed_stream",
+]

@@ -1,0 +1,366 @@
+"""The scenario zoo: named, registered traffic-scenario families.
+
+Every family is a :class:`~repro.scenarios.base.ScenarioFamily` turning
+one template :class:`~repro.engine.ScenarioSpec` into an arbitrary
+number of concrete, seeded variants.  Families come in two styles:
+
+* **Traffic families** (``convoy``, ``intersection``, ``highway``,
+  ``parking_crawl``, ``fleet_mix``, ``receiver_matrix``) describe a
+  whole world: who drives past the receiver, how fast, over what
+  ground, read by which detector.
+* **Regime layers** (``sunlight_ramp``, ``fluorescent_flicker``,
+  ``night``, ``rain``, ``fog``, ``dirty_tags``, ``variable_speed``)
+  perturb only the fields of their concern, so they stack onto any
+  traffic family via :func:`~repro.scenarios.base.compose` — e.g.
+  ``expand_family("convoy*rain*fluorescent_flicker")``.
+
+Multi-vehicle families flatten to one spec per vehicle *pass*: the
+receiver observes a sequence of single-object passes (the paper's
+Section 5 setup), so a 7-car convoy expands to 7 engine scenarios with
+correlated speeds and a shared fleet draw.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..engine.spec import CARS, PD_GAINS, ScenarioSpec
+from ..vehicles.profiles import car_by_name
+from .base import ScenarioFamily, VariantFn, compose
+from .samplers import jittered, kmh, log_uniform, pick, uniform
+
+__all__ = ["FAMILIES", "register", "get_family", "family_names",
+           "expand_family", "describe_families"]
+
+
+#: The global family registry, name -> family.
+FAMILIES: dict[str, ScenarioFamily] = {}
+
+#: Payload pool shared by the traffic families (the paper's two codes
+#: plus a couple of longer frames).
+_PAYLOADS = ("00", "10", "0110", "1001", "1010")
+
+#: Offset between a roof's leading edge and the tag (rooftag default).
+_ROOF_OFFSET_M = 0.05
+
+#: Usable roof length per car model, derived from the vehicle profiles
+#: — the physical budget a roof-mounted packet must fit into.
+_ROOF_BUDGET_M = {
+    name: (lambda span: span[1] - span[0] - _ROOF_OFFSET_M)(
+        car_by_name(name).segment_span("roof"))
+    for name in CARS
+}
+
+
+def _payload_for(rng, car: str | None, symbol_width_m: float) -> str:
+    """A payload whose physical packet fits its carrier.
+
+    A packet spans ``(4 + 2 * n_data_bits)`` symbols (preamble + the
+    Manchester-coded data); roof-mounted packets must fit the car's
+    roof segment or the scene cannot be built at all.  Bare tags have
+    no length budget.
+    """
+    if car is None:
+        return pick(rng, _PAYLOADS)
+    budget = _ROOF_BUDGET_M[car]
+    fitting = [p for p in _PAYLOADS
+               if (4 + 2 * len(p)) * symbol_width_m <= budget]
+    return pick(rng, fitting) if fitting else "00"
+
+
+def register(name: str, description: str):
+    """Decorator: wrap a variant function into a registered family."""
+    def wrap(fn: VariantFn) -> ScenarioFamily:
+        if "*" in name or "," in name:
+            # Reserved composition separators: a registered name
+            # containing them could never be resolved by get_family.
+            raise ValueError(
+                f"registered family names cannot contain '*' or ',', "
+                f"got {name!r}")
+        if name in FAMILIES:
+            raise ValueError(f"family {name!r} already registered")
+        family = ScenarioFamily(name=name, description=description,
+                                variants=fn)
+        FAMILIES[name] = family
+        return family
+    return wrap
+
+
+def family_names() -> list[str]:
+    """Registered family names, sorted."""
+    return sorted(FAMILIES)
+
+
+def get_family(expr: str) -> ScenarioFamily:
+    """Resolve a family expression to a (possibly composed) family.
+
+    ``expr`` is one registered name, or several joined with ``*`` or
+    ``,`` — ``"convoy*rain"`` and ``"convoy,rain"`` both mean convoy
+    passes fanned out over rain densities.
+    """
+    names = [n.strip() for n in expr.replace(",", "*").split("*")
+             if n.strip()]
+    if not names:
+        raise ValueError(f"empty family expression: {expr!r}")
+    missing = [n for n in names if n not in FAMILIES]
+    if missing:
+        known = ", ".join(family_names())
+        raise KeyError(f"unknown scenario families {missing}; "
+                       f"known: {known}")
+    return compose(*(FAMILIES[n] for n in names))
+
+
+def expand_family(expr: str, count: int = 100, seed: int = 0,
+                  template: ScenarioSpec | None = None,
+                  ) -> list[ScenarioSpec]:
+    """Expand a family expression to ``count`` concrete specs."""
+    return get_family(expr).expand(count=count, seed=seed,
+                                   template=template)
+
+
+def describe_families() -> str:
+    """One line per registered family, for the CLI listing."""
+    width = max(len(n) for n in FAMILIES)
+    return "\n".join(f"{name:<{width}}  {FAMILIES[name].description}"
+                     for name in family_names())
+
+
+# ----------------------------------------------------------------------
+# Shared builders
+# ----------------------------------------------------------------------
+
+def _road(base: ScenarioSpec) -> ScenarioSpec:
+    """The Section 5 outdoor link: sun over tarmac, RX-LED, 10 cm
+    symbols, standard -1.5 m approach."""
+    return base.replace(
+        source="sun", detector="led", cap=False, ground="tarmac",
+        symbol_width_m=0.1, start_position_m=-1.5,
+        sample_rate_hz=2000.0, car=None, dirt=0.0)
+
+
+# ----------------------------------------------------------------------
+# Traffic families
+# ----------------------------------------------------------------------
+
+@register("convoy",
+          "multi-vehicle convoys at ~18 km/h: correlated speeds, mixed "
+          "fleet, one spec per member pass")
+def _convoy(base: ScenarioSpec, count: int,
+            rng: np.random.Generator) -> list[ScenarioSpec]:
+    road = _road(base).replace(receiver_height_m=0.75,
+                               decoder="two_phase")
+    specs: list[ScenarioSpec] = []
+    while len(specs) < count:
+        # One convoy: 3-8 vehicles sharing a lead speed and lux draw.
+        size = int(rng.integers(3, 9))
+        lead_speed = uniform(rng, kmh(10.0), kmh(30.0))
+        lux = log_uniform(rng, 1500.0, 12000.0)
+        for _ in range(min(size, count - len(specs))):
+            car = pick(rng, CARS)
+            specs.append(road.replace(
+                car=car,
+                bits=_payload_for(rng, car, road.symbol_width_m),
+                speed_mps=jittered(rng, lead_speed, 0.06),
+                ground_lux=jittered(rng, lux, 0.03)))
+    return specs
+
+
+@register("intersection",
+          "crossing traffic: slow turners and fast through-cars under "
+          "two receiver heights")
+def _intersection(base: ScenarioSpec, count: int,
+                  rng: np.random.Generator) -> list[ScenarioSpec]:
+    road = _road(base)
+    specs = []
+    for _ in range(count):
+        turning = bool(rng.integers(2))
+        speed = (uniform(rng, kmh(5.0), kmh(13.0)) if turning
+                 else uniform(rng, kmh(20.0), kmh(40.0)))
+        car = pick(rng, CARS)
+        specs.append(road.replace(
+            car=car,
+            bits=_payload_for(rng, car, road.symbol_width_m),
+            decoder="two_phase",
+            speed_mps=speed,
+            receiver_height_m=pick(rng, (0.75, 1.0)),
+            ground_lux=log_uniform(rng, 1000.0, 10000.0)))
+    return specs
+
+
+@register("highway",
+          "high-speed bare-tag passes (30-80 km/h, freight/trailer "
+          "tags) with stretched symbols under bright sun")
+def _highway(base: ScenarioSpec, count: int,
+             rng: np.random.Generator) -> list[ScenarioSpec]:
+    # Stretched symbols exceed any car's roof budget, so highway tags
+    # ride bare (trailer decks, cargo roofs) and decode adaptively.
+    road = _road(base)
+    specs = []
+    for _ in range(count):
+        specs.append(road.replace(
+            car=None,
+            bits=pick(rng, _PAYLOADS),
+            decoder="adaptive",
+            speed_mps=uniform(rng, kmh(30.0), kmh(80.0)),
+            symbol_width_m=uniform(rng, 0.15, 0.3),
+            receiver_height_m=uniform(rng, 0.75, 1.2),
+            ground_lux=log_uniform(rng, 3000.0, 20000.0)))
+    return specs
+
+
+@register("parking_crawl",
+          "work-plane crawl: hand-pushed speeds under the LED lamp "
+          "(the Section 4 dark-room regime)")
+def _parking_crawl(base: ScenarioSpec, count: int,
+                   rng: np.random.Generator) -> list[ScenarioSpec]:
+    specs = []
+    for _ in range(count):
+        specs.append(base.replace(
+            source="led_lamp", detector="pd", cap=True,
+            ground="black_paper_ground", car=None, decoder="adaptive",
+            start_position_m=None, sample_rate_hz=None,
+            bits=pick(rng, _PAYLOADS),
+            pd_gain=pick(rng, PD_GAINS),
+            lamp_intensity_cd=uniform(rng, 1.5, 3.0),
+            speed_mps=uniform(rng, 0.04, 0.15),
+            symbol_width_m=uniform(rng, 0.03, 0.08),
+            receiver_height_m=uniform(rng, 0.2, 0.5)))
+    return specs
+
+
+@register("fleet_mix",
+          "fleet sampler: tagged cars and bare (possibly dirty) tags "
+          "drawn from one traffic stream")
+def _fleet_mix(base: ScenarioSpec, count: int,
+               rng: np.random.Generator) -> list[ScenarioSpec]:
+    road = _road(base)
+    specs = []
+    for _ in range(count):
+        carrier = pick(rng, CARS + (None,))
+        specs.append(road.replace(
+            car=carrier,
+            dirt=0.0 if carrier else uniform(rng, 0.0, 0.5),
+            decoder="two_phase" if carrier else "adaptive",
+            bits=_payload_for(rng, carrier, road.symbol_width_m),
+            speed_mps=uniform(rng, kmh(12.0), kmh(30.0)),
+            receiver_height_m=uniform(rng, 0.6, 1.1),
+            ground_lux=log_uniform(rng, 800.0, 12000.0)))
+    return specs
+
+
+@register("receiver_matrix",
+          "receiver design sweep: PD gains G1-G3 vs RX-LED, capped and "
+          "bare, across heights and ambient levels")
+def _receiver_matrix(base: ScenarioSpec, count: int,
+                     rng: np.random.Generator) -> list[ScenarioSpec]:
+    road = _road(base)
+    specs = []
+    for _ in range(count):
+        detector = pick(rng, ("pd", "led"))
+        specs.append(road.replace(
+            detector=detector,
+            pd_gain=pick(rng, PD_GAINS) if detector == "pd" else "G1",
+            cap=bool(rng.integers(2)),
+            bits="00",
+            speed_mps=kmh(18.0),
+            receiver_height_m=uniform(rng, 0.2, 1.0),
+            ground_lux=log_uniform(rng, 80.0, 20000.0)))
+    return specs
+
+
+# ----------------------------------------------------------------------
+# Ambient-light regime layers
+# ----------------------------------------------------------------------
+
+@register("sunlight_ramp",
+          "layer: daylight ramp from dawn to noon (log-spaced ground "
+          "lux under the sun)")
+def _sunlight_ramp(base: ScenarioSpec, count: int,
+                   rng: np.random.Generator) -> list[ScenarioSpec]:
+    # A deterministic dawn->noon ramp (plus per-point jitter) rather
+    # than i.i.d. draws: consumers get ordered coverage of the range.
+    lo, hi = 80.0, 30000.0
+    positions = np.linspace(0.0, 1.0, count)
+    specs = []
+    for pos in positions:
+        lux = lo * (hi / lo) ** float(pos)
+        specs.append(base.replace(source="sun",
+                                  ground_lux=jittered(rng, lux, 0.05)))
+    return specs
+
+
+@register("fluorescent_flicker",
+          "layer: AC-driven ceiling fluorescents (100 Hz ripple) at "
+          "varying luminaire heights and levels")
+def _fluorescent_flicker(base: ScenarioSpec, count: int,
+                         rng: np.random.Generator) -> list[ScenarioSpec]:
+    specs = []
+    for _ in range(count):
+        specs.append(base.replace(
+            source="fluorescent",
+            ground_lux=log_uniform(rng, 150.0, 1500.0),
+            fluorescent_height_m=uniform(rng, 2.0, 3.5)))
+    return specs
+
+
+@register("night",
+          "layer: night-time ambient (10-150 lux skyglow/streetlight "
+          "residual)")
+def _night(base: ScenarioSpec, count: int,
+           rng: np.random.Generator) -> list[ScenarioSpec]:
+    specs = []
+    for _ in range(count):
+        specs.append(base.replace(
+            source="sun",
+            ground_lux=log_uniform(rng, 10.0, 150.0)))
+    return specs
+
+
+# ----------------------------------------------------------------------
+# Weather and degradation layers
+# ----------------------------------------------------------------------
+
+@register("rain",
+          "layer: rain attenuation (0.7-3 km visibility on the "
+          "surface-to-receiver path)")
+def _rain(base: ScenarioSpec, count: int,
+          rng: np.random.Generator) -> list[ScenarioSpec]:
+    return [base.replace(visibility_m=log_uniform(rng, 700.0, 3000.0))
+            for _ in range(count)]
+
+
+@register("fog",
+          "layer: fog banks from haze to dense (50-800 m visibility)")
+def _fog(base: ScenarioSpec, count: int,
+         rng: np.random.Generator) -> list[ScenarioSpec]:
+    return [base.replace(visibility_m=log_uniform(rng, 50.0, 800.0))
+            for _ in range(count)]
+
+
+@register("dirty_tags",
+          "layer: bare tags with surface degradation (dust, mud) up to "
+          "60% contrast loss")
+def _dirty_tags(base: ScenarioSpec, count: int,
+                rng: np.random.Generator) -> list[ScenarioSpec]:
+    specs = []
+    for _ in range(count):
+        specs.append(base.replace(
+            car=None, decoder="adaptive",
+            dirt=uniform(rng, 0.05, 0.6)))
+    return specs
+
+
+@register("variable_speed",
+          "layer: non-constant motion — mid-packet speed doubling and "
+          "smooth speed jitter (the Fig. 8 distortion regime)")
+def _variable_speed(base: ScenarioSpec, count: int,
+                    rng: np.random.Generator) -> list[ScenarioSpec]:
+    specs = []
+    for _ in range(count):
+        motion = pick(rng, ("speed_doubling", "speed_jitter"))
+        specs.append(base.replace(
+            motion=motion,
+            motion_param=(uniform(rng, 0.05, 0.3)
+                          if motion == "speed_jitter" else 0.0),
+            speed_mps=jittered(rng, base.speed_mps, 0.1)))
+    return specs

@@ -1,0 +1,61 @@
+"""Deterministic parameter samplers for scenario generation.
+
+Thin wrappers over :class:`numpy.random.Generator` that return plain
+Python scalars (specs are JSON-serialised and hashed — numpy scalar
+types must not leak into them) plus a couple of domain helpers shared
+by the family definitions in :mod:`repro.scenarios.library`.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence, TypeVar
+
+import numpy as np
+
+from ..channel.mobility import KMH_TO_MPS
+
+__all__ = ["uniform", "log_uniform", "pick", "jittered", "random_bits",
+           "kmh", "KMH_TO_MPS"]
+
+T = TypeVar("T")
+
+
+def uniform(rng: np.random.Generator, lo: float, hi: float) -> float:
+    """One uniform draw in [lo, hi), as a plain float."""
+    return float(rng.uniform(lo, hi))
+
+
+def log_uniform(rng: np.random.Generator, lo: float, hi: float) -> float:
+    """One log-uniform draw — for scale-type quantities (lux levels,
+    visibilities) that span decades."""
+    if lo <= 0.0 or hi <= lo:
+        raise ValueError(f"need 0 < lo < hi, got [{lo}, {hi}]")
+    return float(math.exp(rng.uniform(math.log(lo), math.log(hi))))
+
+
+def pick(rng: np.random.Generator, options: Sequence[T]) -> T:
+    """One choice from a sequence (by index, so options may be None)."""
+    if not options:
+        raise ValueError("cannot pick from an empty sequence")
+    return options[int(rng.integers(len(options)))]
+
+
+def jittered(rng: np.random.Generator, value: float,
+             relative: float = 0.1) -> float:
+    """``value`` perturbed by a uniform relative deviation."""
+    if relative < 0.0:
+        raise ValueError(f"relative jitter must be >= 0, got {relative}")
+    return float(value * (1.0 + rng.uniform(-relative, relative)))
+
+
+def random_bits(rng: np.random.Generator, n_bits: int) -> str:
+    """A random 0/1 payload string of the given length."""
+    if n_bits < 1:
+        raise ValueError(f"need at least 1 bit, got {n_bits}")
+    return "".join("1" if rng.integers(2) else "0" for _ in range(n_bits))
+
+
+def kmh(value_kmh: float) -> float:
+    """Speed in km/h as m/s (the paper quotes road speeds in km/h)."""
+    return value_kmh * KMH_TO_MPS

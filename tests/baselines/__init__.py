@@ -1,0 +1,1 @@
+"""Golden figure baselines (see capture.py for regeneration)."""

@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Capture the golden figure baselines.
+
+Re-runs the four benchmark-figure experiments and rewrites
+``tests/baselines/fig*.json`` from their measured outputs.  Run this
+ONLY when a change is *supposed* to move the reproduced numbers (a
+physics fix, a calibration change) — the whole point of the goldens is
+that ``tests/test_golden_figures.py`` fails loudly on silent drift.
+
+Usage::
+
+    PYTHONPATH=src python tests/baselines/capture.py
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+from repro.analysis.experiments import (
+    experiment_fig5,
+    experiment_fig10,
+    experiment_fig15,
+    experiment_fig17,
+)
+
+BASELINE_DIR = Path(__file__).resolve().parent
+
+#: The benchmarked figures pinned by goldens, name -> experiment.
+GOLDEN_EXPERIMENTS = {
+    "fig05": experiment_fig5,
+    "fig10": experiment_fig10,
+    "fig15": experiment_fig15,
+    "fig17": experiment_fig17,
+}
+
+
+def capture(out_dir: Path = BASELINE_DIR) -> list[Path]:
+    """Run every golden experiment and write its baseline JSON."""
+    written = []
+    for name, experiment in GOLDEN_EXPERIMENTS.items():
+        result = experiment()
+        if not result.passed:
+            raise RuntimeError(
+                f"{name} FAILED its shape-level claim; refusing to pin a "
+                f"failing baseline:\n{result.report()}")
+        payload = {
+            "experiment_id": result.experiment_id,
+            "title": result.title,
+            "passed": result.passed,
+            "measured": result.measured,
+        }
+        path = out_dir / f"{name}.json"
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True)
+                        + "\n")
+        written.append(path)
+        print(f"wrote {path}")
+    return written
+
+
+if __name__ == "__main__":
+    sys.exit(0 if capture() else 1)

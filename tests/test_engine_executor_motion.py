@@ -1,0 +1,77 @@
+"""Executor motion profiles: spec.motion -> channel.mobility wiring."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.channel.mobility import (
+    ConstantSpeed,
+    PiecewiseConstantSpeed,
+    SpeedJitter,
+)
+from repro.engine import ScenarioSpec, build_scene, execute_scenario
+from repro.tags.packet import Packet
+from repro.vehicles.profiles import volvo_v40
+from repro.vehicles.rooftag import TaggedCar
+
+
+def _motion_of(spec: ScenarioSpec):
+    return build_scene(spec.resolve()).objects[0].motion
+
+
+class TestMotionWiring:
+    def test_constant_default(self):
+        assert isinstance(_motion_of(ScenarioSpec()), ConstantSpeed)
+
+    def test_speed_jitter_carries_param_and_seed(self):
+        motion = _motion_of(ScenarioSpec(motion="speed_jitter",
+                                         motion_param=0.25, seed=9))
+        assert isinstance(motion, SpeedJitter)
+        assert motion.relative_deviation == 0.25
+        assert motion.seed == 9
+
+    def test_bare_tag_doubling_breaks_at_packet_midpoint(self):
+        spec = ScenarioSpec(bits="10", motion="speed_doubling")
+        motion = _motion_of(spec)
+        assert isinstance(motion, PiecewiseConstantSpeed)
+        packet = Packet.from_bitstring(spec.bits,
+                                       symbol_width_m=spec.symbol_width_m)
+        # Bare tag: leading edge of the object IS the packet's leading
+        # edge, so the change fires half a packet past the receiver.
+        assert motion.breakpoints_m[0] == pytest.approx(
+            packet.length_m / 2.0)
+        assert motion.speeds_mps[1] == pytest.approx(2 * spec.speed_mps)
+
+    def test_car_doubling_accounts_for_roof_offset(self):
+        """The speed change must fire when the *packet* midpoint passes
+        the receiver — on a car the packet rides on the roof, well
+        behind the object's leading edge."""
+        spec = ScenarioSpec(bits="00", symbol_width_m=0.1,
+                            car="volvo_v40", decoder="two_phase",
+                            start_position_m=-1.5,
+                            motion="speed_doubling")
+        motion = _motion_of(spec)
+        assert isinstance(motion, PiecewiseConstantSpeed)
+        car = volvo_v40()
+        packet = Packet.from_bitstring(spec.bits,
+                                       symbol_width_m=spec.symbol_width_m)
+        tag_offset = (car.segment_span("roof")[0]
+                      + TaggedCar(car=car, packet=packet).roof_offset_m)
+        expected = tag_offset + packet.length_m / 2.0
+        assert motion.breakpoints_m[0] == pytest.approx(expected)
+        # Sanity: the breakpoint lies inside the tag's span on the car,
+        # not ahead of the whole vehicle.
+        assert expected > tag_offset
+
+    def test_all_motions_execute_for_car_and_tag(self):
+        for car in (None, "volvo_v40"):
+            for motion, param in (("constant", 0.0),
+                                  ("speed_doubling", 0.0),
+                                  ("speed_jitter", 0.15)):
+                spec = ScenarioSpec(
+                    bits="00", symbol_width_m=0.1, car=car,
+                    decoder="two_phase" if car else "adaptive",
+                    start_position_m=-1.5, motion=motion,
+                    motion_param=param, seed=4)
+                record = execute_scenario(spec)
+                assert record.stage != "simulation_failed", record.error

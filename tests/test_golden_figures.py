@@ -1,0 +1,137 @@
+"""Golden-baseline regression tests for the benchmarked figures.
+
+Each test re-runs one paper-figure experiment and compares its measured
+outputs against the committed baseline in ``tests/baselines/``.  Any
+drift — a decode rate moving, a spectral peak shifting — fails loudly
+and writes a machine-readable diff to ``tests/baselines/diffs/`` (CI
+uploads that directory as an artifact), so performance work on the
+simulator or engine cannot silently change the reproduced results.
+
+Baselines are regenerated deliberately with::
+
+    PYTHONPATH=src python tests/baselines/capture.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any
+
+import pytest
+
+from tests.baselines.capture import GOLDEN_EXPERIMENTS
+
+BASELINE_DIR = Path(__file__).resolve().parent / "baselines"
+
+#: Float comparison tolerances.  The experiments are fully seeded, so
+#: drift beyond cross-platform arithmetic noise is a real change.
+REL_TOL = 1e-6
+ABS_TOL = 1e-9
+
+
+def _diff(expected: Any, actual: Any, path: str,
+          out: list[dict[str, Any]]) -> None:
+    """Recursively collect mismatches between baseline and measurement."""
+    if isinstance(expected, dict) or isinstance(actual, dict):
+        if not (isinstance(expected, dict) and isinstance(actual, dict)):
+            out.append({"path": path, "expected": expected,
+                        "actual": actual, "reason": "type mismatch"})
+            return
+        for key in sorted(set(expected) | set(actual)):
+            if key not in expected or key not in actual:
+                out.append({"path": f"{path}.{key}",
+                            "expected": expected.get(key, "<missing>"),
+                            "actual": actual.get(key, "<missing>"),
+                            "reason": "missing key"})
+            else:
+                _diff(expected[key], actual[key], f"{path}.{key}", out)
+        return
+    if isinstance(expected, (list, tuple)) or isinstance(actual,
+                                                         (list, tuple)):
+        if (not isinstance(expected, (list, tuple))
+                or not isinstance(actual, (list, tuple))
+                or len(expected) != len(actual)):
+            out.append({"path": path, "expected": expected,
+                        "actual": actual, "reason": "sequence mismatch"})
+            return
+        for i, (e, a) in enumerate(zip(expected, actual)):
+            _diff(e, a, f"{path}[{i}]", out)
+        return
+    # bool is an int subclass: compare exactly, before the float branch.
+    if isinstance(expected, bool) or isinstance(actual, bool):
+        if expected is not actual:
+            out.append({"path": path, "expected": expected,
+                        "actual": actual, "reason": "value changed"})
+        return
+    if isinstance(expected, (int, float)) and isinstance(actual,
+                                                         (int, float)):
+        if actual != pytest.approx(expected, rel=REL_TOL, abs=ABS_TOL):
+            out.append({"path": path, "expected": expected,
+                        "actual": actual, "reason": "numeric drift"})
+        return
+    if expected != actual:
+        out.append({"path": path, "expected": expected,
+                    "actual": actual, "reason": "value changed"})
+
+
+def _diff_dir() -> Path:
+    return Path(os.environ.get("GOLDEN_DIFF_DIR",
+                               BASELINE_DIR / "diffs"))
+
+
+@pytest.mark.parametrize("name", sorted(GOLDEN_EXPERIMENTS))
+def test_golden_figure(name: str) -> None:
+    baseline_path = BASELINE_DIR / f"{name}.json"
+    assert baseline_path.exists(), (
+        f"missing baseline {baseline_path}; run "
+        f"`PYTHONPATH=src python tests/baselines/capture.py`")
+    baseline = json.loads(baseline_path.read_text())
+    assert baseline["passed"], f"{name} baseline was pinned failing"
+
+    result = GOLDEN_EXPERIMENTS[name]()
+    # Round-trip through JSON so tuples/numpy scalars in `measured`
+    # compare on equal footing with the stored baseline.
+    measured = json.loads(json.dumps(result.measured))
+
+    mismatches: list[dict[str, Any]] = []
+    _diff(baseline["measured"], measured, "measured", mismatches)
+    if not result.passed:
+        mismatches.append({"path": "passed", "expected": True,
+                           "actual": False,
+                           "reason": "shape-level claim now fails"})
+
+    if mismatches:
+        diff_dir = _diff_dir()
+        diff_dir.mkdir(parents=True, exist_ok=True)
+        diff_path = diff_dir / f"{name}.diff.json"
+        diff_path.write_text(json.dumps(
+            {"figure": name,
+             "baseline": baseline["measured"],
+             "measured": measured,
+             "mismatches": mismatches}, indent=2, sort_keys=True) + "\n")
+        lines = [f"golden baseline drift in {name} "
+                 f"({len(mismatches)} mismatch(es); "
+                 f"diff written to {diff_path}):"]
+        for m in mismatches:
+            lines.append(f"  {m['path']}: expected {m['expected']!r}, "
+                         f"got {m['actual']!r} [{m['reason']}]")
+        lines.append("if this change is intentional, regenerate with "
+                     "`PYTHONPATH=src python tests/baselines/capture.py`")
+        pytest.fail("\n".join(lines))
+
+
+def test_capture_refuses_failing_baseline(tmp_path, monkeypatch) -> None:
+    """The capture tool must never pin a failing figure."""
+    import tests.baselines.capture as capture_mod
+
+    def failing_experiment():
+        from repro.analysis.experiments import ExperimentResult
+        return ExperimentResult(experiment_id="figXX", title="t",
+                                paper_claim="c", measured={}, passed=False)
+
+    monkeypatch.setattr(capture_mod, "GOLDEN_EXPERIMENTS",
+                        {"figxx": failing_experiment})
+    with pytest.raises(RuntimeError, match="refusing to pin"):
+        capture_mod.capture(tmp_path)

@@ -4,13 +4,18 @@ import math
 
 import numpy as np
 import pytest
-from hypothesis import given, settings
+from hypothesis import assume, given, settings
 from hypothesis import strategies as st
 
 from repro.channel.trace import SignalTrace
 from repro.dsp.dtw import dtw_distance
 from repro.dsp.filters import moving_average
-from repro.dsp.normalize import min_max_normalize, resample_to_length
+from repro.dsp.normalize import (
+    min_max_normalize,
+    resample_to_length,
+    z_normalize,
+)
+from repro.tags.framing import FrameError, FramedPayload, crc4
 from repro.hardware.adc import Adc
 from repro.optics.geometry import FieldOfView, GroundFootprint, Vec3
 from repro.optics.photometry import lux_to_watts_per_m2, watts_per_m2_to_lux
@@ -92,6 +97,25 @@ class TestDtwProperties:
         assert dtw_distance(a + shift, a + shift,
                             band_fraction=None) == pytest.approx(0.0)
 
+    @given(xs=small_arrays, ys=small_arrays,
+           narrow=st.floats(min_value=0.05, max_value=0.45,
+                            allow_nan=False),
+           widen=st.floats(min_value=0.0, max_value=0.55,
+                           allow_nan=False))
+    @settings(max_examples=30, deadline=None)
+    def test_monotone_band_widening(self, xs, ys, narrow, widen):
+        """Widening the Sakoe-Chiba band never increases the distance.
+
+        A wider band is a superset of alignment paths, so the optimal
+        cost can only drop; the unbanded distance is the lower bound.
+        """
+        a, b = np.asarray(xs), np.asarray(ys)
+        d_narrow = dtw_distance(a, b, band_fraction=narrow)
+        d_wide = dtw_distance(a, b, band_fraction=narrow + widen)
+        d_free = dtw_distance(a, b, band_fraction=None)
+        assert d_wide <= d_narrow + 1e-9
+        assert d_free <= d_wide + 1e-9
+
 
 class TestDspProperties:
     @given(xs=small_arrays,
@@ -116,6 +140,120 @@ class TestDspProperties:
         assert len(out) == n
         assert out.min() >= x.min() - 1e-9
         assert out.max() <= x.max() + 1e-9
+
+    @given(xs=small_arrays,
+           scale=st.floats(min_value=1e-3, max_value=1e3,
+                           allow_nan=False),
+           shift=st.floats(min_value=-1e3, max_value=1e3,
+                           allow_nan=False))
+    def test_min_max_affine_invariant(self, xs, scale, shift):
+        """Positive affine rescaling leaves the normalised signal
+        unchanged — the property the DTW classifier relies on to
+        compare passes captured under different ambient levels."""
+        x = np.asarray(xs)
+        y = scale * x + shift
+        # Skip degenerate cases where the shift swallows the signal's
+        # range in float64 (catastrophic cancellation, not a property
+        # of the normaliser).
+        assume(x.max() == x.min()
+               or y.max() - y.min() > 1e-7 * max(1.0, np.abs(y).max()))
+        direct = min_max_normalize(x)
+        rescaled = min_max_normalize(y)
+        assert rescaled == pytest.approx(direct, abs=1e-6)
+
+    @given(xs=small_arrays)
+    def test_min_max_hits_unit_endpoints(self, xs):
+        x = np.asarray(xs)
+        out = min_max_normalize(x)
+        if x.max() > x.min():
+            assert out.min() == pytest.approx(0.0)
+            assert out.max() == pytest.approx(1.0)
+        else:
+            assert np.all(out == 0.0)
+
+    @given(xs=small_arrays)
+    @settings(max_examples=30, deadline=None)
+    def test_z_normalize_moments(self, xs):
+        x = np.asarray(xs)
+        out = z_normalize(x)
+        if x.std() > 1e-6 * max(1.0, abs(x).max()):
+            assert out.mean() == pytest.approx(0.0, abs=1e-6)
+            assert out.std() == pytest.approx(1.0, rel=1e-6)
+
+    @given(xs=small_arrays)
+    def test_resample_identity(self, xs):
+        """Resampling to the input length is the identity."""
+        x = np.asarray(xs)
+        assert resample_to_length(x, len(x)) == pytest.approx(x)
+
+
+class TestFramingProperties:
+    @given(object_id=st.integers(min_value=0, max_value=63),
+           type_code=st.integers(min_value=0, max_value=3))
+    def test_encode_decode_round_trip(self, object_id, type_code):
+        frame = FramedPayload(object_id=object_id, type_code=type_code)
+        recovered = FramedPayload.from_bits(frame.to_bits())
+        assert recovered == frame
+
+    @given(id_bits=st.integers(min_value=1, max_value=12),
+           type_bits=st.integers(min_value=1, max_value=8),
+           data=st.data())
+    def test_round_trip_any_field_widths(self, id_bits, type_bits, data):
+        object_id = data.draw(st.integers(0, 2**id_bits - 1))
+        type_code = data.draw(st.integers(0, 2**type_bits - 1))
+        frame = FramedPayload(object_id=object_id, type_code=type_code,
+                              id_bits=id_bits, type_bits=type_bits)
+        bits = frame.to_bits()
+        assert len(bits) == frame.n_bits
+        assert FramedPayload.from_bits(bits, id_bits=id_bits,
+                                       type_bits=type_bits) == frame
+
+    @given(object_id=st.integers(min_value=0, max_value=63),
+           type_code=st.integers(min_value=0, max_value=3),
+           flip=st.integers(min_value=0, max_value=11))
+    def test_single_bit_flip_detected(self, object_id, type_code, flip):
+        """CRC-4 catches every single-bit error on the 12-bit frame."""
+        bits = FramedPayload(object_id=object_id,
+                             type_code=type_code).to_bits()
+        corrupted = (bits[:flip]
+                     + ("1" if bits[flip] == "0" else "0")
+                     + bits[flip + 1:])
+        assert FramedPayload.try_from_bits(corrupted) is None
+
+    @given(object_id=st.integers(min_value=0, max_value=63),
+           type_code=st.integers(min_value=0, max_value=3),
+           flips=st.sets(st.integers(min_value=0, max_value=11),
+                         min_size=2, max_size=2))
+    def test_double_bit_flip_detected(self, object_id, type_code, flips):
+        """The primitive CRC-4-ITU polynomial catches all double-bit
+        errors on frames shorter than its period (15 bits)."""
+        bits = list(FramedPayload(object_id=object_id,
+                                  type_code=type_code).to_bits())
+        for i in flips:
+            bits[i] = "1" if bits[i] == "0" else "0"
+        assert FramedPayload.try_from_bits("".join(bits)) is None
+
+    @given(bits=st.text(alphabet="01", min_size=1, max_size=24))
+    def test_crc4_width_and_determinism(self, bits):
+        checksum = crc4(bits)
+        assert len(checksum) == 4
+        assert set(checksum) <= {"0", "1"}
+        assert crc4(bits) == checksum
+
+    @given(bits=st.text(alphabet="01", min_size=1, max_size=20))
+    def test_crc4_appended_residue_is_zero(self, bits):
+        """Appending the checksum makes the CRC of the whole zero —
+        the classic systematic-CRC identity."""
+        assert crc4(bits + crc4(bits)) == "0000"
+
+    @given(garbage=st.text(alphabet="01", min_size=1, max_size=24))
+    def test_from_bits_never_crashes(self, garbage):
+        """Arbitrary decoder output either parses or raises FrameError
+        — nothing else escapes."""
+        try:
+            FramedPayload.from_bits(garbage)
+        except FrameError:
+            pass
 
 
 class TestAdcProperties:

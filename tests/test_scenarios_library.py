@@ -1,0 +1,224 @@
+"""Scenario library: registry, expansion smoke, composition, CLI."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine.cli import main as cli_main
+from repro.engine.spec import ScenarioSpec
+from repro.scenarios import (
+    FAMILIES,
+    ScenarioFamily,
+    compose,
+    describe_families,
+    expand_family,
+    family_names,
+    get_family,
+    register,
+    seed_stream,
+)
+from repro.scenarios.samplers import (
+    jittered,
+    kmh,
+    log_uniform,
+    pick,
+    random_bits,
+    uniform,
+)
+
+ALL_FAMILIES = family_names()
+
+
+class TestRegistry:
+    def test_at_least_ten_families(self):
+        assert len(ALL_FAMILIES) >= 10
+
+    def test_descriptions_listed(self):
+        listing = describe_families()
+        for name in ALL_FAMILIES:
+            assert name in listing
+
+    def test_get_family_by_name(self):
+        assert get_family("convoy").name == "convoy"
+
+    def test_unknown_family_lists_known(self):
+        with pytest.raises(KeyError, match="convoy"):
+            get_family("warp_drive")
+
+    def test_empty_expression_rejected(self):
+        with pytest.raises(ValueError):
+            get_family("  ")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register("convoy", "dup")(lambda base, count, rng: [])
+
+    def test_separator_names_rejected_at_registration(self):
+        # '*'/',' are composition syntax — a registered name carrying
+        # them could never be resolved by get_family.
+        for bad in ("a*b", "a,b"):
+            with pytest.raises(ValueError, match="cannot contain"):
+                register(bad, "d")(lambda base, count, rng: [])
+
+
+class TestFamilySmoke:
+    """Satellite: every family expands without error, at scale."""
+
+    @pytest.mark.parametrize("name", ALL_FAMILIES)
+    def test_expands_to_at_least_100_valid_specs(self, name):
+        specs = expand_family(name, count=100, seed=0)
+        assert len(specs) == 100
+        assert all(isinstance(s, ScenarioSpec) for s in specs)
+        # ScenarioSpec validates in __post_init__; resolving must also
+        # succeed (concrete rates, start positions, derived seeds).
+        resolved = [s.resolve() for s in specs]
+        assert all(r.seed is not None for r in resolved)
+
+    @pytest.mark.parametrize("name", ALL_FAMILIES)
+    def test_expansion_is_essentially_unique(self, name):
+        specs = expand_family(name, count=100, seed=0)
+        assert len({s.canonical_json() for s in specs}) == 100
+
+    def test_count_respected_for_any_size(self):
+        for count in (1, 7, 100, 257):
+            assert len(expand_family("fog", count=count)) == count
+
+    def test_bad_count_rejected(self):
+        with pytest.raises(ValueError):
+            expand_family("fog", count=0)
+
+    def test_template_fields_survive_layers(self):
+        template = ScenarioSpec(bits="0110", symbol_width_m=0.07)
+        for layer in ("fog", "rain", "night", "variable_speed"):
+            for spec in expand_family(layer, count=5, template=template):
+                assert spec.bits == "0110"
+                assert spec.symbol_width_m == 0.07
+
+
+class TestComposition:
+    def test_compose_two_families(self):
+        specs = expand_family("convoy*fog", count=100, seed=1)
+        assert len(specs) == 100
+        # Every composed spec carries both worlds: convoy traffic
+        # fields and a fog visibility.
+        assert all(s.ground == "tarmac" for s in specs)
+        assert all(s.visibility_m is not None for s in specs)
+
+    def test_comma_syntax_equivalent(self):
+        a = expand_family("convoy*fog", count=20, seed=5)
+        b = expand_family("convoy,fog", count=20, seed=5)
+        assert [s.canonical_json() for s in a] == \
+            [s.canonical_json() for s in b]
+
+    def test_three_way_composition(self):
+        specs = expand_family("convoy*rain*fluorescent_flicker",
+                              count=100, seed=2)
+        assert len(specs) == 100
+        assert all(s.source == "fluorescent" for s in specs)
+        assert all(s.visibility_m is not None for s in specs)
+        assert all(s.car is not None for s in specs)
+
+    def test_mul_operator(self):
+        fam = FAMILIES["night"] * FAMILIES["fog"]
+        assert fam.name == "night*fog"
+        assert len(fam.expand(count=12)) == 12
+
+    def test_later_stage_wins_conflicts(self):
+        # night sets low sun lux; sunlight_ramp applied after rewrites
+        # it with the daylight ramp.
+        specs = expand_family("night*sunlight_ramp", count=30, seed=0)
+        assert max(s.ground_lux for s in specs) > 1000.0
+
+    def test_compose_requires_a_family(self):
+        with pytest.raises(ValueError):
+            compose()
+
+
+class TestScenarioFamilyContract:
+    def test_name_validated(self):
+        with pytest.raises(ValueError):
+            ScenarioFamily(name="Bad Name", description="d",
+                           variants=lambda b, c, r: [b] * c)
+
+    def test_description_required(self):
+        with pytest.raises(ValueError):
+            ScenarioFamily(name="ok", description="",
+                           variants=lambda b, c, r: [b] * c)
+
+    def test_wrong_variant_count_caught(self):
+        fam = ScenarioFamily(name="short", description="d",
+                             variants=lambda b, c, r: [b])
+        with pytest.raises(RuntimeError, match="produced 1 specs"):
+            fam.expand(count=3)
+
+    def test_seed_stream_deterministic_and_sensitive(self):
+        a = seed_stream("x", 1).integers(2**32)
+        b = seed_stream("x", 1).integers(2**32)
+        c = seed_stream("x", 2).integers(2**32)
+        assert a == b
+        assert a != c
+
+
+class TestSamplers:
+    def test_scalars_are_plain_python(self, rng):
+        assert type(uniform(rng, 0.0, 1.0)) is float
+        assert type(log_uniform(rng, 1.0, 10.0)) is float
+        assert type(jittered(rng, 5.0)) is float
+
+    def test_log_uniform_range_and_validation(self, rng):
+        vals = [log_uniform(rng, 10.0, 1000.0) for _ in range(200)]
+        assert all(10.0 <= v <= 1000.0 for v in vals)
+        with pytest.raises(ValueError):
+            log_uniform(rng, 0.0, 1.0)
+
+    def test_pick_covers_options(self, rng):
+        seen = {pick(rng, ("a", "b", None)) for _ in range(100)}
+        assert seen == {"a", "b", None}
+        with pytest.raises(ValueError):
+            pick(rng, ())
+
+    def test_random_bits(self, rng):
+        bits = random_bits(rng, 16)
+        assert len(bits) == 16 and set(bits) <= {"0", "1"}
+        with pytest.raises(ValueError):
+            random_bits(rng, 0)
+
+    def test_jittered_validation(self, rng):
+        with pytest.raises(ValueError):
+            jittered(rng, 1.0, relative=-0.1)
+
+    def test_kmh(self):
+        assert kmh(18.0) == pytest.approx(5.0)
+
+
+class TestCliIntegration:
+    """Acceptance: every family is runnable via --scenario."""
+
+    @pytest.mark.parametrize("name", ALL_FAMILIES)
+    def test_sweep_scenario_runs(self, name, capsys):
+        assert cli_main(["sweep", "--scenario", name, "--count", "1"]) == 0
+        assert "ran 1 scenarios" in capsys.readouterr().out
+
+    def test_sweep_composed_with_axis(self, capsys):
+        code = cli_main(["sweep", "--scenario", "night*fog",
+                         "--count", "2", "--axis", "seed=1,2",
+                         "--group-by", "seed"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "ran 4 scenarios" in out
+        assert "decode rate by seed" in out
+
+    def test_unknown_scenario_fails_cleanly(self, capsys):
+        assert cli_main(["sweep", "--scenario", "warp_drive"]) == 2
+        assert "warp_drive" in capsys.readouterr().err
+
+    def test_count_without_scenario_rejected(self, capsys):
+        assert cli_main(["sweep", "--count", "5",
+                         "--axis", "seed=1,2"]) == 2
+        assert "--scenario" in capsys.readouterr().err
+
+    def test_scenarios_subcommand_lists(self, capsys):
+        assert cli_main(["scenarios"]) == 0
+        out = capsys.readouterr().out
+        for name in ALL_FAMILIES:
+            assert name in out
