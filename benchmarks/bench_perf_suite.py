@@ -1,0 +1,52 @@
+"""Perf-suite acceptance: the vectorized hot paths actually pay off.
+
+Unlike the ``bench_figXX`` files (which reproduce paper figures), this
+bench pins this repo's *performance* claims:
+
+* the wavefront DTW kernel is >= 10x faster than the pure-Python loop
+  on the acceptance workload (two 2000-sample banded traces) while
+  returning bit-identical results;
+* the full perf suite runs end to end and reports every tracked
+  workload.
+
+Gated behind ``--run-slow`` like every other bench.
+"""
+
+import time
+
+from repro.dsp.dtw import dtw
+from repro.perf import default_workloads, run_suite
+from repro.perf.suite import _dtw_signals
+
+
+def _best_of(fn, repeats=3):
+    best = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - started)
+    return best, result
+
+
+def test_banded_dtw_speedup_at_least_10x():
+    # The exact signals the tracked dtw_banded workload times.
+    a, b = _dtw_signals(quick=False)
+    t_ref, ref = _best_of(lambda: dtw(a, b, implementation="reference"),
+                          repeats=1)
+    t_vec, vec = _best_of(lambda: dtw(a, b, implementation="vectorized"))
+    assert vec.distance == ref.distance
+    assert vec.normalized_distance == ref.normalized_distance
+    speedup = t_ref / t_vec
+    print(f"\nbanded DTW 2000x2000: reference {t_ref * 1e3:.0f} ms, "
+          f"vectorized {t_vec * 1e3:.0f} ms -> {speedup:.1f}x")
+    assert speedup >= 10.0, (
+        f"wavefront kernel only {speedup:.1f}x faster than the loop")
+
+
+def test_quick_suite_covers_all_tracked_workloads():
+    report = run_suite(quick=True, repeats=1)
+    measured = {t.name for t in report.results}
+    assert measured == {w.name for w in default_workloads()}
+    for timing in report.results:
+        assert timing.median_s > 0.0
+        assert timing.stddev_s >= 0.0

@@ -34,6 +34,9 @@ Subpackages:
   content-hash result cache and the ``repro-engine`` CLI
 * ``repro.scenarios`` — composable traffic-scenario families (convoys,
   intersections, weather and light regimes) feeding the engine
+* ``repro.perf``      — the tracked performance harness: timed hot-path
+  workloads, ``BENCH_perf.json`` artifacts, baseline regression gating
+  (``repro-engine bench``)
 
 Scenario grids run through the engine::
 

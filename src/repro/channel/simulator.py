@@ -60,6 +60,12 @@ class SimulatorConfig:
         include_noise: disable to obtain the noiseless optical truth.
         seed: RNG seed for receiver noise.
         profile_oversample: how many profile samples per kernel step.
+        rho_chunk_elements: peak size (elements) of the per-chunk
+            ``(time, offset)`` reflectance matrix; long captures are
+            evaluated in time-slices of at most this many elements so
+            memory stays bounded no matter the duration.  The default
+            (4M elements = 32 MB of float64 per temporary) keeps every
+            paper-scale capture in a single chunk.
     """
 
     sample_rate_hz: float = 2_000.0
@@ -68,6 +74,7 @@ class SimulatorConfig:
     include_noise: bool = True
     seed: int | None = 1234
     profile_oversample: int = 2
+    rho_chunk_elements: int = 4_000_000
 
     def __post_init__(self) -> None:
         if self.sample_rate_hz <= 0.0:
@@ -78,10 +85,19 @@ class SimulatorConfig:
             raise ValueError(f"unknown kernel method {self.kernel_method!r}")
         if self.profile_oversample < 1:
             raise ValueError("profile oversample must be >= 1")
+        if self.rho_chunk_elements < 1:
+            raise ValueError("rho chunk size must be >= 1")
 
 
 class ChannelSimulator:
-    """Simulates one scene as seen by one receiver front end."""
+    """Simulates one scene as seen by one receiver front end.
+
+    The scene and config are treated as immutable after construction:
+    expensive scene-derived quantities (footprint kernel, illumination
+    geometry, object reflectance profiles, the static ground-illuminance
+    field) are computed once and cached on the instance, so repeated
+    captures pay only for the time-dependent physics.
+    """
 
     def __init__(self, scene: PassiveScene, frontend: ReceiverFrontEnd,
                  config: SimulatorConfig | None = None) -> None:
@@ -89,6 +105,10 @@ class ChannelSimulator:
         self.frontend = frontend
         self.config = config or SimulatorConfig()
         self._kernel: FootprintKernel | None = None
+        self._geometry = None
+        self._profiles: dict[tuple[int, float],
+                             tuple[np.ndarray, np.ndarray]] = {}
+        self._static_field: tuple[np.ndarray, float] | None = None
 
     # ------------------------------------------------------------------
     # Geometry helpers
@@ -136,50 +156,90 @@ class ChannelSimulator:
     # ------------------------------------------------------------------
     # Optical model
     # ------------------------------------------------------------------
-    def _object_profile(self, obj: MovingObject,
-                        du: float) -> tuple[np.ndarray, np.ndarray]:
-        """Pre-sample one object's reflectance profile on a fine grid."""
-        geometry = self.scene.illumination_geometry()
-        length = obj.surface.length_m
-        n = max(4, int(math.ceil(length / du)) + 1)
-        us = np.linspace(0.0, length, n)
-        profile = obj.surface.reflectance_samples(us, geometry)
-        return us, np.asarray(profile, dtype=float)
+    def illumination_geometry(self):
+        """The (cached) source -> patch -> receiver geometry."""
+        if self._geometry is None:
+            self._geometry = self.scene.illumination_geometry()
+        return self._geometry
+
+    def _object_profile(self, obj: MovingObject, du: float,
+                        geometry) -> tuple[np.ndarray, np.ndarray]:
+        """One object's reflectance profile on a fine grid (cached).
+
+        The profile depends only on the surface, the sampling step and
+        the scene geometry — none of which change over the simulator's
+        lifetime — so each object is sampled once and reused by every
+        subsequent capture.
+        """
+        key = (id(obj), du)
+        cached = self._profiles.get(key)
+        if cached is None:
+            length = obj.surface.length_m
+            n = max(4, int(math.ceil(length / du)) + 1)
+            us = np.linspace(0.0, length, n)
+            profile = obj.surface.reflectance_samples(us, geometry)
+            cached = (us, np.asarray(profile, dtype=float))
+            self._profiles[key] = cached
+        return cached
+
+    def _static_ground_field(self, offsets: np.ndarray,
+                             ) -> tuple[np.ndarray, float]:
+        """``(E_static(x), rho_ground)``, cached per simulator.
+
+        Separable illumination: ``E(x, t) = E_static(x) * flicker(t)``.
+        """
+        if self._static_field is None:
+            flick0 = float(np.asarray(self.scene.source.flicker(0.0)))
+            if flick0 <= 0.0:
+                raise RuntimeError("source flicker must be positive at t=0")
+            e_static = (np.asarray(
+                self.scene.source.ground_illuminance(offsets, 0.0),
+                dtype=float) / flick0)
+            rho_ground = effective_reflectance(self.scene.ground,
+                                               self.illumination_geometry())
+            self._static_field = (e_static, rho_ground)
+        return self._static_field
+
+    def _rho_block(self, t: np.ndarray, offsets: np.ndarray,
+                   rho_ground: float, du: float) -> np.ndarray:
+        """The ``(len(t), len(offsets))`` effective-reflectance matrix."""
+        geometry = self.illumination_geometry()
+        rho = np.full((len(t), len(offsets)), rho_ground, dtype=float)
+        total_share = sum(obj.fov_share for obj in self.scene.objects)
+        rho *= max(0.0, 1.0 - total_share)
+        for obj in self.scene.objects:
+            us, profile = self._object_profile(obj, du, geometry)
+            local = obj.local_coordinates(offsets[None, :], t[:, None])
+            inside = (local >= 0.0) & (local <= obj.surface.length_m)
+            sampled = np.interp(local.ravel(), us,
+                                profile).reshape(local.shape)
+            contribution = np.where(inside, sampled, rho_ground)
+            rho += obj.fov_share * contribution
+        return rho
 
     def weighted_luminance(self, t: np.ndarray) -> np.ndarray:
-        """Footprint-weighted luminance ``Lbar(t)`` (cd/m^2)."""
+        """Footprint-weighted luminance ``Lbar(t)`` (cd/m^2).
+
+        The time x offset reflectance matrix is evaluated in time
+        slices of at most ``config.rho_chunk_elements`` elements so
+        arbitrarily long captures run in bounded memory.
+        """
         t = np.asarray(t, dtype=float)
         kern = self.kernel
         offsets = kern.offsets + self.scene.receiver_x_m
-        geometry = self.scene.illumination_geometry()
-        rho_ground = effective_reflectance(self.scene.ground, geometry)
-
-        # Separable illumination: E(x, t) = E_static(x) * flicker(t).
-        flick0 = float(np.asarray(self.scene.source.flicker(0.0)))
-        if flick0 <= 0.0:
-            raise RuntimeError("source flicker must be positive at t=0")
-        e_static = (np.asarray(
-            self.scene.source.ground_illuminance(offsets, 0.0), dtype=float)
-            / flick0)
+        e_static, rho_ground = self._static_ground_field(offsets)
         flick = np.asarray(self.scene.source.flicker(t), dtype=float)
 
-        # Start from bare ground everywhere, then overlay objects by
-        # their lateral FoV share.
-        rho = np.full((len(t), len(offsets)), rho_ground, dtype=float)
-        total_share = sum(obj.fov_share for obj in self.scene.objects)
-        if self.scene.objects:
-            rho *= max(0.0, 1.0 - total_share)
-            du = (kern.offsets[1] - kern.offsets[0]) / self.config.profile_oversample
-            for obj in self.scene.objects:
-                us, profile = self._object_profile(obj, du)
-                local = obj.local_coordinates(
-                    offsets[None, :], t[:, None])
-                inside = (local >= 0.0) & (local <= obj.surface.length_m)
-                sampled = np.interp(local.ravel(), us, profile).reshape(local.shape)
-                contribution = np.where(inside, sampled, rho_ground)
-                rho += obj.fov_share * contribution
-
-        weighted = rho @ (kern.weights * e_static)
+        weight_vec = kern.weights * e_static
+        du = ((kern.offsets[1] - kern.offsets[0])
+              / self.config.profile_oversample
+              if self.scene.objects else 0.0)
+        chunk = max(1, self.config.rho_chunk_elements // max(1, len(offsets)))
+        weighted = np.empty(len(t), dtype=float)
+        for lo in range(0, len(t), chunk):
+            block = t[lo:lo + chunk]
+            rho = self._rho_block(block, offsets, rho_ground, du)
+            weighted[lo:lo + chunk] = rho @ weight_vec
         return weighted * flick
 
     def aperture_illuminance(self, t: np.ndarray) -> np.ndarray:

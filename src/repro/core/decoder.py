@@ -44,6 +44,43 @@ from .errors import DecodeError, PreambleNotFoundError
 __all__ = ["DecoderConfig", "SymbolWindow", "DecodeResult",
            "AdaptiveThresholdDecoder"]
 
+#: The preamble's known symbol pattern as HIGH flags (H, L, H, L).
+_EXPECTED_HIGH = np.array([True, False, True, False])
+
+
+def _window_slices(times: np.ndarray, starts: np.ndarray,
+                   ends: np.ndarray) -> tuple[np.ndarray, np.ndarray,
+                                              np.ndarray]:
+    """Sample-index bounds for many ``[start, end)`` time windows.
+
+    Vector form of the bounds used by ``_window_max``/``_window_range``:
+    ``valid`` marks windows containing at least one sample.
+    """
+    i0 = np.searchsorted(times, starts, side="left")
+    i1 = np.searchsorted(times, ends, side="left")
+    return i0, i1, (i1 > i0) & (i0 < len(times))
+
+
+def _segment_reduce(ufunc: np.ufunc, values: np.ndarray, pad: float,
+                    i0: np.ndarray, i1: np.ndarray) -> np.ndarray:
+    """Apply ``ufunc`` over many ``values[i0:i1]`` segments at once.
+
+    Segments are evaluated with one ``ufunc.reduceat`` call on start/end
+    index pairs interleaved into a single index vector (the odd-position
+    results cover the gaps *between* windows and are discarded).  A
+    sentinel ``pad`` element keeps an end index equal to ``len(values)``
+    legal.  Entries for empty segments (``i1 <= i0``) are meaningless —
+    callers must mask them with the ``valid`` flags of
+    :func:`_window_slices`.
+    """
+    if i0.size == 0:
+        return np.empty(i0.shape)
+    padded = np.append(values, pad)
+    idx = np.empty(i0.size * 2, dtype=np.intp)
+    idx[0::2] = i0.ravel()
+    idx[1::2] = i1.ravel()
+    return ufunc.reduceat(padded, idx)[0::2].reshape(i0.shape)
+
 
 @dataclass(frozen=True)
 class DecoderConfig:
@@ -324,9 +361,84 @@ class AdaptiveThresholdDecoder:
           clock centres symbol transitions inside windows, inflating
           their internal peak-to-peak excursion.
 
+        The whole scale x delta x window search is evaluated as one
+        broadcast tensor (window extrema via ``_segment_reduce``); it
+        returns bit-identical results to the literal triple loop kept
+        as :meth:`_refine_clock_reference`.
+
         Returns:
             ``(tau_t, anchor)`` where ``anchor`` is the start time of
             preamble symbol 1; data windows begin at ``anchor + 4 tau_t``.
+        """
+        base_anchor = points[0].time_s - 0.5 * tau_t
+        span = self.config.clock_search_span
+        n_probe = min(n_data_symbols if n_data_symbols else 8, 12)
+
+        scales = np.linspace(1.0 - span, 1.0 + span, 13)
+        rel_deltas = np.linspace(-0.35, 0.35, 15)
+        cand_tau = tau_t * scales
+        shrink = self.config.window_shrink_fraction * cand_tau
+        anchors = base_anchor + rel_deltas[None, :] * cand_tau[:, None]
+
+        tau_c = cand_tau[:, None, None]
+        shrink_c = shrink[:, None, None]
+        anchor_c = anchors[:, :, None]
+
+        # Preamble windows k = 0..3, expected H, L, H, L: the candidate
+        # survives only when every window exists and every margin
+        # against `level` is positive.
+        ks = np.arange(4.0)
+        i0, i1, valid = _window_slices(
+            times, anchor_c + ks * tau_c + shrink_c,
+            anchor_c + (ks + 1.0) * tau_c - shrink_c)
+        w_max = _segment_reduce(np.maximum, smooth, -np.inf, i0, i1)
+        margins = np.where(_EXPECTED_HIGH, w_max - level, level - w_max)
+        min_margin = margins.min(axis=-1)
+        ok = valid.all(axis=-1) & (min_margin > 0.0)
+        if not ok.any():
+            return tau_t, base_anchor
+
+        # Data-window roughness: mean internal peak-to-peak excursion of
+        # the probe windows before the first one falling off the trace.
+        data_start = anchor_c + 4.0 * tau_c
+        kd = np.arange(float(max(n_probe, 0)))
+        j0, j1, d_valid = _window_slices(
+            times, data_start + kd * tau_c + shrink_c,
+            data_start + (kd + 1.0) * tau_c - shrink_c)
+        seg_max = _segment_reduce(np.maximum, smooth, -np.inf, j0, j1)
+        seg_min = _segment_reduce(np.minimum, smooth, np.inf, j0, j1)
+        ranges = np.where(d_valid, seg_max - seg_min, 0.0)
+        counts = np.cumprod(d_valid, axis=-1).sum(axis=-1)
+        roughness = np.zeros(ok.shape)
+        # Group candidates by probe count so each group's mean reduces
+        # over a contiguous prefix — the same summation np.mean performs
+        # in the reference loop, keeping scores bit-identical.
+        for count in np.unique(counts):
+            if count < 1:
+                continue
+            sel = counts == count
+            roughness[sel] = np.mean(ranges[..., :int(count)],
+                                     axis=-1)[sel]
+
+        # All terms normalised by tau_r so the deviation penalty has a
+        # consistent meaning across signal amplitudes.
+        score = (min_margin / tau_r
+                 - 0.5 * roughness / tau_r
+                 - 0.9 * np.abs(scales - 1.0)[:, None]
+                 - 0.25 * np.abs(rel_deltas)[None, :])
+        score = np.where(ok, score, -np.inf)
+        s_idx, d_idx = np.unravel_index(int(np.argmax(score)), score.shape)
+        return float(cand_tau[s_idx]), float(anchors[s_idx, d_idx])
+
+    def _refine_clock_reference(self, smooth: np.ndarray, times: np.ndarray,
+                                points: tuple[Extremum, Extremum, Extremum],
+                                tau_t: float, tau_r: float, level: float,
+                                n_data_symbols: int | None = None,
+                                ) -> tuple[float, float]:
+        """The literal scale x delta x window triple loop.
+
+        Kept as the readable oracle for :meth:`_refine_clock`; the
+        equivalence suite asserts both return identical values.
         """
         a = points[0]
         base_anchor = a.time_s - 0.5 * tau_t
@@ -424,16 +536,24 @@ class AdaptiveThresholdDecoder:
                 "end of the trace")
 
         shrink = self.config.window_shrink_fraction * tau_t
+        ks = np.arange(float(n_windows))
+        w_starts = data_start + ks * tau_t
+        w_ends = w_starts + tau_t
+        i0, i1, valid = _window_slices(times, w_starts + shrink,
+                                       w_ends - shrink)
+        # Windows are consumed in order until the first one falls off
+        # the trace.
+        n_good = int(np.cumprod(valid).sum())
         windows: list[SymbolWindow] = []
-        for k in range(n_windows):
-            w_start = data_start + k * tau_t
-            w_end = w_start + tau_t
-            mask = (times >= w_start + shrink) & (times < w_end - shrink)
-            if not np.any(mask):
-                break
-            w_max = float(smooth[mask].max())
-            symbol = Symbol.HIGH if w_max > level else Symbol.LOW
-            windows.append(SymbolWindow(w_start, w_end, w_max, symbol))
+        if n_good:
+            maxima = _segment_reduce(np.maximum, smooth, -np.inf,
+                                     i0[:n_good], i1[:n_good])
+            for k in range(n_good):
+                w_max = float(maxima[k])
+                symbol = Symbol.HIGH if w_max > level else Symbol.LOW
+                windows.append(SymbolWindow(float(w_starts[k]),
+                                            float(w_ends[k]),
+                                            w_max, symbol))
         if not windows:
             raise DecodeError("all decision windows fell outside the trace")
 
@@ -475,12 +595,13 @@ class AdaptiveThresholdDecoder:
                          anchor: float, tau_t: float, level: float) -> bool:
         """Re-decode the preamble region; it must read HLHL."""
         shrink = self.config.window_shrink_fraction * tau_t
-        decoded: list[Symbol] = []
-        for k in range(4):
-            w_max = self._window_max(smooth, times,
-                                     anchor + k * tau_t + shrink,
-                                     anchor + (k + 1) * tau_t - shrink)
-            if w_max is None:
-                return False
-            decoded.append(Symbol.HIGH if w_max > level else Symbol.LOW)
-        return tuple(decoded) == PREAMBLE
+        ks = np.arange(4.0)
+        i0, i1, valid = _window_slices(times,
+                                       anchor + ks * tau_t + shrink,
+                                       anchor + (ks + 1.0) * tau_t - shrink)
+        if not valid.all():
+            return False
+        maxima = _segment_reduce(np.maximum, smooth, -np.inf, i0, i1)
+        decoded = tuple(Symbol.HIGH if w_max > level else Symbol.LOW
+                        for w_max in maxima)
+        return decoded == PREAMBLE

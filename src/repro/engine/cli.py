@@ -174,11 +174,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     runner = _make_runner(args)
     result = runner.run(specs)
     _write_records(result.records, args.out)
-    print(f"ran {result.stats.total} scenarios "
-          f"({result.stats.cache_hits} cached, "
-          f"{result.stats.executed} simulated, "
-          f"{result.stats.workers} workers, "
-          f"{result.stats.elapsed_s:.1f}s)")
+    print(result.stats.summary())
     print(summarize(result.records))
     for axis in args.group_by or []:
         print(group_table(result.records, axis))
@@ -192,6 +188,64 @@ def _cmd_report(args: argparse.Namespace) -> int:
     print(summarize(records))
     for axis in args.group_by or []:
         print(group_table(records, axis))
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from ..analysis.reporting import format_table
+    from ..perf import (
+        compare_reports,
+        default_baseline_path,
+        default_workloads,
+        format_comparisons,
+        load_report,
+        run_suite,
+        save_report,
+    )
+
+    if args.list:
+        print(format_table(
+            ["workload", "kind", "description"],
+            [(w.name, w.kind, w.description) for w in default_workloads()]))
+        return 0
+
+    report = run_suite(quick=args.quick, names=args.workload,
+                       repeats=args.repeats)
+    print(format_table(
+        ["workload", "kind", "median ms", "stddev ms", "repeats"],
+        [(r.name, r.kind, f"{r.median_s * 1e3:.2f}",
+          f"{r.stddev_s * 1e3:.2f}", r.repeats)
+         for r in report.results]))
+    out_path = save_report(report, args.out)
+    print(f"perf report written to {out_path}")
+
+    baseline_path = (Path(args.baseline) if args.baseline
+                     else default_baseline_path())
+    if args.update_baseline:
+        save_report(report, baseline_path)
+        print(f"baseline updated at {baseline_path}")
+        return 0
+    if not baseline_path.exists():
+        print(f"no baseline at {baseline_path}; skipping comparison "
+              "(create one with --update-baseline)")
+        return 0
+    baseline = load_report(baseline_path)
+    if baseline.quick != report.quick:
+        def mode(quick: bool) -> str:
+            return "quick" if quick else "full"
+
+        print(f"baseline at {baseline_path} was recorded in "
+              f"{mode(baseline.quick)} mode, this run in "
+              f"{mode(report.quick)} mode; skipping comparison")
+        return 0
+    comparisons = compare_reports(report, baseline,
+                                  tolerance=args.tolerance)
+    print(format_comparisons(comparisons, args.tolerance))
+    regressions = [c for c in comparisons if c.regressed]
+    if regressions:
+        names = ", ".join(c.name for c in regressions)
+        print(f"PERF REGRESSION: {names}", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -253,6 +307,31 @@ def build_parser() -> argparse.ArgumentParser:
     scen_p = sub.add_parser("scenarios",
                             help="list the registered scenario families")
     scen_p.set_defaults(func=_cmd_scenarios)
+
+    bench_p = sub.add_parser(
+        "bench", help="run the tracked performance suite (repro.perf)")
+    bench_p.add_argument("--quick", action="store_true",
+                         help="small inputs / fewer repeats (CI mode)")
+    bench_p.add_argument("--out", default="BENCH_perf.json",
+                         help="where to write the machine-readable "
+                              "report (default: BENCH_perf.json)")
+    bench_p.add_argument("--baseline",
+                         help="baseline report to compare against "
+                              "(default: benchmarks/baselines/"
+                              "BENCH_perf_baseline.json)")
+    bench_p.add_argument("--tolerance", type=float, default=0.25,
+                         help="allowed median slowdown vs the baseline "
+                              "(default: 0.25 = +25%%)")
+    bench_p.add_argument("--update-baseline", action="store_true",
+                         help="write this run as the new baseline "
+                              "instead of comparing")
+    bench_p.add_argument("--workload", action="append", metavar="NAME",
+                         help="run only the named workload (repeatable)")
+    bench_p.add_argument("--repeats", type=int,
+                         help="override every workload's repeat count")
+    bench_p.add_argument("--list", action="store_true",
+                         help="list the tracked workloads and exit")
+    bench_p.set_defaults(func=_cmd_bench)
     return parser
 
 

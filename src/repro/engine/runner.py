@@ -46,6 +46,23 @@ class RunStats:
     workers: int = 1
     elapsed_s: float = 0.0
 
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of the batch answered from the cache."""
+        return self.cache_hits / self.total if self.total else 0.0
+
+    @property
+    def throughput(self) -> float:
+        """Scenarios per wall-clock second for the whole batch."""
+        return self.total / self.elapsed_s if self.elapsed_s > 0.0 else 0.0
+
+    def summary(self) -> str:
+        """One-line human summary of batch performance."""
+        return (f"ran {self.total} scenarios in {self.elapsed_s:.2f}s "
+                f"({self.cache_hits} cached [{self.hit_rate:.0%}], "
+                f"{self.executed} simulated, {self.workers} workers, "
+                f"{self.throughput:.1f} scenarios/s)")
+
 
 @dataclass
 class BatchResult:
@@ -76,6 +93,13 @@ class BatchResult:
 class BatchRunner:
     """Executes scenario batches with caching and optional parallelism.
 
+    The worker pool is created lazily on the first parallel batch and
+    **reused across** :meth:`run` calls — worker spawn cost (imports,
+    interpreter start) is paid once per runner, not once per batch.
+    Call :meth:`close` (or use the runner as a context manager) to tear
+    the pool down deterministically; an unclosed runner tears it down
+    on garbage collection as a fallback.
+
     Attributes:
         workers: worker processes; 1 runs everything in-process (the
             serial fallback — no pool, no pickling, easiest to debug).
@@ -94,6 +118,26 @@ class BatchRunner:
         self.workers = workers
         self.cache = cache
         self.chunk_size = chunk_size
+        self._pool: ProcessPoolExecutor | None = None
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Shut the persistent worker pool down (idempotent)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __enter__(self) -> "BatchRunner":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self) -> None:
+        try:
+            self.close()
+        except Exception:
+            pass  # interpreter shutdown: the pool dies with the process
 
     @classmethod
     def local(cls, cache: ResultCache | None = None) -> "BatchRunner":
@@ -149,9 +193,16 @@ class BatchRunner:
         # load-balancing: at least ~4 chunks per worker when possible.
         chunksize = max(1, min(self.chunk_size,
                                len(specs) // (workers * 4) or 1))
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            return list(pool.map(execute_scenario, specs,
-                                 chunksize=chunksize))
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self.workers)
+        try:
+            return list(self._pool.map(execute_scenario, specs,
+                                       chunksize=chunksize))
+        except Exception:
+            # A broken pool (killed worker, unpicklable state) cannot
+            # be reused; drop it so the next batch starts fresh.
+            self.close()
+            raise
 
 
 def run_grid(template: ScenarioSpec, axes: Mapping[str, Sequence],

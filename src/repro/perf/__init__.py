@@ -1,0 +1,39 @@
+"""repro.perf — the tracked performance harness.
+
+Micro and macro benchmarks over the pipeline's hot paths (DTW, decode,
+capture, engine batches) with warmup/repeat statistics, machine-readable
+``BENCH_perf.json`` artifacts and committed-baseline regression
+comparison.  Exposed on the command line as ``repro-engine bench``.
+"""
+
+from .baseline import (
+    DEFAULT_BASELINE_PATH,
+    Comparison,
+    compare_reports,
+    default_baseline_path,
+    format_comparisons,
+    load_report,
+    save_report,
+)
+from .suite import (
+    PerfReport,
+    Workload,
+    WorkloadTiming,
+    default_workloads,
+    run_suite,
+)
+
+__all__ = [
+    "DEFAULT_BASELINE_PATH",
+    "Comparison",
+    "PerfReport",
+    "Workload",
+    "WorkloadTiming",
+    "compare_reports",
+    "default_baseline_path",
+    "default_workloads",
+    "format_comparisons",
+    "load_report",
+    "run_suite",
+    "save_report",
+]

@@ -1,0 +1,130 @@
+"""Baseline persistence and regression comparison for the perf suite.
+
+The committed baseline (``benchmarks/baselines/BENCH_perf_baseline.json``)
+pins the expected median time of every tracked workload.  A fresh
+:class:`~repro.perf.suite.PerfReport` regresses when any workload's
+median exceeds its baseline median by more than the tolerance (25% by
+default — generous enough to absorb machine jitter, tight enough to
+catch a hot path quietly falling back to a slow implementation).
+
+Timings are machine-dependent by nature: refresh the baseline with
+``repro-engine bench --update-baseline`` whenever the fleet or the
+expected performance changes.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+from .suite import PerfReport
+
+__all__ = ["DEFAULT_BASELINE_PATH", "Comparison", "compare_reports",
+           "default_baseline_path", "load_report", "save_report",
+           "format_comparisons"]
+
+#: Repo-relative location of the committed baseline.
+DEFAULT_BASELINE_PATH = Path("benchmarks/baselines/BENCH_perf_baseline.json")
+
+
+def default_baseline_path() -> Path:
+    """Locate the committed baseline regardless of invocation directory.
+
+    Tries the working directory first (the documented repo-root usage),
+    then the checkout this module was imported from (``src/`` layout).
+    Falls back to the cwd-relative path — which is also where
+    ``--update-baseline`` creates a baseline from scratch.
+    """
+    if DEFAULT_BASELINE_PATH.exists():
+        return DEFAULT_BASELINE_PATH
+    checkout = Path(__file__).resolve().parents[3] / DEFAULT_BASELINE_PATH
+    if checkout.exists():
+        return checkout
+    return DEFAULT_BASELINE_PATH
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """One workload's current-vs-baseline verdict.
+
+    Attributes:
+        name: workload name.
+        baseline_median_s: committed median, None when the workload is
+            missing from the baseline (new workload — not a failure).
+        current_median_s: freshly measured median.
+        ratio: current / baseline (None without a baseline entry).
+        regressed: current exceeds baseline by more than the tolerance.
+    """
+
+    name: str
+    baseline_median_s: float | None
+    current_median_s: float
+    ratio: float | None
+    regressed: bool
+
+
+def compare_reports(current: PerfReport, baseline: PerfReport,
+                    tolerance: float = 0.25) -> list[Comparison]:
+    """Compare each measured workload against the baseline medians.
+
+    Raises:
+        ValueError: on a negative tolerance.
+    """
+    if tolerance < 0.0:
+        raise ValueError(f"tolerance must be >= 0, got {tolerance}")
+    comparisons: list[Comparison] = []
+    for timing in current.results:
+        base = baseline.timing(timing.name)
+        if base is None or not base.times_s:
+            comparisons.append(Comparison(
+                name=timing.name, baseline_median_s=None,
+                current_median_s=timing.median_s, ratio=None,
+                regressed=False))
+            continue
+        ratio = (timing.median_s / base.median_s
+                 if base.median_s > 0.0 else float("inf"))
+        comparisons.append(Comparison(
+            name=timing.name,
+            baseline_median_s=base.median_s,
+            current_median_s=timing.median_s,
+            ratio=ratio,
+            regressed=ratio > 1.0 + tolerance))
+    return comparisons
+
+
+def save_report(report: PerfReport, path: str | Path) -> Path:
+    """Serialize a report (suite run or baseline) as JSON."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(report.to_dict(), indent=2,
+                               sort_keys=True) + "\n")
+    return path
+
+
+def load_report(path: str | Path) -> PerfReport:
+    """Read a report written by :func:`save_report`."""
+    return PerfReport.from_dict(json.loads(Path(path).read_text()))
+
+
+def format_comparisons(comparisons: list[Comparison],
+                       tolerance: float) -> str:
+    """Aligned comparison table (rendered via analysis.reporting)."""
+    from ..analysis.reporting import format_table
+
+    def fmt(value: float | None) -> str:
+        return "-" if value is None else f"{value * 1e3:.2f}"
+
+    rows = []
+    for comp in comparisons:
+        verdict = ("REGRESSED" if comp.regressed
+                   else "new" if comp.ratio is None else "ok")
+        rows.append((comp.name, fmt(comp.baseline_median_s),
+                     fmt(comp.current_median_s),
+                     "-" if comp.ratio is None else f"{comp.ratio:.2f}x",
+                     verdict))
+    table = format_table(
+        ["workload", "baseline ms", "current ms", "ratio", "verdict"],
+        rows)
+    return (f"{table}\n(regression threshold: "
+            f"{(1.0 + tolerance):.2f}x baseline median)")

@@ -200,3 +200,76 @@ class TestEndToEnd:
         assert len(result.windows) == 4
         for w in result.windows:
             assert w.t_end_s > w.t_start_s
+
+
+class TestVectorizedRefineClock:
+    """The broadcast clock search is bit-identical to the triple loop."""
+
+    def _prepared(self, trace):
+        decoder = AdaptiveThresholdDecoder()
+        try:
+            points, smooth = decoder._acquire(trace)
+        except PreambleNotFoundError:
+            pytest.skip("acquisition rejected this noise draw; the "
+                        "clock search never runs")
+        tau_r, tau_t = decoder.thresholds(points)
+        level = decoder._threshold_level(tau_r, points[1].value)
+        return decoder, points, smooth, tau_r, tau_t, level
+
+    @pytest.mark.parametrize("seed", range(6))
+    @pytest.mark.parametrize("symbols", ["HLHLHLLH", "HLHLLHHLHLLH"])
+    def test_matches_reference_on_noisy_traces(self, seed, symbols):
+        trace = synthetic_packet_trace(symbols, noise=3.0, seed=seed)
+        decoder, points, smooth, tau_r, tau_t, level = self._prepared(trace)
+        times = trace.times()
+        for n_data in (None, len(symbols) - 4):
+            vec = decoder._refine_clock(smooth, times, points, tau_t,
+                                        tau_r, level, n_data_symbols=n_data)
+            ref = decoder._refine_clock_reference(
+                smooth, times, points, tau_t, tau_r, level,
+                n_data_symbols=n_data)
+            assert vec == ref
+
+    def test_decode_matches_reference_end_to_end(self):
+        """Full decodes driven by either clock search agree exactly."""
+        trace = synthetic_packet_trace("HLHLHLLHHLLH", noise=2.0, seed=3)
+        vec = AdaptiveThresholdDecoder().decode(trace)
+
+        class ReferenceDecoder(AdaptiveThresholdDecoder):
+            _refine_clock = AdaptiveThresholdDecoder._refine_clock_reference
+
+        ref = ReferenceDecoder().decode(trace)
+        assert vec.symbols == ref.symbols
+        assert vec.bits == ref.bits
+        assert vec.tau_t == ref.tau_t
+        assert vec.threshold_level == ref.threshold_level
+        assert [(w.t_start_s, w.t_end_s, w.max_value, w.symbol)
+                for w in vec.windows] == [
+                    (w.t_start_s, w.t_end_s, w.max_value, w.symbol)
+                    for w in ref.windows]
+
+    def test_segment_reduce_matches_scalar_windows(self):
+        """The reduceat window extraction equals _window_max/_window_range
+        on randomly placed (including empty) windows."""
+        from repro.core.decoder import _segment_reduce, _window_slices
+
+        rng = np.random.default_rng(11)
+        trace = synthetic_packet_trace("HLHLHLLH", noise=1.0, seed=5)
+        decoder = AdaptiveThresholdDecoder()
+        _, smooth = decoder._acquire(trace)
+        times = trace.times()
+        starts = rng.uniform(times[0] - 0.5, times[-1] + 0.5, size=200)
+        ends = starts + rng.uniform(-0.05, 0.4, size=200)
+        i0, i1, valid = _window_slices(times, starts, ends)
+        maxima = _segment_reduce(np.maximum, smooth, -np.inf, i0, i1)
+        minima = _segment_reduce(np.minimum, smooth, np.inf, i0, i1)
+        for k in range(200):
+            w_max = decoder._window_max(smooth, times, starts[k], ends[k])
+            w_range = decoder._window_range(smooth, times, starts[k],
+                                            ends[k])
+            if w_max is None:
+                assert not valid[k]
+            else:
+                assert valid[k]
+                assert maxima[k] == w_max
+                assert maxima[k] - minima[k] == w_range

@@ -2,8 +2,17 @@
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
-from repro.dsp.dtw import DtwResult, dtw, dtw_distance
+from repro.dsp.dtw import (
+    VECTORIZE_MIN_CELLS,
+    DtwResult,
+    _cost_matrix,
+    _cost_matrix_vectorized,
+    dtw,
+    dtw_distance,
+)
 
 
 class TestBasicProperties:
@@ -79,6 +88,70 @@ class TestBand:
     def test_invalid_band(self):
         with pytest.raises(ValueError):
             dtw(np.zeros(5), np.zeros(5), band_fraction=0.0)
+
+
+_signal = st.lists(st.floats(min_value=-1e6, max_value=1e6,
+                             allow_nan=False, allow_infinity=False),
+                   min_size=1, max_size=48)
+_band_fractions = st.one_of(st.none(),
+                            st.floats(min_value=0.02, max_value=0.9,
+                                      allow_nan=False))
+
+
+class TestVectorizedEquivalence:
+    """The wavefront kernel is a bit-identical drop-in for the loop."""
+
+    @given(xs=_signal, ys=_signal, band_fraction=_band_fractions)
+    @settings(max_examples=60, deadline=None)
+    def test_distance_normalized_and_path_identical(self, xs, ys,
+                                                    band_fraction):
+        a, b = np.asarray(xs), np.asarray(ys)
+        ref = dtw(a, b, band_fraction=band_fraction, return_path=True,
+                  implementation="reference")
+        vec = dtw(a, b, band_fraction=band_fraction, return_path=True,
+                  implementation="vectorized")
+        assert vec.distance == ref.distance
+        assert vec.normalized_distance == ref.normalized_distance
+        assert vec.path == ref.path
+
+    @given(xs=_signal, ys=_signal,
+           band=st.one_of(st.none(), st.integers(min_value=1,
+                                                 max_value=30)))
+    @settings(max_examples=60, deadline=None)
+    def test_accumulated_cost_matrices_identical(self, xs, ys, band):
+        """Every cell — including the unreachable inf cells outside the
+        band — matches, not just the optimum."""
+        a, b = np.asarray(xs), np.asarray(ys)
+        if band is not None:
+            band = max(band, abs(len(a) - len(b)) + 1)
+        ref = _cost_matrix(a, b, band)
+        vec = _cost_matrix_vectorized(a, b, band)
+        assert ref.shape == vec.shape
+        assert np.array_equal(ref, vec)
+
+    def test_auto_picks_vectorized_above_crossover(self, monkeypatch):
+        import importlib
+
+        dtw_mod = importlib.import_module("repro.dsp.dtw")
+        calls = []
+        real = dtw_mod._cost_matrix_vectorized
+        monkeypatch.setattr(dtw_mod, "_cost_matrix_vectorized",
+                            lambda *a: calls.append(1) or real(*a))
+        n = int(np.ceil(np.sqrt(VECTORIZE_MIN_CELLS)))
+        big = np.linspace(0.0, 1.0, n)
+        dtw(big, big, band_fraction=None)
+        assert calls, "auto mode should dispatch to the wavefront kernel"
+        calls.clear()
+        dtw(np.zeros(4), np.zeros(4))
+        assert not calls, "tiny inputs should stay on the loop"
+        # A narrow band shrinks the evaluated cells below the crossover
+        # even when n*m alone would clear it.
+        dtw(big, big, band_fraction=0.05)
+        assert not calls, "narrow-band inputs should stay on the loop"
+
+    def test_unknown_implementation_rejected(self):
+        with pytest.raises(ValueError):
+            dtw(np.zeros(4), np.zeros(4), implementation="numba")
 
 
 class TestPath:

@@ -62,7 +62,7 @@ class TestSweep:
 
         # Second pass answers entirely from the cache.
         assert main(argv) == 0
-        assert "4 cached, 0 simulated" in capsys.readouterr().out
+        assert "4 cached [100%], 0 simulated" in capsys.readouterr().out
 
     def test_sweep_linspace_axis(self, capsys):
         assert main(["sweep", *FAST_SETS, "--set", "ground_lux=450",

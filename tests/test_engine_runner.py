@@ -154,3 +154,83 @@ class TestStatsAndHelpers:
         # 450 lux decodes, 100 lux does not (the Fig. 15 cliff).
         rates = success_rate_by(result.records, "ground_lux")
         assert rates[450.0] > rates[100.0]
+
+
+class TestPersistentPool:
+    """The worker pool outlives a single run() call (PR 3 perf work)."""
+
+    def test_pool_reused_across_runs(self):
+        specs_a = expand_grid(FAST, {"seed": [2, 3, 4, 5]})
+        specs_b = expand_grid(FAST, {"seed": [6, 7, 8, 9]})
+        with BatchRunner(workers=2) as runner:
+            runner.run(specs_a)
+            pool = runner._pool
+            assert pool is not None
+            runner.run(specs_b)
+            assert runner._pool is pool
+
+    def test_two_consecutive_parallel_runs_byte_identical_to_serial(self):
+        """workers=4 records stay byte-identical to workers=1 across two
+        consecutive run() calls on the same runner."""
+        specs_a = expand_grid(FAST, GRID)
+        specs_b = expand_grid(FAST, {"ground_lux": [450.0],
+                                     "seed": [5, 6, 7, 8]})
+        serial = BatchRunner(workers=1)
+        with BatchRunner(workers=4) as parallel:
+            for specs in (specs_a, specs_b):
+                expected = [r.canonical_json()
+                            for r in serial.run(specs).records]
+                got = [r.canonical_json()
+                       for r in parallel.run(specs).records]
+                assert got == expected
+
+    def test_close_tears_pool_down(self):
+        runner = BatchRunner(workers=2)
+        runner.run(expand_grid(FAST, {"seed": [2, 3]}))
+        assert runner._pool is not None
+        processes = list(runner._pool._processes.values())
+        runner.close()
+        assert runner._pool is None
+        for proc in processes:
+            proc.join(timeout=10)
+            assert not proc.is_alive()
+        runner.close()  # idempotent
+
+    def test_context_manager_tears_pool_down(self):
+        with BatchRunner(workers=2) as runner:
+            runner.run(expand_grid(FAST, {"seed": [2, 3]}))
+            assert runner._pool is not None
+        assert runner._pool is None
+
+    def test_run_after_close_recreates_pool(self):
+        runner = BatchRunner(workers=2)
+        specs = expand_grid(FAST, {"seed": [2, 3]})
+        first = runner.run(specs).records
+        runner.close()
+        second = runner.run(specs).records
+        assert ([r.canonical_json() for r in first]
+                == [r.canonical_json() for r in second])
+        runner.close()
+
+    def test_serial_runner_never_opens_a_pool(self):
+        runner = BatchRunner(workers=1)
+        runner.run(expand_grid(FAST, {"seed": [2, 3]}))
+        assert runner._pool is None
+
+
+class TestRunStatsReporting:
+    def test_hit_rate_and_throughput(self):
+        stats = runner_mod.RunStats(total=10, cache_hits=4, executed=6,
+                                    workers=2, elapsed_s=2.0)
+        assert stats.hit_rate == pytest.approx(0.4)
+        assert stats.throughput == pytest.approx(5.0)
+        line = stats.summary()
+        assert "4 cached [40%]" in line
+        assert "6 simulated" in line
+        assert "5.0 scenarios/s" in line
+
+    def test_empty_stats_do_not_divide_by_zero(self):
+        stats = runner_mod.RunStats()
+        assert stats.hit_rate == 0.0
+        assert stats.throughput == 0.0
+        assert "0 scenarios" in stats.summary()

@@ -1,0 +1,222 @@
+"""Tests for repro.perf — the tracked performance harness.
+
+Timing *values* are machine noise, so these tests pin everything else:
+suite mechanics (warmup/repeat accounting, selection, stats), report
+serialization, the committed-baseline comparison logic, and the
+``repro-engine bench`` CLI wiring.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.engine.cli import main as cli_main
+from repro.perf import (
+    DEFAULT_BASELINE_PATH,
+    PerfReport,
+    Workload,
+    WorkloadTiming,
+    compare_reports,
+    default_workloads,
+    format_comparisons,
+    load_report,
+    run_suite,
+    save_report,
+)
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def _tiny_workloads(log):
+    def make(name, kind):
+        def setup(quick):
+            log.append((name, "setup", quick))
+            return lambda: log.append((name, "run", quick))
+
+        return Workload(name=name, kind=kind, description=f"{name} noop",
+                        setup=setup, repeats=3, quick_repeats=2, warmup=1)
+
+    return [make("alpha", "micro"), make("beta", "macro")]
+
+
+class TestSuiteMechanics:
+    def test_warmup_and_repeats_accounting(self):
+        log = []
+        report = run_suite(workloads=_tiny_workloads(log))
+        assert [r.name for r in report.results] == ["alpha", "beta"]
+        assert all(r.repeats == 3 for r in report.results)
+        # 1 setup + 1 warmup run + 3 timed runs per workload.
+        assert log.count(("alpha", "setup", False)) == 1
+        assert log.count(("alpha", "run", False)) == 4
+
+    def test_quick_mode_uses_quick_repeats(self):
+        log = []
+        report = run_suite(quick=True, workloads=_tiny_workloads(log))
+        assert report.quick
+        assert all(r.repeats == 2 for r in report.results)
+        assert log.count(("beta", "run", True)) == 3
+
+    def test_name_selection_and_unknown_rejected(self):
+        log = []
+        report = run_suite(workloads=_tiny_workloads(log), names=["beta"])
+        assert [r.name for r in report.results] == ["beta"]
+        with pytest.raises(KeyError):
+            run_suite(workloads=_tiny_workloads(log), names=["gamma"])
+
+    def test_repeats_override(self):
+        log = []
+        report = run_suite(workloads=_tiny_workloads(log), repeats=1)
+        assert all(r.repeats == 1 for r in report.results)
+
+    def test_injected_clock_gives_deterministic_times(self):
+        ticks = iter(range(100))
+        log = []
+        report = run_suite(workloads=_tiny_workloads(log), repeats=2,
+                           clock=lambda: float(next(ticks)))
+        for timing in report.results:
+            assert timing.times_s == [1.0, 1.0]
+            assert timing.median_s == 1.0
+            assert timing.stddev_s == 0.0
+
+    def test_environment_meta_recorded(self):
+        report = run_suite(workloads=_tiny_workloads([]), repeats=1)
+        assert {"python", "numpy", "cpu_count"} <= report.meta.keys()
+
+
+class TestStats:
+    def test_summary_statistics(self):
+        timing = WorkloadTiming(name="w", kind="micro", description="",
+                                warmup=0, times_s=[2.0, 1.0, 4.0])
+        assert timing.median_s == 2.0
+        assert timing.mean_s == pytest.approx(7.0 / 3.0)
+        assert timing.min_s == 1.0
+        assert timing.max_s == 4.0
+        assert timing.stddev_s > 0.0
+
+    def test_json_round_trip(self, tmp_path):
+        report = PerfReport(
+            results=[WorkloadTiming(name="w", kind="macro",
+                                    description="d", warmup=2,
+                                    times_s=[0.5, 0.25])],
+            quick=True, meta={"python": "3.x"})
+        path = save_report(report, tmp_path / "BENCH_perf.json")
+        loaded = load_report(path)
+        assert loaded.to_dict() == report.to_dict()
+        # The artifact itself is machine-readable JSON with the stats
+        # the acceptance criteria name.
+        raw = json.loads(path.read_text())
+        assert raw["workloads"][0]["median_s"] == 0.375
+        assert "stddev_s" in raw["workloads"][0]
+
+
+def _report(medians, quick=True):
+    return PerfReport(
+        results=[WorkloadTiming(name=name, kind="micro", description="",
+                                warmup=0, times_s=[m])
+                 for name, m in medians.items()],
+        quick=quick)
+
+
+class TestBaselineComparison:
+    def test_regression_flagged_above_tolerance(self):
+        baseline = _report({"w": 1.0})
+        comparisons = compare_reports(_report({"w": 1.3}), baseline,
+                                      tolerance=0.25)
+        assert comparisons[0].regressed
+        assert comparisons[0].ratio == pytest.approx(1.3)
+
+    def test_within_tolerance_and_improvement_pass(self):
+        baseline = _report({"w": 1.0})
+        for median in (1.2, 0.5, 1.0):
+            (comp,) = compare_reports(_report({"w": median}), baseline,
+                                      tolerance=0.25)
+            assert not comp.regressed
+
+    def test_missing_workload_is_new_not_regressed(self):
+        comparisons = compare_reports(_report({"new_w": 1.0}),
+                                      _report({"other": 1.0}))
+        assert comparisons[0].baseline_median_s is None
+        assert not comparisons[0].regressed
+        assert "new" in format_comparisons(comparisons, 0.25)
+
+    def test_negative_tolerance_rejected(self):
+        with pytest.raises(ValueError):
+            compare_reports(_report({"w": 1.0}), _report({"w": 1.0}),
+                            tolerance=-0.1)
+
+    def test_committed_baseline_is_valid_and_complete(self):
+        """The repo ships a quick-mode baseline covering every tracked
+        workload (the CI regression gate depends on it)."""
+        baseline = load_report(REPO_ROOT / DEFAULT_BASELINE_PATH)
+        assert baseline.quick
+        names = {t.name for t in baseline.results}
+        expected = {w.name for w in default_workloads()}
+        assert expected <= names
+        assert len(expected) >= 4
+        for timing in baseline.results:
+            assert timing.median_s > 0.0
+
+    def test_default_baseline_found_from_any_cwd(self, tmp_path,
+                                                 monkeypatch):
+        """bench run outside the repo root must still find the
+        committed baseline (via the checkout this module lives in)."""
+        from repro.perf import default_baseline_path
+
+        monkeypatch.chdir(tmp_path)
+        resolved = default_baseline_path()
+        assert resolved.exists()
+        assert load_report(resolved).results
+
+    def test_committed_bench_artifact_is_valid(self):
+        report = load_report(REPO_ROOT / "BENCH_perf.json")
+        assert len(report.results) >= 4
+        for timing in report.results:
+            assert timing.median_s > 0.0 and timing.stddev_s >= 0.0
+
+
+class TestBenchCli:
+    def _bench(self, tmp_path, *extra):
+        out = tmp_path / "BENCH_perf.json"
+        argv = ["bench", "--quick", "--repeats", "1",
+                "--workload", "engine_batch", "--out", str(out), *extra]
+        return cli_main(argv), out
+
+    def test_writes_report_and_succeeds_without_baseline(self, tmp_path,
+                                                         capsys):
+        code, out = self._bench(tmp_path,
+                                "--baseline", str(tmp_path / "missing.json"))
+        assert code == 0
+        data = json.loads(out.read_text())
+        assert data["workloads"][0]["name"] == "engine_batch"
+        assert "skipping comparison" in capsys.readouterr().out
+
+    def test_update_baseline_then_compare_passes(self, tmp_path):
+        baseline = tmp_path / "baseline.json"
+        code, _ = self._bench(tmp_path, "--baseline", str(baseline),
+                              "--update-baseline")
+        assert code == 0 and baseline.exists()
+        # Generous tolerance: only the exit-code plumbing is under test.
+        code, _ = self._bench(tmp_path, "--baseline", str(baseline),
+                              "--tolerance", "1000")
+        assert code == 0
+
+    def test_regression_exits_nonzero(self, tmp_path, capsys):
+        baseline = tmp_path / "baseline.json"
+        save_report(_report({"engine_batch": 1e-9}), baseline)
+        code, _ = self._bench(tmp_path, "--baseline", str(baseline))
+        assert code == 1
+        assert "PERF REGRESSION" in capsys.readouterr().err
+
+    def test_mode_mismatch_skips_comparison(self, tmp_path, capsys):
+        baseline = tmp_path / "baseline.json"
+        save_report(_report({"engine_batch": 1e-9}, quick=False), baseline)
+        code, _ = self._bench(tmp_path, "--baseline", str(baseline))
+        assert code == 0
+        assert "skipping comparison" in capsys.readouterr().out
+
+    def test_list_workloads(self, capsys):
+        assert cli_main(["bench", "--list"]) == 0
+        out = capsys.readouterr().out
+        for workload in default_workloads():
+            assert workload.name in out
