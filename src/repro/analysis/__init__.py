@@ -35,8 +35,10 @@ from .waterfall import (
 )
 from .sweeps import (
     DecodabilityGrid,
+    FusionGainSweep,
     sweep_decodability,
     sweep_frontier,
+    sweep_fusion_gain,
     sweep_scenario_family,
     sweep_throughput,
 )
@@ -50,8 +52,9 @@ __all__ = [
     "ExponentialFit", "LinearFit", "bit_error_rate", "fit_exponential",
     "fit_linear", "symbol_error_rate", "throughput_sps",
     "format_series", "format_table", "summarize_results",
-    "DecodabilityGrid", "sweep_decodability", "sweep_frontier",
-    "sweep_scenario_family", "sweep_throughput",
+    "DecodabilityGrid", "FusionGainSweep", "sweep_decodability",
+    "sweep_frontier", "sweep_fusion_gain", "sweep_scenario_family",
+    "sweep_throughput",
     "WaterfallCurve", "WaterfallPoint", "decode_rate",
     "noise_floor_waterfall", "dirt_waterfall", "fog_waterfall",
 ]

@@ -30,15 +30,24 @@ def format_table(headers: Sequence[str],
 def format_series(xs: Sequence[float], ys: Sequence[float],
                   x_label: str, y_label: str,
                   width: int = 48) -> str:
-    """Tiny ASCII line chart: one row per point with a proportional bar."""
+    """Tiny ASCII line chart: one row per point with a proportional bar.
+
+    Bars scale with ``|y| / max|y|``; negative values render as ``-``
+    bars instead of masquerading as small positive ``#`` bars, and
+    zeros get no bar at all.
+    """
     if len(xs) != len(ys):
         raise ValueError("series lengths differ")
     if not xs:
         return "(empty series)"
-    y_max = max(ys)
+    y_scale = max(abs(y) for y in ys)
     lines = [f"{y_label} vs {x_label}"]
     for x, y in zip(xs, ys):
-        bar = "#" * max(1, int(round(width * (y / y_max)))) if y_max > 0 else ""
+        if y_scale > 0.0 and y != 0.0:
+            n = max(1, int(round(width * abs(y) / y_scale)))
+            bar = ("#" if y > 0.0 else "-") * n
+        else:
+            bar = ""
         lines.append(f"{x:8.3f} | {bar} {y:.3g}")
     return "\n".join(lines)
 

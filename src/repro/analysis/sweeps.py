@@ -19,11 +19,19 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..core.capacity import IndoorSetup, min_decodable_width
-from ..engine import BatchResult, BatchRunner, ScenarioSpec, expand_grid
+from ..engine import (
+    BatchResult,
+    BatchRunner,
+    RunRecord,
+    ScenarioSpec,
+    expand_grid,
+    fusion_stats,
+)
 from ..scenarios import expand_family
 
-__all__ = ["DecodabilityGrid", "probe_spec", "sweep_decodability",
-           "sweep_frontier", "sweep_scenario_family", "sweep_throughput"]
+__all__ = ["DecodabilityGrid", "FusionGainSweep", "probe_spec",
+           "sweep_decodability", "sweep_frontier", "sweep_fusion_gain",
+           "sweep_scenario_family", "sweep_throughput"]
 
 
 def probe_spec(setup: IndoorSetup, height_m: float, symbol_width_m: float,
@@ -159,6 +167,94 @@ def sweep_scenario_family(expr: str, count: int = 100, seed: int = 0,
     """
     specs = expand_family(expr, count=count, seed=seed, template=template)
     return (runner or BatchRunner.local()).run(specs)
+
+
+@dataclass
+class FusionGainSweep:
+    """The Section 6 improvement curve: decode rate vs receiver count.
+
+    Attributes:
+        n_receivers: swept receiver counts (ascending).
+        fused_rates: network fused decode rate per count.
+        best_node_rates: best-single-receiver decode rate per count.
+        mean_gains: mean per-pass fusion gain per count.
+        mean_speed_errors: mean relative tracked-speed error per count
+            (None where no pass produced an estimate — single-receiver
+            rows never track).
+        records: every underlying run record, grouped per count.
+    """
+
+    n_receivers: list[int]
+    fused_rates: list[float]
+    best_node_rates: list[float]
+    mean_gains: list[float]
+    mean_speed_errors: list[float | None]
+    records: dict[int, list[RunRecord]] = field(default_factory=dict)
+
+    def render(self) -> str:
+        """ASCII table of the improvement curve."""
+        from .reporting import format_table
+
+        rows = [(n, f"{f:.3f}", f"{b:.3f}", f"{g:+.3f}",
+                 "-" if e is None else f"{e:.3f}")
+                for n, f, b, g, e in zip(
+                    self.n_receivers, self.fused_rates,
+                    self.best_node_rates, self.mean_gains,
+                    self.mean_speed_errors)]
+        return format_table(
+            ["receivers", "fused rate", "best node rate", "fusion gain",
+             "speed err"], rows)
+
+
+def sweep_fusion_gain(n_receivers: tuple[int, ...] = (1, 2, 3, 4, 5),
+                      count: int = 40, seed: int = 0,
+                      template: ScenarioSpec | None = None,
+                      runner: BatchRunner | None = None,
+                      family: str = "corridor") -> FusionGainSweep:
+    """Decode rate vs number of networked receivers (Section 6 claim).
+
+    Draws ``count`` noise-stressed passes from ``family`` once, then
+    replays the *same* passes at every receiver count, so the curve
+    isolates the networking effect from scenario sampling noise.  Runs
+    as one engine batch — parallel across cores by default, cacheable
+    via a runner with a :class:`~repro.engine.ResultCache`.
+
+    Args:
+        n_receivers: receiver counts to sweep (1 = the single-receiver
+            baseline pipeline).
+        count: passes drawn from the family per count.
+        seed: family expansion seed.
+        template: base spec the family varies.
+        runner: batch runner; defaults to one worker per core.
+    """
+    if not n_receivers:
+        raise ValueError("n_receivers must be non-empty")
+    counts = sorted(set(int(n) for n in n_receivers))
+    if counts[0] < 1:
+        raise ValueError(f"receiver counts must be >= 1, got {counts[0]}")
+    # Resolve the bases *before* replicating across receiver counts:
+    # family specs carry seed=None, and the derived seed hashes the
+    # whole spec (n_receivers included), so an unresolved base would
+    # re-draw a different pass realization at every count — the exact
+    # sampling noise this sweep is meant to hold fixed.
+    bases = [base.resolve() for base in
+             expand_family(family, count=count, seed=seed,
+                           template=template)]
+    specs = [base.replace(n_receivers=n)
+             for n in counts for base in bases]
+    records = (runner or BatchRunner.local()).run(specs).records
+    sweep = FusionGainSweep(n_receivers=counts, fused_rates=[],
+                            best_node_rates=[], mean_gains=[],
+                            mean_speed_errors=[])
+    for i, n in enumerate(counts):
+        group = records[i * len(bases):(i + 1) * len(bases)]
+        stats = fusion_stats(group)
+        sweep.records[n] = group
+        sweep.fused_rates.append(stats["fused_rate"])
+        sweep.best_node_rates.append(stats["best_node_rate"])
+        sweep.mean_gains.append(stats["mean_fusion_gain"])
+        sweep.mean_speed_errors.append(stats["mean_speed_error"])
+    return sweep
 
 
 def sweep_frontier(setup: IndoorSetup, widths_m: np.ndarray,

@@ -60,21 +60,28 @@ class MovingObject:
         return lead - np.asarray(ground_x, dtype=float)
 
     def entry_exit_times(self, window_half_width_m: float,
-                         t_max_s: float = 3600.0) -> tuple[float, float]:
+                         t_max_s: float = 3600.0,
+                         center_x_m: float = 0.0) -> tuple[float, float]:
         """Times when the object enters and fully leaves a +-w window.
 
         Args:
             window_half_width_m: half-width of the observation window
-                centred at the receiver's ground position (x = 0).
+                centred at the receiver's ground position.
             t_max_s: search horizon.
+            center_x_m: ground position of the window centre (the
+                receiver's ``receiver_x_m``; 0 for the default
+                single-receiver setup).
 
         Returns:
-            ``(t_enter, t_exit)``: leading edge reaches ``-w`` /
-            trailing edge passes ``+w``.
+            ``(t_enter, t_exit)``: leading edge reaches ``center - w`` /
+            trailing edge passes ``center + w``.
         """
-        t_enter = time_to_reach(self.motion, -window_half_width_m, t_max_s)
+        t_enter = time_to_reach(self.motion,
+                                center_x_m - window_half_width_m, t_max_s)
         t_exit = time_to_reach(
-            self.motion, window_half_width_m + self.surface.length_m, t_max_s)
+            self.motion,
+            center_x_m + window_half_width_m + self.surface.length_m,
+            t_max_s)
         return t_enter, t_exit
 
 

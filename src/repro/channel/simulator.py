@@ -298,7 +298,8 @@ class ChannelSimulator:
         radius = self.footprint_radius_m
         enters, exits = [], []
         for obj in self.scene.objects:
-            t_in, t_out = obj.entry_exit_times(radius)
+            t_in, t_out = obj.entry_exit_times(
+                radius, center_x_m=self.scene.receiver_x_m)
             enters.append(t_in)
             exits.append(t_out)
         t0, t1 = min(enters), max(exits)

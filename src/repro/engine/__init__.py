@@ -31,12 +31,17 @@ Quickstart::
 from .cache import CacheStats, ResultCache
 from .executor import (
     build_frontend,
+    build_network,
     build_scene,
     build_simulator,
     execute_scenario,
+    node_positions,
+    node_seed,
 )
 from .records import RunRecord
 from .report import (
+    fusion_stats,
+    fusion_table,
     group_table,
     mean_ber,
     stage_counts,
@@ -50,7 +55,9 @@ from .spec import GridSpec, ScenarioSpec, expand_grid, grid_size
 __all__ = [
     "BatchResult", "BatchRunner", "CacheStats", "GridSpec", "ResultCache",
     "RunRecord", "RunStats", "ScenarioSpec",
-    "build_frontend", "build_scene", "build_simulator", "execute_scenario",
-    "expand_grid", "grid_size", "group_table", "mean_ber", "run_grid",
-    "stage_counts", "success_rate", "success_rate_by", "summarize",
+    "build_frontend", "build_network", "build_scene", "build_simulator",
+    "execute_scenario", "expand_grid", "fusion_stats", "fusion_table",
+    "grid_size", "group_table", "mean_ber", "node_positions", "node_seed",
+    "run_grid", "stage_counts", "success_rate", "success_rate_by",
+    "summarize",
 ]

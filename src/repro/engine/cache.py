@@ -51,17 +51,22 @@ class ResultCache:
     def _path(self, key: str) -> Path:
         return self.root / key[:2] / f"{key}.json"
 
+    def _read(self, key: str) -> RunRecord | None:
+        """Parse the record under ``key``, or None when unreadable."""
+        try:
+            data = json.loads(self._path(key).read_text())
+            return RunRecord.from_dict(data)
+        except (OSError, ValueError, TypeError):
+            return None
+
     def get(self, key: str) -> RunRecord | None:
         """The cached record for a spec hash, or None.
 
         Corrupt or half-written files count as misses rather than
         errors — the scenario simply re-executes and overwrites them.
         """
-        path = self._path(key)
-        try:
-            data = json.loads(path.read_text())
-            record = RunRecord.from_dict(data)
-        except (OSError, ValueError, TypeError):
+        record = self._read(key)
+        if record is None:
             self.stats.misses += 1
             return None
         self.stats.hits += 1
@@ -85,9 +90,13 @@ class ResultCache:
         self.stats.writes += 1
 
     def __contains__(self, key: str) -> bool:
-        return self._path(key).exists()
+        """Membership mirrors :meth:`get`: a corrupt or torn file that
+        ``get`` would treat as a miss is not "in" the cache either."""
+        return self._read(key) is not None
 
     def __len__(self) -> int:
+        """Entry *files* on disk — a cheap count that, unlike the
+        parsing ``in``/``get``, may include unreadable entries."""
         return sum(1 for _ in self.root.glob("??/*.json"))
 
     def clear(self) -> int:

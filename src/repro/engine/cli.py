@@ -31,7 +31,7 @@ from typing import Any, Sequence
 
 from .cache import ResultCache
 from .records import RunRecord
-from .report import group_table, summarize
+from .report import fusion_table, group_table, summarize
 from .runner import BatchRunner
 from .spec import GridSpec, ScenarioSpec, expand_grid
 
@@ -39,9 +39,9 @@ __all__ = ["main", "build_parser"]
 
 
 _BOOL_FIELDS = {"cap", "include_noise"}
-_INT_FIELDS = {"seed"}
+_INT_FIELDS = {"seed", "n_receivers"}
 _STR_FIELDS = {"bits", "source", "detector", "pd_gain", "ground", "car",
-               "motion", "decoder", "threshold_rule"}
+               "motion", "decoder", "threshold_rule", "topology"}
 _NONEABLE = {"seed", "car", "visibility_m", "start_position_m",
              "sample_rate_hz"}
 
@@ -176,18 +176,30 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     _write_records(result.records, args.out)
     print(result.stats.summary())
     print(summarize(result.records))
-    for axis in args.group_by or []:
-        print(group_table(result.records, axis))
+    _print_group_tables(result.records, args.group_by or [])
     if args.out:
         print(f"records written to {args.out}")
     return 0
 
 
+def _print_group_tables(records: Sequence[RunRecord],
+                        axes: Sequence[str]) -> None:
+    """Per-axis decode tables, with fusion columns on networked runs."""
+    networked = any(r.networked for r in records)
+    for axis in axes:
+        print(group_table(records, axis))
+        if networked:
+            print(fusion_table(records, axis))
+    # A networked sweep always gets the receiver-count fusion curve —
+    # the Section 6 improvement — even without an explicit --group-by.
+    if networked and "n_receivers" not in axes:
+        print(fusion_table(records, "n_receivers"))
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     records = _read_records(args.results)
     print(summarize(records))
-    for axis in args.group_by or []:
-        print(group_table(records, axis))
+    _print_group_tables(records, args.group_by or [])
     return 0
 
 

@@ -14,6 +14,7 @@ processes.
 
 from __future__ import annotations
 
+import dataclasses
 import time
 
 from ..channel.distortion import CLEAR, Atmosphere
@@ -38,10 +39,11 @@ from ..tags.surface import TagSurface
 from ..vehicles.profiles import bmw_3_series, volvo_v40
 from ..vehicles.rooftag import TaggedCar, TwoPhaseDecoder
 from .records import RunRecord
-from .spec import ScenarioSpec
+from .spec import ScenarioSpec, derive_seed
 
 __all__ = ["build_scene", "build_frontend", "build_simulator",
-           "execute_scenario"]
+           "build_network", "execute_scenario", "node_positions",
+           "node_seed"]
 
 
 _CAR_FACTORIES = {"volvo_v40": volvo_v40, "bmw_3_series": bmw_3_series}
@@ -108,14 +110,22 @@ def build_scene(spec: ScenarioSpec) -> PassiveScene:
     )
 
 
-def build_frontend(spec: ScenarioSpec) -> ReceiverFrontEnd:
-    """Assemble the receiver chain a spec describes."""
+def build_frontend(spec: ScenarioSpec,
+                   seed: int | None = None) -> ReceiverFrontEnd:
+    """Assemble the receiver chain a spec describes.
+
+    Args:
+        spec: the scenario.
+        seed: noise-seed override (networked runs give every node its
+            own derived seed); defaults to the spec's seed.
+    """
     if spec.detector == "pd":
         detector = Photodiode.opt101(gain=PdGain[spec.pd_gain])
     else:
         detector = LedReceiver.red_5mm()
     cap = FovCap.paper_cap() if spec.cap else None
-    return ReceiverFrontEnd(detector=detector, cap=cap, seed=spec.seed)
+    return ReceiverFrontEnd(detector=detector, cap=cap,
+                            seed=spec.seed if seed is None else seed)
 
 
 def build_simulator(spec: ScenarioSpec) -> ChannelSimulator:
@@ -145,6 +155,185 @@ def _bit_error_rate(sent: str, decoded: str) -> float:
     return errors / n
 
 
+# ----------------------------------------------------------------------
+# Networked receivers (Section 6)
+# ----------------------------------------------------------------------
+
+def node_positions(spec: ScenarioSpec) -> list[float]:
+    """Ground positions of the deployed receiver nodes.
+
+    Node 0 sits at the single-receiver position (x = 0); the rest are
+    spaced downstream along the motion axis, so the object passes them
+    in id order.
+    """
+    return [i * spec.receiver_spacing_m for i in range(spec.n_receivers)]
+
+
+def node_seed(spec_seed: int, index: int) -> int:
+    """Deterministic, well-separated noise seed for one receiver node.
+
+    Hash-derived so neighbouring nodes never share noise streams and
+    the mapping is stable across platforms and worker processes.
+    """
+    return derive_seed(f"node:{spec_seed}:{index}")
+
+
+def _connect_topology(network, node_ids: list[str],
+                      topology: str) -> None:
+    if topology == "full":
+        for i in range(len(node_ids)):
+            for j in range(i + 1, len(node_ids)):
+                network.connect(node_ids[i], node_ids[j])
+    elif topology == "chain":
+        for a, b in zip(node_ids, node_ids[1:]):
+            network.connect(a, b)
+    else:  # partitioned: two disjoint full meshes
+        half = (len(node_ids) + 1) // 2
+        for part in (node_ids[:half], node_ids[half:]):
+            for i in range(len(part)):
+                for j in range(i + 1, len(part)):
+                    network.connect(part[i], part[j])
+
+
+def build_network(spec: ScenarioSpec):
+    """The :class:`repro.net.ReceiverNetwork` a spec's array describes.
+
+    Nodes ``rx0..rxN-1`` at :func:`node_positions`, each with its own
+    derived-noise-seed front end and a fresh decoder, wired per the
+    spec's ``topology``.  Detections are not captured here — the
+    executor records them per pass.
+
+    ``repro.net`` (and its networkx dependency) is imported lazily to
+    keep ``import repro.engine`` light and to let minimal environments
+    (numpy only, networkx missing despite being declared) still run
+    every single-receiver workload.
+    """
+    from ..net.node import ReceiverNode
+    from ..net.tracker import ReceiverNetwork
+
+    spec = spec.resolve()
+    network = ReceiverNetwork()
+    node_ids: list[str] = []
+    for i, position in enumerate(node_positions(spec)):
+        node = ReceiverNode(
+            node_id=f"rx{i}",
+            position_m=position,
+            frontend=build_frontend(spec, seed=node_seed(spec.seed, i)),
+            decoder=_build_decoder(spec),
+        )
+        network.add_node(node)
+        node_ids.append(node.node_id)
+    _connect_topology(network, node_ids, spec.topology)
+    return network
+
+
+def _node_stage(bits: str, sent: str) -> str:
+    if bits == sent:
+        return "decoded"
+    return "bit_errors" if bits else "no_decode"
+
+
+def _select_fused(fused_list):
+    """The group representing the pass, from per-group fused verdicts.
+
+    Most *decoded* reports first (then support, then size): a large
+    all-undecoded group — e.g. failed nodes whose onset estimates
+    drifted out of grouping tolerance — must not shadow a group
+    holding an actual decode.
+    """
+    if not fused_list:
+        return None
+    return max(fused_list,
+               key=lambda o: (o.n_decoded, o.support, o.n_reports))
+
+
+def _select_track(tracks):
+    """The pass's kinematic estimate: widest fit, then best residual."""
+    if not tracks:
+        return None
+    return max(tracks, key=lambda t: (t.n_nodes, -t.residual_rms_s))
+
+
+def _execute_networked(spec: ScenarioSpec, started: float,
+                       packet: Packet, sent: str) -> RunRecord:
+    """One pass observed by ``spec.n_receivers`` networked nodes.
+
+    Every node captures its *own* trace of the same moving object (same
+    scene, receiver shifted to the node's position, independent noise),
+    decodes locally, and shares the detection over the connectivity
+    graph.  The record's headline verdict is the network's fused one,
+    computed from the most upstream node's viewpoint (``rx0``) — with
+    a ``partitioned`` topology that is deliberately only rx0's island.
+    """
+    scene = build_scene(spec)
+    network = build_network(spec)
+    n_data_symbols = 2 * len(packet.data_bits)
+
+    node_rows: list[dict] = []
+    first_trace = None
+    noise_floor = 0.0
+    for node in network.nodes:
+        node_scene = dataclasses.replace(scene,
+                                         receiver_x_m=node.position_m)
+        sim = ChannelSimulator(
+            node_scene, node.frontend,
+            SimulatorConfig(sample_rate_hz=spec.sample_rate_hz,
+                            include_noise=spec.include_noise,
+                            seed=node.frontend.seed))
+        trace = sim.capture_pass()
+        if first_trace is None:
+            first_trace = trace
+            noise_floor = node_scene.nominal_noise_floor_lux()
+        detection = node.observe(trace, n_data_symbols=n_data_symbols)
+        network.record(detection)
+        node_rows.append({
+            "node_id": node.node_id,
+            "position_m": float(node.position_m),
+            "bits": detection.bits,
+            "success": detection.bits == sent,
+            "confidence": float(detection.confidence),
+            "timestamp_s": float(detection.timestamp_s),
+            "timestamp_source": detection.timestamp_source,
+            "stage": _node_stage(detection.bits, sent),
+        })
+
+    query = network.nodes[0].node_id
+    fused = _select_fused(network.fuse_at(query, spec.speed_mps))
+    estimate = _select_track(network.track_at(query, spec.speed_mps))
+
+    decoded = fused.bits if fused is not None else ""
+    success = decoded == sent
+    best_node = any(row["success"] for row in node_rows)
+    stage = ("decoded" if success
+             else "bit_errors" if decoded else "decode_failed")
+    speed_est = float(estimate.speed_mps) if estimate is not None else None
+    speed_error = (abs(speed_est - spec.speed_mps) / spec.speed_mps
+                   if speed_est is not None else None)
+
+    return RunRecord(
+        spec_hash=spec.content_hash(),
+        spec=spec.to_dict(),
+        seed=spec.seed,
+        sent_bits=sent,
+        decoded_bits=decoded,
+        success=success,
+        stage=stage,
+        ber=_bit_error_rate(sent, decoded),
+        n_samples=len(first_trace.samples),
+        trace_duration_s=len(first_trace.samples) / first_trace.sample_rate_hz,
+        sample_rate_hz=first_trace.sample_rate_hz,
+        noise_floor_lux=noise_floor,
+        nodes=node_rows,
+        fused_bits=decoded,
+        fused_success=success,
+        best_node_success=best_node,
+        fusion_gain=float(success) - float(best_node),
+        speed_est_mps=speed_est,
+        speed_error=speed_error,
+        elapsed_s=time.perf_counter() - started,
+    )
+
+
 def execute_scenario(spec: ScenarioSpec) -> RunRecord:
     """Run one scenario end to end and record the outcome.
 
@@ -157,6 +346,8 @@ def execute_scenario(spec: ScenarioSpec) -> RunRecord:
                                    symbol_width_m=spec.symbol_width_m)
     sent = packet.bit_string()
     try:
+        if spec.n_receivers > 1:
+            return _execute_networked(spec, started, packet, sent)
         sim = build_simulator(spec)
         trace = sim.capture_pass()
     except Exception as exc:
@@ -191,6 +382,9 @@ def execute_scenario(spec: ScenarioSpec) -> RunRecord:
     except DecodeError:
         stage = "decode_failed"
 
+    # Mirror the fused fields so fusion columns aggregate uniformly
+    # across single- and multi-receiver records (a lone receiver *is*
+    # its own best node, and "fusing" it changes nothing: gain 0).
     return RunRecord(
         spec_hash=spec.content_hash(),
         spec=spec.to_dict(),
@@ -204,5 +398,8 @@ def execute_scenario(spec: ScenarioSpec) -> RunRecord:
         trace_duration_s=len(trace.samples) / trace.sample_rate_hz,
         sample_rate_hz=trace.sample_rate_hz,
         noise_floor_lux=sim.scene.nominal_noise_floor_lux(),
+        fused_bits=decoded,
+        fused_success=decoded == sent,
+        best_node_success=decoded == sent,
         elapsed_s=time.perf_counter() - started,
     )

@@ -47,6 +47,32 @@ class RunRecord:
         noise_floor_lux: the scene's nominal ambient level.
         error: the simulator's error message when ``stage`` is
             ``simulation_failed`` ('' otherwise).
+        nodes: per-node decode outcomes for networked runs
+            (``spec["n_receivers"] > 1``): one dict per receiver with
+            ``node_id``, ``position_m``, ``bits``, ``success``,
+            ``confidence``, ``timestamp_s``, ``timestamp_source`` and
+            ``stage``.  Empty for single-receiver runs.
+        fused_bits: the network's fused payload verdict.  For
+            single-receiver runs this mirrors ``decoded_bits`` so
+            fusion columns aggregate uniformly across receiver counts.
+        fused_success: fused payload matches ``sent_bits`` exactly.
+        best_node_success: did *any* single node decode exactly?  (For
+            single-receiver runs: same as ``success``.)
+        fusion_gain: ``fused_success - best_node_success``.  The vote
+            picks among node reports, so fused success implies some
+            node decoded: the per-pass value is 0 (the network's
+            verdict reached the any-node ceiling) or -1 (a node held
+            the exact payload but the verdict missed it — outvoted by
+            a wrong payload, or unreachable from the ``rx0`` query
+            viewpoint in a ``partitioned`` topology).  The Section 6
+            *improvement* is read from rates across receiver counts:
+            fused rate at N receivers vs the N=1 baseline (see
+            :func:`repro.analysis.sweep_fusion_gain`).
+        speed_est_mps: the network's tracked speed estimate (None when
+            no group fit — fewer than two distinct positions, or a
+            garbled unfittable pass).
+        speed_error: relative speed-estimate error
+            ``|est - nominal| / nominal`` (None without an estimate).
         elapsed_s: wall-clock execution time (excluded from equality).
     """
 
@@ -63,12 +89,24 @@ class RunRecord:
     sample_rate_hz: float
     noise_floor_lux: float
     error: str = ""
+    nodes: list[dict[str, Any]] = field(default_factory=list)
+    fused_bits: str = ""
+    fused_success: bool = False
+    best_node_success: bool = False
+    fusion_gain: float = 0.0
+    speed_est_mps: float | None = None
+    speed_error: float | None = None
     elapsed_s: float = field(default=0.0, compare=False)
 
     def __post_init__(self) -> None:
         if self.stage not in STAGES:
             raise ValueError(f"stage must be one of {STAGES}, "
                              f"got {self.stage!r}")
+
+    @property
+    def networked(self) -> bool:
+        """Whether this record came from a multi-receiver deployment."""
+        return bool(self.nodes)
 
     def to_dict(self, include_timing: bool = True) -> dict[str, Any]:
         """Plain-dict form (JSON-safe)."""
@@ -79,12 +117,24 @@ class RunRecord:
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "RunRecord":
-        """Inverse of :meth:`to_dict`; tolerates a missing timing."""
+        """Inverse of :meth:`to_dict`; tolerates a missing timing.
+
+        Records written before the fusion fields existed are
+        single-receiver by construction, so the fused verdict mirrors
+        the decode outcome (exactly what the executor stamps on fresh
+        single-receiver records) — without this, pre-fusion records in
+        a mixed results file would read as fused failures.
+        """
         known = {f.name for f in dataclasses.fields(cls)}
         unknown = set(data) - known
         if unknown:
             raise ValueError(f"unknown record fields: {sorted(unknown)}")
-        return cls(**dict(data))
+        data = dict(data)
+        if "fused_bits" not in data and not data.get("nodes"):
+            data.setdefault("fused_bits", data.get("decoded_bits", ""))
+            data.setdefault("fused_success", data.get("success", False))
+            data.setdefault("best_node_success", data.get("success", False))
+        return cls(**data)
 
     def canonical_json(self) -> str:
         """Byte-stable JSON excluding timing — the determinism contract:

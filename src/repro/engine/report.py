@@ -9,13 +9,22 @@ embed their originating spec.
 
 from __future__ import annotations
 
+import dataclasses
 from collections import Counter, defaultdict
 from typing import Any, Iterable, Sequence
 
 from .records import STAGES, RunRecord
+from .spec import ScenarioSpec
+
+#: Spec-field defaults, used to group records written before a field
+#: existed (e.g. pre-receiver-array records have no ``n_receivers``
+#: key; semantically they ran with the default, 1).
+_SPEC_DEFAULTS = {f.name: f.default for f in dataclasses.fields(ScenarioSpec)
+                  if f.default is not dataclasses.MISSING}
 
 __all__ = ["success_rate", "success_rate_by", "stage_counts",
-           "mean_ber", "summarize", "group_table"]
+           "mean_ber", "fusion_stats", "summarize", "group_table",
+           "fusion_table"]
 
 
 def success_rate(records: Sequence[RunRecord]) -> float:
@@ -23,6 +32,26 @@ def success_rate(records: Sequence[RunRecord]) -> float:
     if not records:
         return 0.0
     return sum(r.success for r in records) / len(records)
+
+
+def _group_by_axis(records: Iterable[RunRecord],
+                   axis: str) -> dict[Any, list[RunRecord]]:
+    """Records grouped by one spec field, in first-seen order.
+
+    A record whose (older) embedded spec predates the field falls back
+    to the spec default, so mixed-vintage result files still group;
+    a field the spec never had raises ``KeyError``.
+    """
+    groups: dict[Any, list[RunRecord]] = defaultdict(list)
+    for record in records:
+        if axis in record.spec:
+            value = record.spec[axis]
+        elif axis in _SPEC_DEFAULTS:
+            value = _SPEC_DEFAULTS[axis]
+        else:
+            raise KeyError(f"record spec has no field {axis!r}")
+        groups[value].append(record)
+    return groups
 
 
 def success_rate_by(records: Iterable[RunRecord],
@@ -33,12 +62,8 @@ def success_rate_by(records: Iterable[RunRecord],
         records: any run records (their specs must carry ``axis``).
         axis: spec field name to group on, e.g. ``"ground_lux"``.
     """
-    groups: dict[Any, list[RunRecord]] = defaultdict(list)
-    for record in records:
-        if axis not in record.spec:
-            raise KeyError(f"record spec has no field {axis!r}")
-        groups[record.spec[axis]].append(record)
-    return {value: success_rate(group) for value, group in groups.items()}
+    return {value: success_rate(group)
+            for value, group in _group_by_axis(records, axis).items()}
 
 
 def stage_counts(records: Iterable[RunRecord]) -> dict[str, int]:
@@ -55,6 +80,32 @@ def mean_ber(records: Sequence[RunRecord]) -> float:
     return sum(r.ber for r in records) / len(records)
 
 
+def fusion_stats(records: Sequence[RunRecord]) -> dict[str, Any]:
+    """Network-fusion aggregates over a record set.
+
+    Returns:
+        ``fused_rate`` (fused decode rate), ``best_node_rate`` (rate at
+        which at least one single node decoded), ``mean_fusion_gain``
+        (average per-pass fused-vs-best-single win) and
+        ``mean_speed_error`` (mean relative tracked-speed error over
+        records with an estimate; ``None`` when no record has one —
+        no estimate is not the same as a perfect one).
+    """
+    if not records:
+        return {"fused_rate": 0.0, "best_node_rate": 0.0,
+                "mean_fusion_gain": 0.0, "mean_speed_error": None}
+    n = len(records)
+    speed_errors = [r.speed_error for r in records
+                    if r.speed_error is not None]
+    return {
+        "fused_rate": sum(r.fused_success for r in records) / n,
+        "best_node_rate": sum(r.best_node_success for r in records) / n,
+        "mean_fusion_gain": sum(r.fusion_gain for r in records) / n,
+        "mean_speed_error": (sum(speed_errors) / len(speed_errors)
+                             if speed_errors else None),
+    }
+
+
 def summarize(records: Sequence[RunRecord]) -> str:
     """Multi-line human summary of a record set."""
     lines = [f"scenarios: {len(records)}"]
@@ -65,6 +116,17 @@ def summarize(records: Sequence[RunRecord]) -> str:
     lines.append(f"mean BER: {mean_ber(records):.3f}")
     for stage, count in stage_counts(records).items():
         lines.append(f"  stage {stage}: {count}")
+    networked = [r for r in records if r.networked]
+    if networked:
+        stats = fusion_stats(networked)
+        err = stats["mean_speed_error"]
+        lines.append(f"networked passes: {len(networked)} "
+                     f"(fused {100.0 * stats['fused_rate']:.1f}% | "
+                     f"best single node "
+                     f"{100.0 * stats['best_node_rate']:.1f}% | "
+                     f"fusion gain {stats['mean_fusion_gain']:+.3f} | "
+                     f"speed err "
+                     f"{'n/a' if err is None else f'{100.0 * err:.1f}%'})")
     sim_time = sum(r.trace_duration_s for r in records)
     wall = sum(r.elapsed_s for r in records)
     lines.append(f"simulated {sim_time:.1f} s of channel time in "
@@ -80,4 +142,28 @@ def group_table(records: Sequence[RunRecord], axis: str) -> str:
     for value, rate in rates.items():
         bar = "#" * int(round(30 * rate))
         lines.append(f"  {value!s:>{width}} | {bar} {rate:.2f}")
+    return "\n".join(lines)
+
+
+def fusion_table(records: Sequence[RunRecord],
+                 axis: str = "n_receivers") -> str:
+    """Fusion columns grouped by one spec axis.
+
+    One row per axis value: fused decode rate, best-single-node decode
+    rate, mean per-pass fusion gain (a vote-efficiency check, <= 0 by
+    construction — see :class:`RunRecord`; the Section 6 *improvement*
+    is the fused-rate column read across ``n_receivers``) and mean
+    relative speed-estimate error ('-' when no pass produced one).
+    """
+    groups = _group_by_axis(records, axis)
+    width = max((len(str(v)) for v in groups), default=1)
+    lines = [f"fusion by {axis}   (fused | best node | gain | speed err)"]
+    for value, group in groups.items():
+        stats = fusion_stats(group)
+        err = stats["mean_speed_error"]
+        lines.append(
+            f"  {value!s:>{width}} | {stats['fused_rate']:.2f} | "
+            f"{stats['best_node_rate']:.2f} | "
+            f"{stats['mean_fusion_gain']:+.3f} | "
+            f"{'-' if err is None else f'{err:.3f}'}")
     return "\n".join(lines)

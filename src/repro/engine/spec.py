@@ -22,8 +22,19 @@ import math
 from dataclasses import dataclass
 from typing import Any, Mapping, Sequence
 
-__all__ = ["ScenarioSpec", "GridSpec", "expand_grid", "grid_size",
-           "MOTIONS"]
+__all__ = ["ScenarioSpec", "GridSpec", "derive_seed", "expand_grid",
+           "grid_size", "MOTIONS", "TOPOLOGIES"]
+
+
+def derive_seed(token: str) -> int:
+    """Deterministic 31-bit seed from arbitrary token text.
+
+    The one derivation rule (blake2b, 4-byte digest, modulo
+    ``2**31 - 1``) shared by per-spec seeds and per-receiver-node
+    seeds, so the convention cannot silently diverge.
+    """
+    digest = hashlib.blake2b(token.encode(), digest_size=4).digest()
+    return int.from_bytes(digest, "big") % (2**31 - 1)
 
 
 #: Recognised ambient sources.
@@ -43,6 +54,11 @@ CARS = ("volvo_v40", "bmw_3_series")
 
 #: Recognised motion profiles (see :mod:`repro.channel.mobility`).
 MOTIONS = ("constant", "speed_doubling", "speed_jitter")
+
+#: Receiver-network connectivity topologies (``n_receivers > 1``):
+#: ``full`` links every pair, ``chain`` only consecutive nodes, and
+#: ``partitioned`` splits the array into two disjoint full meshes.
+TOPOLOGIES = ("full", "chain", "partitioned")
 
 
 @dataclass(frozen=True)
@@ -80,6 +96,16 @@ class ScenarioSpec:
         decoder: ``adaptive`` thresholds or the ``two_phase`` car
             decoder (long preamble first).
         threshold_rule: adaptive-decoder thresholding variant.
+        n_receivers: number of deployed receiver nodes observing the
+            pass.  1 (default) is the single-receiver pipeline; above 1
+            the engine builds a :class:`repro.net.ReceiverNetwork` of
+            nodes spaced along the track, each capturing its own trace
+            of the same pass, and records fused/tracked verdicts (the
+            Section 6 networked-receivers setup).
+        receiver_spacing_m: gap between consecutive nodes along the
+            motion axis (``n_receivers > 1``).
+        topology: connectivity between nodes — ``full``, ``chain`` or
+            ``partitioned`` (two disjoint full meshes).
         include_noise: disable for noiseless optical truth.
         seed: noise seed; ``None`` derives a deterministic seed from the
             spec content, so every grid point gets its own stable seed.
@@ -107,6 +133,9 @@ class ScenarioSpec:
     motion_param: float = 0.0
     decoder: str = "adaptive"
     threshold_rule: str = "midpoint"
+    n_receivers: int = 1
+    receiver_spacing_m: float = 0.6
+    topology: str = "full"
     include_noise: bool = True
     seed: int | None = None
 
@@ -153,6 +182,15 @@ class ScenarioSpec:
         elif self.motion_param != 0.0:
             raise ValueError(f"motion_param applies to speed_jitter only, "
                              f"got {self.motion_param} for {self.motion!r}")
+        if not isinstance(self.n_receivers, int) or self.n_receivers < 1:
+            raise ValueError(f"n_receivers must be an integer >= 1, "
+                             f"got {self.n_receivers!r}")
+        if self.receiver_spacing_m <= 0.0:
+            raise ValueError(f"receiver_spacing_m must be positive, "
+                             f"got {self.receiver_spacing_m}")
+        if self.topology not in TOPOLOGIES:
+            raise ValueError(f"topology must be one of {TOPOLOGIES}, "
+                             f"got {self.topology!r}")
 
     # ------------------------------------------------------------------
     # Derived quantities
@@ -198,10 +236,7 @@ class ScenarioSpec:
             payload["sample_rate_hz"] = self.auto_sample_rate_hz()
         if payload["start_position_m"] is None:
             payload["start_position_m"] = self.auto_start_position_m()
-        digest = hashlib.blake2b(
-            json.dumps(payload, sort_keys=True).encode(),
-            digest_size=4).digest()
-        return int.from_bytes(digest, "big") % (2**31 - 1)
+        return derive_seed(json.dumps(payload, sort_keys=True))
 
     # ------------------------------------------------------------------
     # Serialization and identity

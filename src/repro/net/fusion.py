@@ -19,6 +19,17 @@ from .node import Detection
 __all__ = ["FusedObservation", "fuse_detections", "group_by_pass"]
 
 
+#: Floor applied to every decoded report's confidence when it votes, so
+#: a zero-confidence payload still counts.  ``agreement`` weighs the
+#: total decoded mass with the *same* floor — support and total must be
+#: computed in one currency or the ratio escapes [0, 1].
+VOTE_FLOOR = 1e-6
+
+
+def _vote_weight(confidence: float) -> float:
+    return max(confidence, VOTE_FLOOR)
+
+
 @dataclass
 class FusedObservation:
     """The network's combined verdict about one pass.
@@ -40,9 +51,20 @@ class FusedObservation:
 
     @property
     def agreement(self) -> float:
-        """Fraction of decoded confidence mass behind the winner."""
-        total = sum(d.confidence for d in self.detections if d.decoded)
-        return self.support / total if total > 0.0 else 0.0
+        """Fraction of decoded confidence mass behind the winner.
+
+        Uses the same floored weighting as the vote itself, so the
+        ratio is provably in [0, 1]: a unanimous group reports 1.0
+        even when every report carries zero confidence, and the winner
+        can never hold more mass than the total.
+        """
+        if not self.bits or self.support <= 0.0:
+            return 0.0
+        total = sum(_vote_weight(d.confidence)
+                    for d in self.detections if d.decoded)
+        if total <= 0.0:
+            return 0.0
+        return min(1.0, self.support / total)
 
 
 def fuse_detections(detections: list[Detection]) -> FusedObservation:
@@ -62,7 +84,7 @@ def fuse_detections(detections: list[Detection]) -> FusedObservation:
     for det in detections:
         if not det.decoded:
             continue
-        votes[det.bits] += max(det.confidence, 1e-6)
+        votes[det.bits] += _vote_weight(det.confidence)
         first_seen.setdefault(det.bits, det.timestamp_s)
     if not votes:
         return FusedObservation(bits="", support=0.0,

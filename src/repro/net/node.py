@@ -20,7 +20,38 @@ from ..core.decoder import AdaptiveThresholdDecoder, DecodeResult
 from ..core.errors import DecodeError, PreambleNotFoundError
 from ..hardware.frontend import ReceiverFrontEnd
 
-__all__ = ["Detection", "ReceiverNode"]
+__all__ = ["Detection", "ReceiverNode", "onset_timestamp"]
+
+
+def onset_timestamp(trace: SignalTrace) -> float:
+    """Estimate when a pass's signal starts in a raw trace.
+
+    The decoder anchors decoded reports on the *preamble start*; a
+    failed decode used to be stamped with ``trace.start_time_s`` (the
+    capture-window start), which sits a margin earlier and biases any
+    track fit mixing decoded and undecoded reports.  This estimates the
+    comparable quantity — the first sustained departure from the
+    leading quiet baseline — directly from the samples.
+
+    Falls back to the strongest deviation (flat-ish traces), then to
+    the window start (degenerate traces).
+    """
+    x = np.asarray(trace.samples, dtype=float)
+    if len(x) < 8:
+        return trace.start_time_s
+    n_base = max(4, len(x) // 10)
+    baseline = float(np.median(x[:n_base]))
+    deviation = np.abs(x - baseline)
+    # Noise scale of the quiet lead-in; the onset threshold must clear
+    # it and be a meaningful fraction of the trace's overall swing.
+    noise = float(np.median(deviation[:n_base]))
+    peak = float(deviation.max())
+    if peak <= 0.0:
+        return trace.start_time_s
+    threshold = max(6.0 * noise, 0.2 * peak)
+    above = np.nonzero(deviation >= threshold)[0]
+    index = int(above[0]) if len(above) else int(np.argmax(deviation))
+    return trace.start_time_s + index / trace.sample_rate_hz
 
 
 @dataclass(frozen=True)
@@ -30,13 +61,19 @@ class Detection:
     Attributes:
         node_id: reporting node.
         position_m: node position along the track.
-        timestamp_s: preamble-anchor time of the detection (node-local
-            clock; nodes are assumed NTP-ish synchronised to ~ms).
+        timestamp_s: arrival time of the pass (node-local clock; nodes
+            are assumed NTP-ish synchronised to ~ms).  Decoded reports
+            anchor on the preamble start; undecoded reports estimate
+            the signal onset from the raw trace so the two kinds stay
+            comparable in one track fit (see ``timestamp_source``).
         bits: decoded payload ('' when the node could not decode).
         confidence: decode quality in [0, 1] — preamble verification and
             threshold margin folded into one number.
         symbol_period_s: the node's tau_t estimate (used for speed
             estimation downstream).
+        timestamp_source: provenance of ``timestamp_s`` —
+            ``"preamble_anchor"`` (decoded) or ``"onset_estimate"``
+            (undecoded fallback).
     """
 
     node_id: str
@@ -45,6 +82,7 @@ class Detection:
     bits: str
     confidence: float
     symbol_period_s: float = 0.0
+    timestamp_source: str = "preamble_anchor"
 
     @property
     def decoded(self) -> bool:
@@ -97,8 +135,9 @@ class ReceiverNode:
         except (PreambleNotFoundError, DecodeError):
             return Detection(node_id=self.node_id,
                              position_m=self.position_m,
-                             timestamp_s=trace.start_time_s,
-                             bits="", confidence=0.0)
+                             timestamp_s=onset_timestamp(trace),
+                             bits="", confidence=0.0,
+                             timestamp_source="onset_estimate")
         anchor = result.anchor_points[0]
         return Detection(
             node_id=self.node_id,
@@ -107,4 +146,5 @@ class ReceiverNode:
             bits=result.bit_string(),
             confidence=self._confidence(result) if result.success else 0.0,
             symbol_period_s=result.tau_t,
+            timestamp_source="preamble_anchor",
         )

@@ -145,7 +145,10 @@ class ReceiverNetwork:
                  expected_speed_mps: float) -> list[TrackEstimate]:
         """Per-pass kinematic estimates from one node's viewpoint.
 
-        Passes seen by fewer than two reachable nodes are skipped.
+        Passes seen by fewer than two distinct reachable positions are
+        skipped, as are unfittable groups (a garbled or mis-grouped
+        pass whose reports imply a non-positive time-vs-position slope)
+        — one bad group must not kill the whole query.
         """
         reports = self.reachable_detections(node_id)
         groups = group_by_pass(reports, expected_speed_mps)
@@ -153,5 +156,8 @@ class ReceiverNetwork:
         for group in groups:
             if len({d.position_m for d in group}) < 2:
                 continue
-            estimates.append(estimate_track(group))
+            try:
+                estimates.append(estimate_track(group))
+            except ValueError:
+                continue
         return estimates

@@ -269,6 +269,78 @@ def _receiver_matrix(base: ScenarioSpec, count: int,
 
 
 # ----------------------------------------------------------------------
+# Networked receiver deployments (the Section 6 future-work setup)
+# ----------------------------------------------------------------------
+
+@register("corridor",
+          "networked corridor: 2-5 fused receivers along a noise-"
+          "stressed road, one engine scenario per pass")
+def _corridor(base: ScenarioSpec, count: int,
+              rng: np.random.Generator) -> list[ScenarioSpec]:
+    # Bright-sun glare holds every individual node right at the RX-LED
+    # saturation cliff (~21-23 klux at these heights), where single
+    # receivers decode a coin-flip of passes — the regime where fusing
+    # the array's independent noise draws visibly lifts the decode rate.
+    road = _road(base)
+    specs = []
+    for _ in range(count):
+        specs.append(road.replace(
+            car=None, decoder="adaptive",
+            bits=pick(rng, _PAYLOADS),
+            n_receivers=int(rng.integers(2, 6)),
+            receiver_spacing_m=uniform(rng, 0.8, 2.0),
+            topology="full",
+            speed_mps=uniform(rng, kmh(15.0), kmh(30.0)),
+            receiver_height_m=uniform(rng, 0.75, 0.85),
+            ground_lux=log_uniform(rng, 20000.0, 23500.0)))
+    return specs
+
+
+@register("sparse_mesh",
+          "sparsely deployed receivers (2-4 nodes, 2-6 m apart, full or "
+          "chain links) tracking variable-speed passes")
+def _sparse_mesh(base: ScenarioSpec, count: int,
+                 rng: np.random.Generator) -> list[ScenarioSpec]:
+    road = _road(base)
+    specs = []
+    for _ in range(count):
+        motion = pick(rng, ("constant", "speed_jitter"))
+        specs.append(road.replace(
+            car=None, decoder="adaptive",
+            bits=pick(rng, _PAYLOADS),
+            n_receivers=int(rng.integers(2, 5)),
+            receiver_spacing_m=uniform(rng, 2.0, 6.0),
+            topology=pick(rng, ("full", "chain")),
+            motion=motion,
+            motion_param=(uniform(rng, 0.05, 0.2)
+                          if motion == "speed_jitter" else 0.0),
+            speed_mps=uniform(rng, kmh(15.0), kmh(40.0)),
+            receiver_height_m=uniform(rng, 0.6, 1.1),
+            ground_lux=log_uniform(rng, 3000.0, 15000.0)))
+    return specs
+
+
+@register("partitioned_net",
+          "a severed deployment: 4-8 receivers split into two disjoint "
+          "meshes, fusion limited to the upstream island")
+def _partitioned_net(base: ScenarioSpec, count: int,
+                     rng: np.random.Generator) -> list[ScenarioSpec]:
+    road = _road(base)
+    specs = []
+    for _ in range(count):
+        specs.append(road.replace(
+            car=None, decoder="adaptive",
+            bits=pick(rng, _PAYLOADS),
+            n_receivers=int(rng.integers(4, 9)),
+            receiver_spacing_m=uniform(rng, 0.8, 1.6),
+            topology="partitioned",
+            speed_mps=uniform(rng, kmh(12.0), kmh(30.0)),
+            receiver_height_m=uniform(rng, 0.6, 1.0),
+            ground_lux=log_uniform(rng, 5000.0, 25000.0)))
+    return specs
+
+
+# ----------------------------------------------------------------------
 # Ambient-light regime layers
 # ----------------------------------------------------------------------
 

@@ -36,6 +36,27 @@ class TestFormatSeries:
     def test_empty(self):
         assert "empty" in format_series([], [], "x", "y")
 
+    def test_negative_values_do_not_render_positive_bars(self):
+        """Regression: a negative value used to get a one-char '#' bar
+        indistinguishable from a small positive one."""
+        text = format_series([1.0, 2.0], [-1.0, 2.0], "x", "y", width=10)
+        lines = text.splitlines()
+        assert "#" not in lines[1]
+        assert "-1" in lines[1]
+        assert lines[1].count("-") > 1          # an explicit minus bar
+        assert "#" in lines[2]
+
+    def test_negative_bars_scale_with_magnitude(self):
+        text = format_series([1.0, 2.0, 3.0], [-4.0, -1.0, 0.0],
+                             "x", "y", width=12)
+        lines = text.splitlines()
+        assert lines[1].count("-") > lines[2].count("-")
+        assert "#" not in lines[3] and "| " in lines[3]
+
+    def test_all_negative_series(self):
+        text = format_series([1.0], [-2.0], "x", "y", width=8)
+        assert "#" not in text.splitlines()[1]
+
 
 class TestSummarize:
     def test_pass_fail_rendering(self):

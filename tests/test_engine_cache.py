@@ -86,6 +86,47 @@ class TestRobustness:
         assert cache.get(make_record().spec_hash).success is False
 
 
+class TestCorruptEntries:
+    """Regression: membership must mirror readability — a torn file
+    that ``get()`` treats as a miss used to satisfy ``in``."""
+
+    def _corrupt(self, cache, record, text):
+        path = cache.root / record.spec_hash[:2] / f"{record.spec_hash}.json"
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(text)
+        return path
+
+    def test_torn_file_not_contained(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        record = make_record()
+        self._corrupt(cache, record, '{"spec_hash": "ab')  # torn write
+        assert record.spec_hash not in cache
+        assert cache.get(record.spec_hash) is None
+
+    def test_wrong_schema_not_contained(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        record = make_record()
+        self._corrupt(cache, record, '{"unknown_field": 1}')
+        assert record.spec_hash not in cache
+        assert cache.get(record.spec_hash) is None
+
+    def test_membership_consistent_with_get_after_put(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        record = make_record()
+        assert record.spec_hash not in cache
+        cache.put(record)
+        assert record.spec_hash in cache
+        assert cache.get(record.spec_hash) == record
+
+    def test_overwriting_corrupt_entry_repairs_membership(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        record = make_record()
+        self._corrupt(cache, record, "not json at all")
+        assert record.spec_hash not in cache
+        cache.put(record)
+        assert record.spec_hash in cache
+
+
 class TestInvalidation:
     def test_spec_change_misses(self, tmp_path):
         """A changed spec gets a new hash, so stale results never leak."""

@@ -1,6 +1,8 @@
 """Tests for repro.net.fusion."""
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.net.fusion import fuse_detections, group_by_pass
 from repro.net.node import Detection
@@ -81,3 +83,111 @@ class TestGrouping:
             group_by_pass([], 0.0)
         with pytest.raises(ValueError):
             group_by_pass([], 5.0, tolerance_s=0.0)
+
+
+class TestAgreementBounds:
+    """Regression: agreement must stay inside its documented [0, 1]."""
+
+    def test_zero_confidence_vote_cannot_push_agreement_above_one(self):
+        """The 1.000002 bug: the vote floored a zero-confidence report
+        to 1e-6 but the total divided by the raw sum, so the winner
+        held more mass than 'everything'."""
+        obs = fuse_detections([det("a", 0.0, 1.0, "10", 0.9),
+                               det("b", 5.0, 2.0, "10", 0.0)])
+        assert obs.bits == "10"
+        assert obs.agreement <= 1.0
+        assert obs.agreement == pytest.approx(1.0)
+
+    def test_all_zero_confidence_unanimous_group_agrees_fully(self):
+        """Unanimous zero-confidence reports used to report 0.0."""
+        obs = fuse_detections([det("a", 0.0, 1.0, "01", 0.0),
+                               det("b", 5.0, 2.0, "01", 0.0),
+                               det("c", 9.0, 3.0, "01", 0.0)])
+        assert obs.bits == "01"
+        assert obs.agreement == pytest.approx(1.0)
+
+    def test_split_vote_agreement_fraction(self):
+        obs = fuse_detections([det("a", 0.0, 1.0, "10", 0.6),
+                               det("b", 5.0, 2.0, "11", 0.3)])
+        assert obs.bits == "10"
+        assert 0.0 < obs.agreement < 1.0
+        assert obs.agreement == pytest.approx(0.6 / 0.9, rel=1e-4)
+
+    @given(reports=st.lists(
+        st.tuples(st.sampled_from(["", "0", "10", "11", "0110"]),
+                  st.floats(min_value=0.0, max_value=1.0,
+                            allow_nan=False)),
+        min_size=1, max_size=12))
+    @settings(max_examples=200, deadline=None)
+    def test_agreement_always_in_unit_interval(self, reports):
+        detections = [det(f"n{i}", float(i), float(i), bits, conf)
+                      for i, (bits, conf) in enumerate(reports)]
+        obs = fuse_detections(detections)
+        assert 0.0 <= obs.agreement <= 1.0
+        if obs.n_decoded == 0:
+            assert obs.agreement == 0.0
+
+
+class TestGroupingProperties:
+    """Property tests for group_by_pass (satellite)."""
+
+    @staticmethod
+    def _group_keys(groups):
+        return {frozenset((d.node_id, d.timestamp_s) for d in g)
+                for g in groups}
+
+    @given(data=st.lists(
+        st.tuples(st.integers(min_value=0, max_value=50),
+                  st.floats(min_value=0.0, max_value=40.0,
+                            allow_nan=False)),
+        min_size=1, max_size=10,
+        unique_by=lambda item: item[0]),
+        seed=st.integers(min_value=0, max_value=2**16))
+    @settings(max_examples=100, deadline=None)
+    def test_grouping_is_permutation_invariant(self, data, seed):
+        """Report arrival order must not change the pass clustering
+        (timestamps are unique, so sorting fully determines order)."""
+        import random
+
+        detections = [det(f"n{i}", pos, float(t), "10", 0.5)
+                      for i, (t, pos) in enumerate(data)]
+        groups = group_by_pass(detections, expected_speed_mps=5.0)
+        shuffled = list(detections)
+        random.Random(seed).shuffle(shuffled)
+        regrouped = group_by_pass(shuffled, expected_speed_mps=5.0)
+        assert self._group_keys(groups) == self._group_keys(regrouped)
+        assert sum(len(g) for g in groups) == len(detections)
+
+    @given(headway_s=st.floats(min_value=2.5, max_value=30.0,
+                               allow_nan=False))
+    @settings(max_examples=50, deadline=None)
+    def test_convoy_members_with_wide_headway_stay_separate(self,
+                                                            headway_s):
+        """Two convoy vehicles crossing two nodes: each vehicle's pair
+        of reports groups together, never across vehicles, for any
+        headway beyond the tolerance."""
+        speed, gap_m = 5.0, 25.0
+        reports = []
+        for v in range(2):
+            t0 = 10.0 + v * headway_s
+            reports.append(det("a", 0.0, t0, "10", 0.9))
+            reports.append(det("b", gap_m, t0 + gap_m / speed, "10", 0.9))
+        groups = group_by_pass(reports, expected_speed_mps=speed,
+                               tolerance_s=1.0)
+        assert len(groups) == 2
+        assert all(len(g) == 2 for g in groups)
+        for group in groups:
+            assert len({d.node_id for d in group}) == 2
+
+    def test_convoy_headway_inside_tolerance_merges(self):
+        """The edge case: headway below the tolerance is
+        indistinguishable from timing jitter, so the members merge."""
+        speed, gap_m = 5.0, 25.0
+        reports = []
+        for v in range(2):
+            t0 = 10.0 + v * 0.5            # 0.5 s < 1 s tolerance
+            reports.append(det("a", 0.0, t0, "10", 0.9))
+            reports.append(det("b", gap_m, t0 + gap_m / speed, "10", 0.9))
+        groups = group_by_pass(reports, expected_speed_mps=speed,
+                               tolerance_s=1.0)
+        assert len(groups) == 1

@@ -65,3 +65,51 @@ class TestReceiverNode:
         d_squeezed = node.observe(squeezed, n_data_symbols=4)
         assert 0.0 <= d_squeezed.confidence <= 1.0
         assert d_clean.confidence > 0.4
+
+
+class TestFailedDecodeTimestamp:
+    """Regression: the failed-decode path used to stamp the capture-
+    window start, a margin earlier than the preamble-anchor time the
+    success path uses, biasing mixed track fits."""
+
+    def test_decoded_detection_flags_preamble_anchor(self, indoor_capture_00):
+        det = _node().observe(indoor_capture_00, n_data_symbols=4)
+        assert det.decoded
+        assert det.timestamp_source == "preamble_anchor"
+
+    def test_undecoded_timestamp_tracks_signal_onset_not_window_start(self):
+        """A quiet 2 s lead-in before an (undecodable) burst: the
+        report must timestamp the burst, not the window start."""
+        rate = 500.0
+        lead = np.full(1000, 80.0)             # 2 s of quiet baseline
+        rng = np.random.default_rng(3)
+        burst = 80.0 + 40.0 * rng.standard_normal(200)  # undecodable
+        tail = np.full(300, 80.0)
+        trace = SignalTrace(np.concatenate([lead, burst, tail]), rate,
+                            start_time_s=5.0)
+        det = _node().observe(trace)
+        assert det.bits == ""
+        assert det.timestamp_source == "onset_estimate"
+        # Onset sits at the burst (2 s into the window), not at 5.0 s.
+        assert det.timestamp_s == pytest.approx(5.0 + 1000 / rate,
+                                                abs=0.2)
+
+    def test_flat_trace_falls_back_to_window_start(self):
+        det = _node().observe(SignalTrace(np.full(1000, 50.0), 500.0,
+                                          start_time_s=2.5))
+        assert det.bits == ""
+        assert det.timestamp_source == "onset_estimate"
+        assert det.timestamp_s == pytest.approx(2.5)
+
+    def test_onset_estimate_comparable_to_anchor(self, indoor_capture_00):
+        """On a decodable trace, the onset estimate lands within the
+        pass (near the anchor), so mixing the two report kinds in one
+        track fit is sane."""
+        from repro.net.node import onset_timestamp
+
+        det = _node().observe(indoor_capture_00, n_data_symbols=4)
+        onset = onset_timestamp(indoor_capture_00)
+        t0 = indoor_capture_00.start_time_s
+        t1 = t0 + indoor_capture_00.duration_s
+        assert t0 <= onset <= t1
+        assert abs(onset - det.timestamp_s) < 0.5 * (t1 - t0)

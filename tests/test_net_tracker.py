@@ -114,3 +114,40 @@ class TestReceiverNetwork:
         net = self._network()
         with pytest.raises(KeyError):
             net.record(det("zz", 0.0, 1.0))
+
+    def test_garbled_pass_does_not_kill_track_query(self):
+        """Regression: a mis-grouped pass whose reports imply a
+        non-positive time-vs-position slope used to raise out of
+        ``track_at`` and abort the whole query.  Now the unfittable
+        group is skipped while fittable passes still come back."""
+        net = self._network()
+        # Garbled group: downstream node reports an *earlier* time than
+        # the timing model predicts, within grouping tolerance, giving
+        # a negative fitted slope (a at x=0 t=10.0, b at x=25 t=9.9
+        # groups under a high expected speed).
+        net.record(det("a", 0.0, 10.0, bits="", conf=0.0))
+        net.record(det("b", 25.0, 9.9, bits="", conf=0.0))
+        with pytest.raises(ValueError):
+            # The raw fitter still refuses the group...
+            estimate_track([det("a", 0.0, 10.0), det("b", 25.0, 9.9)])
+        # ...but the network query survives and simply skips it.
+        assert net.track_at("a", expected_speed_mps=250.0) == []
+
+    def test_garbled_group_skipped_fittable_group_returned(self):
+        net = ReceiverNetwork()
+        for node_id, pos in (("a", 0.0), ("b", 5.0), ("c", 25.0),
+                             ("d", 50.0)):
+            net.add_node(_node(node_id, pos))
+        for pair in (("a", "b"), ("b", "c"), ("c", "d")):
+            net.connect(*pair)
+        # Fittable pass at 5 m/s over three distinct positions.
+        net.record(det("a", 0.0, 10.0))
+        net.record(det("c", 25.0, 15.0))
+        net.record(det("d", 50.0, 20.0))
+        # Garbled pair much later: zero time gap over 5 m gives a zero
+        # slope (within grouping tolerance), which the fitter rejects.
+        net.record(det("a", 0.0, 500.0, bits="", conf=0.0))
+        net.record(det("b", 5.0, 500.0, bits="", conf=0.0))
+        tracks = net.track_at("a", expected_speed_mps=5.0)
+        assert len(tracks) == 1
+        assert tracks[0].speed_mps == pytest.approx(5.0)
