@@ -37,6 +37,10 @@ Subpackages:
 * ``repro.perf``      — the tracked performance harness: timed hot-path
   workloads, ``BENCH_perf.json`` artifacts, baseline regression gating
   (``repro-engine bench``)
+* ``repro.stream``    — the online streaming-decode runtime: chunked
+  ingestion, incremental acquisition, latency-stamped decode events
+  and the concurrent multi-receiver session layer
+  (``repro-engine stream``)
 
 Scenario grids run through the engine::
 
@@ -100,7 +104,7 @@ from .optics import (
 )
 from .tags import Packet, TagSurface
 
-__version__ = "1.2.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "__version__",

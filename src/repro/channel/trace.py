@@ -9,8 +9,10 @@ basic statistics.
 
 from __future__ import annotations
 
+import math
+
 from dataclasses import dataclass, field
-from typing import Any
+from typing import Any, Sequence
 
 import numpy as np
 
@@ -89,6 +91,80 @@ class SignalTrace:
         return SignalTrace(self.samples[i0:i1].copy(), self.sample_rate_hz,
                            self.start_time_s + i0 / self.sample_rate_hz,
                            dict(self.meta))
+
+    @property
+    def end_time_s(self) -> float:
+        """Timestamp one sample-period past the last sample.
+
+        The continuity point a well-formed next chunk starts at; equals
+        ``start_time_s`` for an empty trace.
+        """
+        return self.start_time_s + len(self.samples) / self.sample_rate_hz
+
+    def concat(self, other: "SignalTrace",
+               time_tolerance_fraction: float = 0.5) -> "SignalTrace":
+        """Append a later chunk of the same stream.
+
+        Assembling a trace from recorded pieces (chunked captures,
+        logged stream segments) with raw ``np.concatenate`` silently
+        accepts chunks from different receivers or with holes between
+        them.  ``concat`` validates what concatenation assumes:
+
+        * both chunks share one sampling rate, and
+        * ``other`` starts where this trace ends (within a fraction of
+          one sample period — timestamps carry float round-off).
+
+        Args:
+            other: the next chunk; its metadata is merged over this
+                trace's (later chunk wins conflicting keys).
+            time_tolerance_fraction: allowed start-time slack as a
+                fraction of the sample period, in [0, 1).
+
+        Raises:
+            ValueError: on a rate mismatch or a timestamp discontinuity.
+        """
+        if not 0.0 <= time_tolerance_fraction < 1.0:
+            raise ValueError("time tolerance fraction must be in [0, 1)")
+        if not math.isclose(other.sample_rate_hz, self.sample_rate_hz,
+                            rel_tol=1e-9):
+            raise ValueError(
+                f"cannot concat traces with different sample rates: "
+                f"{self.sample_rate_hz} Hz vs {other.sample_rate_hz} Hz")
+        gap = other.start_time_s - self.end_time_s
+        tolerance = time_tolerance_fraction / self.sample_rate_hz
+        if abs(gap) > tolerance:
+            raise ValueError(
+                f"chunk is not contiguous: expected start at "
+                f"{self.end_time_s:.6f} s, got {other.start_time_s:.6f} s "
+                f"(gap {gap:+.6f} s exceeds {tolerance:.6f} s)")
+        return SignalTrace(
+            np.concatenate([self.samples, other.samples]),
+            self.sample_rate_hz, self.start_time_s,
+            dict(self.meta, **other.meta))
+
+    @classmethod
+    def from_chunks(cls, chunks: Sequence[np.ndarray], sample_rate_hz: float,
+                    start_time_s: float = 0.0,
+                    meta: dict[str, Any] | None = None) -> "SignalTrace":
+        """Assemble one trace from consecutive raw sample chunks.
+
+        Chunks are treated as back-to-back pieces of one uniformly
+        sampled stream (no per-chunk timestamps to validate — use
+        :meth:`concat` for timestamped pieces).  Empty chunks are
+        allowed and contribute nothing.
+        """
+        if sample_rate_hz <= 0.0:
+            raise ValueError(
+                f"sample rate must be positive, got {sample_rate_hz}")
+        arrays = [np.asarray(c, dtype=float) for c in chunks]
+        for i, arr in enumerate(arrays):
+            if arr.ndim != 1:
+                raise ValueError(
+                    f"chunk {i} must be 1-D, got shape {arr.shape}")
+        samples = (np.concatenate(arrays) if arrays
+                   else np.empty(0, dtype=float))
+        return cls(samples, sample_rate_hz, start_time_s,
+                   dict(meta) if meta else {})
 
     def resampled(self, new_rate_hz: float) -> "SignalTrace":
         """Linear-interpolation resample to a new rate."""

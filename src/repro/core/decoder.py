@@ -268,6 +268,11 @@ class AdaptiveThresholdDecoder:
         """
         last_reason = "trace is constant; no preamble"
         raw = np.asarray(trace.samples, dtype=float)
+        if len(raw) == 0:
+            # Streaming probes degenerate windows (empty suffixes,
+            # sub-symbol fragments); acquisition must answer "no
+            # preamble", not crash on an empty max().
+            raise PreambleNotFoundError("empty trace; no preamble")
         if len(raw) > 3:
             noise_sigma = float(np.std(np.diff(raw))) / math.sqrt(2.0)
         else:

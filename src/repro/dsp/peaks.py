@@ -53,9 +53,15 @@ def find_peaks_and_valleys(samples: np.ndarray, sample_rate_hz: float,
     if sample_rate_hz <= 0.0:
         raise ValueError("sample rate must be positive")
     if len(x) < 3:
+        # Too short to contain an interior extremum — the degenerate
+        # windows streaming acquisition probes must read as "no
+        # extrema", never raise.
         return []
     span = float(x.max() - x.min())
-    if span == 0.0:
+    if span == 0.0 or not np.isfinite(span):
+        # All-constant (or non-finite) windows have no usable extrema;
+        # a NaN/inf span would otherwise poison the prominence
+        # threshold handed to scipy.
         return []
     prominence = (min_prominence if min_prominence is not None
                   else 0.2 * span)

@@ -43,6 +43,8 @@ from .report import (
     fusion_stats,
     fusion_table,
     group_table,
+    latency_stats,
+    latency_table,
     mean_ber,
     stage_counts,
     success_rate,
@@ -51,13 +53,15 @@ from .report import (
 )
 from .runner import BatchResult, BatchRunner, RunStats, run_grid
 from .spec import GridSpec, ScenarioSpec, expand_grid, grid_size
+from .streaming import SessionOutcome, StreamRunResult, run_stream
 
 __all__ = [
     "BatchResult", "BatchRunner", "CacheStats", "GridSpec", "ResultCache",
-    "RunRecord", "RunStats", "ScenarioSpec",
+    "RunRecord", "RunStats", "ScenarioSpec", "SessionOutcome",
+    "StreamRunResult", "run_stream",
     "build_frontend", "build_network", "build_scene", "build_simulator",
     "execute_scenario", "expand_grid", "fusion_stats", "fusion_table",
-    "grid_size", "group_table", "mean_ber", "node_positions", "node_seed",
-    "run_grid", "stage_counts", "success_rate", "success_rate_by",
-    "summarize",
+    "grid_size", "group_table", "latency_stats", "latency_table",
+    "mean_ber", "node_positions", "node_seed", "run_grid", "stage_counts",
+    "success_rate", "success_rate_by", "summarize",
 ]

@@ -1,6 +1,6 @@
 """``repro-engine`` — the engine's command-line entry point.
 
-Four subcommands::
+Subcommands::
 
     repro-engine run   --set source=sun --set detector=led --set cap=false \\
                        --set bits=00 --set receiver_height_m=0.25
@@ -11,6 +11,12 @@ Four subcommands::
                        --group-by car
     repro-engine report runs.jsonl --group-by ground_lux
     repro-engine scenarios
+    repro-engine stream --scenario convoy --count 32 --sessions 32 \\
+                        --chunk 64
+
+``stream`` replays scenarios as concurrent live decode sessions
+through :mod:`repro.stream` and prints per-session latency/throughput
+tables plus cross-session fusion verdicts.
 
 ``run`` executes a single scenario and prints its record as JSON.
 ``sweep`` expands a grid (template + axes), a registered scenario
@@ -31,7 +37,7 @@ from typing import Any, Sequence
 
 from .cache import ResultCache
 from .records import RunRecord
-from .report import fusion_table, group_table, summarize
+from .report import fusion_table, group_table, latency_table, summarize
 from .runner import BatchRunner
 from .spec import GridSpec, ScenarioSpec, expand_grid
 
@@ -39,7 +45,7 @@ __all__ = ["main", "build_parser"]
 
 
 _BOOL_FIELDS = {"cap", "include_noise"}
-_INT_FIELDS = {"seed", "n_receivers"}
+_INT_FIELDS = {"seed", "n_receivers", "stream_chunk"}
 _STR_FIELDS = {"bits", "source", "detector", "pd_gain", "ground", "car",
                "motion", "decoder", "threshold_rule", "topology"}
 _NONEABLE = {"seed", "car", "visibility_m", "start_position_m",
@@ -184,12 +190,16 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 
 def _print_group_tables(records: Sequence[RunRecord],
                         axes: Sequence[str]) -> None:
-    """Per-axis decode tables, with fusion columns on networked runs."""
+    """Per-axis decode tables, with fusion columns on networked runs
+    and latency columns on streamed ones."""
     networked = any(r.networked for r in records)
+    streamed = any(r.streamed for r in records)
     for axis in axes:
         print(group_table(records, axis))
         if networked:
             print(fusion_table(records, axis))
+        if streamed:
+            print(latency_table(records, axis))
     # A networked sweep always gets the receiver-count fusion curve —
     # the Section 6 improvement — even without an explicit --group-by.
     if networked and "n_receivers" not in axes:
@@ -261,6 +271,92 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_stream(args: argparse.Namespace) -> int:
+    """Replay scenarios as concurrent live decode sessions.
+
+    A thin formatter over :func:`repro.engine.run_stream` — spec
+    assembly and argument resolution here, orchestration there.
+    """
+    from ..analysis.reporting import format_table
+    from .report import format_ms as _ms
+    from .streaming import run_stream
+
+    if args.chunk is not None and args.chunk < 1:
+        raise ValueError(f"--chunk must be >= 1, got {args.chunk}")
+    if args.sessions < 1:
+        raise ValueError(f"--sessions must be >= 1, got {args.sessions}")
+    if args.count is not None and args.count < 1:
+        raise ValueError(f"--count must be >= 1, got {args.count}")
+    if args.feed_hz is not None and args.feed_hz < 0.0:
+        raise ValueError(f"--feed-hz must be >= 0, got {args.feed_hz}")
+    count = args.count if args.count is not None else args.sessions
+    template = _load_template(args)
+    # Explicit flags win; otherwise chunking/pacing spelled on the spec
+    # itself (--set stream_chunk/stream_feed_hz, or a --spec file) is
+    # honoured.  The fields are then stripped from the template so a
+    # networked family stacking n_receivers > 1 mid-expansion does not
+    # trip the single-receiver streaming validation.
+    chunk_size = (args.chunk if args.chunk is not None
+                  else template.stream_chunk or 64)
+    feed_hz = (args.feed_hz if args.feed_hz is not None
+               else template.stream_feed_hz)
+    template = template.replace(stream_chunk=0, stream_feed_hz=0.0)
+    if args.scenario:
+        from ..scenarios import expand_family
+
+        specs = expand_family(args.scenario, count=count,
+                              seed=args.family_seed or 0,
+                              template=template)
+    else:
+        if args.family_seed is not None:
+            raise ValueError("--family-seed only applies with --scenario")
+        if template.seed is not None:
+            # An explicit --set seed pins the pass: every session
+            # replays that exact capture (a pure concurrency test).
+            specs = [template] * count
+        else:
+            # Otherwise fan per-session noise seeds out so sessions
+            # see independent passes.
+            specs = expand_grid(template, {"seed": list(range(count))})
+
+    result = run_stream(specs, sessions=args.sessions,
+                        chunk_size=chunk_size, feed_hz=feed_hz,
+                        queue_chunks=args.queue_chunks,
+                        workers=args.workers or 1, progress=print)
+
+    rows = [(o.session_id, o.sent_bits, o.verdict_bits or "-",
+             "yes" if o.success else "no",
+             _ms(o.onset_latency_s), _ms(o.first_bit_latency_s),
+             _ms(o.verdict_latency_s), o.n_chunks, o.max_queue_depth,
+             f"{o.throughput_sps / 1e3:.0f}") for o in result.outcomes]
+    print(format_table(
+        ["session", "sent", "verdict", "ok", "onset ms", "first-bit ms",
+         "verdict ms", "chunks", "max queue", "ksamples/s"], rows))
+    print(f"\n{len(result.outcomes)} sessions in waves of "
+          f"{result.sessions_per_wave} (chunk {result.chunk_size}, feed "
+          f"{'unpaced' if not result.feed_hz else f'{result.feed_hz:g} Hz'}): "
+          f"decode rate {result.decode_rate:.1%}, "
+          f"{result.samples_total} samples in {result.wall_s:.2f}s wall "
+          f"({result.throughput_sps / 1e3:.0f} ksamples/s aggregate), "
+          f"{result.backpressure_waits} backpressure waits")
+
+    fused_rows = [(payload, fused.n_reports, fused.bits or "-",
+                   "yes" if fused.bits == payload else "no",
+                   f"{fused.support:.2f}", f"{fused.agreement:.2f}")
+                  for payload, fused in result.fusion_by_payload().items()]
+    print("\ncross-session fusion (confidence-weighted vote per payload)")
+    print(format_table(
+        ["payload", "sessions", "fused", "ok", "support", "agreement"],
+        fused_rows))
+
+    if args.out:
+        with open(args.out, "w") as handle:
+            for outcome in result.outcomes:
+                handle.write(json.dumps(outcome.to_dict()) + "\n")
+        print(f"session records written to {args.out}")
+    return 0
+
+
 def _cmd_scenarios(args: argparse.Namespace) -> int:
     from ..scenarios import describe_families
 
@@ -277,12 +373,18 @@ def build_parser() -> argparse.ArgumentParser:
                     "passive-VLC reproduction.")
     sub = parser.add_subparsers(dest="command", required=True)
 
-    def add_common(p: argparse.ArgumentParser) -> None:
+    def add_common(p: argparse.ArgumentParser, cache: bool = True,
+                   out_help: str = "write records to this JSONL file",
+                   ) -> None:
         p.add_argument("--spec", help="JSON file with template spec fields")
         p.add_argument("--set", action="append", metavar="FIELD=VALUE",
                        help="override one spec field (repeatable)")
-        p.add_argument("--cache-dir", help="result cache directory")
-        p.add_argument("--out", help="write records to this JSONL file")
+        if cache:
+            # The record cache only serves record-producing commands;
+            # offering the flag where it would be a silent no-op
+            # (stream captures traces, not records) misleads.
+            p.add_argument("--cache-dir", help="result cache directory")
+        p.add_argument("--out", help=out_help)
 
     run_p = sub.add_parser("run", help="execute a single scenario")
     add_common(run_p)
@@ -319,6 +421,39 @@ def build_parser() -> argparse.ArgumentParser:
     scen_p = sub.add_parser("scenarios",
                             help="list the registered scenario families")
     scen_p.set_defaults(func=_cmd_scenarios)
+
+    stream_p = sub.add_parser(
+        "stream",
+        help="replay scenarios as concurrent live decode sessions "
+             "(repro.stream)")
+    add_common(stream_p, cache=False,
+               out_help="write per-session event dumps to this JSONL "
+                        "file (not RunRecords; repro-engine report "
+                        "reads sweep/run output)")
+    stream_p.add_argument("--scenario", metavar="FAMILY[,FAMILY...]",
+                          help="draw session scenarios from a registered "
+                               "family (composable, like sweep)")
+    stream_p.add_argument("--count", type=int, default=None,
+                          help="total sessions to replay "
+                               "(default: --sessions)")
+    stream_p.add_argument("--family-seed", type=int, default=None,
+                          help="expansion seed for --scenario (default: 0)")
+    stream_p.add_argument("--sessions", type=int, default=8,
+                          help="concurrent sessions per wave (default: 8)")
+    stream_p.add_argument("--chunk", type=int, default=None,
+                          help="samples per ingest chunk (default: the "
+                               "spec's stream_chunk, else 64)")
+    stream_p.add_argument("--feed-hz", type=float, default=None,
+                          help="per-session feed pacing in chunks/s; "
+                               "0 = as fast as possible (default: the "
+                               "spec's stream_feed_hz, itself 0)")
+    stream_p.add_argument("--queue-chunks", type=int, default=8,
+                          help="per-session backpressure bound "
+                               "(default: 8 queued chunks)")
+    stream_p.add_argument("--workers", type=int, default=1,
+                          help="worker processes for the capture phase "
+                               "(default: 1, serial)")
+    stream_p.set_defaults(func=_cmd_stream)
 
     bench_p = sub.add_parser(
         "bench", help="run the tracked performance suite (repro.perf)")

@@ -41,9 +41,9 @@ from ..vehicles.rooftag import TaggedCar, TwoPhaseDecoder
 from .records import RunRecord
 from .spec import ScenarioSpec, derive_seed
 
-__all__ = ["build_scene", "build_frontend", "build_simulator",
-           "build_network", "execute_scenario", "node_positions",
-           "node_seed"]
+__all__ = ["build_scene", "build_decoder", "build_frontend",
+           "build_simulator", "build_network", "capture_trace",
+           "execute_scenario", "node_positions", "node_seed"]
 
 
 _CAR_FACTORIES = {"volvo_v40": volvo_v40, "bmw_3_series": bmw_3_series}
@@ -138,7 +138,19 @@ def build_simulator(spec: ScenarioSpec) -> ChannelSimulator:
                         seed=spec.seed))
 
 
-def _build_decoder(spec: ScenarioSpec):
+def capture_trace(spec: ScenarioSpec):
+    """Capture one scenario's pass as a :class:`SignalTrace`.
+
+    A module-level callable of one picklable argument, like
+    :func:`execute_scenario`, so capture-only consumers (the streaming
+    session replay) can fan it out over a process pool.
+    """
+    return build_simulator(spec).capture_pass()
+
+
+def build_decoder(spec: ScenarioSpec):
+    """The decoder a spec describes (adaptive, or the two-phase car
+    decoder wrapping a configured adaptive one)."""
     adaptive = AdaptiveThresholdDecoder(
         DecoderConfig(threshold_rule=spec.threshold_rule))
     if spec.decoder == "two_phase":
@@ -219,7 +231,7 @@ def build_network(spec: ScenarioSpec):
             node_id=f"rx{i}",
             position_m=position,
             frontend=build_frontend(spec, seed=node_seed(spec.seed, i)),
-            decoder=_build_decoder(spec),
+            decoder=build_decoder(spec),
         )
         network.add_node(node)
         node_ids.append(node.node_id)
@@ -372,15 +384,47 @@ def execute_scenario(spec: ScenarioSpec) -> RunRecord:
         )
     decoded = ""
     stage = "decode_failed"
-    try:
-        result = _build_decoder(spec).decode(
-            trace, n_data_symbols=2 * len(packet.data_bits))
-        decoded = result.bit_string()
-        stage = "decoded" if decoded == sent else "bit_errors"
-    except PreambleNotFoundError:
-        stage = "preamble_not_found"
-    except DecodeError:
-        stage = "decode_failed"
+    stream_fields: dict = {}
+    n_data_symbols = 2 * len(packet.data_bits)
+    if spec.stream_chunk > 0:
+        # Online replay: feed the captured pass chunk-by-chunk through
+        # the streaming runtime.  The flush verdict is byte-identical
+        # to the offline decode (parity guarantee), so the headline
+        # outcome matches an offline run of the same spec — streaming
+        # adds the latency telemetry, nothing else.
+        # Imported lazily, like repro.net, to keep engine import light.
+        from ..stream.replay import replay_trace
+
+        replay = replay_trace(trace, spec.stream_chunk,
+                              n_data_symbols=n_data_symbols,
+                              decoder=build_decoder(spec))
+        verdict = replay.verdict
+        if replay.decoder.result is not None:
+            # The decode call returned: stage by payload comparison,
+            # exactly as the offline branch below labels it.
+            decoded = replay.decoder.result.bit_string()
+            stage = "decoded" if decoded == sent else "bit_errors"
+        else:
+            stage = verdict.stage
+        stream_fields = dict(
+            stream_chunks=replay.n_chunks,
+            onset_latency_s=replay.latency("onset"),
+            first_bit_latency_s=replay.latency("first_bit"),
+            # Gated on decode success inside the decoder: a failed
+            # decode's placeholder event time must not skew latency
+            # percentiles.
+            verdict_latency_s=replay.decoder.verdict_latency_s,
+        )
+    else:
+        try:
+            result = build_decoder(spec).decode(
+                trace, n_data_symbols=n_data_symbols)
+            decoded = result.bit_string()
+            stage = "decoded" if decoded == sent else "bit_errors"
+        except PreambleNotFoundError:
+            stage = "preamble_not_found"
+        except DecodeError:
+            stage = "decode_failed"
 
     # Mirror the fused fields so fusion columns aggregate uniformly
     # across single- and multi-receiver records (a lone receiver *is*
@@ -402,4 +446,5 @@ def execute_scenario(spec: ScenarioSpec) -> RunRecord:
         fused_success=decoded == sent,
         best_node_success=decoded == sent,
         elapsed_s=time.perf_counter() - started,
+        **stream_fields,
     )

@@ -73,6 +73,21 @@ class RunRecord:
             garbled unfittable pass).
         speed_error: relative speed-estimate error
             ``|est - nominal| / nominal`` (None without an estimate).
+        stream_chunks: chunks fed through the streaming runtime when
+            the spec requested online replay (``stream_chunk > 0``);
+            0 for offline decodes.
+        onset_latency_s: sample-clock delay between the preamble's A
+            peak and the streaming detector locking on (None when the
+            run was offline, or the detector never locked).
+        first_bit_latency_s: delay between the first data bit's last
+            sample and its provisional online decision (None as above).
+        verdict_latency_s: delay between the last data window and the
+            final verdict emission (None for offline runs and for
+            streamed runs whose decode produced no payload — a failed
+            decode measured nothing).  All three
+            latencies are sample-clock quantities — deterministic for
+            a given spec, so they participate in record equality and
+            the byte-stable cache form, unlike wall-clock timing.
         elapsed_s: wall-clock execution time (excluded from equality).
     """
 
@@ -96,6 +111,10 @@ class RunRecord:
     fusion_gain: float = 0.0
     speed_est_mps: float | None = None
     speed_error: float | None = None
+    stream_chunks: int = 0
+    onset_latency_s: float | None = None
+    first_bit_latency_s: float | None = None
+    verdict_latency_s: float | None = None
     elapsed_s: float = field(default=0.0, compare=False)
 
     def __post_init__(self) -> None:
@@ -107,6 +126,11 @@ class RunRecord:
     def networked(self) -> bool:
         """Whether this record came from a multi-receiver deployment."""
         return bool(self.nodes)
+
+    @property
+    def streamed(self) -> bool:
+        """Whether this record came from an online streaming replay."""
+        return self.stream_chunks > 0
 
     def to_dict(self, include_timing: bool = True) -> dict[str, Any]:
         """Plain-dict form (JSON-safe)."""

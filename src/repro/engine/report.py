@@ -13,6 +13,8 @@ import dataclasses
 from collections import Counter, defaultdict
 from typing import Any, Iterable, Sequence
 
+import numpy as np
+
 from .records import STAGES, RunRecord
 from .spec import ScenarioSpec
 
@@ -23,8 +25,13 @@ _SPEC_DEFAULTS = {f.name: f.default for f in dataclasses.fields(ScenarioSpec)
                   if f.default is not dataclasses.MISSING}
 
 __all__ = ["success_rate", "success_rate_by", "stage_counts",
-           "mean_ber", "fusion_stats", "summarize", "group_table",
-           "fusion_table"]
+           "mean_ber", "format_ms", "fusion_stats", "latency_stats",
+           "summarize", "group_table", "fusion_table", "latency_table"]
+
+
+def format_ms(value: float | None, null: str = "-") -> str:
+    """Seconds as a milliseconds string, ``null`` for missing values."""
+    return null if value is None else f"{value * 1e3:.1f}"
 
 
 def success_rate(records: Sequence[RunRecord]) -> float:
@@ -106,6 +113,62 @@ def fusion_stats(records: Sequence[RunRecord]) -> dict[str, Any]:
     }
 
 
+def _percentile(values: Sequence[float], p: float) -> float:
+    """Linear-interpolated percentile of a non-empty value list."""
+    return float(np.percentile(values, p))
+
+
+def latency_stats(records: Sequence[RunRecord]) -> dict[str, Any]:
+    """Streaming-latency aggregates over the streamed records.
+
+    Returns:
+        ``n_streamed`` (records that ran through the online runtime),
+        ``detect_rate`` (fraction whose incremental detector locked on
+        and produced an onset event), and p50/p95 of each sample-clock
+        latency over the records that have it (None when none do).
+    """
+    streamed = [r for r in records if r.streamed]
+    out: dict[str, Any] = {
+        "n_streamed": len(streamed),
+        "detect_rate": 0.0,
+    }
+    if streamed:
+        detected = [r for r in streamed if r.onset_latency_s is not None]
+        out["detect_rate"] = len(detected) / len(streamed)
+    for name in ("onset_latency_s", "first_bit_latency_s",
+                 "verdict_latency_s"):
+        values = [getattr(r, name) for r in streamed
+                  if getattr(r, name) is not None]
+        key = name.removesuffix("_latency_s")
+        out[f"{key}_p50_s"] = (_percentile(values, 50.0) if values
+                               else None)
+        out[f"{key}_p95_s"] = (_percentile(values, 95.0) if values
+                               else None)
+    return out
+
+
+def latency_table(records: Sequence[RunRecord], axis: str) -> str:
+    """Streaming-latency columns grouped by one spec axis.
+
+    One row per axis value: streamed count, detect rate, onset p50/p95
+    and first-bit p50, in milliseconds ('-' where no record measured
+    the quantity).
+    """
+    groups = _group_by_axis(records, axis)
+    width = max((len(str(v)) for v in groups), default=1)
+    lines = [f"stream latency by {axis}   "
+             "(n | detect | onset p50/p95 ms | first-bit p50 ms)"]
+    for value, group in groups.items():
+        stats = latency_stats(group)
+        lines.append(
+            f"  {value!s:>{width}} | {stats['n_streamed']} | "
+            f"{stats['detect_rate']:.2f} | "
+            f"{format_ms(stats['onset_p50_s'])}"
+            f"/{format_ms(stats['onset_p95_s'])} | "
+            f"{format_ms(stats['first_bit_p50_s'])}")
+    return "\n".join(lines)
+
+
 def summarize(records: Sequence[RunRecord]) -> str:
     """Multi-line human summary of a record set."""
     lines = [f"scenarios: {len(records)}"]
@@ -127,6 +190,19 @@ def summarize(records: Sequence[RunRecord]) -> str:
                      f"fusion gain {stats['mean_fusion_gain']:+.3f} | "
                      f"speed err "
                      f"{'n/a' if err is None else f'{100.0 * err:.1f}%'})")
+    streamed = [r for r in records if r.streamed]
+    if streamed:
+        stats = latency_stats(streamed)
+
+        def ms(value: float | None) -> str:
+            return ("n/a" if value is None
+                    else f"{format_ms(value)} ms")
+
+        lines.append(f"streamed passes: {len(streamed)} "
+                     f"(detect {100.0 * stats['detect_rate']:.1f}% | "
+                     f"onset p50 {ms(stats['onset_p50_s'])} | "
+                     f"first bit p50 {ms(stats['first_bit_p50_s'])} | "
+                     f"verdict p50 {ms(stats['verdict_p50_s'])})")
     sim_time = sum(r.trace_duration_s for r in records)
     wall = sum(r.elapsed_s for r in records)
     lines.append(f"simulated {sim_time:.1f} s of channel time in "

@@ -106,6 +106,22 @@ class ScenarioSpec:
             motion axis (``n_receivers > 1``).
         topology: connectivity between nodes — ``full``, ``chain`` or
             ``partitioned`` (two disjoint full meshes).
+        stream_chunk: samples per ingest chunk when the scenario runs
+            through the online streaming runtime (:mod:`repro.stream`).
+            0 (default) decodes offline; > 0 replays the captured pass
+            chunk-by-chunk through a streaming decoder and records
+            decode latencies on the run record.  The final verdict is
+            byte-identical to the offline decode either way (the
+            streaming parity guarantee), and the physical pass is
+            unchanged, so streaming fields do **not** perturb the
+            derived noise seed — only the cache identity.
+        stream_feed_hz: intended live feed pacing in chunks/second for
+            session replay (0 = as fast as possible).  Pacing changes
+            wall-clock behaviour only, never the decode, so the batch
+            executor ignores it; the session layer
+            (``repro-engine stream``) honours it.  Independent of
+            ``stream_chunk``: the session layer chunks with its own
+            ``--chunk`` flag, so pacing is valid on its own.
         include_noise: disable for noiseless optical truth.
         seed: noise seed; ``None`` derives a deterministic seed from the
             spec content, so every grid point gets its own stable seed.
@@ -136,6 +152,8 @@ class ScenarioSpec:
     n_receivers: int = 1
     receiver_spacing_m: float = 0.6
     topology: str = "full"
+    stream_chunk: int = 0
+    stream_feed_hz: float = 0.0
     include_noise: bool = True
     seed: int | None = None
 
@@ -191,6 +209,17 @@ class ScenarioSpec:
         if self.topology not in TOPOLOGIES:
             raise ValueError(f"topology must be one of {TOPOLOGIES}, "
                              f"got {self.topology!r}")
+        if not isinstance(self.stream_chunk, int) or self.stream_chunk < 0:
+            raise ValueError(f"stream_chunk must be an integer >= 0, "
+                             f"got {self.stream_chunk!r}")
+        if self.stream_feed_hz < 0.0:
+            raise ValueError(f"stream_feed_hz must be >= 0, "
+                             f"got {self.stream_feed_hz}")
+        if self.stream_chunk > 0 and self.n_receivers > 1:
+            raise ValueError(
+                "streaming replay (stream_chunk > 0) applies to "
+                "single-receiver scenarios; multi-receiver streams go "
+                "through the session layer (repro-engine stream)")
 
     # ------------------------------------------------------------------
     # Derived quantities
@@ -227,11 +256,17 @@ class ScenarioSpec:
         Hashes the auto-resolved payload minus the seed field itself,
         so the derivation is stable under resolution and a spec
         spelling an auto value explicitly seeds identically to the
-        auto form; every other field perturbs it, giving each grid
+        auto form.  The streaming replay knobs (``stream_chunk``,
+        ``stream_feed_hz``) are excluded too: they change how the
+        captured pass is *fed to the decoder*, not the physical pass,
+        so a streamed scenario must see exactly the offline scenario's
+        noise.  Every other field perturbs the seed, giving each grid
         point independent noise.
         """
         payload = self.to_dict()
         payload.pop("seed")
+        payload.pop("stream_chunk")
+        payload.pop("stream_feed_hz")
         if payload["sample_rate_hz"] is None:
             payload["sample_rate_hz"] = self.auto_sample_rate_hz()
         if payload["start_position_m"] is None:

@@ -1,11 +1,11 @@
 """Networked receivers (Section 6 future work): nodes, fusion, tracking."""
 
 from .fusion import FusedObservation, fuse_detections, group_by_pass
-from .node import Detection, ReceiverNode, onset_timestamp
+from .node import Detection, ReceiverNode, decode_confidence, onset_timestamp
 from .tracker import ReceiverNetwork, TrackEstimate, estimate_track
 
 __all__ = [
     "FusedObservation", "fuse_detections", "group_by_pass",
-    "Detection", "ReceiverNode", "onset_timestamp",
+    "Detection", "ReceiverNode", "decode_confidence", "onset_timestamp",
     "ReceiverNetwork", "TrackEstimate", "estimate_track",
 ]

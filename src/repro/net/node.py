@@ -20,7 +20,25 @@ from ..core.decoder import AdaptiveThresholdDecoder, DecodeResult
 from ..core.errors import DecodeError, PreambleNotFoundError
 from ..hardware.frontend import ReceiverFrontEnd
 
-__all__ = ["Detection", "ReceiverNode", "onset_timestamp"]
+__all__ = ["Detection", "ReceiverNode", "decode_confidence",
+           "onset_timestamp"]
+
+
+def decode_confidence(result: DecodeResult) -> float:
+    """Fold one decode's quality signals into [0, 1].
+
+    Preamble verification contributes half; the windows' decision
+    margins (distance from threshold, relative to tau_r) the rest.
+    Shared by deployed receiver nodes and streaming sessions so both
+    report the same confidence currency to the fusion layer.
+    """
+    base = 0.5 if result.preamble_verified else 0.1
+    if not result.windows or result.tau_r <= 0.0:
+        return base
+    margins = [abs(w.max_value - result.threshold_level) / result.tau_r
+               for w in result.windows]
+    margin_term = float(np.clip(np.mean(margins), 0.0, 1.0))
+    return float(np.clip(base + 0.5 * margin_term, 0.0, 1.0))
 
 
 def onset_timestamp(trace: SignalTrace) -> float:
@@ -114,18 +132,9 @@ class ReceiverNode:
             raise ValueError("node_id must be non-empty")
 
     def _confidence(self, result: DecodeResult) -> float:
-        """Fold decode-quality signals into [0, 1].
-
-        Preamble verification contributes half; the windows' decision
-        margins (distance from threshold, relative to tau_r) the rest.
-        """
-        base = 0.5 if result.preamble_verified else 0.1
-        if not result.windows or result.tau_r <= 0.0:
-            return base
-        margins = [abs(w.max_value - result.threshold_level) / result.tau_r
-                   for w in result.windows]
-        margin_term = float(np.clip(np.mean(margins), 0.0, 1.0))
-        return float(np.clip(base + 0.5 * margin_term, 0.0, 1.0))
+        """See :func:`decode_confidence` (kept as a method for callers
+        that override per-node confidence policies)."""
+        return decode_confidence(result)
 
     def observe(self, trace: SignalTrace,
                 n_data_symbols: int | None = None) -> Detection:

@@ -6,7 +6,9 @@ macro workloads covering the hot paths — DTW alignment, adaptive
 decode, channel capture, engine batches — each timed with warmup and
 repeats, summarized as median/stddev, and serialized to a
 machine-readable ``BENCH_perf.json`` that CI diffs against a committed
-baseline (see :mod:`repro.perf.baseline`).
+baseline (see :mod:`repro.perf.baseline`).  Since the streaming
+runtime landed, online decode throughput (``stream_decode``) is
+tracked alongside the offline paths.
 
 Every workload has a *quick* variant (smaller inputs, fewer repeats)
 so the whole suite stays cheap enough to run on every pull request.
@@ -207,6 +209,18 @@ def _setup_capture(quick: bool) -> Callable[[], Any]:
     return sim.capture_pass
 
 
+def _setup_stream_decode(quick: bool) -> Callable[[], Any]:
+    from ..engine.executor import build_simulator
+    from ..stream.replay import replay_trace
+
+    bits = "00" if quick else "1001"
+    spec = _bench_spec().replace(bits=bits).resolve()
+    trace = build_simulator(spec).capture_pass()
+    n_data_symbols = 2 * len(bits)
+    return lambda: replay_trace(trace, chunk_size=64,
+                                n_data_symbols=n_data_symbols)
+
+
 def _setup_engine_batch(quick: bool) -> Callable[[], Any]:
     from ..engine.runner import BatchRunner
     from ..engine.spec import expand_grid
@@ -252,6 +266,17 @@ def default_workloads() -> list[Workload]:
             description="Channel simulation of one full tag pass "
                         "through the receiver FoV at 2 kS/s",
             setup=_setup_capture,
+            repeats=25,
+            quick_repeats=15,
+            warmup=3,
+        ),
+        Workload(
+            name="stream_decode",
+            kind="macro",
+            description="Online streaming replay of one captured pass "
+                        "in 64-sample chunks (incremental acquisition, "
+                        "running normalizer, flush verdict)",
+            setup=_setup_stream_decode,
             repeats=25,
             quick_repeats=15,
             warmup=3,

@@ -1,0 +1,333 @@
+"""Concurrent multi-receiver streaming: the asyncio session layer.
+
+A deployment is not one receiver — it is dozens of "tiny boxes"
+streaming RSS simultaneously.  :class:`SessionMux` multiplexes many
+:class:`~repro.stream.StreamDecoder` sessions on one event loop:
+
+* each session owns a bounded :class:`asyncio.Queue` of chunks, so a
+  producer that outruns its decoder **blocks on the queue**
+  (backpressure) instead of growing memory without bound;
+* a per-session worker drains the queue, feeds the decoder, and yields
+  between chunks so no session starves the others;
+* finished sessions turn their verdicts into
+  :class:`repro.net.Detection` reports, and :meth:`SessionMux.fused`
+  reuses the networked-receiver fusion layer verbatim for cross-session
+  verdicts.
+
+Wall-clock numbers (per-session processing time, throughput) live in
+:class:`SessionStats`; everything decode-related stays on the sample
+clock and is exactly what the bare decoder would have produced — the
+mux adds concurrency, never changes answers.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass, field
+from typing import Any, AsyncIterable, Iterable, Mapping
+
+import numpy as np
+
+from ..net.fusion import FusedObservation, fuse_detections, group_by_pass
+from ..net.node import Detection, decode_confidence, onset_timestamp
+from .decode import DecodeEvent, StreamDecoder
+
+__all__ = ["SessionStats", "StreamSession", "SessionMux", "replay_traces"]
+
+
+@dataclass
+class SessionStats:
+    """Operational accounting for one streaming session.
+
+    Attributes:
+        n_chunks: chunks ingested.
+        n_samples: samples ingested.
+        busy_s: wall-clock time spent inside the decoder.
+        max_queue_depth: deepest the ingest queue ever got.
+        backpressure_waits: feeds that found the queue full and had to
+            wait — nonzero means the producer outran the decoder.
+    """
+
+    n_chunks: int = 0
+    n_samples: int = 0
+    busy_s: float = 0.0
+    max_queue_depth: int = 0
+    backpressure_waits: int = 0
+
+    @property
+    def throughput_sps(self) -> float:
+        """Samples decoded per second of decoder busy time."""
+        return self.n_samples / self.busy_s if self.busy_s > 0.0 else 0.0
+
+    def to_dict(self) -> dict[str, Any]:
+        """Plain-dict form (JSON-safe)."""
+        return {
+            "n_chunks": self.n_chunks,
+            "n_samples": self.n_samples,
+            "busy_s": self.busy_s,
+            "max_queue_depth": self.max_queue_depth,
+            "backpressure_waits": self.backpressure_waits,
+            "throughput_sps": self.throughput_sps,
+        }
+
+
+class StreamSession:
+    """One receiver's live stream inside the mux.
+
+    Attributes:
+        session_id: unique name.
+        decoder: the online decode state machine.
+        position_m: the receiver's position along the track (feeds the
+            fusion layer's pass-grouping).
+        stats: operational counters.
+        events: every event the decoder emitted, in order.
+    """
+
+    def __init__(self, session_id: str, decoder: StreamDecoder,
+                 position_m: float = 0.0, queue_chunks: int = 8) -> None:
+        if not session_id:
+            raise ValueError("session_id must be non-empty")
+        if queue_chunks < 1:
+            raise ValueError(
+                f"queue_chunks must be >= 1, got {queue_chunks}")
+        self.session_id = session_id
+        self.decoder = decoder
+        decoder.session_id = session_id
+        self.position_m = float(position_m)
+        self.queue: asyncio.Queue = asyncio.Queue(maxsize=queue_chunks)
+        self.stats = SessionStats()
+        self.done = asyncio.Event()
+
+    @property
+    def events(self) -> list[DecodeEvent]:
+        return self.decoder.events
+
+    def verdict(self) -> DecodeEvent | None:
+        """The session's verdict event (None before flush)."""
+        return self.decoder.event("verdict")
+
+    def detection(self) -> Detection:
+        """This session's pass report, in the fusion layer's currency.
+
+        Mirrors :meth:`repro.net.ReceiverNode.observe`: decoded
+        sessions anchor on the preamble, failed ones estimate the
+        signal onset from the buffered samples.
+
+        Raises:
+            RuntimeError: before the stream has been flushed.
+        """
+        result = self.decoder.result
+        if result is None or self.decoder.final_trace is None:
+            if self.decoder.final_trace is None:
+                raise RuntimeError(
+                    f"session {self.session_id!r} not flushed yet")
+            return Detection(
+                node_id=self.session_id, position_m=self.position_m,
+                timestamp_s=onset_timestamp(self.decoder.final_trace),
+                bits="", confidence=0.0,
+                timestamp_source="onset_estimate")
+        return Detection(
+            node_id=self.session_id, position_m=self.position_m,
+            timestamp_s=result.anchor_points[0].time_s,
+            bits=result.bit_string(),
+            confidence=(decode_confidence(result) if result.success
+                        else 0.0),
+            symbol_period_s=result.tau_t,
+            timestamp_source="preamble_anchor")
+
+
+class SessionMux:
+    """Multiplexes many concurrent streaming sessions with backpressure.
+
+    Typical use::
+
+        mux = SessionMux()
+        for sid, trace in feeds.items():
+            mux.add_session(sid, StreamDecoder(trace.sample_rate_hz,
+                                               trace.start_time_s))
+        asyncio.run(mux.run({sid: chunks(trace) for ...}))
+        print(mux.fused())
+
+    Attributes:
+        queue_chunks: per-session ingest queue bound (backpressure
+            threshold) for sessions created via :meth:`add_session`.
+    """
+
+    def __init__(self, queue_chunks: int = 8) -> None:
+        if queue_chunks < 1:
+            raise ValueError(
+                f"queue_chunks must be >= 1, got {queue_chunks}")
+        self.queue_chunks = queue_chunks
+        self.sessions: dict[str, StreamSession] = {}
+
+    # ------------------------------------------------------------------
+    def add_session(self, session_id: str, decoder: StreamDecoder,
+                    position_m: float = 0.0) -> StreamSession:
+        """Register one stream; ids must be unique."""
+        if session_id in self.sessions:
+            raise ValueError(f"duplicate session id {session_id!r}")
+        session = StreamSession(session_id, decoder,
+                                position_m=position_m,
+                                queue_chunks=self.queue_chunks)
+        self.sessions[session_id] = session
+        return session
+
+    def session(self, session_id: str) -> StreamSession:
+        return self.sessions[session_id]
+
+    # ------------------------------------------------------------------
+    async def feed(self, session_id: str, chunk: np.ndarray) -> None:
+        """Enqueue one chunk; blocks while the session's queue is full."""
+        session = self.sessions[session_id]
+        if session.queue.full():
+            session.stats.backpressure_waits += 1
+        await session.queue.put(np.asarray(chunk, dtype=float))
+        session.stats.max_queue_depth = max(session.stats.max_queue_depth,
+                                            session.queue.qsize())
+
+    async def close(self, session_id: str) -> None:
+        """Signal end-of-stream; the worker flushes and finishes."""
+        await self.sessions[session_id].queue.put(None)
+
+    async def _drain(self, session: StreamSession) -> None:
+        """Worker: pull chunks, feed the decoder, flush on the sentinel."""
+        while True:
+            item = await session.queue.get()
+            started = time.perf_counter()
+            if item is None:
+                session.decoder.flush()
+                session.stats.busy_s += time.perf_counter() - started
+                session.done.set()
+                return
+            session.decoder.push(item)
+            session.stats.n_chunks += 1
+            session.stats.n_samples += len(item)
+            session.stats.busy_s += time.perf_counter() - started
+            # Cooperative fairness: decoding is sync CPU work, so yield
+            # the loop between chunks or one hot session starves all
+            # others (and every producer behind a full queue).
+            await asyncio.sleep(0)
+
+    async def _produce(self, session_id: str,
+                       chunks: Iterable[np.ndarray] | AsyncIterable,
+                       feed_hz: float) -> None:
+        interval = 1.0 / feed_hz if feed_hz > 0.0 else 0.0
+        if hasattr(chunks, "__aiter__"):
+            async for chunk in chunks:
+                await self.feed(session_id, chunk)
+                if interval:
+                    await asyncio.sleep(interval)
+        else:
+            # No voluntary yield when unpaced: the producer runs until
+            # the bounded queue blocks it — that *is* the backpressure
+            # mechanism, and it is what hands the loop to the workers.
+            for chunk in chunks:
+                await self.feed(session_id, chunk)
+                if interval:
+                    await asyncio.sleep(interval)
+        await self.close(session_id)
+
+    async def run(self, feeds: Mapping[str, Iterable[np.ndarray]],
+                  feed_hz: float = 0.0) -> None:
+        """Drive every session's producer and worker to completion.
+
+        Args:
+            feeds: session id -> iterable (or async iterable) of sample
+                chunks.  Every id must already be registered.
+            feed_hz: chunks per second per producer; 0 feeds as fast as
+                backpressure allows.
+        """
+        unknown = set(feeds) - set(self.sessions)
+        if unknown:
+            raise KeyError(f"unregistered session ids: {sorted(unknown)}")
+        workers = [asyncio.ensure_future(self._drain(self.sessions[sid]))
+                   for sid in feeds]
+        producers = [asyncio.ensure_future(
+            self._produce(sid, chunks, feed_hz))
+            for sid, chunks in feeds.items()]
+        tasks = [*workers, *producers]
+        try:
+            # One combined gather: a worker that dies mid-stream fails
+            # the gather immediately even while its producer is parked
+            # on a full queue — gathering producers first would wait on
+            # that blocked put forever (a deadlock, since the dead
+            # worker will never drain the queue).
+            await asyncio.gather(*tasks)
+        finally:
+            for task in tasks:
+                if not task.done():
+                    task.cancel()
+            await asyncio.gather(*tasks, return_exceptions=True)
+
+    # ------------------------------------------------------------------
+    def detections(self) -> list[Detection]:
+        """Every flushed session's pass report."""
+        return [s.detection() for s in self.sessions.values()
+                if s.decoder.flushed]
+
+    def fused(self, expected_speed_mps: float | None = None,
+              ) -> list[FusedObservation]:
+        """Cross-session verdicts via the networked-receiver fusion.
+
+        With an expected speed, detections are first clustered into
+        per-pass groups exactly as a receiver network would
+        (:func:`repro.net.group_by_pass`); without one, all sessions
+        are treated as observers of the same pass and fused in one
+        confidence-weighted vote.
+        """
+        detections = self.detections()
+        if not detections:
+            return []
+        if expected_speed_mps is None:
+            return [fuse_detections(detections)]
+        groups = group_by_pass(detections, expected_speed_mps)
+        return [fuse_detections(group) for group in groups]
+
+
+def replay_traces(feeds: Mapping[str, tuple], chunk_size: int,
+                  feed_hz: float = 0.0, queue_chunks: int = 8) -> SessionMux:
+    """Replay captured traces as concurrent live sessions (sync entry).
+
+    Args:
+        feeds: session id -> ``(trace, n_data_symbols, decoder)``;
+            ``n_data_symbols`` and ``decoder`` may be None.
+        chunk_size: samples per chunk, >= 1.
+        feed_hz: per-session feed pacing (0 = as fast as possible).
+        queue_chunks: per-session backpressure bound.
+
+    Returns:
+        The completed mux (every session flushed), ready for stats,
+        events and fusion queries.
+    """
+    from .replay import iter_chunks
+
+    if chunk_size < 1:
+        raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+    mux = SessionMux(queue_chunks=queue_chunks)
+    chunk_feeds = {}
+    for sid, (trace, n_data_symbols, decoder) in feeds.items():
+        # All replay sessions observe from one place (position 0):
+        # inventing distinct positions would make the speed-aware
+        # pass-grouping expect travel time between sessions replaying
+        # the same instant.  Callers modelling a spatial deployment
+        # build the mux directly and pass real node positions.
+        mux.add_session(sid, StreamDecoder(
+            trace.sample_rate_hz, trace.start_time_s,
+            n_data_symbols=n_data_symbols, decoder=decoder))
+        chunk_feeds[sid] = iter_chunks(trace.samples, chunk_size)
+    coro = mux.run(chunk_feeds, feed_hz=feed_hz)
+    try:
+        asyncio.get_running_loop()
+    except RuntimeError:
+        asyncio.run(coro)
+    else:
+        # Called from inside a running loop (a notebook, an async
+        # app): asyncio.run would raise, so drive the replay on a
+        # dedicated loop in a worker thread and block this caller —
+        # the documented sync contract — until it completes.
+        from concurrent.futures import ThreadPoolExecutor
+
+        with ThreadPoolExecutor(max_workers=1) as pool:
+            pool.submit(asyncio.run, coro).result()
+    return mux

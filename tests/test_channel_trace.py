@@ -100,3 +100,90 @@ class TestStats:
 
     def test_describe_contains_rate(self):
         assert "100" in make_trace().describe()
+
+
+class TestConcat:
+    def test_contiguous_chunks_concatenate(self):
+        a = make_trace(np.arange(10.0), fs=100.0, t0=0.0)
+        b = make_trace(np.arange(10.0, 15.0), fs=100.0, t0=0.10)
+        joined = a.concat(b)
+        assert np.array_equal(joined.samples, np.arange(15.0))
+        assert joined.start_time_s == 0.0
+        assert len(joined) == 15
+
+    def test_end_time(self):
+        tr = make_trace(np.zeros(10), fs=100.0, t0=1.0)
+        assert tr.end_time_s == pytest.approx(1.1)
+
+    def test_rate_mismatch_rejected(self):
+        a = make_trace(np.zeros(10), fs=100.0)
+        b = make_trace(np.zeros(10), fs=200.0, t0=0.1)
+        with pytest.raises(ValueError, match="sample rates"):
+            a.concat(b)
+
+    def test_gap_rejected(self):
+        a = make_trace(np.zeros(10), fs=100.0)
+        late = make_trace(np.zeros(10), fs=100.0, t0=0.5)
+        with pytest.raises(ValueError, match="not contiguous"):
+            a.concat(late)
+
+    def test_overlap_rejected(self):
+        a = make_trace(np.zeros(10), fs=100.0)
+        early = make_trace(np.zeros(10), fs=100.0, t0=0.05)
+        with pytest.raises(ValueError, match="not contiguous"):
+            a.concat(early)
+
+    def test_sub_sample_jitter_tolerated(self):
+        a = make_trace(np.zeros(10), fs=100.0)
+        b = make_trace(np.ones(5), fs=100.0, t0=0.1 + 0.002)
+        joined = a.concat(b)
+        assert len(joined) == 15
+
+    def test_meta_merges_later_wins(self):
+        a = SignalTrace(np.zeros(5), 100.0, 0.0, {"k": 1, "only_a": True})
+        b = SignalTrace(np.zeros(5), 100.0, 0.05, {"k": 2})
+        joined = a.concat(b)
+        assert joined.meta == {"k": 2, "only_a": True}
+
+    def test_bad_tolerance(self):
+        a = make_trace(np.zeros(5))
+        b = make_trace(np.zeros(5), t0=0.05)
+        with pytest.raises(ValueError):
+            a.concat(b, time_tolerance_fraction=1.0)
+
+    def test_chunked_reassembly_matches_original(self):
+        rng = np.random.default_rng(5)
+        samples = rng.normal(size=100)
+        whole = make_trace(samples, fs=250.0, t0=2.0)
+        pieces = [SignalTrace(samples[i:i + 17], 250.0,
+                              2.0 + i / 250.0)
+                  for i in range(0, 100, 17)]
+        rebuilt = pieces[0]
+        for piece in pieces[1:]:
+            rebuilt = rebuilt.concat(piece)
+        assert np.array_equal(rebuilt.samples, whole.samples)
+        assert rebuilt.start_time_s == whole.start_time_s
+
+
+class TestFromChunks:
+    def test_assembles_stream(self):
+        trace = SignalTrace.from_chunks(
+            [np.arange(3.0), np.arange(3.0, 7.0), np.empty(0)],
+            sample_rate_hz=50.0, start_time_s=1.0, meta={"src": "t"})
+        assert np.array_equal(trace.samples, np.arange(7.0))
+        assert trace.sample_rate_hz == 50.0
+        assert trace.start_time_s == 1.0
+        assert trace.meta == {"src": "t"}
+
+    def test_no_chunks_is_empty_trace(self):
+        trace = SignalTrace.from_chunks([], sample_rate_hz=10.0)
+        assert len(trace) == 0
+
+    def test_bad_rate(self):
+        with pytest.raises(ValueError):
+            SignalTrace.from_chunks([np.zeros(3)], sample_rate_hz=0.0)
+
+    def test_non_1d_chunk_rejected(self):
+        with pytest.raises(ValueError, match="chunk 1"):
+            SignalTrace.from_chunks([np.zeros(3), np.zeros((2, 2))],
+                                    sample_rate_hz=10.0)

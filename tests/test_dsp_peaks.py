@@ -92,3 +92,42 @@ class TestFirstPreamblePoints:
         assert first_preamble_points([self._ext("peak", 1, 1.0)]) is None
         assert first_preamble_points(
             [self._ext("peak", 1, 1.0), self._ext("valley", 2, 0.0)]) is None
+
+
+class TestDegenerateWindows:
+    """Streaming acquisition probes arbitrary suffixes; none of the
+    degenerate shapes it produces may raise anywhere in the chain."""
+
+    def test_empty_returns_no_extrema(self):
+        assert find_peaks_and_valleys(np.empty(0), 100.0) == []
+
+    def test_one_and_two_samples(self):
+        assert find_peaks_and_valleys(np.array([1.0]), 100.0) == []
+        assert find_peaks_and_valleys(np.array([1.0, 2.0]), 100.0) == []
+
+    def test_all_constant(self):
+        assert find_peaks_and_valleys(np.full(50, 3.3), 100.0) == []
+
+    def test_nan_poisoned_window(self):
+        samples = np.array([0.0, 1.0, np.nan, 1.0, 0.0])
+        assert find_peaks_and_valleys(samples, 100.0) == []
+
+    def test_infinite_span(self):
+        samples = np.array([0.0, np.inf, 0.0, 1.0, 0.0])
+        assert find_peaks_and_valleys(samples, 100.0) == []
+
+    def test_acquisition_chain_never_crashes(self):
+        """The decoder's acquisition must answer PreambleNotFoundError
+        (the domain 'no') — not ValueError/IndexError — on any
+        degenerate trace."""
+        import pytest
+
+        from repro.channel.trace import SignalTrace
+        from repro.core.decoder import AdaptiveThresholdDecoder
+        from repro.core.errors import PreambleNotFoundError
+
+        decoder = AdaptiveThresholdDecoder()
+        for samples in (np.empty(0), np.zeros(1), np.zeros(2),
+                        np.full(100, 7.0), np.array([1.0, 2.0])):
+            with pytest.raises(PreambleNotFoundError):
+                decoder.acquire_preamble(SignalTrace(samples, 100.0))

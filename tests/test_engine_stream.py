@@ -1,0 +1,397 @@
+"""Engine integration of the streaming runtime: spec block, executor
+path, record latency fields, report aggregation and the stream CLI."""
+
+import json
+
+import pytest
+
+from repro.engine import ScenarioSpec, execute_scenario
+from repro.engine.cli import main as cli_main
+from repro.engine.records import RunRecord
+from repro.engine.report import latency_stats, latency_table, summarize
+
+
+def outdoor_spec(**overrides) -> ScenarioSpec:
+    base = dict(source="sun", detector="led", cap=False, ground="tarmac",
+                bits="1001", symbol_width_m=0.1, speed_mps=5.0,
+                receiver_height_m=0.25, start_position_m=-1.5,
+                sample_rate_hz=2000.0, ground_lux=450.0, seed=3)
+    base.update(overrides)
+    return ScenarioSpec(**base)
+
+
+class TestSpecStreamingBlock:
+    def test_defaults_are_offline(self):
+        spec = ScenarioSpec()
+        assert spec.stream_chunk == 0
+        assert spec.stream_feed_hz == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ScenarioSpec(stream_chunk=-1)
+        with pytest.raises(ValueError):
+            ScenarioSpec(stream_chunk=1.5)
+        with pytest.raises(ValueError):
+            ScenarioSpec(stream_feed_hz=-2.0)
+        # Pacing is valid on its own — the session layer chunks with
+        # its own --chunk flag.
+        assert ScenarioSpec(stream_feed_hz=10.0).stream_feed_hz == 10.0
+        with pytest.raises(ValueError):
+            # Streaming replay is single-receiver; multi-receiver
+            # streams go through the session layer.
+            ScenarioSpec(stream_chunk=64, n_receivers=3)
+
+    def test_streaming_fields_do_not_perturb_derived_seed(self):
+        """The physical pass is identical whether it is decoded offline
+        or streamed, so the noise seed must not move."""
+        base = ScenarioSpec(bits="10")
+        streamed = base.replace(stream_chunk=64, stream_feed_hz=100.0)
+        assert base.derived_seed() == streamed.derived_seed()
+        assert (base.resolve().seed
+                == streamed.resolve().seed)
+
+    def test_streaming_fields_do_perturb_cache_identity(self):
+        base = ScenarioSpec(bits="10")
+        assert (base.content_hash()
+                != base.replace(stream_chunk=64).content_hash())
+        assert (base.replace(stream_chunk=32).content_hash()
+                != base.replace(stream_chunk=64).content_hash())
+
+    def test_round_trip(self):
+        spec = ScenarioSpec(stream_chunk=64, stream_feed_hz=50.0)
+        again = ScenarioSpec.from_dict(spec.to_dict())
+        assert again == spec
+
+
+class TestExecutorStreamingPath:
+    def test_verdict_parity_with_offline(self):
+        offline = execute_scenario(outdoor_spec())
+        streamed = execute_scenario(outdoor_spec(stream_chunk=64))
+        assert streamed.decoded_bits == offline.decoded_bits
+        assert streamed.success == offline.success
+        assert streamed.stage == offline.stage
+        assert streamed.seed == offline.seed
+        assert streamed.n_samples == offline.n_samples
+
+    def test_latency_fields_recorded(self):
+        record = execute_scenario(outdoor_spec(stream_chunk=64))
+        assert record.streamed
+        assert record.stream_chunks > 1
+        assert record.onset_latency_s is not None
+        assert record.onset_latency_s > 0.0
+        assert record.first_bit_latency_s is not None
+        assert record.verdict_latency_s is not None
+
+    def test_payloadless_decode_records_no_verdict_latency(self):
+        """seed 0 returns a Manchester-invalid result (no payload) —
+        its clamped placeholder latency must not be recorded
+        (regression: -17.1 ms, then 0.0, were recorded and cached)."""
+        record = execute_scenario(outdoor_spec(stream_chunk=64, seed=0))
+        assert record.stage == "bit_errors"
+        assert record.decoded_bits == ""
+        assert record.verdict_latency_s is None
+
+    def test_successful_verdict_latency_nonnegative(self):
+        record = execute_scenario(outdoor_spec(stream_chunk=64, seed=3))
+        assert record.stage == "decoded"
+        assert record.verdict_latency_s is not None
+        assert record.verdict_latency_s >= 0.0
+
+    def test_failed_streamed_decode_has_no_verdict_latency(self):
+        """No data window on a failed decode means no verdict-latency
+        measurement — a 0.0 placeholder would drag percentiles down."""
+        record = execute_scenario(
+            outdoor_spec(stream_chunk=64, ground_lux=100000.0))
+        assert record.streamed
+        assert record.stage == "preamble_not_found"
+        assert record.verdict_latency_s is None
+
+    def test_offline_record_has_no_latencies(self):
+        record = execute_scenario(outdoor_spec())
+        assert not record.streamed
+        assert record.stream_chunks == 0
+        assert record.onset_latency_s is None
+
+    def test_streamed_record_round_trips(self):
+        record = execute_scenario(outdoor_spec(stream_chunk=64))
+        again = RunRecord.from_dict(json.loads(
+            json.dumps(record.to_dict())))
+        assert again == record
+        assert again.canonical_json() == record.canonical_json()
+
+    def test_streaming_is_deterministic(self):
+        spec = outdoor_spec(stream_chunk=32)
+        a = execute_scenario(spec)
+        b = execute_scenario(spec)
+        assert a.canonical_json() == b.canonical_json()
+
+    def test_chunk_size_changes_latency_not_verdict(self):
+        fine = execute_scenario(outdoor_spec(stream_chunk=8))
+        coarse = execute_scenario(outdoor_spec(stream_chunk=256))
+        assert fine.decoded_bits == coarse.decoded_bits
+        assert fine.onset_latency_s <= coarse.onset_latency_s
+
+
+class TestReportAggregation:
+    def _records(self):
+        return [execute_scenario(outdoor_spec(stream_chunk=64, seed=s))
+                for s in (3, 4)]
+
+    def test_latency_stats(self):
+        records = self._records()
+        stats = latency_stats(records)
+        assert stats["n_streamed"] == 2
+        assert 0.0 < stats["detect_rate"] <= 1.0
+        assert stats["onset_p50_s"] is not None
+        assert stats["onset_p95_s"] >= stats["onset_p50_s"]
+
+    def test_latency_stats_empty(self):
+        stats = latency_stats([])
+        assert stats["n_streamed"] == 0
+        assert stats["onset_p50_s"] is None
+
+    def test_summarize_mentions_streaming(self):
+        text = summarize(self._records())
+        assert "streamed passes: 2" in text
+        assert "onset p50" in text
+
+    def test_summarize_offline_records_unchanged(self):
+        text = summarize([execute_scenario(outdoor_spec())])
+        assert "streamed passes" not in text
+
+    def test_latency_table(self):
+        table = latency_table(self._records(), "seed")
+        assert "stream latency by seed" in table
+        assert "3" in table and "4" in table
+
+
+class TestRunStream:
+    def test_programmatic_replay(self):
+        """run_stream is callable without the CLI and returns
+        structured per-session outcomes plus fusion."""
+        from repro.engine import run_stream
+
+        result = run_stream([outdoor_spec(seed=s) for s in (3, 4)],
+                            sessions=2, chunk_size=64)
+        assert len(result.outcomes) == 2
+        assert result.n_distinct_captures == 2
+        assert result.samples_total > 0
+        for outcome in result.outcomes:
+            assert outcome.sent_bits == "1001"
+            assert outcome.detection is not None
+            assert outcome.signal_level["span"] > 0.0
+            assert outcome.to_dict()["stats"]["n_chunks"] > 0
+        fused = result.fusion_by_payload()
+        assert set(fused) == {"1001"}
+
+    def test_validation(self):
+        from repro.engine import run_stream
+
+        with pytest.raises(ValueError):
+            run_stream([outdoor_spec()], chunk_size=0)
+        with pytest.raises(ValueError):
+            run_stream([outdoor_spec()], sessions=0)
+        with pytest.raises(ValueError):
+            run_stream([outdoor_spec()], feed_hz=-1.0)
+
+
+class TestStreamCli:
+    def test_spec_stream_chunk_honoured_without_chunk_flag(self, capsys):
+        """--set stream_chunk must drive the replay chunking when
+        --chunk is not given (regression: it was silently stripped)."""
+        code = cli_main([
+            "stream",
+            "--set", "source=sun", "--set", "detector=led",
+            "--set", "cap=false", "--set", "ground=tarmac",
+            "--set", "bits=1001", "--set", "symbol_width_m=0.1",
+            "--set", "speed_mps=5.0", "--set", "receiver_height_m=0.25",
+            "--set", "start_position_m=-1.5",
+            "--set", "sample_rate_hz=2000",
+            "--set", "ground_lux=450", "--set", "stream_chunk=32",
+            "--sessions", "1", "--count", "1",
+        ])
+        assert code == 0
+        assert "(chunk 32," in capsys.readouterr().out
+
+    def test_stream_command_runs(self, tmp_path, capsys):
+        out = tmp_path / "sessions.jsonl"
+        code = cli_main([
+            "stream",
+            "--set", "source=sun", "--set", "detector=led",
+            "--set", "cap=false", "--set", "ground=tarmac",
+            "--set", "bits=1001", "--set", "symbol_width_m=0.1",
+            "--set", "speed_mps=5.0", "--set", "receiver_height_m=0.25",
+            "--set", "start_position_m=-1.5",
+            "--set", "sample_rate_hz=2000",
+            "--set", "ground_lux=450",
+            "--sessions", "4", "--count", "4", "--chunk", "64",
+            "--out", str(out),
+        ])
+        captured = capsys.readouterr().out
+        assert code == 0
+        assert "4 sessions in waves of 4" in captured
+        assert "cross-session fusion" in captured
+        assert "onset ms" in captured
+        lines = [json.loads(line) for line in
+                 out.read_text().splitlines()]
+        assert len(lines) == 4
+        assert all("events" in entry and "stats" in entry
+                   for entry in lines)
+        # The online normalizer's level state is part of the report.
+        for entry in lines:
+            level = entry["signal_level"]
+            assert level is not None
+            assert level["max"] >= level["min"]
+            assert level["span"] > 0.0
+
+    def test_stream_sweep_records_latencies(self, tmp_path, capsys):
+        """`sweep` with a streaming template produces latency tables."""
+        out = tmp_path / "runs.jsonl"
+        code = cli_main([
+            "sweep",
+            "--set", "source=sun", "--set", "detector=led",
+            "--set", "cap=false", "--set", "ground=tarmac",
+            "--set", "bits=1001", "--set", "symbol_width_m=0.1",
+            "--set", "speed_mps=5.0", "--set", "receiver_height_m=0.25",
+            "--set", "start_position_m=-1.5",
+            "--set", "sample_rate_hz=2000",
+            "--set", "ground_lux=450", "--set", "stream_chunk=64",
+            "--axis", "seed=3,4", "--group-by", "seed",
+            "--out", str(out),
+        ])
+        captured = capsys.readouterr().out
+        assert code == 0
+        assert "streamed passes: 2" in captured
+        assert "stream latency by seed" in captured
+        records = [RunRecord.from_dict(json.loads(line))
+                   for line in out.read_text().splitlines()]
+        assert all(r.streamed for r in records)
+
+    def test_explicit_seed_is_honoured(self, capsys):
+        """--set seed pins the pass: every session replays that exact
+        capture (regression: the seed used to be silently fanned out)."""
+        code = cli_main([
+            "stream",
+            "--set", "source=sun", "--set", "detector=led",
+            "--set", "cap=false", "--set", "ground=tarmac",
+            "--set", "bits=1001", "--set", "symbol_width_m=0.1",
+            "--set", "speed_mps=5.0", "--set", "receiver_height_m=0.25",
+            "--set", "start_position_m=-1.5",
+            "--set", "sample_rate_hz=2000",
+            "--set", "ground_lux=450", "--set", "seed=3",
+            "--sessions", "2", "--count", "2", "--chunk", "64",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        rows = [line for line in out.splitlines()
+                if line.startswith("s00")]
+        # Identical pass -> identical verdicts and sample-clock
+        # latencies (wall-clock columns — throughput, queue depth —
+        # legitimately vary) — and the channel is simulated only once.
+        assert len(rows) == 2
+        assert rows[0].split()[1:8] == rows[1].split()[1:8]
+        assert "capturing 1 distinct pass for 2 sessions" in out
+
+    def test_spec_stream_feed_hz_paces_the_replay(self, capsys):
+        """A pacing spelled on the spec (--set stream_feed_hz) must be
+        honoured, not silently dropped (--feed-hz still overrides)."""
+        code = cli_main([
+            "stream",
+            "--set", "source=sun", "--set", "detector=led",
+            "--set", "cap=false", "--set", "ground=tarmac",
+            "--set", "bits=1001", "--set", "symbol_width_m=0.1",
+            "--set", "speed_mps=5.0", "--set", "receiver_height_m=0.25",
+            "--set", "start_position_m=-1.5",
+            "--set", "sample_rate_hz=2000",
+            "--set", "ground_lux=450",
+            "--set", "stream_feed_hz=500",
+            "--sessions", "2", "--count", "2", "--chunk", "64",
+        ])
+        assert code == 0
+        assert "feed 500 Hz" in capsys.readouterr().out
+
+    def test_explicit_feed_hz_zero_overrides_spec_pacing(self, capsys):
+        """--feed-hz 0 must force an unpaced replay even when the spec
+        spells a pacing (regression: falsy-zero fell through)."""
+        code = cli_main([
+            "stream",
+            "--set", "source=sun", "--set", "detector=led",
+            "--set", "cap=false", "--set", "ground=tarmac",
+            "--set", "bits=1001", "--set", "symbol_width_m=0.1",
+            "--set", "speed_mps=5.0", "--set", "receiver_height_m=0.25",
+            "--set", "start_position_m=-1.5",
+            "--set", "sample_rate_hz=2000",
+            "--set", "ground_lux=450",
+            "--set", "stream_feed_hz=500", "--feed-hz", "0",
+            "--sessions", "1", "--count", "1", "--chunk", "64",
+        ])
+        assert code == 0
+        assert "feed unpaced" in capsys.readouterr().out
+
+    def test_parallel_capture_matches_serial(self, capsys):
+        """--workers only parallelizes the capture phase; the
+        deterministic table columns must not move."""
+        argv = [
+            "stream",
+            "--set", "source=sun", "--set", "detector=led",
+            "--set", "cap=false", "--set", "ground=tarmac",
+            "--set", "bits=1001", "--set", "symbol_width_m=0.1",
+            "--set", "speed_mps=5.0", "--set", "receiver_height_m=0.25",
+            "--set", "start_position_m=-1.5",
+            "--set", "sample_rate_hz=2000",
+            "--set", "ground_lux=450",
+            "--sessions", "2", "--count", "2", "--chunk", "64",
+        ]
+
+        def rows(extra):
+            assert cli_main(argv + extra) == 0
+            return [line.split()[:8] for line in
+                    capsys.readouterr().out.splitlines()
+                    if line.startswith("s00")]
+
+        assert rows(["--workers", "2"]) == rows([])
+
+    def test_failed_session_prints_dash_not_zero_latency(self, capsys):
+        code = cli_main([
+            "stream",
+            "--set", "source=sun", "--set", "detector=led",
+            "--set", "cap=false", "--set", "ground=tarmac",
+            "--set", "bits=1001", "--set", "symbol_width_m=0.1",
+            "--set", "speed_mps=5.0", "--set", "receiver_height_m=0.25",
+            "--set", "start_position_m=-1.5",
+            "--set", "sample_rate_hz=2000",
+            "--set", "ground_lux=100000", "--set", "seed=3",
+            "--sessions", "1", "--count", "1", "--chunk", "64",
+        ])
+        assert code == 0
+        row = [line for line in capsys.readouterr().out.splitlines()
+               if line.startswith("s000")][0]
+        # sent, verdict, ok, onset, first-bit, verdict-latency columns
+        assert row.split()[1:7] == ["1001", "-", "no", "-", "-", "-"]
+
+    def test_cache_dir_not_offered_on_stream(self):
+        """stream captures traces, not records — the record cache flag
+        would be a silent no-op, so the parser must reject it."""
+        with pytest.raises(SystemExit):
+            cli_main(["stream", "--cache-dir", "/tmp/x"])
+
+    def test_bad_chunk_rejected(self):
+        assert cli_main(["stream", "--chunk", "0"]) == 2
+
+    def test_bad_count_rejected(self):
+        assert cli_main(["stream", "--count", "0"]) == 2
+
+    def test_networked_family_with_stream_chunk_template(self, capsys):
+        """A stream_chunk template must not trip the single-receiver
+        validation when a networked family stacks n_receivers on it
+        mid-expansion (regression: exit 2 pointing at this command)."""
+        code = cli_main([
+            "stream", "--scenario", "sparse_mesh",
+            "--set", "stream_chunk=64",
+            "--count", "2", "--sessions", "2", "--chunk", "64",
+        ])
+        assert code == 0
+        assert "2 sessions" in capsys.readouterr().out
+
+    def test_family_seed_without_scenario_rejected(self):
+        assert cli_main(["stream", "--family-seed", "1"]) == 2

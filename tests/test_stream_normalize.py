@@ -1,0 +1,124 @@
+"""Tests for repro.stream.normalize."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.channel.trace import SignalTrace
+from repro.stream.normalize import OnlineNormalizer, P2Quantile
+
+
+class TestP2Quantile:
+    def test_bad_quantile(self):
+        for p in (0.0, 1.0, -0.5):
+            with pytest.raises(ValueError):
+                P2Quantile(p)
+
+    def test_empty_is_nan(self):
+        assert math.isnan(P2Quantile(0.5).estimate())
+
+    def test_exact_below_five(self):
+        q = P2Quantile(0.5)
+        for v in (3.0, 1.0, 2.0):
+            q.update(v)
+        assert q.estimate() == pytest.approx(2.0)
+
+    def test_median_converges(self):
+        rng = np.random.default_rng(7)
+        q = P2Quantile(0.5)
+        data = rng.normal(10.0, 2.0, size=5000)
+        for v in data:
+            q.update(v)
+        assert q.estimate() == pytest.approx(float(np.median(data)),
+                                             abs=0.15)
+
+    def test_p95_converges(self):
+        rng = np.random.default_rng(11)
+        q = P2Quantile(0.95)
+        data = rng.uniform(0.0, 1.0, size=8000)
+        for v in data:
+            q.update(v)
+        assert q.estimate() == pytest.approx(0.95, abs=0.03)
+
+    def test_rejects_non_finite(self):
+        for bad in (float("nan"), float("inf"), float("-inf")):
+            with pytest.raises(ValueError):
+                P2Quantile(0.5).update(bad)
+
+
+class TestOnlineNormalizer:
+    def test_running_extremes(self):
+        norm = OnlineNormalizer()
+        norm.update(np.array([3.0, 1.0]))
+        norm.update(np.array([5.0]))
+        assert norm.min == 1.0
+        assert norm.max == 5.0
+        assert norm.span == 4.0
+        assert norm.count == 3
+
+    def test_empty_state(self):
+        norm = OnlineNormalizer()
+        assert math.isnan(norm.min) and math.isnan(norm.max)
+        assert norm.span == 0.0
+
+    def test_constant_stream_normalizes_to_zeros(self):
+        norm = OnlineNormalizer()
+        norm.update(np.full(10, 4.2))
+        out = norm.normalize(np.full(10, 4.2))
+        assert np.array_equal(out, np.zeros(10))
+
+    def test_percentile_tracking(self):
+        norm = OnlineNormalizer(percentiles=(50.0,))
+        norm.update(np.arange(1000.0))
+        assert norm.percentile(50.0) == pytest.approx(500.0, rel=0.05)
+        with pytest.raises(KeyError):
+            norm.percentile(95.0)
+
+    def test_bad_percentile(self):
+        with pytest.raises(ValueError):
+            OnlineNormalizer(percentiles=(0.0,))
+
+    def test_non_finite_samples_excluded_not_fatal(self):
+        """A glitched sample (NaN/inf) must not kill a live stream —
+        it is counted but excluded from the level statistics."""
+        norm = OnlineNormalizer()
+        norm.update(np.array([1.0, float("nan"), 3.0, float("inf")]))
+        assert norm.count == 4
+        assert norm.min == 1.0
+        assert norm.max == 3.0
+
+    def test_all_non_finite_chunk_keeps_state_clean(self):
+        norm = OnlineNormalizer()
+        norm.update(np.array([float("nan"), float("inf")]))
+        assert norm.count == 2
+        assert norm.span == 0.0  # no finite extremes absorbed yet
+
+    def test_parity_with_trace_normalized(self):
+        """After the full pass arrived, online normalisation is
+        bit-identical to SignalTrace.normalized()."""
+        rng = np.random.default_rng(3)
+        samples = rng.normal(512.0, 40.0, size=777)
+        trace = SignalTrace(samples, 1000.0)
+        norm = OnlineNormalizer()
+        for start in range(0, len(samples), 13):
+            norm.update(samples[start:start + 13])
+        online = norm.normalize(samples)
+        offline = trace.normalized().samples
+        assert np.array_equal(online, offline)
+
+    @settings(max_examples=25, deadline=None)
+    @given(values=st.lists(st.floats(min_value=-1e6, max_value=1e6,
+                                     allow_nan=False, allow_infinity=False),
+                           min_size=1, max_size=200),
+           chunk=st.integers(min_value=1, max_value=50))
+    def test_parity_property(self, values, chunk):
+        samples = np.asarray(values, dtype=float)
+        trace = SignalTrace(samples, 100.0)
+        norm = OnlineNormalizer()
+        for start in range(0, len(samples), chunk):
+            norm.update(samples[start:start + chunk])
+        assert np.array_equal(norm.normalize(samples),
+                              trace.normalized().samples)

@@ -1,0 +1,220 @@
+"""Tests for repro.stream.session (SessionMux, backpressure, fusion)."""
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.net.fusion import FusedObservation
+from repro.stream import SessionMux, StreamDecoder, iter_chunks, replay_traces
+
+from .test_stream_decode import synthetic_trace
+
+
+def _feeds(n, bits="10", **kwargs):
+    trace = synthetic_trace(bits=bits, **kwargs)
+    return {f"s{i}": (trace, 2 * len(bits), None) for i in range(n)}
+
+
+class TestSessionRegistration:
+    def test_duplicate_id_rejected(self):
+        mux = SessionMux()
+        mux.add_session("a", StreamDecoder(100.0))
+        with pytest.raises(ValueError):
+            mux.add_session("a", StreamDecoder(100.0))
+
+    def test_empty_id_rejected(self):
+        with pytest.raises(ValueError):
+            SessionMux().add_session("", StreamDecoder(100.0))
+
+    def test_bad_queue_bound(self):
+        with pytest.raises(ValueError):
+            SessionMux(queue_chunks=0)
+
+    def test_unknown_feed_id_rejected(self):
+        mux = SessionMux()
+        with pytest.raises(KeyError):
+            asyncio.run(mux.run({"ghost": [np.zeros(4)]}))
+
+
+class TestReplay:
+    def test_single_session(self):
+        mux = replay_traces(_feeds(1), chunk_size=16)
+        session = mux.session("s0")
+        assert session.verdict().bits == "10"
+        assert session.stats.n_samples == len(synthetic_trace().samples)
+        assert session.stats.n_chunks > 1
+        assert session.stats.throughput_sps > 0.0
+
+    def test_32_concurrent_sessions(self):
+        """The acceptance bar: >= 32 concurrent sessions, all decoded,
+        each with its own latency stats."""
+        mux = replay_traces(_feeds(32), chunk_size=32)
+        assert len(mux.sessions) == 32
+        for session in mux.sessions.values():
+            assert session.verdict().bits == "10"
+            assert session.decoder.latency("onset") is not None
+            assert session.stats.n_chunks > 0
+
+    def test_sessions_interleave(self):
+        """Chunks from different sessions interleave on the loop (no
+        session runs to completion before another starts)."""
+        order: list[str] = []
+
+        class Spy(StreamDecoder):
+            def push(self, chunk):
+                order.append(self.session_id)
+                return super().push(chunk)
+
+        trace = synthetic_trace()
+        mux = SessionMux()
+        feeds = {}
+        for sid in ("a", "b"):
+            mux.add_session(sid, Spy(trace.sample_rate_hz))
+            feeds[sid] = iter_chunks(trace.samples, 64)
+        asyncio.run(mux.run(feeds))
+        first_a = order.index("a")
+        first_b = order.index("b")
+        last_a = len(order) - 1 - order[::-1].index("a")
+        last_b = len(order) - 1 - order[::-1].index("b")
+        assert first_a < last_b and first_b < last_a
+
+    def test_backpressure_blocks_producer(self):
+        """A tiny queue forces the producer to wait on the decoder."""
+        mux = replay_traces(_feeds(2), chunk_size=4, queue_chunks=1)
+        for session in mux.sessions.values():
+            assert session.stats.max_queue_depth <= 1
+            assert session.stats.backpressure_waits > 0
+            assert session.verdict().bits == "10"
+
+    def test_bad_chunk_size(self):
+        with pytest.raises(ValueError):
+            replay_traces(_feeds(1), chunk_size=0)
+
+    def test_replay_traces_inside_running_loop(self):
+        """The sync entry point must work from within an already
+        running event loop (notebooks, async apps) instead of raising
+        'asyncio.run() cannot be called from a running event loop'."""
+
+        async def replay_from_async_context():
+            return replay_traces(_feeds(2), chunk_size=32)
+
+        mux = asyncio.run(replay_from_async_context())
+        for session in mux.sessions.values():
+            assert session.verdict().bits == "10"
+
+    def test_mux_does_not_change_verdicts(self):
+        """Concurrency is transparent: the mux's verdicts are identical
+        to bare sequential replays."""
+        from repro.stream import replay_trace
+
+        trace = synthetic_trace(bits="1001")
+        bare = replay_trace(trace, 16, n_data_symbols=8)
+        mux = replay_traces(
+            {f"s{i}": (trace, 8, None) for i in range(5)}, chunk_size=16)
+        for session in mux.sessions.values():
+            assert session.verdict().bits == bare.verdict.bits
+            assert ([e.kind for e in session.events]
+                    == [e.kind for e in bare.events])
+
+
+class TestFusion:
+    def test_unflushed_session_has_no_detection(self):
+        mux = SessionMux()
+        mux.add_session("a", StreamDecoder(100.0))
+        assert mux.detections() == []
+        assert mux.fused() == []
+
+    def test_fused_verdict_across_sessions(self):
+        mux = replay_traces(_feeds(4), chunk_size=32)
+        fused = mux.fused()
+        assert len(fused) == 1
+        assert isinstance(fused[0], FusedObservation)
+        assert fused[0].bits == "10"
+        assert fused[0].n_reports == 4
+        assert fused[0].n_decoded == 4
+        assert fused[0].agreement == pytest.approx(1.0)
+
+    def test_fusion_recovers_from_failed_sessions(self):
+        """Sessions that fail to decode report empty bits and do not
+        outvote the sessions that decoded."""
+        good = synthetic_trace(bits="10")
+        bad = synthetic_trace(bits="10", noise=0.0)
+        flat = np.zeros_like(bad.samples)
+        mux = SessionMux()
+        feeds = {}
+        for sid, samples in (("good0", good.samples), ("good1", good.samples),
+                             ("flat", flat)):
+            mux.add_session(sid, StreamDecoder(good.sample_rate_hz,
+                                               n_data_symbols=4))
+            feeds[sid] = iter_chunks(samples, 32)
+        asyncio.run(mux.run(feeds))
+        fused = mux.fused()
+        assert len(fused) == 1
+        assert fused[0].bits == "10"
+        assert fused[0].n_reports == 3
+        assert fused[0].n_decoded == 2
+
+    def test_grouped_fusion_with_expected_speed(self):
+        """With an expected speed, sessions cluster into pass groups
+        via repro.net.group_by_pass.  Replay sessions all sit at
+        position 0 observing the same instant, so they form ONE group
+        (regression: fabricated per-session positions used to
+        fragment same-pass sessions)."""
+        mux = replay_traces(_feeds(8), chunk_size=32)
+        fused = mux.fused(expected_speed_mps=1.0)
+        assert len(fused) == 1
+        assert fused[0].n_reports == 8
+        assert fused[0].bits == "10"
+
+
+class TestWorkerFailure:
+    def test_dead_worker_does_not_deadlock_blocked_producer(self):
+        """A decoder that raises mid-stream must fail the replay, not
+        hang it: the producer may be parked on a full queue the dead
+        worker will never drain (regression: gathering producers
+        before workers waited on that put forever)."""
+
+        class Exploding(StreamDecoder):
+            def push(self, chunk):
+                if self.buffer.n_appended > 64:
+                    raise RuntimeError("decoder blew up")
+                return super().push(chunk)
+
+        trace = synthetic_trace()
+        mux = SessionMux(queue_chunks=1)
+        mux.add_session("boom", Exploding(trace.sample_rate_hz))
+        with pytest.raises(RuntimeError, match="decoder blew up"):
+            asyncio.run(mux.run({"boom": iter_chunks(trace.samples, 16)}))
+
+    def test_nan_samples_stream_like_offline(self):
+        """A NaN-poisoned trace fails softly ('no preamble'), exactly
+        as the hardened offline decoder does — it must not raise out
+        of the streaming path."""
+        from repro.core.errors import PreambleNotFoundError
+        from repro.channel.trace import SignalTrace
+        from repro.core.decoder import AdaptiveThresholdDecoder
+        from repro.stream import replay_trace
+
+        samples = np.zeros(400)
+        samples[100:110] = np.nan
+        trace = SignalTrace(samples, 100.0)
+        with pytest.raises(PreambleNotFoundError):
+            AdaptiveThresholdDecoder().decode(trace)
+        replay = replay_trace(trace, 16)
+        assert replay.verdict.stage == "preamble_not_found"
+        assert replay.verdict.bits == ""
+
+
+class TestFeedPacing:
+    def test_feed_rate_slows_wall_clock(self):
+        import time
+
+        trace = synthetic_trace(tail_s=0.2, lead_s=0.2)
+        n_chunks = len(range(0, len(trace.samples), 128))
+        started = time.perf_counter()
+        replay_traces({"s0": (trace, 4, None)}, chunk_size=128,
+                      feed_hz=200.0)
+        elapsed = time.perf_counter() - started
+        # n_chunks paced at 200 chunks/s must take at least (n-1)/200.
+        assert elapsed >= (n_chunks - 1) / 200.0
