@@ -13,7 +13,42 @@ from dataclasses import dataclass
 import numpy as np
 from scipy import signal as sp_signal
 
+try:  # pragma: no cover - exercised whenever scipy ships the module
+    from scipy.signal import _peak_finding_utils as _pfu
+except Exception:  # pragma: no cover - older/newer scipy layouts
+    _pfu = None
+
 __all__ = ["Extremum", "find_peaks_and_valleys", "first_preamble_points"]
+
+
+def _prominent_peaks(x: np.ndarray, prominence: float,
+                     distance: int | None) -> np.ndarray:
+    """Indices of peaks with at least ``prominence``, like ``find_peaks``.
+
+    ``sp_signal.find_peaks`` spends most of its time in Python argument
+    plumbing; for the common prominence-only case this calls the same
+    two C routines it wraps (local maxima, then prominences with
+    unrestricted ``wlen``) directly.  The filter ``proms >= prominence``
+    is the exact bound ``_select_by_property`` applies, so the selected
+    indices are identical; any scipy layout change falls back to the
+    public wrapper.
+    """
+    if _pfu is None or distance is not None:
+        idx, _ = sp_signal.find_peaks(x, prominence=prominence,
+                                      distance=distance)
+        return idx
+    try:
+        peaks, _, _ = _pfu._local_maxima_1d(
+            np.ascontiguousarray(x, dtype=np.float64))
+        if len(peaks) == 0:
+            return peaks
+        proms, _, _ = _pfu._peak_prominences(
+            np.ascontiguousarray(x, dtype=np.float64), peaks, -1)
+    except Exception:  # pragma: no cover - private-API drift
+        idx, _ = sp_signal.find_peaks(x, prominence=prominence,
+                                      distance=distance)
+        return idx
+    return peaks[proms >= prominence]
 
 
 @dataclass(frozen=True)
@@ -69,10 +104,8 @@ def find_peaks_and_valleys(samples: np.ndarray, sample_rate_hz: float,
     if min_distance_s is not None:
         distance = max(1, int(round(min_distance_s * sample_rate_hz)))
 
-    peak_idx, _ = sp_signal.find_peaks(x, prominence=prominence,
-                                       distance=distance)
-    valley_idx, _ = sp_signal.find_peaks(-x, prominence=prominence,
-                                         distance=distance)
+    peak_idx = _prominent_peaks(x, prominence, distance)
+    valley_idx = _prominent_peaks(-x, prominence, distance)
     out = [Extremum(int(i), start_time_s + i / sample_rate_hz,
                     float(x[i]), "peak") for i in peak_idx]
     out += [Extremum(int(i), start_time_s + i / sample_rate_hz,

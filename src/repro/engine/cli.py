@@ -53,7 +53,19 @@ _NONEABLE = {"seed", "car", "visibility_m", "start_position_m",
 
 
 def _coerce(name: str, text: str) -> Any:
-    """Parse one CLI value into the spec field's native type."""
+    """Parse one CLI value into the spec field's native type.
+
+    Raises:
+        ValueError: on an unknown field name (listing the valid ones)
+            or an unparsable value.
+    """
+    import dataclasses
+
+    valid = tuple(f.name for f in dataclasses.fields(ScenarioSpec))
+    if name not in valid:
+        raise ValueError(
+            f"unknown spec field {name!r}; valid fields: "
+            f"{', '.join(valid)}")
     if name in _NONEABLE and text.lower() in ("none", "null", "auto"):
         return None
     if name in _BOOL_FIELDS:
@@ -115,7 +127,9 @@ def _make_runner(args: argparse.Namespace) -> BatchRunner:
     cache = (ResultCache(args.cache_dir)
              if getattr(args, "cache_dir", None) else None)
     return BatchRunner(workers=getattr(args, "workers", 1) or 1,
-                       cache=cache)
+                       cache=cache,
+                       backend=getattr(args, "backend", "process"),
+                       dtype=getattr(args, "dtype", "float64"))
 
 
 def _write_records(records: Sequence[RunRecord], path: str | None) -> None:
@@ -260,8 +274,11 @@ def _cmd_bench(args: argparse.Namespace) -> int:
               f"{mode(baseline.quick)} mode, this run in "
               f"{mode(report.quick)} mode; skipping comparison")
         return 0
+    # When benchmarking a subset, only require those workloads to be
+    # present; a full run must cover every baseline workload.
     comparisons = compare_reports(report, baseline,
-                                  tolerance=args.tolerance)
+                                  tolerance=args.tolerance,
+                                  names=args.workload)
     print(format_comparisons(comparisons, args.tolerance))
     regressions = [c for c in comparisons if c.regressed]
     if regressions:
@@ -407,6 +424,17 @@ def build_parser() -> argparse.ArgumentParser:
                               "(default: 100)")
     sweep_p.add_argument("--family-seed", type=int, default=None,
                          help="expansion seed for --scenario (default: 0)")
+    sweep_p.add_argument("--backend", choices=BatchRunner.BACKENDS,
+                         default="process",
+                         help="execution backend: 'process' (worker "
+                              "pool) or 'tensor' (fused single-process "
+                              "array passes; ignores --workers)")
+    sweep_p.add_argument("--dtype", choices=["float64", "float32"],
+                         default="float64",
+                         help="tensor-backend dtype; float64 matches "
+                              "the serial executor byte for byte, "
+                              "float32 is a faster approximation "
+                              "(bypasses the cache)")
     sweep_p.add_argument("--workers", type=int, default=1,
                          help="worker processes (default: 1, serial)")
     sweep_p.add_argument("--group-by", action="append", metavar="FIELD",

@@ -9,7 +9,10 @@ cache, and runs the remaining scenarios either serially or across a
 Determinism contract: because every resolved spec carries its own seed
 and :func:`execute_scenario` touches no shared state, ``workers=N``
 produces records byte-identical (``RunRecord.canonical_json``) to
-``workers=1`` for the same scenario list, in the same order.
+``workers=1`` for the same scenario list, in the same order.  The same
+contract extends to ``backend="tensor"`` with the default ``float64``
+dtype: the fused array passes of :func:`repro.tensor.execute_batch`
+reproduce the serial records byte for byte.
 """
 
 from __future__ import annotations
@@ -17,6 +20,7 @@ from __future__ import annotations
 import os
 import time
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Iterable, Mapping, Sequence
 
@@ -38,6 +42,11 @@ class RunStats:
         executed: scenarios actually simulated.
         workers: worker processes used (1 = in-process serial).
         elapsed_s: wall-clock time for the whole batch.
+        backend: execution backend ("process" or "tensor").
+        pool_restarts: worker pools torn down and recreated after a
+            ``BrokenProcessPool`` during this batch.
+        serial_fallback: True when the pool broke twice and the batch
+            finished in-process.
     """
 
     total: int = 0
@@ -45,6 +54,9 @@ class RunStats:
     executed: int = 0
     workers: int = 1
     elapsed_s: float = 0.0
+    backend: str = "process"
+    pool_restarts: int = 0
+    serial_fallback: bool = False
 
     @property
     def hit_rate(self) -> float:
@@ -106,19 +118,46 @@ class BatchRunner:
         cache: optional :class:`ResultCache`; hits skip simulation.
         chunk_size: scenarios per pool task — amortizes IPC overhead
             for thousand-scenario grids of cheap simulations.
+        backend: ``"process"`` (the pool / serial path above) or
+            ``"tensor"`` (:func:`repro.tensor.execute_batch` — fused
+            single-process array passes; ``workers`` is ignored).
+        dtype: tensor-backend accumulation dtype.  ``"float64"``
+            (default) is byte-identical to the serial executor;
+            ``"float32"`` is a faster, deterministic approximation and
+            therefore **bypasses the result cache**, whose keys do not
+            encode the dtype.
     """
+
+    BACKENDS = ("process", "tensor")
 
     def __init__(self, workers: int = 1,
                  cache: ResultCache | None = None,
-                 chunk_size: int = 8) -> None:
+                 chunk_size: int = 8, backend: str = "process",
+                 dtype: str = "float64") -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
         if chunk_size < 1:
             raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+        if backend not in self.BACKENDS:
+            raise ValueError(
+                f"backend must be one of {self.BACKENDS}, got {backend!r}")
+        if backend == "tensor":
+            from ..tensor.batch import DTYPES
+            if dtype not in DTYPES:
+                raise ValueError(
+                    f"dtype must be one of {DTYPES}, got {dtype!r}")
+        elif dtype != "float64":
+            raise ValueError(
+                "dtype is only configurable with backend='tensor', got "
+                f"{dtype!r}")
         self.workers = workers
         self.cache = cache
         self.chunk_size = chunk_size
+        self.backend = backend
+        self.dtype = dtype
         self._pool: ProcessPoolExecutor | None = None
+        self._pool_restarts = 0
+        self._serial_fallback = False
 
     # ------------------------------------------------------------------
     def close(self) -> None:
@@ -148,13 +187,20 @@ class BatchRunner:
     def run(self, specs: Iterable[ScenarioSpec]) -> BatchResult:
         """Execute a batch; returns records in submission order."""
         started = time.perf_counter()
+        self._pool_restarts = 0
+        self._serial_fallback = False
         resolved = [spec.resolve() for spec in specs]
         records: list[RunRecord | None] = [None] * len(resolved)
 
+        # float32 records are approximations keyed identically to the
+        # exact float64 ones (content_hash covers the spec only), so
+        # they must neither consult nor populate the cache.
+        cache = self.cache if self.dtype == "float64" else None
+
         pending: list[int] = []
-        if self.cache is not None:
+        if cache is not None:
             for i, spec in enumerate(resolved):
-                hit = self.cache.get(spec.content_hash())
+                hit = cache.get(spec.content_hash())
                 if hit is not None:
                     records[i] = hit
                 else:
@@ -165,8 +211,8 @@ class BatchRunner:
         fresh = self._execute([resolved[i] for i in pending])
         for i, record in zip(pending, fresh):
             records[i] = record
-            if self.cache is not None:
-                self.cache.put(record)
+            if cache is not None:
+                cache.put(record)
 
         stats = RunStats(
             total=len(resolved),
@@ -174,6 +220,9 @@ class BatchRunner:
             executed=len(pending),
             workers=self.workers,
             elapsed_s=time.perf_counter() - started,
+            backend=self.backend,
+            pool_restarts=self._pool_restarts,
+            serial_fallback=self._serial_fallback,
         )
         return BatchResult(records=list(records), stats=stats)
 
@@ -186,6 +235,10 @@ class BatchRunner:
     def _execute(self, specs: Sequence[ScenarioSpec]) -> list[RunRecord]:
         if not specs:
             return []
+        if self.backend == "tensor":
+            from ..tensor.batch import execute_batch
+
+            return execute_batch(specs, dtype=self.dtype)
         if self.workers == 1 or len(specs) == 1:
             return [execute_scenario(spec) for spec in specs]
         workers = min(self.workers, len(specs))
@@ -193,16 +246,33 @@ class BatchRunner:
         # load-balancing: at least ~4 chunks per worker when possible.
         chunksize = max(1, min(self.chunk_size,
                                len(specs) // (workers * 4) or 1))
-        if self._pool is None:
-            self._pool = ProcessPoolExecutor(max_workers=self.workers)
-        try:
-            return list(self._pool.map(execute_scenario, specs,
-                                       chunksize=chunksize))
-        except Exception:
-            # A broken pool (killed worker, unpicklable state) cannot
-            # be reused; drop it so the next batch starts fresh.
-            self.close()
-            raise
+        for attempt in range(2):
+            if self._pool is None:
+                self._pool = ProcessPoolExecutor(max_workers=self.workers)
+            try:
+                return list(self._pool.map(execute_scenario, specs,
+                                           chunksize=chunksize))
+            except BrokenProcessPool:
+                # A worker died mid-batch (OOM kill, segfault, hard
+                # crash in a C extension).  The pool is unusable and
+                # every in-flight result is lost, but the *batch* is
+                # still salvageable: every spec is deterministic, so
+                # rerunning the whole list is safe.  Tear the pool
+                # down, recreate it once, and if it breaks again stop
+                # burning processes and finish in-process.
+                self.close()
+                if attempt == 0:
+                    self._pool_restarts += 1
+                    continue
+                self._serial_fallback = True
+                return [execute_scenario(spec) for spec in specs]
+            except Exception:
+                # Any other failure (unpicklable spec, executor bug)
+                # would just repeat on retry; drop the pool so the
+                # next batch starts fresh and let the caller see it.
+                self.close()
+                raise
+        raise AssertionError("unreachable")  # pragma: no cover
 
 
 def run_grid(template: ScenarioSpec, axes: Mapping[str, Sequence],

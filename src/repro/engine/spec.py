@@ -277,8 +277,14 @@ class ScenarioSpec:
     # Serialization and identity
     # ------------------------------------------------------------------
     def to_dict(self) -> dict[str, Any]:
-        """Plain-dict form (JSON-safe)."""
-        return dataclasses.asdict(self)
+        """Plain-dict form (JSON-safe).
+
+        Every field is a flat scalar, so a direct dict build produces
+        exactly ``dataclasses.asdict(self)`` without its recursive
+        deep-copy walk — this sits on the batch executor's per-record
+        hot path.
+        """
+        return {name: getattr(self, name) for name in _FIELD_NAMES}
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "ScenarioSpec":
@@ -306,6 +312,11 @@ class ScenarioSpec:
         """SHA-256 over the resolved spec — the cache key."""
         resolved = self.resolve()
         return hashlib.sha256(resolved.canonical_json().encode()).hexdigest()
+
+
+#: Field names in declaration order, resolved once for the
+#: :meth:`ScenarioSpec.to_dict` fast path.
+_FIELD_NAMES = tuple(f.name for f in dataclasses.fields(ScenarioSpec))
 
 
 # ----------------------------------------------------------------------

@@ -20,7 +20,8 @@ from pathlib import Path
 
 from .suite import PerfReport
 
-__all__ = ["DEFAULT_BASELINE_PATH", "Comparison", "compare_reports",
+__all__ = ["DEFAULT_BASELINE_PATH", "HIGHER_BETTER_METRICS",
+           "RSS_TOLERANCE", "Comparison", "compare_reports",
            "default_baseline_path", "load_report", "save_report",
            "format_comparisons"]
 
@@ -44,29 +45,55 @@ def default_baseline_path() -> Path:
     return DEFAULT_BASELINE_PATH
 
 
+#: Throughput extras where *bigger* is better — they regress when the
+#: ratio drops below ``1 / (1 + tolerance)``.
+HIGHER_BETTER_METRICS = frozenset({"scenarios_per_s",
+                                   "ksamples_per_s_core"})
+
+#: Peak RSS depends on allocator behaviour, import order and prior
+#: workloads far more than on the code under test; gate it with at
+#: least this (generous) tolerance.
+RSS_TOLERANCE = 0.75
+
+
 @dataclass(frozen=True)
 class Comparison:
-    """One workload's current-vs-baseline verdict.
+    """One workload's (or metric's) current-vs-baseline verdict.
 
     Attributes:
-        name: workload name.
-        baseline_median_s: committed median, None when the workload is
-            missing from the baseline (new workload — not a failure).
-        current_median_s: freshly measured median.
-        ratio: current / baseline (None without a baseline entry).
-        regressed: current exceeds baseline by more than the tolerance.
+        name: workload name, or ``workload:metric`` for extras rows.
+        baseline_median_s: committed value — seconds for median rows,
+            the metric's own unit for extras rows; None when the
+            workload is missing from the baseline (new workload — not
+            a failure).
+        current_median_s: freshly measured value; None when the
+            baseline workload is **missing from the current run**,
+            which fails the gate (a silently dropped workload must
+            never read as green).
+        ratio: current / baseline (None when either side is absent).
+        regressed: the gate verdict for this row.
+        metric: extras key for metric rows, None for median rows.
     """
 
     name: str
     baseline_median_s: float | None
-    current_median_s: float
+    current_median_s: float | None
     ratio: float | None
     regressed: bool
+    metric: str | None = None
 
 
 def compare_reports(current: PerfReport, baseline: PerfReport,
-                    tolerance: float = 0.25) -> list[Comparison]:
+                    tolerance: float = 0.25,
+                    names: list[str] | None = None) -> list[Comparison]:
     """Compare each measured workload against the baseline medians.
+
+    Besides the per-workload median, any throughput extras present in
+    both reports are gated too, direction-aware: throughput metrics
+    regress when they *drop* past the tolerance, memory when it grows.
+    Baseline workloads absent from the current run produce a
+    ``regressed`` comparison — restrict the required set with ``names``
+    when deliberately benchmarking a subset.
 
     Raises:
         ValueError: on a negative tolerance.
@@ -74,7 +101,9 @@ def compare_reports(current: PerfReport, baseline: PerfReport,
     if tolerance < 0.0:
         raise ValueError(f"tolerance must be >= 0, got {tolerance}")
     comparisons: list[Comparison] = []
+    measured: set[str] = set()
     for timing in current.results:
+        measured.add(timing.name)
         base = baseline.timing(timing.name)
         if base is None or not base.times_s:
             comparisons.append(Comparison(
@@ -90,6 +119,32 @@ def compare_reports(current: PerfReport, baseline: PerfReport,
             current_median_s=timing.median_s,
             ratio=ratio,
             regressed=ratio > 1.0 + tolerance))
+        for key in sorted(set(timing.extras) & set(base.extras)):
+            base_v, cur_v = base.extras[key], timing.extras[key]
+            if base_v <= 0.0:
+                continue
+            m_ratio = cur_v / base_v
+            if key in HIGHER_BETTER_METRICS:
+                regressed = m_ratio < 1.0 / (1.0 + tolerance)
+            elif key == "peak_rss_mb":
+                regressed = m_ratio > 1.0 + max(tolerance, RSS_TOLERANCE)
+            else:
+                regressed = m_ratio > 1.0 + tolerance
+            comparisons.append(Comparison(
+                name=f"{timing.name}:{key}",
+                baseline_median_s=base_v, current_median_s=cur_v,
+                ratio=m_ratio, regressed=regressed, metric=key))
+    # Baseline workloads with no measurement in this run: fail the
+    # gate.  Without this, deleting (or typo-ing) a tracked workload
+    # silently passes CI with less coverage than it claims.
+    for base in baseline.results:
+        if base.name in measured:
+            continue
+        if names is not None and base.name not in names:
+            continue
+        comparisons.append(Comparison(
+            name=base.name, baseline_median_s=base.median_s,
+            current_median_s=None, ratio=None, regressed=True))
     return comparisons
 
 
@@ -109,22 +164,32 @@ def load_report(path: str | Path) -> PerfReport:
 
 def format_comparisons(comparisons: list[Comparison],
                        tolerance: float) -> str:
-    """Aligned comparison table (rendered via analysis.reporting)."""
+    """Aligned comparison table (rendered via analysis.reporting).
+
+    Median rows show milliseconds; metric rows (``workload:metric``)
+    show the metric's native unit.  A baseline workload absent from
+    the current run renders as ``MISSING``.
+    """
     from ..analysis.reporting import format_table
 
-    def fmt(value: float | None) -> str:
-        return "-" if value is None else f"{value * 1e3:.2f}"
+    def fmt(comp: Comparison, value: float | None) -> str:
+        if value is None:
+            return "-"
+        if comp.metric is not None:
+            return f"{value:.2f}"
+        return f"{value * 1e3:.2f} ms"
 
     rows = []
     for comp in comparisons:
-        verdict = ("REGRESSED" if comp.regressed
+        verdict = ("MISSING" if comp.current_median_s is None
+                   else "REGRESSED" if comp.regressed
                    else "new" if comp.ratio is None else "ok")
-        rows.append((comp.name, fmt(comp.baseline_median_s),
-                     fmt(comp.current_median_s),
+        rows.append((comp.name, fmt(comp, comp.baseline_median_s),
+                     fmt(comp, comp.current_median_s),
                      "-" if comp.ratio is None else f"{comp.ratio:.2f}x",
                      verdict))
     table = format_table(
-        ["workload", "baseline ms", "current ms", "ratio", "verdict"],
+        ["workload", "baseline", "current", "ratio", "verdict"],
         rows)
     return (f"{table}\n(regression threshold: "
             f"{(1.0 + tolerance):.2f}x baseline median)")

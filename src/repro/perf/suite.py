@@ -46,6 +46,11 @@ class Workload:
         repeats: timed repetitions in full mode.
         quick_repeats: timed repetitions in quick mode.
         warmup: untimed runs before measurement (cache/JIT settling).
+        metrics: optional ``metrics(quick, timing) -> extras`` called
+            after measurement to derive throughput numbers
+            (scenarios/s, ksamples/s/core, peak RSS) from the median;
+            the dict lands in :attr:`WorkloadTiming.extras` and is
+            baseline-gated alongside the median.
     """
 
     name: str
@@ -55,17 +60,27 @@ class Workload:
     repeats: int = 5
     quick_repeats: int = 3
     warmup: int = 1
+    metrics: Callable[[bool, "WorkloadTiming"],
+                      dict[str, float]] | None = None
 
 
 @dataclass
 class WorkloadTiming:
-    """Measured repeat times for one workload."""
+    """Measured repeat times for one workload.
+
+    ``extras`` holds derived throughput metrics (``scenarios_per_s``,
+    ``ksamples_per_s_core``, ``peak_rss_mb``, ...) produced by the
+    workload's ``metrics`` hook; they round-trip through the JSON
+    report and are compared against the baseline with
+    direction-aware tolerances.
+    """
 
     name: str
     kind: str
     description: str
     warmup: int
     times_s: list[float] = field(default_factory=list)
+    extras: dict[str, float] = field(default_factory=dict)
 
     @property
     def repeats(self) -> int:
@@ -104,6 +119,7 @@ class WorkloadTiming:
             "stddev_s": self.stddev_s,
             "min_s": self.min_s,
             "max_s": self.max_s,
+            "extras": {k: float(v) for k, v in sorted(self.extras.items())},
         }
 
     @classmethod
@@ -111,7 +127,9 @@ class WorkloadTiming:
         return cls(name=data["name"], kind=data.get("kind", "micro"),
                    description=data.get("description", ""),
                    warmup=data.get("warmup", 0),
-                   times_s=[float(v) for v in data["times_s"]])
+                   times_s=[float(v) for v in data["times_s"]],
+                   extras={k: float(v)
+                           for k, v in data.get("extras", {}).items()})
 
 
 @dataclass
@@ -231,6 +249,69 @@ def _setup_engine_batch(quick: bool) -> Callable[[], Any]:
     return lambda: runner.run(specs)
 
 
+def _batch_seeds(quick: bool, full: int, quick_n: int) -> list[int]:
+    return list(range(2, 2 + (quick_n if quick else full)))
+
+
+def _setup_tensor_batch(quick: bool) -> Callable[[], Any]:
+    from ..engine.runner import BatchRunner
+    from ..engine.spec import expand_grid
+
+    specs = expand_grid(_bench_spec(), {"seed": _batch_seeds(quick, 12, 4)})
+    runner = BatchRunner(workers=1, backend="tensor")
+    return lambda: runner.run(specs)
+
+
+def _setup_tensor_throughput(quick: bool) -> Callable[[], Any]:
+    from ..engine.runner import BatchRunner
+    from ..engine.spec import expand_grid
+
+    specs = expand_grid(_bench_spec(), {"seed": _batch_seeds(quick, 64, 16)})
+    runner = BatchRunner(workers=1, backend="tensor")
+    return lambda: runner.run(specs)
+
+
+def _peak_rss_mb() -> float | None:
+    """Process peak RSS in MiB, or None where ``resource`` is absent."""
+    try:
+        import resource
+
+        rss = float(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss)
+    except Exception:  # pragma: no cover - non-POSIX platforms
+        return None
+    # ru_maxrss is KiB on Linux, bytes on macOS.
+    if platform.system() == "Darwin":  # pragma: no cover
+        rss /= 1024.0
+    return rss / 1024.0
+
+
+def _grid_metrics(full: int, quick_n: int) -> Callable[
+        [bool, "WorkloadTiming"], dict[str, float]]:
+    """Throughput extras for the fixed-grid batch workloads.
+
+    All the grid workloads run ``_bench_spec`` variants, so one capture
+    tells us the per-scenario sample count; everything else derives
+    from the measured median on one core.
+    """
+    def metrics(quick: bool, timing: "WorkloadTiming") -> dict[str, float]:
+        from ..engine.executor import build_simulator
+
+        extras: dict[str, float] = {}
+        n_scenarios = quick_n if quick else full
+        median = timing.median_s
+        if median > 0.0:
+            trace = build_simulator(_bench_spec().resolve()).capture_pass()
+            extras["scenarios_per_s"] = n_scenarios / median
+            extras["ksamples_per_s_core"] = (
+                n_scenarios * len(trace.samples) / median / 1e3)
+        rss = _peak_rss_mb()
+        if rss is not None:
+            extras["peak_rss_mb"] = rss
+        return extras
+
+    return metrics
+
+
 def default_workloads() -> list[Workload]:
     """The tracked workload set (stable names — baselines key on them)."""
     return [
@@ -289,6 +370,29 @@ def default_workloads() -> list[Workload]:
             setup=_setup_engine_batch,
             repeats=5,
             quick_repeats=7,
+            metrics=_grid_metrics(12, 4),
+        ),
+        Workload(
+            name="tensor_batch",
+            kind="macro",
+            description="Same 12-scenario grid (4 quick) through the "
+                        "tensor backend: fused (N, T) array passes, "
+                        "one process, float64",
+            setup=_setup_tensor_batch,
+            repeats=7,
+            quick_repeats=7,
+            metrics=_grid_metrics(12, 4),
+        ),
+        Workload(
+            name="tensor_throughput",
+            kind="macro",
+            description="64-scenario grid (16 quick) through the "
+                        "tensor backend — the amortized per-scenario "
+                        "throughput the backend is built for",
+            setup=_setup_tensor_throughput,
+            repeats=5,
+            quick_repeats=5,
+            metrics=_grid_metrics(64, 16),
         ),
     ]
 
@@ -338,8 +442,12 @@ def run_suite(quick: bool = False,
             started = clock()
             thunk()
             times.append(clock() - started)
-        report.results.append(WorkloadTiming(
+        timing = WorkloadTiming(
             name=workload.name, kind=workload.kind,
             description=workload.description,
-            warmup=workload.warmup, times_s=times))
+            warmup=workload.warmup, times_s=times)
+        if workload.metrics is not None:
+            timing.extras = {k: float(v) for k, v
+                             in workload.metrics(quick, timing).items()}
+        report.results.append(timing)
     return report

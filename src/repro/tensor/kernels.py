@@ -1,0 +1,86 @@
+"""Optional compiled kernels for the tensor execution tier.
+
+The only heavy dependency here is `numba`, and it is strictly optional:
+availability is detected once at import, the environment variable named
+by :data:`NUMBA_DISABLED_ENV` force-disables it (the CI "no-numba" leg
+sets it to prove the NumPy fallback stays green), and every caller
+(:func:`repro.dsp.dtw.dtw` with ``implementation="auto"``) degrades to
+the existing NumPy wavefront kernel when the JIT is absent.
+
+The compiled banded-DTW kernel fills exactly the cells of the reference
+dynamic program in the same order with the same arithmetic, so its
+accumulated-cost matrix — and therefore distances and paths — are
+bit-identical to both the reference loop and the wavefront kernel.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from ..dsp.dtw import _band_limits
+
+__all__ = ["HAVE_NUMBA", "NUMBA_DISABLED_ENV", "numba_disabled",
+           "compiled_cost_matrix"]
+
+#: Set this environment variable to a truthy value to pretend numba is
+#: not installed (forces every auto path onto the NumPy fallback).
+NUMBA_DISABLED_ENV = "REPRO_DISABLE_NUMBA"
+
+
+def numba_disabled() -> bool:
+    """Whether the environment force-disables the compiled kernels."""
+    value = os.environ.get(NUMBA_DISABLED_ENV, "").strip().lower()
+    return value not in ("", "0", "false", "no", "off")
+
+
+try:
+    if numba_disabled():
+        raise ImportError(f"numba disabled via {NUMBA_DISABLED_ENV}")
+    from numba import njit  # type: ignore
+
+    HAVE_NUMBA = True
+except ImportError:
+    njit = None
+    HAVE_NUMBA = False
+
+
+if HAVE_NUMBA:
+
+    @njit(cache=True)  # pragma: no cover - requires numba
+    def _banded_accumulate(a, b, j_lo, j_hi, acc):
+        n = a.shape[0]
+        for i in range(1, n + 1):
+            ai = a[i - 1]
+            for j in range(j_lo[i - 1], j_hi[i - 1] + 1):
+                cost = abs(ai - b[j - 1])
+                best = acc[i - 1, j]
+                if acc[i, j - 1] < best:
+                    best = acc[i, j - 1]
+                if acc[i - 1, j - 1] < best:
+                    best = acc[i - 1, j - 1]
+                acc[i, j] = cost + best
+
+
+def compiled_cost_matrix(a: np.ndarray, b: np.ndarray,
+                         band: int | None) -> np.ndarray:
+    """Accumulated-cost matrix via the numba-compiled banded DP.
+
+    Raises:
+        RuntimeError: when numba is unavailable or disabled; callers
+            selecting ``"auto"`` never reach this, only an explicit
+            ``implementation="compiled"`` can.
+    """
+    if not HAVE_NUMBA:
+        raise RuntimeError(
+            "compiled DTW kernel unavailable: numba is not importable "
+            f"or is disabled via {NUMBA_DISABLED_ENV}")
+    n, m = len(a), len(b)
+    acc = np.full((n + 1, m + 1), np.inf)
+    acc[0, 0] = 0.0
+    j_lo, j_hi = _band_limits(n, m, band)
+    _banded_accumulate(np.ascontiguousarray(a, dtype=np.float64),
+                       np.ascontiguousarray(b, dtype=np.float64),
+                       j_lo, j_hi, acc)
+    return acc

@@ -96,3 +96,53 @@ class TestReport:
 
     def test_report_missing_file(self, capsys):
         assert main(["report", "/nonexistent/runs.jsonl"]) == 2
+
+
+class TestUnknownSpecField:
+    """--set with a typo'd field must name the field and list valid
+    ones, not die inside float()."""
+
+    def test_unknown_field_names_itself(self, capsys):
+        assert main(["run", "--set", "grund_lux=450"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown spec field 'grund_lux'" in err
+        assert "ground_lux" in err          # the valid list is shown
+
+    def test_unknown_axis_field_rejected_too(self, capsys):
+        assert main(["sweep", *FAST_SETS,
+                     "--axis", "grund_lux=450,100"]) == 2
+        assert "unknown spec field" in capsys.readouterr().err
+
+    def test_known_fields_still_coerce(self, capsys):
+        assert main(["run", *FAST_SETS, "--set", "ground_lux=450"]) == 0
+
+
+class TestSweepTensorBackend:
+    def test_tensor_sweep_matches_process_sweep(self, tmp_path, capsys):
+        base = ["sweep", *FAST_SETS, "--set", "ground_lux=450",
+                "--axis", "seed=2,3,4"]
+        out_p = tmp_path / "process.jsonl"
+        out_t = tmp_path / "tensor.jsonl"
+        assert main([*base, "--out", str(out_p)]) == 0
+        assert main([*base, "--backend", "tensor",
+                     "--out", str(out_t)]) == 0
+
+        def load(path):
+            records = [json.loads(line)
+                       for line in path.read_text().splitlines()]
+            for record in records:
+                record.pop("elapsed_s")   # wall clock, not a result
+            return records
+
+        assert load(out_p) == load(out_t)
+
+    def test_tensor_float32_runs(self, capsys):
+        assert main(["sweep", *FAST_SETS, "--set", "ground_lux=450",
+                     "--axis", "seed=2,3", "--backend", "tensor",
+                     "--dtype", "float32"]) == 0
+        assert "ran 2 scenarios" in capsys.readouterr().out
+
+    def test_float32_requires_tensor_backend(self, capsys):
+        assert main(["sweep", *FAST_SETS, "--axis", "seed=2,3",
+                     "--dtype", "float32"]) == 2
+        assert "tensor" in capsys.readouterr().err

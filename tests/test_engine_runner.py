@@ -234,3 +234,102 @@ class TestRunStatsReporting:
         assert stats.hit_rate == 0.0
         assert stats.throughput == 0.0
         assert "0 scenarios" in stats.summary()
+
+
+class TestBrokenPoolRecovery:
+    """A BrokenProcessPool mid-batch must not lose the batch.
+
+    The runner's contract: tear the dead pool down, recreate it once,
+    and if the replacement breaks too, finish the batch in-process.
+    Other exceptions keep the old fail-fast behaviour.
+    """
+
+    class _FakePool:
+        """Stands in for ProcessPoolExecutor; breaks on command."""
+
+        instances: list = []
+
+        def __init__(self, max_workers=None):
+            self.broken = False
+            self.shutdowns = 0
+            TestBrokenPoolRecovery._FakePool.instances.append(self)
+
+        def map(self, fn, specs, chunksize=1):
+            if self.broken:
+                from concurrent.futures.process import BrokenProcessPool
+                raise BrokenProcessPool("worker died")
+            return [fn(spec) for spec in specs]
+
+        def shutdown(self, wait=True):
+            self.shutdowns += 1
+
+    @pytest.fixture
+    def fake_pools(self, monkeypatch):
+        self._FakePool.instances = []
+        monkeypatch.setattr(runner_mod, "ProcessPoolExecutor",
+                            self._FakePool)
+        return self._FakePool.instances
+
+    def _specs(self):
+        return expand_grid(FAST, {"seed": [2, 3]})
+
+    def test_single_break_restarts_pool_and_retries(self, fake_pools):
+        runner = BatchRunner(workers=2)
+        serial = [r.canonical_json()
+                  for r in BatchRunner(workers=1).run(self._specs()).records]
+        first = runner.run(self._specs())          # healthy pool
+        assert len(fake_pools) == 1
+        fake_pools[0].broken = True                # kill it mid-flight
+        result = runner.run(self._specs())
+        assert [r.canonical_json() for r in result.records] == serial
+        assert len(fake_pools) == 2                # replacement created
+        assert fake_pools[0].shutdowns == 1
+        assert result.stats.pool_restarts == 1
+        assert not result.stats.serial_fallback
+        assert first.stats.pool_restarts == 0
+
+    def test_double_break_falls_back_to_serial(self, fake_pools):
+        serial = [r.canonical_json()
+                  for r in BatchRunner(workers=1).run(self._specs()).records]
+        runner = BatchRunner(workers=2)
+        runner.run(self._specs())
+        for pool in fake_pools:
+            pool.broken = True
+        # Any pool created from now on is born broken.
+        orig_init = self._FakePool.__init__
+
+        def broken_init(pool, max_workers=None):
+            orig_init(pool, max_workers)
+            pool.broken = True
+
+        self._FakePool.__init__ = broken_init
+        try:
+            result = runner.run(self._specs())
+        finally:
+            self._FakePool.__init__ = orig_init
+        assert [r.canonical_json() for r in result.records] == serial
+        assert result.stats.pool_restarts == 1
+        assert result.stats.serial_fallback
+        assert runner._pool is None                # nothing left behind
+
+    def test_other_exceptions_still_propagate(self, fake_pools):
+        runner = BatchRunner(workers=2)
+        runner.run(self._specs())
+
+        def exploding_map(fn, specs, chunksize=1):
+            raise RuntimeError("unpicklable spec")
+
+        fake_pools[0].map = exploding_map
+        with pytest.raises(RuntimeError, match="unpicklable"):
+            runner.run(self._specs())
+        assert runner._pool is None                # pool dropped
+
+    def test_stats_reset_between_runs(self, fake_pools):
+        runner = BatchRunner(workers=2)
+        runner.run(self._specs())
+        fake_pools[0].broken = True
+        assert runner.run(self._specs()).stats.pool_restarts == 1
+        # The replacement pool is healthy: counters start clean.
+        stats = runner.run(self._specs()).stats
+        assert stats.pool_restarts == 0
+        assert not stats.serial_fallback

@@ -220,3 +220,124 @@ class TestBenchCli:
         out = capsys.readouterr().out
         for workload in default_workloads():
             assert workload.name in out
+
+
+def _timed(name, median, extras=None):
+    return WorkloadTiming(name=name, kind="macro", description="",
+                          warmup=0, times_s=[median],
+                          extras=dict(extras or {}))
+
+
+class TestMissingWorkloadGate:
+    """A baseline workload absent from the current run must FAIL the
+    gate — a deleted (or typo'd) workload must never read as green."""
+
+    def test_missing_workload_regresses(self):
+        baseline = _report({"engine_batch": 1.0, "tensor_batch": 1.0})
+        comparisons = compare_reports(_report({"engine_batch": 1.0}),
+                                      baseline)
+        missing = [c for c in comparisons if c.name == "tensor_batch"]
+        assert len(missing) == 1
+        assert missing[0].regressed
+        assert missing[0].current_median_s is None
+        assert missing[0].baseline_median_s == 1.0
+        assert "MISSING" in format_comparisons(comparisons, 0.25)
+
+    def test_names_filter_limits_required_set(self):
+        baseline = _report({"engine_batch": 1.0, "tensor_batch": 1.0})
+        comparisons = compare_reports(_report({"engine_batch": 1.0}),
+                                      baseline, names=["engine_batch"])
+        assert all(not c.regressed for c in comparisons)
+        assert [c.name for c in comparisons] == ["engine_batch"]
+
+    def test_bench_cli_fails_on_missing_workload(self, tmp_path, capsys):
+        """End-to-end: full-baseline + subset-free current run without
+        the baseline's extra workload exits nonzero."""
+        from repro.perf import run_suite
+
+        baseline_path = tmp_path / "baseline.json"
+        baseline = _report({"engine_batch": 1.0,
+                            "some_deleted_workload": 1.0})
+        save_report(baseline, baseline_path)
+        out = tmp_path / "report.json"
+        code = cli_main(["bench", "--quick", "--repeats", "1",
+                         "--workload", "engine_batch",
+                         "--workload", "some_deleted_workload",
+                         "--out", str(out),
+                         "--baseline", str(baseline_path),
+                         "--tolerance", "1000"])
+        # run_suite raises KeyError for the unknown workload -> exit 2;
+        # drop the selection instead and rely on the names filter.
+        assert code == 2
+
+        code = cli_main(["bench", "--quick", "--repeats", "1",
+                         "--out", str(out),
+                         "--baseline", str(baseline_path),
+                         "--tolerance", "1000"])
+        assert code == 1
+        captured = capsys.readouterr()
+        assert "some_deleted_workload" in captured.err
+        assert "MISSING" in captured.out
+
+
+class TestExtrasMetrics:
+    def test_extras_round_trip(self, tmp_path):
+        report = PerfReport(results=[_timed(
+            "w", 0.5, {"scenarios_per_s": 24.0, "peak_rss_mb": 310.0})],
+            quick=True)
+        loaded = load_report(save_report(report, tmp_path / "r.json"))
+        assert loaded.results[0].extras == {"scenarios_per_s": 24.0,
+                                            "peak_rss_mb": 310.0}
+        assert loaded.to_dict() == report.to_dict()
+
+    def test_throughput_drop_regresses(self):
+        baseline = PerfReport(results=[_timed(
+            "w", 1.0, {"scenarios_per_s": 100.0})], quick=True)
+        current = PerfReport(results=[_timed(
+            "w", 1.0, {"scenarios_per_s": 60.0})], quick=True)
+        comparisons = compare_reports(current, baseline, tolerance=0.25)
+        metric = [c for c in comparisons if c.metric == "scenarios_per_s"]
+        assert len(metric) == 1
+        assert metric[0].regressed           # 0.6 < 1/1.25
+        assert metric[0].name == "w:scenarios_per_s"
+
+    def test_throughput_gain_and_small_drop_pass(self):
+        baseline = PerfReport(results=[_timed(
+            "w", 1.0, {"scenarios_per_s": 100.0})], quick=True)
+        for value in (150.0, 90.0, 100.0):
+            current = PerfReport(results=[_timed(
+                "w", 1.0, {"scenarios_per_s": value})], quick=True)
+            (metric,) = [c for c in compare_reports(current, baseline,
+                                                    tolerance=0.25)
+                         if c.metric is not None]
+            assert not metric.regressed
+
+    def test_peak_rss_gets_generous_tolerance(self):
+        from repro.perf.baseline import RSS_TOLERANCE
+
+        baseline = PerfReport(results=[_timed(
+            "w", 1.0, {"peak_rss_mb": 100.0})], quick=True)
+        ok = PerfReport(results=[_timed(
+            "w", 1.0, {"peak_rss_mb": 100.0 * (1.0 + RSS_TOLERANCE)})],
+            quick=True)
+        bad = PerfReport(results=[_timed(
+            "w", 1.0, {"peak_rss_mb": 100.0 * (1.9 + RSS_TOLERANCE)})],
+            quick=True)
+        (c_ok,) = [c for c in compare_reports(ok, baseline, tolerance=0.1)
+                   if c.metric is not None]
+        (c_bad,) = [c for c in compare_reports(bad, baseline,
+                                               tolerance=0.1)
+                    if c.metric is not None]
+        assert not c_ok.regressed
+        assert c_bad.regressed
+
+    def test_suite_populates_tensor_extras(self):
+        """A real quick run of the tensor workloads derives throughput
+        extras from the measured median."""
+        from repro.perf import run_suite
+
+        report = run_suite(quick=True, names=["tensor_batch"], repeats=1)
+        extras = report.results[0].extras
+        assert extras["scenarios_per_s"] > 0.0
+        assert extras["ksamples_per_s_core"] > 0.0
+        assert extras.get("peak_rss_mb", 1.0) > 0.0

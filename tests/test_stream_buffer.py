@@ -144,3 +144,52 @@ class TestToTrace:
         trace = buf.to_trace()
         assert trace.meta["stream_dropped_samples"] == 6
         assert trace.start_time_s == pytest.approx(0.06)
+
+
+class TestOversizedChunkAccounting:
+    """Pinned regression values for the oversized-chunk append branch.
+
+    The branch replaces the whole retained history with the chunk's
+    tail; its bookkeeping (``n_dropped`` counting both the evicted
+    history and the chunk's own discarded head, and the derived
+    ``first_index``/``first_time_s``) is pinned here sample for sample.
+    """
+
+    def test_chunk_exactly_at_capacity_evicts_all_history(self):
+        buf = StreamBuffer(100.0, max_samples=8)
+        buf.append(np.arange(5.0))
+        buf.append(np.arange(100.0, 108.0))     # len == max_samples
+        assert len(buf) == 8
+        assert np.array_equal(buf.suffix(0.0), np.arange(100.0, 108.0))
+        # 5 old samples evicted, nothing of the chunk itself dropped.
+        assert buf.n_dropped == 5
+        assert buf.n_appended == 13
+        assert buf.first_index == 5
+        assert buf.first_time_s == pytest.approx(5 / 100.0)
+
+    def test_chunk_larger_than_capacity_on_nonempty_buffer(self):
+        buf = StreamBuffer(100.0, start_time_s=2.0, max_samples=4)
+        buf.append(np.arange(3.0))
+        buf.append(np.arange(10.0, 16.0))       # 6 > max_samples
+        assert np.array_equal(buf.suffix(0.0), [12.0, 13.0, 14.0, 15.0])
+        # 3 history + 2 chunk-head samples dropped.
+        assert buf.n_dropped == 5
+        assert buf.n_appended == 9
+        assert buf.first_index == 5
+        assert buf.first_time_s == pytest.approx(2.0 + 5 / 100.0)
+
+    def test_oversized_chunk_into_empty_buffer(self):
+        buf = StreamBuffer(50.0, max_samples=3)
+        buf.append(np.arange(7.0))
+        assert np.array_equal(buf.suffix(0.0), [4.0, 5.0, 6.0])
+        assert buf.n_dropped == 4
+        assert buf.first_index == 4
+        assert buf.first_time_s == pytest.approx(4 / 50.0)
+
+    def test_windows_after_oversized_append_stay_consistent(self):
+        buf = StreamBuffer(100.0, max_samples=4)
+        buf.append(np.arange(3.0))
+        buf.append(np.arange(10.0, 16.0))
+        view, t_first = buf.window_with_time(0.0, 1.0)
+        assert np.array_equal(view, [12.0, 13.0, 14.0, 15.0])
+        assert t_first == pytest.approx(buf.first_time_s)

@@ -1,0 +1,82 @@
+"""Tests for the optional compiled kernels and their gating.
+
+numba is an optional dependency: the contract under test is that its
+absence (or the ``REPRO_DISABLE_NUMBA`` kill switch) degrades every
+auto path to the NumPy kernels, while an explicit
+``implementation="compiled"`` request fails loudly.
+"""
+
+import importlib
+
+import numpy as np
+import pytest
+
+from repro.dsp.dtw import dtw
+
+dtw_mod = importlib.import_module("repro.dsp.dtw")
+from repro.tensor.kernels import (
+    HAVE_NUMBA,
+    NUMBA_DISABLED_ENV,
+    compiled_cost_matrix,
+    numba_disabled,
+)
+
+
+def _signals(n=120):
+    rng = np.random.default_rng(3)
+    t = np.linspace(0.0, 6.0, n)
+    return (np.sin(t) + 0.1 * rng.normal(size=n),
+            np.sin(t * 1.1) + 0.1 * rng.normal(size=n))
+
+
+class TestDisableKnob:
+    @pytest.mark.parametrize("value,expect", [
+        ("1", True), ("true", True), ("YES", True), ("on", True),
+        ("0", False), ("false", False), ("", False), ("  ", False),
+    ])
+    def test_env_values(self, monkeypatch, value, expect):
+        monkeypatch.setenv(NUMBA_DISABLED_ENV, value)
+        assert numba_disabled() is expect
+
+    def test_unset_means_enabled(self, monkeypatch):
+        monkeypatch.delenv(NUMBA_DISABLED_ENV, raising=False)
+        assert numba_disabled() is False
+
+
+class TestFallback:
+    def test_compiled_request_without_numba_raises(self):
+        if HAVE_NUMBA:
+            pytest.skip("numba present: the unavailable branch is moot")
+        a, b = _signals()
+        with pytest.raises(RuntimeError, match="numba"):
+            compiled_cost_matrix(a, b, band=20)
+        with pytest.raises(RuntimeError, match="numba"):
+            dtw(a, b, implementation="compiled")
+
+    def test_auto_never_raises(self):
+        # Whatever is installed, "auto" must pick a working kernel.
+        a, b = _signals()
+        result = dtw(a, b)
+        assert np.isfinite(result.distance)
+
+    def test_auto_prefers_compiled_only_when_available(self, monkeypatch):
+        probed = dtw_mod._compiled_available()
+        assert probed is HAVE_NUMBA
+        # The probe is cached: flipping the cache steers auto without
+        # importing anything.
+        monkeypatch.setattr(dtw_mod, "_COMPILED_STATE", False)
+        a, b = _signals(200)
+        reference = dtw(a, b, implementation="vectorized")
+        auto = dtw(a, b)
+        assert auto.distance == reference.distance
+
+
+@pytest.mark.skipif(not HAVE_NUMBA, reason="numba not installed")
+class TestCompiledEquivalence:
+    def test_bit_identical_to_reference(self):
+        a, b = _signals(300)
+        ref = dtw(a, b, implementation="reference", return_path=True)
+        com = dtw(a, b, implementation="compiled", return_path=True)
+        assert com.distance == ref.distance
+        assert com.normalized_distance == ref.normalized_distance
+        assert com.path == ref.path
