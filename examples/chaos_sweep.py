@@ -1,0 +1,108 @@
+#!/usr/bin/env python3
+"""Fault injection end to end: from a clean pass to a chaos frontier.
+
+Three acts:
+
+1. **One faulted pass** — run the same scenario clean and under a
+   mixed fault plan (burst noise + saturation + chunk loss) and
+   compare: same physics, same noise draw, corrupted capture.  Rerun
+   the faulted spec to show the corruption is byte-deterministic.
+2. **Chaos frontier** — scale the fault mix across an intensity
+   ladder with `sweep_fault_intensity` and print decode rate vs
+   corruption level: the measured degradation frontier.
+3. **Resilience** — a pathological spec (an injected executor stall)
+   in the middle of a healthy batch: the per-scenario timeout
+   quarantines it into an `executor_error` record while every
+   sibling completes untouched.
+
+Run:  python examples/chaos_sweep.py [--count N] [--workers W]
+
+The same frontier from the shell::
+
+    repro-engine chaos --set source=sun --set detector=led \\
+        --set cap=false --set ground=tarmac --set bits=00 \\
+        --set symbol_width_m=0.1 --set speed_mps=5.0 \\
+        --set receiver_height_m=0.25 --set start_position_m=-1.5 \\
+        --set sample_rate_hz=2000 --count 24 \\
+        --plan '{"burst_rate_hz": 10, "saturate_fraction": 0.4, \\
+                 "chunk_drop": 0.15}' --intensity 0,0.25,0.5,0.75,1
+"""
+
+import argparse
+
+from repro.engine import BatchRunner, ScenarioSpec
+from repro.engine.executor import execute_scenario
+from repro.engine.report import robustness_table
+from repro.faults import FaultPlan, sweep_fault_intensity
+
+OUTDOOR = ScenarioSpec(source="sun", detector="led", cap=False,
+                       ground="tarmac", bits="00", symbol_width_m=0.1,
+                       speed_mps=5.0, receiver_height_m=0.25,
+                       start_position_m=-1.5, sample_rate_hz=2000.0,
+                       ground_lux=450.0)
+
+MIX = FaultPlan(burst_rate_hz=10.0, saturate_fraction=0.4,
+                chunk_drop=0.15)
+
+
+def act_one_faulted_pass() -> None:
+    print("=== Act 1: one faulted pass " + "=" * 34)
+    clean_spec = OUTDOOR.replace(seed=3)
+    faulted_spec = clean_spec.replace(fault_plan=MIX)
+    clean = execute_scenario(clean_spec)
+    faulted = execute_scenario(faulted_spec)
+    print(f"clean:   stage={clean.stage:<18s} ber={clean.ber:.3f}")
+    print(f"faulted: stage={faulted.stage:<18s} ber={faulted.ber:.3f} "
+          f"events={faulted.fault_events}")
+    again = execute_scenario(faulted_spec)
+    assert again.canonical_json() == faulted.canonical_json()
+    print("rerun of the faulted spec is byte-identical (deterministic "
+          "corruption)\n")
+
+
+def act_two_chaos_frontier(count: int, workers: int) -> None:
+    print("=== Act 2: the chaos frontier " + "=" * 32)
+    specs = [OUTDOOR.replace(seed=k) for k in range(count)]
+    with BatchRunner(workers=workers) as runner:
+        sweep = sweep_fault_intensity(
+            specs, MIX, [0.0, 0.25, 0.5, 0.75, 1.0], runner)
+    print(sweep.render())
+    print(f"degradation first->last rung: {sweep.degradation():+.2f} "
+          "decode rate\n")
+    records = [r for point in sweep.points for r in point.records]
+    print(robustness_table(records, "ground_lux"))
+    print()
+
+
+def act_three_timeout_quarantine(workers: int) -> None:
+    print("=== Act 3: timeout + quarantine " + "=" * 30)
+    stuck = OUTDOOR.replace(seed=99,
+                            fault_plan=FaultPlan(exec_sleep_s=30.0))
+    healthy = [OUTDOOR.replace(seed=k) for k in range(4)]
+    specs = healthy[:2] + [stuck] + healthy[2:]
+    with BatchRunner(workers=workers, scenario_timeout_s=3.0) as runner:
+        result = runner.run(specs)
+    print(result.stats.summary())
+    for record in result.records:
+        tag = record.error or record.stage
+        print(f"  seed={record.seed:>2d}  {tag}")
+    assert result.records[2].stage == "executor_error"
+    assert all(r.stage != "executor_error"
+               for i, r in enumerate(result.records) if i != 2)
+    print("the stuck spec was quarantined; every sibling executed\n")
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--count", type=int, default=12,
+                        help="scenarios per frontier rung (default: 12)")
+    parser.add_argument("--workers", type=int, default=2,
+                        help="worker processes (default: 2)")
+    args = parser.parse_args()
+    act_one_faulted_pass()
+    act_two_chaos_frontier(args.count, args.workers)
+    act_three_timeout_quarantine(args.workers)
+
+
+if __name__ == "__main__":
+    main()

@@ -104,7 +104,7 @@ from .optics import (
 )
 from .tags import Packet, TagSurface
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 __all__ = [
     "__version__",

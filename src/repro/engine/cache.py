@@ -20,6 +20,7 @@ import tempfile
 from dataclasses import dataclass, field
 from pathlib import Path
 
+from ..faults.retry import RetryExhausted, RetryPolicy
 from .records import RunRecord
 
 __all__ = ["CacheStats", "ResultCache"]
@@ -33,20 +34,34 @@ class CacheStats:
         hits: lookups that returned a record.
         misses: lookups that found nothing (or an unreadable file).
         writes: records persisted.
+        write_retries: transient IO errors that a retry absorbed.
     """
 
     hits: int = 0
     misses: int = 0
     writes: int = 0
+    write_retries: int = 0
 
 
 class ResultCache:
-    """Disk-backed spec-hash -> :class:`RunRecord` store."""
+    """Disk-backed spec-hash -> :class:`RunRecord` store.
 
-    def __init__(self, root: str | Path) -> None:
+    Args:
+        root: cache directory (created if missing).
+        retry_policy: bounded-retry policy for transient ``OSError``
+            on writes (a shared cache on network storage hiccups;
+            a busy tmpfs briefly runs out of inodes).  Default: three
+            attempts, 10 ms base backoff.  Non-transient errors keep
+            failing and propagate after the budget.
+    """
+
+    def __init__(self, root: str | Path,
+                 retry_policy: RetryPolicy | None = None) -> None:
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
         self.stats = CacheStats()
+        self.retry_policy = retry_policy or RetryPolicy(
+            max_attempts=3, base_delay_s=0.01)
 
     def _path(self, key: str) -> Path:
         return self.root / key[:2] / f"{key}.json"
@@ -72,14 +87,13 @@ class ResultCache:
         self.stats.hits += 1
         return record
 
-    def put(self, record: RunRecord) -> None:
-        """Persist a record atomically under its spec hash."""
-        path = self._path(record.spec_hash)
+    def _write_atomic(self, path: Path, payload: str) -> None:
+        """One atomic write attempt: temp file in-dir, then rename."""
         path.parent.mkdir(parents=True, exist_ok=True)
         fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
         try:
             with os.fdopen(fd, "w") as handle:
-                json.dump(record.to_dict(), handle)
+                handle.write(payload)
             os.replace(tmp, path)
         except BaseException:
             try:
@@ -87,6 +101,26 @@ class ResultCache:
             except OSError:
                 pass
             raise
+
+    def put(self, record: RunRecord) -> None:
+        """Persist a record atomically under its spec hash.
+
+        Transient ``OSError`` (network-storage hiccup, inode pressure)
+        is retried under :attr:`retry_policy`; a persistent error
+        propagates as the original ``OSError`` once the budget is
+        spent, so callers see the same exception type as before.
+        """
+        path = self._path(record.spec_hash)
+        payload = json.dumps(record.to_dict())
+        before = self.retry_policy.retries
+        try:
+            self.retry_policy.call(
+                lambda: self._write_atomic(path, payload),
+                retry_on=(OSError,))
+        except RetryExhausted as exc:
+            self.stats.write_retries += self.retry_policy.retries - before
+            raise exc.last from exc
+        self.stats.write_retries += self.retry_policy.retries - before
         self.stats.writes += 1
 
     def __contains__(self, key: str) -> bool:

@@ -13,6 +13,13 @@ Subcommands::
     repro-engine scenarios
     repro-engine stream --scenario convoy --count 32 --sessions 32 \\
                         --chunk 64
+    repro-engine chaos --scenario convoy --count 24 \\
+                       --plan '{"chunk_drop": 0.1, "node_dropout": 0.2}' \\
+                       --intensity 0,0.5,1
+
+``chaos`` scales a fault mix across an intensity ladder and reruns the
+same passes at every rung, printing the decode-rate degradation
+frontier (see :mod:`repro.faults`).
 
 ``stream`` replays scenarios as concurrent live decode sessions
 through :mod:`repro.stream` and prints per-session latency/throughput
@@ -37,8 +44,9 @@ from typing import Any, Sequence
 
 from .cache import ResultCache
 from .records import RunRecord
-from .report import fusion_table, group_table, latency_table, summarize
-from .runner import BatchRunner
+from .report import (fusion_table, group_table, latency_table,
+                     robustness_table, summarize)
+from .runner import FAILURE_STAGES, BatchAborted, BatchRunner
 from .spec import GridSpec, ScenarioSpec, expand_grid
 
 __all__ = ["main", "build_parser"]
@@ -49,7 +57,16 @@ _INT_FIELDS = {"seed", "n_receivers", "stream_chunk"}
 _STR_FIELDS = {"bits", "source", "detector", "pd_gain", "ground", "car",
                "motion", "decoder", "threshold_rule", "topology"}
 _NONEABLE = {"seed", "car", "visibility_m", "start_position_m",
-             "sample_rate_hz"}
+             "sample_rate_hz", "fault_plan"}
+#: Structured fields taking inline JSON on the command line, e.g.
+#: ``--set fault_plan='{"chunk_drop": 0.1}'`` (the spec coerces the
+#: mapping to its dataclass on construction).
+_JSON_FIELDS = {"fault_plan"}
+
+#: Process exit code for batches that died outside the physics —
+#: crashed/quarantined workers or a --max-failures abort — as opposed
+#: to legitimate decode failures (1) and usage errors (2).
+EXIT_EXECUTOR_ERROR = 3
 
 
 def _coerce(name: str, text: str) -> Any:
@@ -68,6 +85,14 @@ def _coerce(name: str, text: str) -> Any:
             f"{', '.join(valid)}")
     if name in _NONEABLE and text.lower() in ("none", "null", "auto"):
         return None
+    if name in _JSON_FIELDS:
+        try:
+            value = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"{name} expects inline JSON: {exc}") from exc
+        if not isinstance(value, dict):
+            raise ValueError(f"{name} expects a JSON object, got {text!r}")
+        return value
     if name in _BOOL_FIELDS:
         lowered = text.lower()
         if lowered in ("1", "true", "yes", "on"):
@@ -129,7 +154,9 @@ def _make_runner(args: argparse.Namespace) -> BatchRunner:
     return BatchRunner(workers=getattr(args, "workers", 1) or 1,
                        cache=cache,
                        backend=getattr(args, "backend", "process"),
-                       dtype=getattr(args, "dtype", "float64"))
+                       dtype=getattr(args, "dtype", "float64"),
+                       scenario_timeout_s=getattr(args, "timeout", None),
+                       max_failures=getattr(args, "max_failures", None))
 
 
 def _write_records(records: Sequence[RunRecord], path: str | None) -> None:
@@ -160,6 +187,11 @@ def _cmd_run(args: argparse.Namespace) -> int:
     record = result.records[0]
     _write_records(result.records, args.out)
     print(json.dumps(record.to_dict(), indent=2, sort_keys=True))
+    if record.stage in FAILURE_STAGES:
+        # The run died outside the physics (crashed worker, timeout,
+        # simulation error) — that is never a "legitimate" failure, so
+        # --allow-failure does not forgive it.
+        return EXIT_EXECUTOR_ERROR
     return 0 if record.success or args.allow_failure else 1
 
 
@@ -192,13 +224,26 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                 "--count/--family-seed only apply with --scenario")
         specs = expand_grid(template, axes)
     runner = _make_runner(args)
-    result = runner.run(specs)
+    aborted: BatchAborted | None = None
+    try:
+        result = runner.run(specs)
+    except BatchAborted as exc:
+        aborted = exc
+        result = exc.result
     _write_records(result.records, args.out)
     print(result.stats.summary())
     print(summarize(result.records))
     _print_group_tables(result.records, args.group_by or [])
     if args.out:
         print(f"records written to {args.out}")
+    if aborted is not None:
+        print(f"repro-engine: {aborted}", file=sys.stderr)
+        return EXIT_EXECUTOR_ERROR
+    if any(r.stage in FAILURE_STAGES for r in result.records):
+        n = sum(r.stage in FAILURE_STAGES for r in result.records)
+        print(f"repro-engine: {n} scenario(s) died outside the physics "
+              "(executor error / simulation failure)", file=sys.stderr)
+        return EXIT_EXECUTOR_ERROR
     return 0
 
 
@@ -208,12 +253,16 @@ def _print_group_tables(records: Sequence[RunRecord],
     and latency columns on streamed ones."""
     networked = any(r.networked for r in records)
     streamed = any(r.streamed for r in records)
+    faulted = any(r.faulted or r.stage == "executor_error"
+                  for r in records)
     for axis in axes:
         print(group_table(records, axis))
         if networked:
             print(fusion_table(records, axis))
         if streamed:
             print(latency_table(records, axis))
+        if faulted:
+            print(robustness_table(records, axis))
     # A networked sweep always gets the receiver-count fusion curve —
     # the Section 6 improvement — even without an explicit --group-by.
     if networked and "n_receivers" not in axes:
@@ -374,6 +423,72 @@ def _cmd_stream(args: argparse.Namespace) -> int:
     return 0
 
 
+#: Default fault mix for ``repro-engine chaos`` when no --plan is
+#: given: mild chunk loss/duplication on the transport, burst noise and
+#: dropouts on the capture, and occasional receiver dropout (the node
+#: knob only bites on networked specs).
+_DEFAULT_CHAOS_PLAN = {"chunk_drop": 0.05, "chunk_duplicate": 0.02,
+                       "burst_rate_hz": 2.0, "dropout_rate_hz": 1.0,
+                       "node_dropout": 0.1}
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    """Sweep decode success versus fault intensity.
+
+    Scales one fault mix across an intensity ladder and runs the same
+    underlying passes at every rung (fault plans never perturb the
+    noise seed), printing the measured degradation frontier.
+    """
+    from ..faults.chaos import sweep_fault_intensity
+    from ..faults.plan import FaultPlan
+
+    if args.plan_file:
+        plan_dict = json.loads(Path(args.plan_file).read_text())
+    elif args.plan:
+        plan_dict = json.loads(args.plan)
+    else:
+        plan_dict = dict(_DEFAULT_CHAOS_PLAN)
+    if not isinstance(plan_dict, dict):
+        raise ValueError("--plan expects a JSON object of FaultPlan "
+                         f"fields, got {plan_dict!r}")
+    plan = FaultPlan.from_dict(plan_dict)
+    intensities = [float(item) for item in args.intensity.split(",")
+                   if item.strip()]
+    if not intensities:
+        raise ValueError(f"--intensity expects a comma-separated list "
+                         f"of scale factors, got {args.intensity!r}")
+    count = args.count if args.count is not None else 24
+    if count < 1:
+        raise ValueError(f"--count must be >= 1, got {count}")
+    template = _load_template(args)
+    if args.scenario:
+        from ..scenarios import expand_family
+
+        specs = expand_family(args.scenario, count=count,
+                              seed=args.family_seed or 0,
+                              template=template)
+    else:
+        if args.family_seed is not None:
+            raise ValueError("--family-seed only applies with --scenario")
+        if template.seed is not None:
+            specs = [template]
+        else:
+            specs = expand_grid(template, {"seed": list(range(count))})
+    runner = _make_runner(args)
+    sweep = sweep_fault_intensity(specs, plan, intensities, runner)
+    print(f"chaos sweep: {len(specs)} scenario(s) x {len(intensities)} "
+          f"intensity rung(s)")
+    print(f"fault mix: {plan.canonical_json()}")
+    print(sweep.render())
+    print(f"degradation first->last rung: {sweep.degradation():+.2f} "
+          "decode rate")
+    if args.out:
+        records = [r for point in sweep.points for r in point.records]
+        _write_records(records, args.out)
+        print(f"records written to {args.out}")
+    return 0
+
+
 def _cmd_scenarios(args: argparse.Namespace) -> int:
     from ..scenarios import describe_families
 
@@ -406,7 +521,13 @@ def build_parser() -> argparse.ArgumentParser:
     run_p = sub.add_parser("run", help="execute a single scenario")
     add_common(run_p)
     run_p.add_argument("--allow-failure", action="store_true",
-                       help="exit 0 even when the decode fails")
+                       help="exit 0 even when the decode fails "
+                            "(executor errors still exit 3)")
+    run_p.add_argument("--timeout", type=float, default=None,
+                       metavar="SECONDS",
+                       help="per-scenario wall-clock budget; a stuck "
+                            "scenario is quarantined and recorded as "
+                            "an executor error")
     run_p.set_defaults(func=_cmd_run)
 
     sweep_p = sub.add_parser("sweep", help="expand and run a scenario grid")
@@ -439,6 +560,17 @@ def build_parser() -> argparse.ArgumentParser:
                          help="worker processes (default: 1, serial)")
     sweep_p.add_argument("--group-by", action="append", metavar="FIELD",
                          help="print a decode-rate table per axis value")
+    sweep_p.add_argument("--timeout", type=float, default=None,
+                         metavar="SECONDS",
+                         help="per-scenario wall-clock budget; stuck "
+                              "scenarios are quarantined and recorded "
+                              "as executor errors instead of hanging "
+                              "the batch")
+    sweep_p.add_argument("--max-failures", type=int, default=None,
+                         metavar="N",
+                         help="fail fast: abort the batch (exit 3, "
+                              "partial records kept) after N executor "
+                              "errors / simulation failures")
     sweep_p.set_defaults(func=_cmd_sweep)
 
     report_p = sub.add_parser("report", help="summarize a results file")
@@ -449,6 +581,37 @@ def build_parser() -> argparse.ArgumentParser:
     scen_p = sub.add_parser("scenarios",
                             help="list the registered scenario families")
     scen_p.set_defaults(func=_cmd_scenarios)
+
+    chaos_p = sub.add_parser(
+        "chaos",
+        help="sweep decode success vs fault intensity (repro.faults)")
+    add_common(chaos_p,
+               out_help="write every rung's records to this JSONL file")
+    chaos_p.add_argument("--plan", metavar="JSON",
+                         help="fault mix as inline JSON of FaultPlan "
+                              "fields, e.g. '{\"chunk_drop\": 0.1}' "
+                              "(default: a mild mixed-layer plan)")
+    chaos_p.add_argument("--plan-file", metavar="PATH",
+                         help="JSON file with the fault mix "
+                              "(overrides --plan)")
+    chaos_p.add_argument("--intensity", default="0,0.25,0.5,0.75,1",
+                         metavar="I1,I2,...",
+                         help="intensity ladder: scale factors applied "
+                              "to the plan, run in order (default: "
+                              "0,0.25,0.5,0.75,1; 0 = clean baseline)")
+    chaos_p.add_argument("--scenario", metavar="FAMILY[,FAMILY...]",
+                         help="draw scenarios from a registered family "
+                              "(composable, like sweep)")
+    chaos_p.add_argument("--count", type=int, default=None,
+                         help="scenarios per rung (default: 24)")
+    chaos_p.add_argument("--family-seed", type=int, default=None,
+                         help="expansion seed for --scenario (default: 0)")
+    chaos_p.add_argument("--workers", type=int, default=1,
+                         help="worker processes (default: 1, serial)")
+    chaos_p.add_argument("--timeout", type=float, default=None,
+                         metavar="SECONDS",
+                         help="per-scenario wall-clock budget per rung")
+    chaos_p.set_defaults(func=_cmd_chaos)
 
     stream_p = sub.add_parser(
         "stream",

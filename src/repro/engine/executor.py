@@ -18,6 +18,14 @@ import dataclasses
 import time
 
 from ..channel.distortion import CLEAR, Atmosphere
+from ..faults.inject import (
+    FaultLog,
+    apply_signal_faults,
+    fault_rng,
+    intermittent_window,
+    node_fault_roll,
+    perturb_chunks,
+)
 from ..channel.mobility import (
     ConstantSpeed,
     MotionProfile,
@@ -43,7 +51,8 @@ from .spec import ScenarioSpec, derive_seed
 
 __all__ = ["build_scene", "build_decoder", "build_frontend",
            "build_simulator", "build_network", "capture_trace",
-           "execute_scenario", "node_positions", "node_seed"]
+           "error_record", "execute_scenario", "node_positions",
+           "node_seed"]
 
 
 _CAR_FACTORIES = {"volvo_v40": volvo_v40, "bmw_3_series": bmw_3_series}
@@ -280,11 +289,36 @@ def _execute_networked(spec: ScenarioSpec, started: float,
     scene = build_scene(spec)
     network = build_network(spec)
     n_data_symbols = 2 * len(packet.data_bits)
+    plan = spec.fault_plan
 
     node_rows: list[dict] = []
+    fault_log = FaultLog()
     first_trace = None
     noise_floor = 0.0
-    for node in network.nodes:
+    for i, node in enumerate(network.nodes):
+        # Per-node fault streams: the node roll (dropout/intermittent)
+        # and the node's signal corruption draw from independent,
+        # node-indexed generators, so enabling one knob never shifts
+        # another node's — or another layer's — draws.
+        fate = "ok"
+        if plan is not None and plan.nodes:
+            node_rng = fault_rng(f"node:{i}", spec.seed, plan)
+            fate = node_fault_roll(plan, node_rng)
+        if fate == "dropped":
+            # A silent node: no capture, no detection, no report — the
+            # fusion layer simply sees fewer viewpoints.
+            fault_log.nodes_dropped += 1
+            node_rows.append({
+                "node_id": node.node_id,
+                "position_m": float(node.position_m),
+                "bits": "",
+                "success": False,
+                "confidence": 0.0,
+                "timestamp_s": 0.0,
+                "timestamp_source": "none",
+                "stage": "node_dropped",
+            })
+            continue
         node_scene = dataclasses.replace(scene,
                                          receiver_x_m=node.position_m)
         sim = ChannelSimulator(
@@ -293,6 +327,13 @@ def _execute_networked(spec: ScenarioSpec, started: float,
                             include_noise=spec.include_noise,
                             seed=node.frontend.seed))
         trace = sim.capture_pass()
+        if plan is not None and plan.signals:
+            trace, sig_log = apply_signal_faults(
+                trace, plan, fault_rng(f"signal:{i}", spec.seed, plan))
+            fault_log.merge(sig_log)
+        if fate == "intermittent":
+            fault_log.nodes_intermittent += 1
+            trace = intermittent_window(trace, plan, node_rng)
         if first_trace is None:
             first_trace = trace
             noise_floor = node_scene.nominal_noise_floor_lux()
@@ -322,6 +363,11 @@ def _execute_networked(spec: ScenarioSpec, started: float,
     speed_error = (abs(speed_est - spec.speed_mps) / spec.speed_mps
                    if speed_est is not None else None)
 
+    # Every node can be dropped by an aggressive fault plan: the pass
+    # was simply never captured anywhere.
+    n_samples = len(first_trace.samples) if first_trace is not None else 0
+    sample_rate = (first_trace.sample_rate_hz if first_trace is not None
+                   else spec.sample_rate_hz)
     return RunRecord(
         spec_hash=spec.content_hash(),
         spec=spec.to_dict(),
@@ -331,10 +377,11 @@ def _execute_networked(spec: ScenarioSpec, started: float,
         success=success,
         stage=stage,
         ber=_bit_error_rate(sent, decoded),
-        n_samples=len(first_trace.samples),
-        trace_duration_s=len(first_trace.samples) / first_trace.sample_rate_hz,
-        sample_rate_hz=first_trace.sample_rate_hz,
+        n_samples=n_samples,
+        trace_duration_s=n_samples / sample_rate,
+        sample_rate_hz=sample_rate,
         noise_floor_lux=noise_floor,
+        fault_events=fault_log.counts(),
         nodes=node_rows,
         fused_bits=decoded,
         fused_success=success,
@@ -357,6 +404,11 @@ def execute_scenario(spec: ScenarioSpec) -> RunRecord:
     packet = Packet.from_bitstring(spec.bits,
                                    symbol_width_m=spec.symbol_width_m)
     sent = packet.bit_string()
+    plan = spec.fault_plan
+    if plan is not None and plan.exec_sleep_s > 0.0:
+        # The chaos harness's deterministic stuck worker: a wall-clock
+        # stall the runner's per-scenario timeout is expected to catch.
+        time.sleep(plan.exec_sleep_s)
     try:
         if spec.n_receivers > 1:
             return _execute_networked(spec, started, packet, sent)
@@ -382,6 +434,11 @@ def execute_scenario(spec: ScenarioSpec) -> RunRecord:
             error=f"{type(exc).__name__}: {exc}",
             elapsed_s=time.perf_counter() - started,
         )
+    fault_log = FaultLog()
+    if plan is not None and plan.signals:
+        trace, sig_log = apply_signal_faults(
+            trace, plan, fault_rng("signal", spec.seed, plan))
+        fault_log.merge(sig_log)
     decoded = ""
     stage = "decode_failed"
     stream_fields: dict = {}
@@ -391,13 +448,22 @@ def execute_scenario(spec: ScenarioSpec) -> RunRecord:
         # the streaming runtime.  The flush verdict is byte-identical
         # to the offline decode (parity guarantee), so the headline
         # outcome matches an offline run of the same spec — streaming
-        # adds the latency telemetry, nothing else.
+        # adds the latency telemetry, nothing else.  A fault plan with
+        # stream knobs corrupts the chunk transport first; the verdict
+        # then describes the corrupted stream, by design.
         # Imported lazily, like repro.net, to keep engine import light.
-        from ..stream.replay import replay_trace
+        from ..stream.replay import iter_chunks, replay_trace
 
+        chunks = None
+        if plan is not None and plan.streams:
+            chunks, chunk_log = perturb_chunks(
+                list(iter_chunks(trace.samples, spec.stream_chunk)),
+                plan, fault_rng("stream", spec.seed, plan))
+            fault_log.merge(chunk_log)
         replay = replay_trace(trace, spec.stream_chunk,
                               n_data_symbols=n_data_symbols,
-                              decoder=build_decoder(spec))
+                              decoder=build_decoder(spec),
+                              chunks=chunks)
         verdict = replay.verdict
         if replay.decoder.result is not None:
             # The decode call returned: stage by payload comparison,
@@ -442,9 +508,41 @@ def execute_scenario(spec: ScenarioSpec) -> RunRecord:
         trace_duration_s=len(trace.samples) / trace.sample_rate_hz,
         sample_rate_hz=trace.sample_rate_hz,
         noise_floor_lux=sim.scene.nominal_noise_floor_lux(),
+        fault_events=fault_log.counts(),
         fused_bits=decoded,
         fused_success=decoded == sent,
         best_node_success=decoded == sent,
         elapsed_s=time.perf_counter() - started,
         **stream_fields,
+    )
+
+
+def error_record(spec: ScenarioSpec, message: str,
+                 elapsed_s: float = 0.0) -> RunRecord:
+    """A runner-synthesized record for a scenario that never completed.
+
+    The batch runner stamps these when it has to give up on a scenario
+    — a per-scenario timeout fired, or a worker crash outlived every
+    retry — so the batch stays complete (one record per spec) without
+    pretending the pipeline produced an outcome.  ``executor_error``
+    records are never written to the result cache.
+    """
+    spec = spec.resolve()
+    packet = Packet.from_bitstring(spec.bits,
+                                   symbol_width_m=spec.symbol_width_m)
+    return RunRecord(
+        spec_hash=spec.content_hash(),
+        spec=spec.to_dict(),
+        seed=spec.seed,
+        sent_bits=packet.bit_string(),
+        decoded_bits="",
+        success=False,
+        stage="executor_error",
+        ber=1.0,
+        n_samples=0,
+        trace_duration_s=0.0,
+        sample_rate_hz=spec.sample_rate_hz,
+        noise_floor_lux=0.0,
+        error=message,
+        elapsed_s=elapsed_s,
     )

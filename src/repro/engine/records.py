@@ -23,8 +23,11 @@ __all__ = ["RunRecord", "STAGES"]
 
 
 #: Pipeline stages a scenario can end in, ordered by progress.
-STAGES = ("simulation_failed", "preamble_not_found", "decode_failed",
-          "bit_errors", "decoded")
+#: ``executor_error`` is runner-synthesized (per-scenario timeout,
+#: crashed worker): the pipeline never ran at all, so such records are
+#: never cached.
+STAGES = ("executor_error", "simulation_failed", "preamble_not_found",
+          "decode_failed", "bit_errors", "decoded")
 
 
 @dataclass
@@ -46,7 +49,13 @@ class RunRecord:
         sample_rate_hz: concrete sampling rate used.
         noise_floor_lux: the scene's nominal ambient level.
         error: the simulator's error message when ``stage`` is
-            ``simulation_failed`` ('' otherwise).
+            ``simulation_failed``, or the runner's diagnosis when it is
+            ``executor_error`` ('' otherwise).
+        fault_events: injected-fault event counts by kind (e.g.
+            ``chunks_dropped``, ``noise_bursts``) when the spec carried
+            a fault plan; empty — and omitted from serialized records —
+            for fault-free runs, so pre-fault records keep their exact
+            bytes.
         nodes: per-node decode outcomes for networked runs
             (``spec["n_receivers"] > 1``): one dict per receiver with
             ``node_id``, ``position_m``, ``bits``, ``success``,
@@ -104,6 +113,7 @@ class RunRecord:
     sample_rate_hz: float
     noise_floor_lux: float
     error: str = ""
+    fault_events: dict[str, int] = field(default_factory=dict)
     nodes: list[dict[str, Any]] = field(default_factory=list)
     fused_bits: str = ""
     fused_success: bool = False
@@ -132,11 +142,23 @@ class RunRecord:
         """Whether this record came from an online streaming replay."""
         return self.stream_chunks > 0
 
+    @property
+    def faulted(self) -> bool:
+        """Whether any injected fault actually fired during this run."""
+        return bool(self.fault_events)
+
     def to_dict(self, include_timing: bool = True) -> dict[str, Any]:
-        """Plain-dict form (JSON-safe)."""
+        """Plain-dict form (JSON-safe).
+
+        ``fault_events`` is omitted when empty so fault-free records
+        serialize byte-identically to records from before fault
+        injection existed.
+        """
         data = dataclasses.asdict(self)
         if not include_timing:
             data.pop("elapsed_s")
+        if not data["fault_events"]:
+            data.pop("fault_events")
         return data
 
     @classmethod

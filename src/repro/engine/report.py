@@ -26,7 +26,8 @@ _SPEC_DEFAULTS = {f.name: f.default for f in dataclasses.fields(ScenarioSpec)
 
 __all__ = ["success_rate", "success_rate_by", "stage_counts",
            "mean_ber", "format_ms", "fusion_stats", "latency_stats",
-           "summarize", "group_table", "fusion_table", "latency_table"]
+           "robustness_stats", "summarize", "group_table",
+           "fusion_table", "latency_table", "robustness_table"]
 
 
 def format_ms(value: float | None, null: str = "-") -> str:
@@ -169,6 +170,60 @@ def latency_table(records: Sequence[RunRecord], axis: str) -> str:
     return "\n".join(lines)
 
 
+def robustness_stats(records: Sequence[RunRecord]) -> dict[str, Any]:
+    """Fault-injection and failure aggregates over a record set.
+
+    Returns:
+        ``n_faulted`` (records whose run logged at least one injected
+        fault event), ``executor_errors`` (records that died outside
+        the physics — crashed or quarantined workers), ``fault_events``
+        (summed per-kind injected-fault counters), ``faulted_rate`` /
+        ``clean_rate`` (decode rate over the faulted / un-faulted
+        subsets; ``None`` when a subset is empty) and ``degradation``
+        (clean minus faulted rate, ``None`` unless both sides exist).
+    """
+    faulted = [r for r in records if r.faulted]
+    clean = [r for r in records if not r.faulted]
+    events: Counter[str] = Counter()
+    for record in records:
+        events.update(record.fault_events)
+    faulted_rate = success_rate(faulted) if faulted else None
+    clean_rate = success_rate(clean) if clean else None
+    return {
+        "n_faulted": len(faulted),
+        "executor_errors": sum(r.stage == "executor_error"
+                               for r in records),
+        "fault_events": dict(sorted(events.items())),
+        "faulted_rate": faulted_rate,
+        "clean_rate": clean_rate,
+        "degradation": (clean_rate - faulted_rate
+                        if faulted_rate is not None
+                        and clean_rate is not None else None),
+    }
+
+
+def robustness_table(records: Sequence[RunRecord], axis: str) -> str:
+    """Robustness columns grouped by one spec axis.
+
+    One row per axis value: record count, how many logged injected
+    faults, decode rate, executor-error count and total injected fault
+    events.  Read decode rate down the axis (e.g. fault intensity) to
+    see the degradation curve.
+    """
+    groups = _group_by_axis(records, axis)
+    width = max((len(str(v)) for v in groups), default=1)
+    lines = [f"robustness by {axis}   "
+             "(n | faulted | decode | exec err | fault events)"]
+    for value, group in groups.items():
+        stats = robustness_stats(group)
+        n_events = sum(stats["fault_events"].values())
+        lines.append(
+            f"  {value!s:>{width}} | {len(group)} | "
+            f"{stats['n_faulted']} | {success_rate(group):.2f} | "
+            f"{stats['executor_errors']} | {n_events}")
+    return "\n".join(lines)
+
+
 def summarize(records: Sequence[RunRecord]) -> str:
     """Multi-line human summary of a record set."""
     lines = [f"scenarios: {len(records)}"]
@@ -203,6 +258,18 @@ def summarize(records: Sequence[RunRecord]) -> str:
                      f"onset p50 {ms(stats['onset_p50_s'])} | "
                      f"first bit p50 {ms(stats['first_bit_p50_s'])} | "
                      f"verdict p50 {ms(stats['verdict_p50_s'])})")
+    rb = robustness_stats(records)
+    if rb["n_faulted"] or rb["executor_errors"]:
+        n_events = sum(rb["fault_events"].values())
+
+        def pct(value: float | None) -> str:
+            return "n/a" if value is None else f"{100.0 * value:.1f}%"
+
+        lines.append(f"faulted passes: {rb['n_faulted']} "
+                     f"(decode {pct(rb['faulted_rate'])} vs clean "
+                     f"{pct(rb['clean_rate'])} | {n_events} fault "
+                     f"events | {rb['executor_errors']} executor "
+                     f"errors)")
     sim_time = sum(r.trace_duration_s for r in records)
     wall = sum(r.elapsed_s for r in records)
     lines.append(f"simulated {sim_time:.1f} s of channel time in "

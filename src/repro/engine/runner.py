@@ -19,17 +19,55 @@ from __future__ import annotations
 
 import os
 import time
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures import TimeoutError as FuturesTimeout
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Iterable, Mapping, Sequence
 
+from ..faults.retry import RetryPolicy
 from .cache import ResultCache
-from .executor import execute_scenario
+from .executor import error_record, execute_scenario
 from .records import RunRecord
 from .spec import ScenarioSpec, expand_grid
 
-__all__ = ["RunStats", "BatchResult", "BatchRunner", "run_grid"]
+__all__ = ["RunStats", "BatchResult", "BatchRunner", "BatchAborted",
+           "FAILURE_STAGES", "run_grid"]
+
+
+#: Stages counted against a ``max_failures`` fail-fast budget: the
+#: scenario produced no decode outcome at all.  Legitimate decode
+#: failures (``preamble_not_found``, ``decode_failed``, ``bit_errors``)
+#: are *results*, not failures — a sweep exists to measure them.
+FAILURE_STAGES = frozenset({"executor_error", "simulation_failed"})
+
+
+class BatchAborted(RuntimeError):
+    """A batch hit its ``max_failures`` fail-fast budget and stopped.
+
+    Attributes:
+        failures: failure count when the batch stopped.
+        threshold: the ``max_failures`` budget that was hit.
+        result: partial :class:`BatchResult` — every record completed
+            before the abort, in submission order (later scenarios are
+            simply absent).
+    """
+
+    def __init__(self, failures: int, threshold: int,
+                 result: "BatchResult") -> None:
+        super().__init__(f"batch aborted after {failures} failures "
+                         f"(max_failures={threshold})")
+        self.failures = failures
+        self.threshold = threshold
+        self.result = result
+
+
+class _Abort(Exception):
+    """Internal fail-fast carrier: partial fresh records for the
+    pending specs (aligned; unfinished entries are ``None``)."""
+
+    def __init__(self, records: list["RunRecord | None"]) -> None:
+        self.records = records
 
 
 @dataclass
@@ -43,10 +81,16 @@ class RunStats:
         workers: worker processes used (1 = in-process serial).
         elapsed_s: wall-clock time for the whole batch.
         backend: execution backend ("process" or "tensor").
-        pool_restarts: worker pools torn down and recreated after a
-            ``BrokenProcessPool`` during this batch.
-        serial_fallback: True when the pool broke twice and the batch
-            finished in-process.
+        pool_restarts: worker pools torn down and recreated (after a
+            ``BrokenProcessPool``, or a per-scenario timeout stall)
+            during this batch.
+        serial_fallback: True when the pool broke past the retry
+            policy's budget and the batch finished in-process.
+        executor_errors: runner-synthesized ``executor_error`` records
+            in this batch (timeouts, crashed workers).
+        timeouts: scenarios the per-scenario timeout gave up on.
+        fault_events: injected-fault event totals across the batch's
+            records, summed by kind (empty when nothing fired).
     """
 
     total: int = 0
@@ -57,6 +101,9 @@ class RunStats:
     backend: str = "process"
     pool_restarts: int = 0
     serial_fallback: bool = False
+    executor_errors: int = 0
+    timeouts: int = 0
+    fault_events: dict[str, int] = field(default_factory=dict)
 
     @property
     def hit_rate(self) -> float:
@@ -70,10 +117,21 @@ class RunStats:
 
     def summary(self) -> str:
         """One-line human summary of batch performance."""
-        return (f"ran {self.total} scenarios in {self.elapsed_s:.2f}s "
+        line = (f"ran {self.total} scenarios in {self.elapsed_s:.2f}s "
                 f"({self.cache_hits} cached [{self.hit_rate:.0%}], "
                 f"{self.executed} simulated, {self.workers} workers, "
                 f"{self.throughput:.1f} scenarios/s)")
+        extras = []
+        if self.timeouts:
+            extras.append(f"{self.timeouts} timed out")
+        if self.executor_errors:
+            extras.append(f"{self.executor_errors} executor errors")
+        if self.fault_events:
+            extras.append(
+                f"{sum(self.fault_events.values())} fault events")
+        if extras:
+            line += " [" + ", ".join(extras) + "]"
+        return line
 
 
 @dataclass
@@ -126,6 +184,26 @@ class BatchRunner:
             ``"float32"`` is a faster, deterministic approximation and
             therefore **bypasses the result cache**, whose keys do not
             encode the dtype.
+        retry_policy: :class:`~repro.faults.RetryPolicy` governing
+            worker-pool recovery after a ``BrokenProcessPool``: one
+            pool attempt per allowed attempt, backoff between them,
+            then the in-process serial fallback.  The default
+            (``RetryPolicy(max_attempts=2)``) replicates the classic
+            behaviour: one immediate restart, then serial.
+        scenario_timeout_s: per-scenario wall-clock budget.  When set,
+            scenarios run as individual pool futures (even with
+            ``workers=1`` — in-process code cannot be preempted); if no
+            scenario completes within one budget the pool is killed and
+            the unfinished scenarios are retried one at a time in
+            quarantine, so a single pathological spec yields one
+            ``executor_error`` record instead of hanging the batch.
+            Incompatible with ``backend="tensor"`` (fused single-process
+            passes cannot be preempted).
+        max_failures: fail-fast budget.  Counting both cache hits and
+            fresh records, once this many land in
+            :data:`FAILURE_STAGES` the batch stops and
+            :meth:`run` raises :class:`BatchAborted` carrying the
+            partial result.  Legitimate decode failures never count.
     """
 
     BACKENDS = ("process", "tensor")
@@ -133,7 +211,10 @@ class BatchRunner:
     def __init__(self, workers: int = 1,
                  cache: ResultCache | None = None,
                  chunk_size: int = 8, backend: str = "process",
-                 dtype: str = "float64") -> None:
+                 dtype: str = "float64",
+                 retry_policy: RetryPolicy | None = None,
+                 scenario_timeout_s: float | None = None,
+                 max_failures: int | None = None) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
         if chunk_size < 1:
@@ -146,18 +227,33 @@ class BatchRunner:
             if dtype not in DTYPES:
                 raise ValueError(
                     f"dtype must be one of {DTYPES}, got {dtype!r}")
+            if scenario_timeout_s is not None:
+                raise ValueError(
+                    "scenario_timeout_s requires backend='process': the "
+                    "tensor backend's fused passes cannot be preempted")
         elif dtype != "float64":
             raise ValueError(
                 "dtype is only configurable with backend='tensor', got "
                 f"{dtype!r}")
+        if scenario_timeout_s is not None and scenario_timeout_s <= 0.0:
+            raise ValueError(f"scenario_timeout_s must be positive, "
+                             f"got {scenario_timeout_s}")
+        if max_failures is not None and max_failures < 1:
+            raise ValueError(f"max_failures must be >= 1, "
+                             f"got {max_failures}")
         self.workers = workers
         self.cache = cache
         self.chunk_size = chunk_size
         self.backend = backend
         self.dtype = dtype
+        self.retry_policy = retry_policy or RetryPolicy(max_attempts=2)
+        self.scenario_timeout_s = scenario_timeout_s
+        self.max_failures = max_failures
         self._pool: ProcessPoolExecutor | None = None
         self._pool_restarts = 0
         self._serial_fallback = False
+        self._timeouts = 0
+        self._failures = 0
 
     # ------------------------------------------------------------------
     def close(self) -> None:
@@ -185,10 +281,17 @@ class BatchRunner:
 
     # ------------------------------------------------------------------
     def run(self, specs: Iterable[ScenarioSpec]) -> BatchResult:
-        """Execute a batch; returns records in submission order."""
+        """Execute a batch; returns records in submission order.
+
+        Raises:
+            BatchAborted: the ``max_failures`` fail-fast budget was
+                exhausted; the exception carries the partial result.
+        """
         started = time.perf_counter()
         self._pool_restarts = 0
         self._serial_fallback = False
+        self._timeouts = 0
+        self._failures = 0
         resolved = [spec.resolve() for spec in specs]
         records: list[RunRecord | None] = [None] * len(resolved)
 
@@ -208,23 +311,52 @@ class BatchRunner:
         else:
             pending = list(range(len(resolved)))
 
-        fresh = self._execute([resolved[i] for i in pending])
+        # Cached failures count against the fail-fast budget too — a
+        # rerun of a known-broken grid should stop just as fast.
+        aborted = False
+        for record in records:
+            if record is not None and self._note_failure(record):
+                aborted = True
+                break
+
+        fresh: list[RunRecord | None] = [None] * len(pending)
+        if not aborted:
+            try:
+                fresh = self._execute([resolved[i] for i in pending])
+            except _Abort as abort:
+                fresh = abort.records
+                fresh += [None] * (len(pending) - len(fresh))
+                aborted = True
+
+        executed = 0
         for i, record in zip(pending, fresh):
+            if record is None:
+                continue
+            executed += 1
             records[i] = record
-            if cache is not None:
+            # Runner-synthesized records describe this run's executor,
+            # not the scenario: never cache them.
+            if cache is not None and record.stage != "executor_error":
                 cache.put(record)
 
+        kept = [r for r in records if r is not None]
         stats = RunStats(
             total=len(resolved),
             cache_hits=len(resolved) - len(pending),
-            executed=len(pending),
+            executed=executed,
             workers=self.workers,
             elapsed_s=time.perf_counter() - started,
             backend=self.backend,
             pool_restarts=self._pool_restarts,
             serial_fallback=self._serial_fallback,
+            executor_errors=sum(r.stage == "executor_error" for r in kept),
+            timeouts=self._timeouts,
+            fault_events=_sum_fault_events(kept),
         )
-        return BatchResult(records=list(records), stats=stats)
+        result = BatchResult(records=kept, stats=stats)
+        if aborted:
+            raise BatchAborted(self._failures, self.max_failures, result)
+        return result
 
     def run_grid(self, template: ScenarioSpec,
                  axes: Mapping[str, Sequence]) -> BatchResult:
@@ -232,40 +364,100 @@ class BatchRunner:
         return self.run(expand_grid(template, axes))
 
     # ------------------------------------------------------------------
+    def _note_failure(self, record: RunRecord) -> bool:
+        """Count a record against the fail-fast budget; True = abort."""
+        if record.stage in FAILURE_STAGES:
+            self._failures += 1
+            if (self.max_failures is not None
+                    and self._failures >= self.max_failures):
+                return True
+        return False
+
+    def _kill_pool(self) -> None:
+        """Tear the pool down *hard*: stuck workers never return, so a
+        cooperative shutdown would wait forever.  Worker processes are
+        killed first (a private attribute, guarded — degrade to a
+        non-waiting shutdown if the layout moves), then the executor is
+        discarded without waiting."""
+        pool, self._pool = self._pool, None
+        if pool is None:
+            return
+        for process in list(getattr(pool, "_processes", {}).values()):
+            try:
+                process.kill()
+            except Exception:
+                pass
+        pool.shutdown(wait=False, cancel_futures=True)
+
+    def _serial(self, specs: Sequence[ScenarioSpec]) -> list[RunRecord]:
+        out: list[RunRecord] = []
+        for spec in specs:
+            record = execute_scenario(spec)
+            out.append(record)
+            if self._note_failure(record):
+                raise _Abort(out)
+        return out
+
     def _execute(self, specs: Sequence[ScenarioSpec]) -> list[RunRecord]:
         if not specs:
             return []
         if self.backend == "tensor":
             from ..tensor.batch import execute_batch
 
-            return execute_batch(specs, dtype=self.dtype)
+            records = execute_batch(specs, dtype=self.dtype)
+            # The fused passes are all-or-nothing, so fail-fast can
+            # only trim the already-computed tail.
+            for k, record in enumerate(records):
+                if self._note_failure(record):
+                    raise _Abort(records[:k + 1])
+            return records
+        if self.scenario_timeout_s is not None:
+            return self._execute_with_timeout(specs)
         if self.workers == 1 or len(specs) == 1:
-            return [execute_scenario(spec) for spec in specs]
+            return self._serial(specs)
         workers = min(self.workers, len(specs))
         # Chunking keeps per-task IPC overhead negligible while still
         # load-balancing: at least ~4 chunks per worker when possible.
         chunksize = max(1, min(self.chunk_size,
                                len(specs) // (workers * 4) or 1))
-        for attempt in range(2):
+        policy = self.retry_policy
+        baseline = self._failures
+        for attempt in range(policy.max_attempts):
             if self._pool is None:
                 self._pool = ProcessPoolExecutor(max_workers=self.workers)
+            policy.attempts_made += 1
+            results: list[RunRecord] = []
             try:
-                return list(self._pool.map(execute_scenario, specs,
-                                           chunksize=chunksize))
+                for record in self._pool.map(execute_scenario, specs,
+                                             chunksize=chunksize):
+                    results.append(record)
+                    if self._note_failure(record):
+                        self._kill_pool()
+                        raise _Abort(results)
+                return results
             except BrokenProcessPool:
                 # A worker died mid-batch (OOM kill, segfault, hard
                 # crash in a C extension).  The pool is unusable and
                 # every in-flight result is lost, but the *batch* is
                 # still salvageable: every spec is deterministic, so
                 # rerunning the whole list is safe.  Tear the pool
-                # down, recreate it once, and if it breaks again stop
-                # burning processes and finish in-process.
+                # down and recreate it per the retry policy (with its
+                # backoff — transient resource pressure gets a chance
+                # to clear); past the budget, stop burning processes
+                # and finish in-process.
                 self.close()
-                if attempt == 0:
-                    self._pool_restarts += 1
-                    continue
-                self._serial_fallback = True
-                return [execute_scenario(spec) for spec in specs]
+                self._failures = baseline  # the rerun recounts them
+                if attempt == policy.max_attempts - 1:
+                    self._serial_fallback = True
+                    return self._serial(specs)
+                self._pool_restarts += 1
+                policy.retries += 1
+                delay = policy.delay_s(attempt)
+                if delay > 0.0:
+                    policy.total_wait_s += delay
+                    time.sleep(delay)
+            except _Abort:
+                raise
             except Exception:
                 # Any other failure (unpicklable spec, executor bug)
                 # would just repeat on retry; drop the pool so the
@@ -273,6 +465,93 @@ class BatchRunner:
                 self.close()
                 raise
         raise AssertionError("unreachable")  # pragma: no cover
+
+    # ------------------------------------------------------------------
+    def _execute_with_timeout(self,
+                              specs: Sequence[ScenarioSpec],
+                              ) -> list[RunRecord]:
+        """Per-scenario-timeout path: individual pool futures.
+
+        Scenarios are submitted one future each (no chunking: a chunk
+        shares its fate, which would let one stuck spec poison its
+        chunk-mates).  A stall — no future completing within one
+        scenario budget — means at least one worker is stuck; the pool
+        is killed and every unfinished scenario retries alone in
+        quarantine, separating the healthy (they complete) from the
+        pathological (they time out again and are recorded as
+        ``executor_error``).
+        """
+        timeout = self.scenario_timeout_s
+        records: list[RunRecord | None] = [None] * len(specs)
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self.workers)
+        futures = {self._pool.submit(execute_scenario, spec): i
+                   for i, spec in enumerate(specs)}
+        pending = set(futures)
+        broken = False
+        while pending and not broken:
+            done, pending = wait(pending, timeout=timeout,
+                                 return_when=FIRST_COMPLETED)
+            if not done:
+                break  # stall: a full scenario budget with no progress
+            for future in done:
+                i = futures[future]
+                try:
+                    records[i] = future.result()
+                except BrokenProcessPool:
+                    broken = True
+                    continue
+                except Exception as exc:
+                    records[i] = error_record(
+                        specs[i], f"{type(exc).__name__}: {exc}")
+                if records[i] is not None and self._note_failure(records[i]):
+                    self._kill_pool()
+                    raise _Abort(records)
+
+        leftovers = [i for i, r in enumerate(records) if r is None]
+        if leftovers:
+            self._kill_pool()
+            self._pool_restarts += 1
+            for i in leftovers:
+                records[i] = self._quarantine(specs[i])
+                if self._note_failure(records[i]):
+                    raise _Abort(records)
+        return records  # type: ignore[return-value]
+
+    def _quarantine(self, spec: ScenarioSpec) -> RunRecord:
+        """Run one suspect scenario alone in a disposable worker."""
+        timeout = self.scenario_timeout_s
+        pool = ProcessPoolExecutor(max_workers=1)
+        try:
+            future = pool.submit(execute_scenario, spec)
+            try:
+                return future.result(timeout=timeout)
+            except FuturesTimeout:
+                self._timeouts += 1
+                return error_record(
+                    spec, f"scenario timed out after {timeout:g} s "
+                          f"(quarantined)")
+            except BrokenProcessPool:
+                return error_record(
+                    spec, "worker process died (quarantined)")
+            except Exception as exc:
+                return error_record(spec, f"{type(exc).__name__}: {exc}")
+        finally:
+            for process in list(getattr(pool, "_processes", {}).values()):
+                try:
+                    process.kill()
+                except Exception:
+                    pass
+            pool.shutdown(wait=False, cancel_futures=True)
+
+
+def _sum_fault_events(records: Sequence[RunRecord]) -> dict[str, int]:
+    """Batch-wide injected-fault totals, summed by kind."""
+    totals: dict[str, int] = {}
+    for record in records:
+        for kind, count in record.fault_events.items():
+            totals[kind] = totals.get(kind, 0) + count
+    return totals
 
 
 def run_grid(template: ScenarioSpec, axes: Mapping[str, Sequence],

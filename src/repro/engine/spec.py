@@ -22,6 +22,8 @@ import math
 from dataclasses import dataclass
 from typing import Any, Mapping, Sequence
 
+from ..faults.plan import FaultPlan
+
 __all__ = ["ScenarioSpec", "GridSpec", "derive_seed", "expand_grid",
            "grid_size", "MOTIONS", "TOPOLOGIES"]
 
@@ -125,6 +127,14 @@ class ScenarioSpec:
         include_noise: disable for noiseless optical truth.
         seed: noise seed; ``None`` derives a deterministic seed from the
             spec content, so every grid point gets its own stable seed.
+        fault_plan: optional :class:`~repro.faults.FaultPlan` describing
+            deterministic corruption injected into the captured pass,
+            its chunk transport, and its receiver nodes.  ``None``
+            (default) runs fault-free and serializes identically to a
+            spec predating the field.  Like the streaming knobs, the
+            plan does **not** perturb the derived noise seed — faults
+            corrupt the capture of the same physical pass — but it does
+            change the cache identity.
     """
 
     bits: str = "10"
@@ -156,8 +166,22 @@ class ScenarioSpec:
     stream_feed_hz: float = 0.0
     include_noise: bool = True
     seed: int | None = None
+    fault_plan: FaultPlan | None = None
 
     def __post_init__(self) -> None:
+        if isinstance(self.fault_plan, Mapping):
+            object.__setattr__(self, "fault_plan",
+                               FaultPlan.from_dict(self.fault_plan))
+        if self.fault_plan is not None and not isinstance(self.fault_plan,
+                                                          FaultPlan):
+            raise ValueError(f"fault_plan must be a FaultPlan, a mapping or "
+                             f"None, got {self.fault_plan!r}")
+        if self.fault_plan is not None and self.fault_plan.empty:
+            # An all-off plan is behaviourally identical to no plan;
+            # normalizing keeps the content hash (and therefore the
+            # cache key and record bytes) identical too — the "empty
+            # plan == today's output" contract, made literal.
+            object.__setattr__(self, "fault_plan", None)
         if not self.bits or any(c not in "01" for c in self.bits):
             raise ValueError(f"bits must be a non-empty 0/1 string, "
                              f"got {self.bits!r}")
@@ -260,13 +284,17 @@ class ScenarioSpec:
         ``stream_feed_hz``) are excluded too: they change how the
         captured pass is *fed to the decoder*, not the physical pass,
         so a streamed scenario must see exactly the offline scenario's
-        noise.  Every other field perturbs the seed, giving each grid
-        point independent noise.
+        noise.  ``fault_plan`` is excluded for the same reason: faults
+        corrupt the capture and transport of the pass, never its
+        physics, so a chaos sweep measures degradation on exactly the
+        passes the clean run decoded.  Every other field perturbs the
+        seed, giving each grid point independent noise.
         """
         payload = self.to_dict()
         payload.pop("seed")
         payload.pop("stream_chunk")
         payload.pop("stream_feed_hz")
+        payload.pop("fault_plan", None)
         if payload["sample_rate_hz"] is None:
             payload["sample_rate_hz"] = self.auto_sample_rate_hz()
         if payload["start_position_m"] is None:
@@ -279,12 +307,18 @@ class ScenarioSpec:
     def to_dict(self) -> dict[str, Any]:
         """Plain-dict form (JSON-safe).
 
-        Every field is a flat scalar, so a direct dict build produces
-        exactly ``dataclasses.asdict(self)`` without its recursive
-        deep-copy walk — this sits on the batch executor's per-record
-        hot path.
+        Every field but ``fault_plan`` is a flat scalar, so a direct
+        dict build produces exactly ``dataclasses.asdict(self)``
+        without its recursive deep-copy walk — this sits on the batch
+        executor's per-record hot path.  ``fault_plan`` is emitted as
+        a nested dict and **omitted entirely when unset**, so fault-free
+        specs keep the exact serialized form (and hashes) they had
+        before the field existed.
         """
-        return {name: getattr(self, name) for name in _FIELD_NAMES}
+        data = {name: getattr(self, name) for name in _FIELD_NAMES}
+        if self.fault_plan is not None:
+            data["fault_plan"] = self.fault_plan.to_dict()
+        return data
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "ScenarioSpec":
@@ -314,9 +348,11 @@ class ScenarioSpec:
         return hashlib.sha256(resolved.canonical_json().encode()).hexdigest()
 
 
-#: Field names in declaration order, resolved once for the
-#: :meth:`ScenarioSpec.to_dict` fast path.
-_FIELD_NAMES = tuple(f.name for f in dataclasses.fields(ScenarioSpec))
+#: Scalar field names in declaration order, resolved once for the
+#: :meth:`ScenarioSpec.to_dict` fast path (``fault_plan`` is handled
+#: separately: nested, and omitted when ``None``).
+_FIELD_NAMES = tuple(f.name for f in dataclasses.fields(ScenarioSpec)
+                     if f.name != "fault_plan")
 
 
 # ----------------------------------------------------------------------

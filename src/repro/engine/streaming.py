@@ -48,7 +48,14 @@ class SessionOutcome:
         signal_level: the online normalizer's running level state
             (``min``/``max``/``span``; None when no finite sample
             arrived).
-        detection: the session's pass report for the fusion layer.
+        detection: the session's pass report for the fusion layer
+            (None when the session failed before flushing).
+        error: why the session failed ('' while healthy) — a decoder
+            exception the mux isolated, or a watchdog timeout.
+        timed_out: the mux watchdog cancelled this session.
+        decode_errors: decoder exceptions the mux contained.
+        fault_events: injected-fault event counts for this session's
+            feed (empty without a fault plan).
     """
 
     session_id: str
@@ -69,10 +76,24 @@ class SessionOutcome:
     throughput_sps: float = 0.0
     signal_level: dict[str, float] | None = None
     detection: Detection | None = None
+    error: str = ""
+    timed_out: bool = False
+    decode_errors: int = 0
+    fault_events: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def failed(self) -> bool:
+        """Whether the mux gave up on this session."""
+        return bool(self.error)
 
     def to_dict(self) -> dict[str, Any]:
-        """JSON-safe dump (the ``--out`` JSONL row)."""
-        return {
+        """JSON-safe dump (the ``--out`` JSONL row).
+
+        Failure and fault keys appear only when set, so healthy
+        fault-free rows keep the exact shape they had before the
+        resilience layer existed.
+        """
+        row = {
             "session": self.session_id,
             "spec_hash": self.spec_hash,
             "sent_bits": self.sent_bits,
@@ -89,6 +110,13 @@ class SessionOutcome:
             },
             "signal_level": self.signal_level,
         }
+        if self.error:
+            row["error"] = self.error
+            row["timed_out"] = self.timed_out
+            row["decode_errors"] = self.decode_errors
+        if self.fault_events:
+            row["fault_events"] = self.fault_events
+        return row
 
 
 @dataclass
@@ -121,6 +149,11 @@ class StreamRunResult:
         return sum(o.success for o in self.outcomes) / len(self.outcomes)
 
     @property
+    def failed_sessions(self) -> int:
+        """Sessions the mux gave up on (poisoned or timed out)."""
+        return sum(o.failed for o in self.outcomes)
+
+    @property
     def backpressure_waits(self) -> int:
         return sum(o.backpressure_waits for o in self.outcomes)
 
@@ -131,13 +164,18 @@ class StreamRunResult:
 
     def fusion_by_payload(self) -> "dict[str, FusedObservation]":
         """Cross-session verdicts, one confidence-weighted vote per
-        distinct sent payload (sorted by payload)."""
+        distinct sent payload (sorted by payload).
+
+        Failed sessions contributed no detection and simply do not
+        vote; a payload observed only by failed sessions is absent.
+        """
         from ..net.fusion import fuse_detections
 
         groups: dict[str, list] = {}
         for outcome in self.outcomes:
-            groups.setdefault(outcome.sent_bits, []).append(
-                outcome.detection)
+            if outcome.detection is not None:
+                groups.setdefault(outcome.sent_bits, []).append(
+                    outcome.detection)
         return {payload: fuse_detections(detections)
                 for payload, detections in sorted(groups.items())}
 
@@ -170,12 +208,52 @@ def _capture_all(specs: Sequence[ScenarioSpec], workers: int,
              for spec, spec_hash in zip(specs, hashes)], len(distinct))
 
 
+def _session_faults(spec: ScenarioSpec, trace, chunk_size: int):
+    """Apply one session's fault plan to its captured feed.
+
+    Returns ``(trace, chunks_override, fault_events)``: the (possibly
+    corrupted) trace, a pre-chunked transport override when stream
+    faults fired (None otherwise), and the event counts.  No plan:
+    the inputs come back untouched.
+    """
+    plan = spec.fault_plan
+    if plan is None or not (plan.signals or plan.streams):
+        return trace, None, {}
+    from ..faults.inject import (
+        FaultLog,
+        apply_signal_faults,
+        fault_rng,
+        perturb_chunks,
+    )
+    from ..stream.replay import iter_chunks
+
+    log = FaultLog()
+    if plan.signals:
+        trace, sig_log = apply_signal_faults(
+            trace, plan, fault_rng("signal", spec.seed, plan))
+        log.merge(sig_log)
+    chunks = None
+    if plan.streams:
+        chunks, chunk_log = perturb_chunks(
+            list(iter_chunks(trace.samples, chunk_size)),
+            plan, fault_rng("stream", spec.seed, plan))
+        log.merge(chunk_log)
+    return trace, chunks, log.counts()
+
+
 def run_stream(specs: Sequence[ScenarioSpec], sessions: int = 8,
                chunk_size: int = 64, feed_hz: float = 0.0,
                queue_chunks: int = 8, workers: int = 1,
+               watchdog_s: float | None = None,
                progress: Callable[[str], None] | None = None,
                ) -> StreamRunResult:
     """Replay scenarios as concurrent live decode sessions.
+
+    Sessions run isolated: a poisoned decoder or a watchdog expiry
+    fails its own session (surfaced on the outcome's ``error`` /
+    ``timed_out``) while every sibling completes and fuses normally.
+    Specs carrying a ``fault_plan`` have their captured pass and chunk
+    transport corrupted deterministically before the replay.
 
     Args:
         specs: the scenarios; each becomes one session.  Resolved (and
@@ -185,6 +263,7 @@ def run_stream(specs: Sequence[ScenarioSpec], sessions: int = 8,
         feed_hz: per-session pacing in chunks/s (0 = unpaced).
         queue_chunks: per-session backpressure bound.
         workers: worker processes for the capture phase.
+        watchdog_s: optional per-session watchdog budget.
         progress: optional sink for human progress lines.
     """
     from ..stream.session import replay_traces
@@ -204,13 +283,23 @@ def run_stream(specs: Sequence[ScenarioSpec], sessions: int = 8,
                              n_distinct_captures=n_distinct)
     for wave_start in range(0, len(feeds), sessions):
         wave = feeds[wave_start:wave_start + sessions]
-        mux_feeds = {
-            f"s{wave_start + i:03d}": (trace, 2 * len(spec.bits),
-                                       build_decoder(spec))
-            for i, (spec, _, trace) in enumerate(wave)}
+        mux_feeds = {}
+        chunk_overrides = {}
+        wave_faults: dict[str, dict[str, int]] = {}
+        for i, (spec, _, trace) in enumerate(wave):
+            sid = f"s{wave_start + i:03d}"
+            trace, chunks, events = _session_faults(spec, trace,
+                                                    chunk_size)
+            if chunks is not None:
+                chunk_overrides[sid] = chunks
+            wave_faults[sid] = events
+            mux_feeds[sid] = (trace, 2 * len(spec.bits),
+                              build_decoder(spec))
         started = time.perf_counter()
         mux = replay_traces(mux_feeds, chunk_size=chunk_size,
-                            feed_hz=feed_hz, queue_chunks=queue_chunks)
+                            feed_hz=feed_hz, queue_chunks=queue_chunks,
+                            watchdog_s=watchdog_s, isolate_errors=True,
+                            chunks_by_session=chunk_overrides or None)
         result.wall_s += time.perf_counter() - started
         for i, (spec, spec_hash, _) in enumerate(wave):
             session = mux.session(f"s{wave_start + i:03d}")
@@ -224,8 +313,11 @@ def run_stream(specs: Sequence[ScenarioSpec], sessions: int = 8,
                 spec=spec,
                 spec_hash=spec_hash,
                 sent_bits=spec.bits,
-                verdict_bits=verdict.bits,
-                success=verdict.bits == spec.bits,
+                # A failed session has no verdict event — it never
+                # flushed; its outcome records why instead.
+                verdict_bits=verdict.bits if verdict is not None else "",
+                success=(verdict is not None
+                         and verdict.bits == spec.bits),
                 onset_latency_s=decoder.latency("onset"),
                 first_bit_latency_s=decoder.latency("first_bit"),
                 verdict_latency_s=decoder.verdict_latency_s,
@@ -241,6 +333,11 @@ def run_stream(specs: Sequence[ScenarioSpec], sessions: int = 8,
                 signal_level=(None if math.isnan(norm.min) else {
                     "min": norm.min, "max": norm.max,
                     "span": norm.span}),
-                detection=session.detection(),
+                detection=(session.detection()
+                           if session.decoder.flushed else None),
+                error=session.error,
+                timed_out=stats.timed_out,
+                decode_errors=stats.decode_errors,
+                fault_events=wave_faults[session.session_id],
             ))
     return result

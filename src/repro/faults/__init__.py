@@ -1,0 +1,69 @@
+"""Deterministic fault injection and runtime resilience.
+
+Two halves of one robustness story:
+
+* **The fault plane** — :class:`FaultPlan` (declarative, validated,
+  hashable corruption riding on a scenario spec) and the injectors in
+  :mod:`repro.faults.inject` that corrupt captured traces, chunk
+  transport, and receiver nodes deterministically from spec-derived
+  seeds.  Empty plan, empty change: fault-free runs stay byte-identical.
+* **The resilience layer** — :class:`RetryPolicy` (capped exponential
+  backoff with seeded jitter, shared by the batch runner's pool
+  recovery and the result cache's IO retries) and the chaos sweep
+  harness in :mod:`repro.faults.chaos` that measures decode success
+  against fault intensity (``repro-engine chaos``).
+
+Engine-facing modules import the submodules directly
+(``repro.faults.plan``, ``repro.faults.inject``) to keep the import
+graph acyclic; this package namespace is for interactive use.
+"""
+
+from .plan import FaultPlan
+from .retry import RetryExhausted, RetryPolicy
+
+#: Lazily exposed names -> defining submodule.  ``inject`` and ``chaos``
+#: import engine modules, and ``repro.engine.spec`` imports
+#: ``repro.faults.plan`` (which runs this package __init__) — loading
+#: them eagerly here would close an import cycle mid-initialisation.
+_LAZY = {
+    "FaultLog": "inject",
+    "apply_signal_faults": "inject",
+    "fault_rng": "inject",
+    "intermittent_window": "inject",
+    "node_fault_roll": "inject",
+    "perturb_chunks": "inject",
+    "ChaosPoint": "chaos",
+    "ChaosSweep": "chaos",
+    "sweep_fault_intensity": "chaos",
+}
+
+
+def __getattr__(name: str):
+    if name in _LAZY:
+        import importlib
+
+        module = importlib.import_module(f".{_LAZY[name]}", __name__)
+        value = getattr(module, name)
+        globals()[name] = value
+        return value
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def __dir__() -> list[str]:
+    return sorted(set(globals()) | set(_LAZY))
+
+
+__all__ = [
+    "FaultPlan",
+    "FaultLog",
+    "RetryPolicy",
+    "RetryExhausted",
+    "fault_rng",
+    "apply_signal_faults",
+    "perturb_chunks",
+    "node_fault_roll",
+    "intermittent_window",
+    "ChaosPoint",
+    "ChaosSweep",
+    "sweep_fault_intensity",
+]

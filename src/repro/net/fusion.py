@@ -67,17 +67,28 @@ class FusedObservation:
         return min(1.0, self.support / total)
 
 
-def fuse_detections(detections: list[Detection]) -> FusedObservation:
+def fuse_detections(detections: list[Detection],
+                    allow_empty: bool = False) -> FusedObservation:
     """Confidence-weighted majority vote over payload reports.
 
     Undecoded reports (empty bits) count towards ``n_reports`` but do
     not vote.  Ties break towards the payload seen by the earlier
     (upstream) node, which has had the cleanest view of the preamble.
 
+    Args:
+        detections: the pass reports to fuse.
+        allow_empty: degrade gracefully when every node dropped out —
+            an empty list fuses to an empty, zero-support observation
+            instead of raising.  Off by default: for healthy callers a
+            zero-detection fuse is a logic error worth surfacing.
+
     Raises:
-        ValueError: on an empty detection list.
+        ValueError: on an empty detection list (unless ``allow_empty``).
     """
     if not detections:
+        if allow_empty:
+            return FusedObservation(bits="", support=0.0, n_reports=0,
+                                    n_decoded=0, detections=[])
         raise ValueError("cannot fuse zero detections")
     votes: dict[str, float] = defaultdict(float)
     first_seen: dict[str, float] = {}

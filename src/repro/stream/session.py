@@ -47,6 +47,10 @@ class SessionStats:
         max_queue_depth: deepest the ingest queue ever got.
         backpressure_waits: feeds that found the queue full and had to
             wait — nonzero means the producer outran the decoder.
+        decode_errors: exceptions the decoder raised while this session
+            ran (a poisoned session keeps counting while its remaining
+            chunks are drained and discarded).
+        timed_out: the mux watchdog cancelled this session.
     """
 
     n_chunks: int = 0
@@ -54,6 +58,8 @@ class SessionStats:
     busy_s: float = 0.0
     max_queue_depth: int = 0
     backpressure_waits: int = 0
+    decode_errors: int = 0
+    timed_out: bool = False
 
     @property
     def throughput_sps(self) -> float:
@@ -68,6 +74,8 @@ class SessionStats:
             "busy_s": self.busy_s,
             "max_queue_depth": self.max_queue_depth,
             "backpressure_waits": self.backpressure_waits,
+            "decode_errors": self.decode_errors,
+            "timed_out": self.timed_out,
             "throughput_sps": self.throughput_sps,
         }
 
@@ -82,6 +90,10 @@ class StreamSession:
             fusion layer's pass-grouping).
         stats: operational counters.
         events: every event the decoder emitted, in order.
+        error: first failure this session hit ('' while healthy) — a
+            decoder exception (poison) or a watchdog timeout.
+        exception: the original exception object behind ``error``, when
+            one exists (watchdog timeouts have none).
     """
 
     def __init__(self, session_id: str, decoder: StreamDecoder,
@@ -98,6 +110,13 @@ class StreamSession:
         self.queue: asyncio.Queue = asyncio.Queue(maxsize=queue_chunks)
         self.stats = SessionStats()
         self.done = asyncio.Event()
+        self.error = ""
+        self.exception: BaseException | None = None
+
+    @property
+    def failed(self) -> bool:
+        """Whether this session was poisoned or timed out."""
+        return bool(self.error)
 
     @property
     def events(self) -> list[DecodeEvent]:
@@ -152,13 +171,36 @@ class SessionMux:
     Attributes:
         queue_chunks: per-session ingest queue bound (backpressure
             threshold) for sessions created via :meth:`add_session`.
+        watchdog_s: per-session wall-clock budget.  A session whose
+            producer/worker pair does not finish inside it — a stuck
+            producer, a stream that never closes — is cancelled and
+            marked ``timed_out``; siblings are untouched.  ``None``
+            (default) disables the watchdog.
+        isolate_errors: poison-session containment.  A decoder that
+            raises is always isolated while the mux runs — its session
+            is marked failed, its remaining chunks are drained and
+            discarded (so its producer can never deadlock on a full
+            queue), and every sibling runs to completion.  With
+            ``isolate_errors=False`` (default) the first poison
+            exception is re-raised once all sessions finish — the
+            classic single-replay contract; ``True`` keeps it on
+            ``session.error``/``session.exception`` for the caller to
+            inspect.  Watchdog timeouts are the mux's own verdict and
+            are never re-raised.
     """
 
-    def __init__(self, queue_chunks: int = 8) -> None:
+    def __init__(self, queue_chunks: int = 8,
+                 watchdog_s: float | None = None,
+                 isolate_errors: bool = False) -> None:
         if queue_chunks < 1:
             raise ValueError(
                 f"queue_chunks must be >= 1, got {queue_chunks}")
+        if watchdog_s is not None and watchdog_s <= 0.0:
+            raise ValueError(
+                f"watchdog_s must be positive, got {watchdog_s}")
         self.queue_chunks = queue_chunks
+        self.watchdog_s = watchdog_s
+        self.isolate_errors = isolate_errors
         self.sessions: dict[str, StreamSession] = {}
 
     # ------------------------------------------------------------------
@@ -190,17 +232,41 @@ class SessionMux:
         """Signal end-of-stream; the worker flushes and finishes."""
         await self.sessions[session_id].queue.put(None)
 
+    def _poison(self, session: StreamSession, exc: BaseException) -> None:
+        """Mark a session failed after a decoder exception."""
+        if not session.error:
+            session.error = f"{type(exc).__name__}: {exc}"
+            session.exception = exc
+        session.stats.decode_errors += 1
+
     async def _drain(self, session: StreamSession) -> None:
-        """Worker: pull chunks, feed the decoder, flush on the sentinel."""
+        """Worker: pull chunks, feed the decoder, flush on the sentinel.
+
+        A decoder that raises poisons only its own session: the worker
+        keeps pulling and *discarding* the remaining chunks, so a
+        producer parked on the session's full queue is always released
+        — the failure is counted, never spread.
+        """
         while True:
             item = await session.queue.get()
             started = time.perf_counter()
             if item is None:
-                session.decoder.flush()
+                if not session.failed:
+                    try:
+                        session.decoder.flush()
+                    except Exception as exc:
+                        self._poison(session, exc)
                 session.stats.busy_s += time.perf_counter() - started
                 session.done.set()
                 return
-            session.decoder.push(item)
+            if session.failed:
+                continue
+            try:
+                session.decoder.push(item)
+            except Exception as exc:
+                self._poison(session, exc)
+                session.stats.busy_s += time.perf_counter() - started
+                continue
             session.stats.n_chunks += 1
             session.stats.n_samples += len(item)
             session.stats.busy_s += time.perf_counter() - started
@@ -228,9 +294,55 @@ class SessionMux:
                     await asyncio.sleep(interval)
         await self.close(session_id)
 
+    async def _run_session(self, session_id: str,
+                           chunks: Iterable[np.ndarray] | AsyncIterable,
+                           feed_hz: float) -> None:
+        """One session's producer/worker pair, watchdogged and contained.
+
+        Everything that can go wrong stays on this session: decoder
+        exceptions are poison-isolated inside :meth:`_drain`, producer
+        exceptions (a broken feed) are captured here, and a watchdog
+        expiry cancels the pair and marks the session ``timed_out`` —
+        a stuck or raising session is counted, never allowed to wedge
+        the mux or its siblings.
+        """
+        session = self.sessions[session_id]
+        worker = asyncio.ensure_future(self._drain(session))
+        producer = asyncio.ensure_future(
+            self._produce(session_id, chunks, feed_hz))
+        pair = asyncio.gather(worker, producer)
+        try:
+            if self.watchdog_s is not None:
+                await asyncio.wait_for(pair, timeout=self.watchdog_s)
+            else:
+                await pair
+        except asyncio.TimeoutError:
+            session.stats.timed_out = True
+            if not session.error:
+                session.error = (f"watchdog timeout after "
+                                 f"{self.watchdog_s:g} s")
+        except Exception as exc:
+            # The producer raised (broken feed iterable): record it on
+            # this session; the worker is cancelled below while parked
+            # on the queue (decoder exceptions never escape _drain).
+            if not session.error:
+                session.error = f"{type(exc).__name__}: {exc}"
+                session.exception = exc
+        finally:
+            for task in (worker, producer):
+                if not task.done():
+                    task.cancel()
+            await asyncio.gather(worker, producer, return_exceptions=True)
+
     async def run(self, feeds: Mapping[str, Iterable[np.ndarray]],
                   feed_hz: float = 0.0) -> None:
         """Drive every session's producer and worker to completion.
+
+        Every session runs contained (see :meth:`_run_session`): a
+        poisoned or stuck session is cancelled and counted while its
+        siblings finish normally.  Unless ``isolate_errors`` is set,
+        the first captured exception is re-raised once all sessions
+        complete.
 
         Args:
             feeds: session id -> iterable (or async iterable) of sample
@@ -241,30 +353,29 @@ class SessionMux:
         unknown = set(feeds) - set(self.sessions)
         if unknown:
             raise KeyError(f"unregistered session ids: {sorted(unknown)}")
-        workers = [asyncio.ensure_future(self._drain(self.sessions[sid]))
-                   for sid in feeds]
-        producers = [asyncio.ensure_future(
-            self._produce(sid, chunks, feed_hz))
-            for sid, chunks in feeds.items()]
-        tasks = [*workers, *producers]
-        try:
-            # One combined gather: a worker that dies mid-stream fails
-            # the gather immediately even while its producer is parked
-            # on a full queue — gathering producers first would wait on
-            # that blocked put forever (a deadlock, since the dead
-            # worker will never drain the queue).
-            await asyncio.gather(*tasks)
-        finally:
-            for task in tasks:
-                if not task.done():
-                    task.cancel()
-            await asyncio.gather(*tasks, return_exceptions=True)
+        await asyncio.gather(*[
+            self._run_session(sid, chunks, feed_hz)
+            for sid, chunks in feeds.items()])
+        if not self.isolate_errors:
+            for sid in feeds:
+                exception = self.sessions[sid].exception
+                if exception is not None:
+                    raise exception
 
     # ------------------------------------------------------------------
     def detections(self) -> list[Detection]:
-        """Every flushed session's pass report."""
+        """Every flushed session's pass report.
+
+        Failed sessions (poisoned, timed out) never flushed, so they
+        contribute nothing here — sibling fusion over the survivors is
+        byte-identical to a run that never included the failed feed.
+        """
         return [s.detection() for s in self.sessions.values()
                 if s.decoder.flushed]
+
+    def failed_sessions(self) -> list[StreamSession]:
+        """Sessions the mux had to give up on (poisoned or timed out)."""
+        return [s for s in self.sessions.values() if s.failed]
 
     def fused(self, expected_speed_mps: float | None = None,
               ) -> list[FusedObservation]:
@@ -286,7 +397,11 @@ class SessionMux:
 
 
 def replay_traces(feeds: Mapping[str, tuple], chunk_size: int,
-                  feed_hz: float = 0.0, queue_chunks: int = 8) -> SessionMux:
+                  feed_hz: float = 0.0, queue_chunks: int = 8,
+                  watchdog_s: float | None = None,
+                  isolate_errors: bool = False,
+                  chunks_by_session: Mapping[str, Iterable] | None = None,
+                  ) -> SessionMux:
     """Replay captured traces as concurrent live sessions (sync entry).
 
     Args:
@@ -295,16 +410,30 @@ def replay_traces(feeds: Mapping[str, tuple], chunk_size: int,
         chunk_size: samples per chunk, >= 1.
         feed_hz: per-session feed pacing (0 = as fast as possible).
         queue_chunks: per-session backpressure bound.
+        watchdog_s: optional per-session watchdog (see
+            :class:`SessionMux`).
+        isolate_errors: contain poisoned sessions instead of re-raising
+            after the replay (see :class:`SessionMux`).
+        chunks_by_session: optional per-session pre-chunked feed
+            overriding the trace's own chunking — the fault layer's
+            entry point for corrupted chunk transport.  Sessions not
+            named fall back to chunking their trace.
 
     Returns:
-        The completed mux (every session flushed), ready for stats,
-        events and fusion queries.
+        The completed mux (every healthy session flushed), ready for
+        stats, events and fusion queries.
     """
     from .replay import iter_chunks
 
     if chunk_size < 1:
         raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
-    mux = SessionMux(queue_chunks=queue_chunks)
+    overrides = chunks_by_session or {}
+    unknown = set(overrides) - set(feeds)
+    if unknown:
+        raise KeyError(f"chunk overrides for unknown sessions: "
+                       f"{sorted(unknown)}")
+    mux = SessionMux(queue_chunks=queue_chunks, watchdog_s=watchdog_s,
+                     isolate_errors=isolate_errors)
     chunk_feeds = {}
     for sid, (trace, n_data_symbols, decoder) in feeds.items():
         # All replay sessions observe from one place (position 0):
@@ -315,7 +444,8 @@ def replay_traces(feeds: Mapping[str, tuple], chunk_size: int,
         mux.add_session(sid, StreamDecoder(
             trace.sample_rate_hz, trace.start_time_s,
             n_data_symbols=n_data_symbols, decoder=decoder))
-        chunk_feeds[sid] = iter_chunks(trace.samples, chunk_size)
+        chunk_feeds[sid] = (overrides[sid] if sid in overrides
+                            else iter_chunks(trace.samples, chunk_size))
     coro = mux.run(chunk_feeds, feed_hz=feed_hz)
     try:
         asyncio.get_running_loop()

@@ -98,12 +98,13 @@ def optical_key(spec: ScenarioSpec) -> str:
 def fast_path_eligible(spec: ScenarioSpec) -> bool:
     """Whether the fused tensor path covers this spec.
 
-    Networked arrays, streamed replay and the two-phase car decoder
-    keep their specialised serial paths (they are delegated, per spec,
-    to ``execute_scenario`` — records stay identical by construction).
+    Networked arrays, streamed replay, fault-injected scenarios and the
+    two-phase car decoder keep their specialised serial paths (they are
+    delegated, per spec, to ``execute_scenario`` — records stay
+    identical by construction).
     """
     return (spec.n_receivers == 1 and spec.stream_chunk == 0
-            and spec.decoder == "adaptive")
+            and spec.decoder == "adaptive" and spec.fault_plan is None)
 
 
 def clear_plan_cache() -> None:

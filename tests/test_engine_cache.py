@@ -139,3 +139,66 @@ class TestInvalidation:
         assert cache.get(spec.content_hash()) == record
         nudged = spec.replace(receiver_height_m=0.21)
         assert cache.get(nudged.content_hash()) is None
+
+
+class TestWriteRetry:
+    """Transient IO errors on put() are absorbed by the retry policy."""
+
+    def _flaky_cache(self, tmp_path, fail_times, max_attempts=3):
+        import os
+
+        from repro.faults.retry import RetryPolicy
+
+        cache = ResultCache(tmp_path, retry_policy=RetryPolicy(
+            max_attempts=max_attempts, base_delay_s=0.0))
+        real_replace = os.replace
+        state = {"left": fail_times}
+
+        def flaky_replace(src, dst):
+            if state["left"] > 0:
+                state["left"] -= 1
+                raise OSError("transient storage hiccup")
+            return real_replace(src, dst)
+
+        return cache, flaky_replace
+
+    def test_transient_error_retried_to_success(self, tmp_path,
+                                                monkeypatch):
+        import os
+
+        cache, flaky = self._flaky_cache(tmp_path, fail_times=2)
+        monkeypatch.setattr(os, "replace", flaky)
+        record = make_record()
+        cache.put(record)
+        monkeypatch.undo()
+        assert cache.get(record.spec_hash) == record
+        assert cache.stats.writes == 1
+        assert cache.stats.write_retries == 2
+
+    def test_persistent_error_propagates_as_oserror(self, tmp_path,
+                                                    monkeypatch):
+        import os
+
+        cache, flaky = self._flaky_cache(tmp_path, fail_times=99)
+        monkeypatch.setattr(os, "replace", flaky)
+        with pytest.raises(OSError, match="hiccup"):
+            cache.put(make_record())
+        monkeypatch.undo()
+        assert cache.stats.writes == 0
+        assert cache.retry_policy.attempts_made == 3
+
+    def test_no_temp_litter_after_failed_put(self, tmp_path,
+                                             monkeypatch):
+        import os
+
+        cache, flaky = self._flaky_cache(tmp_path, fail_times=99)
+        monkeypatch.setattr(os, "replace", flaky)
+        with pytest.raises(OSError):
+            cache.put(make_record())
+        monkeypatch.undo()
+        assert not list(tmp_path.rglob("*.tmp"))
+
+    def test_default_policy_is_bounded(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        assert cache.retry_policy.max_attempts == 3
+        assert cache.retry_policy.base_delay_s == pytest.approx(0.01)

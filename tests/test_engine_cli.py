@@ -146,3 +146,102 @@ class TestSweepTensorBackend:
         assert main(["sweep", *FAST_SETS, "--axis", "seed=2,3",
                      "--dtype", "float32"]) == 2
         assert "tensor" in capsys.readouterr().err
+
+
+class TestFaultPlanField:
+    def test_set_fault_plan_inline_json(self, capsys):
+        code = main(["run", *FAST_SETS, "--set", "ground_lux=450",
+                     "--set", 'fault_plan={"burst_rate_hz": 20.0}'])
+        record = json.loads(capsys.readouterr().out)
+        assert record["spec"]["fault_plan"]["burst_rate_hz"] == 20.0
+        assert record["fault_events"]["noise_bursts"] > 0
+        assert code in (0, 1)  # faults may or may not break the decode
+
+    def test_fault_plan_none_accepted(self, capsys):
+        assert main(["run", *FAST_SETS, "--set", "ground_lux=450",
+                     "--set", "fault_plan=none"]) == 0
+
+    def test_malformed_fault_plan_json_is_usage_error(self, capsys):
+        assert main(["run", *FAST_SETS,
+                     "--set", "fault_plan={not json"]) == 2
+        assert "JSON" in capsys.readouterr().err
+
+    def test_non_object_fault_plan_rejected(self, capsys):
+        assert main(["run", *FAST_SETS,
+                     "--set", "fault_plan=[1,2]"]) == 2
+
+
+class TestExecutorErrorExitCodes:
+    STUCK = 'fault_plan={"exec_sleep_s": 30.0}'
+
+    def test_run_timeout_exits_3(self, capsys):
+        assert main(["run", *FAST_SETS, "--set", "ground_lux=450",
+                     "--set", self.STUCK, "--timeout", "1.5"]) == 3
+        record = json.loads(capsys.readouterr().out)
+        assert record["stage"] == "executor_error"
+
+    def test_allow_failure_does_not_forgive_executor_errors(self, capsys):
+        assert main(["run", *FAST_SETS, "--set", "ground_lux=450",
+                     "--set", self.STUCK, "--timeout", "1.5",
+                     "--allow-failure"]) == 3
+
+    def test_sweep_simulation_failure_exits_3(self, capsys):
+        assert main(["sweep", *FAST_SETS,
+                     "--set", "symbol_width_m=1e9",
+                     "--axis", "seed=1,2"]) == 3
+        assert "outside the physics" in capsys.readouterr().err
+
+    def test_sweep_max_failures_aborts_with_exit_3(self, capsys):
+        assert main(["sweep", *FAST_SETS,
+                     "--set", "symbol_width_m=1e9",
+                     "--axis", "seed=1,2,3,4",
+                     "--max-failures", "2"]) == 3
+        err = capsys.readouterr().err
+        assert "aborted" in err
+
+    def test_clean_sweep_still_exits_0(self, capsys):
+        assert main(["sweep", *FAST_SETS, "--set", "ground_lux=450",
+                     "--axis", "seed=2,3",
+                     "--max-failures", "1", "--timeout", "30"]) == 0
+
+
+class TestChaosCommand:
+    def test_chaos_prints_frontier(self, capsys):
+        code = main(["chaos", *FAST_SETS, "--set", "ground_lux=450",
+                     "--plan", '{"burst_rate_hz": 10.0}',
+                     "--intensity", "0,1"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "chaos frontier" in out
+        assert "degradation" in out
+
+    def test_chaos_writes_records(self, tmp_path, capsys):
+        out = tmp_path / "chaos.jsonl"
+        assert main(["chaos", *FAST_SETS, "--set", "ground_lux=450",
+                     "--plan", '{"saturate_fraction": 0.5}',
+                     "--intensity", "0,1", "--out", str(out)]) == 0
+        lines = [json.loads(l) for l in out.read_text().splitlines()]
+        assert len(lines) == 2  # one pinned seed, two rungs
+        assert "fault_plan" not in lines[0]["spec"]
+        assert lines[1]["spec"]["fault_plan"]["saturate_fraction"] == 0.5
+
+    def test_chaos_empty_plan_is_usage_error(self, capsys):
+        assert main(["chaos", *FAST_SETS,
+                     "--plan", "{}", "--intensity", "0,1"]) == 2
+        assert "empty" in capsys.readouterr().err
+
+    def test_chaos_bad_intensity_is_usage_error(self, capsys):
+        assert main(["chaos", *FAST_SETS,
+                     "--plan", '{"chunk_drop": 0.1}',
+                     "--intensity", ",,"]) == 2
+
+    def test_chaos_fans_seeds_without_explicit_seed(self, capsys):
+        pairs = list(zip(FAST_SETS[::2], FAST_SETS[1::2]))
+        sets = [arg for flag, value in pairs if value != "seed=3"
+                for arg in (flag, value)]
+        code = main(["chaos", *sets, "--set", "ground_lux=450",
+                     "--count", "3",
+                     "--plan", '{"burst_rate_hz": 5.0}',
+                     "--intensity", "1"])
+        assert code == 0
+        assert "3 scenario(s)" in capsys.readouterr().out

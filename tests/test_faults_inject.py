@@ -1,0 +1,209 @@
+"""Fault injection primitives: determinism, no-op contracts, counters."""
+
+import numpy as np
+import pytest
+
+from repro.channel.trace import SignalTrace
+from repro.faults.inject import (
+    FaultLog,
+    apply_signal_faults,
+    fault_rng,
+    intermittent_window,
+    node_fault_roll,
+    perturb_chunks,
+)
+from repro.faults.plan import FaultPlan
+
+
+def make_trace(n=2000, rate=4000.0, seed=0):
+    rng = np.random.default_rng(seed)
+    t = np.arange(n) / rate
+    samples = np.sin(2 * np.pi * 40.0 * t) + 0.05 * rng.standard_normal(n)
+    return SignalTrace(samples, rate)
+
+
+def make_chunks(n_chunks=20, size=16):
+    return [np.full(size, float(i)) for i in range(n_chunks)]
+
+
+class TestFaultRng:
+    def test_same_inputs_same_stream(self):
+        plan = FaultPlan(chunk_drop=0.3)
+        a = fault_rng("stream", 7, plan)
+        b = fault_rng("stream", 7, plan)
+        assert np.array_equal(a.random(16), b.random(16))
+
+    def test_role_seed_and_plan_all_separate_streams(self):
+        plan = FaultPlan(chunk_drop=0.3)
+        base = fault_rng("stream", 7, plan).random(16)
+        assert not np.array_equal(
+            base, fault_rng("signal", 7, plan).random(16))
+        assert not np.array_equal(
+            base, fault_rng("stream", 8, plan).random(16))
+        other = FaultPlan(chunk_drop=0.31)
+        assert not np.array_equal(
+            base, fault_rng("stream", 7, other).random(16))
+
+
+class TestFaultLog:
+    def test_counts_reports_only_nonzero(self):
+        log = FaultLog()
+        assert log.counts() == {}
+        log.noise_bursts = 3
+        assert log.counts() == {"noise_bursts": 3}
+
+    def test_merge_accumulates(self):
+        a = FaultLog()
+        a.chunks_dropped = 2
+        b = FaultLog()
+        b.chunks_dropped = 1
+        b.dropouts = 5
+        a.merge(b)
+        assert a.chunks_dropped == 3
+        assert a.dropouts == 5
+        assert a.total == 8
+
+
+class TestSignalFaults:
+    def test_inactive_plan_is_noop(self):
+        trace = make_trace()
+        plan = FaultPlan(chunk_drop=0.5)  # stream-only: no signal knobs
+        out, log = apply_signal_faults(trace, plan,
+                                       fault_rng("signal", 1, plan))
+        assert out is trace
+        assert log.counts() == {}
+
+    def test_deterministic_for_same_rng_seed(self):
+        trace = make_trace()
+        plan = FaultPlan(burst_rate_hz=20.0, dropout_rate_hz=10.0,
+                         saturate_fraction=0.3, clock_drift_ppm=500.0)
+        out1, log1 = apply_signal_faults(trace, plan,
+                                         fault_rng("signal", 3, plan))
+        out2, log2 = apply_signal_faults(make_trace(), plan,
+                                         fault_rng("signal", 3, plan))
+        assert np.array_equal(out1.samples, out2.samples)
+        assert log1.counts() == log2.counts()
+
+    def test_bursts_change_samples_and_count(self):
+        trace = make_trace()
+        plan = FaultPlan(burst_rate_hz=50.0)
+        out, log = apply_signal_faults(trace, plan,
+                                       fault_rng("signal", 3, plan))
+        assert log.noise_bursts > 0
+        assert not np.array_equal(out.samples, trace.samples)
+
+    def test_saturation_clips_the_top_of_the_swing(self):
+        trace = make_trace()
+        plan = FaultPlan(saturate_fraction=0.4)
+        out, log = apply_signal_faults(trace, plan,
+                                       fault_rng("signal", 3, plan))
+        assert log.samples_saturated > 0
+        assert out.samples.max() < trace.samples.max()
+        assert len(out.samples) == len(trace.samples)
+
+    def test_dropouts_hold_last_value(self):
+        trace = make_trace()
+        plan = FaultPlan(dropout_rate_hz=30.0, dropout_length_s=0.005)
+        out, log = apply_signal_faults(trace, plan,
+                                       fault_rng("signal", 3, plan))
+        assert log.dropouts > 0
+        # A dropout is a run of repeated values the clean sine lacks.
+        repeats = np.sum(np.diff(out.samples) == 0.0)
+        assert repeats > np.sum(np.diff(trace.samples) == 0.0)
+
+    def test_clock_drift_resamples(self):
+        trace = make_trace()
+        plan = FaultPlan(clock_drift_ppm=50_000.0)
+        out, log = apply_signal_faults(trace, plan,
+                                       fault_rng("signal", 3, plan))
+        assert log.clock_drift == 1
+        assert out.sample_rate_hz == trace.sample_rate_hz
+
+
+class TestChunkFaults:
+    def test_empty_plan_returns_inputs(self):
+        chunks = make_chunks()
+        plan = FaultPlan(burst_rate_hz=5.0)  # signal-only
+        out, log = perturb_chunks(chunks, plan,
+                                  fault_rng("stream", 1, plan))
+        assert len(out) == len(chunks)
+        assert all(np.array_equal(a, b) for a, b in zip(out, chunks))
+        assert log.counts() == {}
+
+    def test_deterministic(self):
+        plan = FaultPlan(chunk_drop=0.2, chunk_duplicate=0.2,
+                         chunk_delay=0.2, chunk_reorder=0.2)
+        rng1 = fault_rng("stream", 5, plan)
+        rng2 = fault_rng("stream", 5, plan)
+        out1, log1 = perturb_chunks(make_chunks(), plan, rng1)
+        out2, log2 = perturb_chunks(make_chunks(), plan, rng2)
+        assert len(out1) == len(out2)
+        assert all(np.array_equal(a, b) for a, b in zip(out1, out2))
+        assert log1.counts() == log2.counts()
+
+    def test_drop_shrinks_feed(self):
+        plan = FaultPlan(chunk_drop=0.5)
+        out, log = perturb_chunks(make_chunks(40), plan,
+                                  fault_rng("stream", 5, plan))
+        assert log.chunks_dropped > 0
+        assert len(out) == 40 - log.chunks_dropped
+
+    def test_duplicate_grows_feed(self):
+        plan = FaultPlan(chunk_duplicate=0.5)
+        out, log = perturb_chunks(make_chunks(40), plan,
+                                  fault_rng("stream", 5, plan))
+        assert log.chunks_duplicated > 0
+        assert len(out) == 40 + log.chunks_duplicated
+
+    def test_reorder_preserves_multiset(self):
+        plan = FaultPlan(chunk_reorder=0.8)
+        chunks = make_chunks(40)
+        out, log = perturb_chunks(chunks, plan,
+                                  fault_rng("stream", 5, plan))
+        assert log.chunks_reordered > 0
+        assert sorted(c[0] for c in out) == sorted(c[0] for c in chunks)
+        assert [c[0] for c in out] != [c[0] for c in chunks]
+
+    def test_delay_slips_chunks_late(self):
+        plan = FaultPlan(chunk_delay=0.4, delay_chunks=3)
+        chunks = make_chunks(40)
+        out, log = perturb_chunks(chunks, plan,
+                                  fault_rng("stream", 5, plan))
+        assert log.chunks_delayed > 0
+        assert sorted(c[0] for c in out) == sorted(c[0] for c in chunks)
+
+
+class TestNodeFaults:
+    def test_roll_is_deterministic(self):
+        plan = FaultPlan(node_dropout=0.4, node_intermittent=0.4)
+        fates1 = [node_fault_roll(plan, fault_rng(f"node:{i}", 2, plan))
+                  for i in range(20)]
+        fates2 = [node_fault_roll(plan, fault_rng(f"node:{i}", 2, plan))
+                  for i in range(20)]
+        assert fates1 == fates2
+        assert set(fates1) <= {"dropped", "intermittent", "ok"}
+        assert "dropped" in fates1  # 20 nodes at p=0.4: some must drop
+
+    def test_no_knobs_always_ok(self):
+        plan = FaultPlan(chunk_drop=0.5)
+        rng = fault_rng("node:0", 2, plan)
+        assert all(node_fault_roll(plan, rng) == "ok" for _ in range(50))
+
+    def test_intermittent_window_keeps_fraction_with_true_timestamps(self):
+        trace = make_trace(n=1000)
+        plan = FaultPlan(node_intermittent=1.0, intermittent_fraction=0.25)
+        out = intermittent_window(trace, plan,
+                                  fault_rng("node:1", 2, plan))
+        assert len(out.samples) == 250
+        offset_s = out.start_time_s - trace.start_time_s
+        k = int(round(offset_s * trace.sample_rate_hz))
+        assert np.array_equal(out.samples,
+                              trace.samples[k:k + 250])
+
+    def test_intermittent_window_floors_at_eight_samples(self):
+        trace = make_trace(n=20)
+        plan = FaultPlan(node_intermittent=1.0,
+                         intermittent_fraction=0.01)
+        out = intermittent_window(trace, plan,
+                                  fault_rng("node:1", 2, plan))
+        assert len(out.samples) == 8

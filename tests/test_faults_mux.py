@@ -1,0 +1,186 @@
+"""SessionMux resilience: poison isolation, watchdogs, sibling parity."""
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.stream import SessionMux, StreamDecoder, iter_chunks, replay_traces
+
+from .test_stream_decode import synthetic_trace
+
+
+class Exploding(StreamDecoder):
+    """Raises mid-stream once enough samples have been ingested."""
+
+    def push(self, chunk):
+        if self.buffer.n_appended > 64:
+            raise RuntimeError("decoder blew up")
+        return super().push(chunk)
+
+
+def _mux_with(decoders, trace, chunk_size=16, **mux_kwargs):
+    mux = SessionMux(**mux_kwargs)
+    feeds = {}
+    for sid, factory in decoders.items():
+        mux.add_session(sid, factory(trace.sample_rate_hz))
+        feeds[sid] = iter_chunks(trace.samples, chunk_size)
+    return mux, feeds
+
+
+class TestPoisonIsolation:
+    def test_poisoned_session_contained_with_isolate_errors(self):
+        trace = synthetic_trace()
+        mux, feeds = _mux_with(
+            {"boom": Exploding, "good": StreamDecoder},
+            trace, isolate_errors=True)
+        asyncio.run(mux.run(feeds))
+        boom = mux.session("boom")
+        assert boom.failed
+        assert "decoder blew up" in boom.error
+        assert isinstance(boom.exception, RuntimeError)
+        good = mux.session("good")
+        assert not good.failed
+        assert good.verdict().bits == "10"
+
+    def test_default_reraises_after_siblings_complete(self):
+        """Without isolation the first stored exception propagates,
+        but only after every sibling has run to completion."""
+        trace = synthetic_trace()
+        mux, feeds = _mux_with(
+            {"boom": Exploding, "good": StreamDecoder}, trace)
+        with pytest.raises(RuntimeError, match="decoder blew up"):
+            asyncio.run(mux.run(feeds))
+        assert mux.session("good").verdict().bits == "10"
+
+    def test_poison_does_not_deadlock_blocked_producer(self):
+        """The poisoned session's remaining chunks are drained and
+        discarded so a producer parked on the full queue unblocks."""
+        trace = synthetic_trace()
+        mux, feeds = _mux_with({"boom": Exploding}, trace,
+                               queue_chunks=1, isolate_errors=True)
+        asyncio.run(mux.run(feeds))  # must terminate
+        assert mux.session("boom").failed
+
+    def test_decode_errors_counted_on_stats(self):
+        trace = synthetic_trace()
+        mux, feeds = _mux_with({"boom": Exploding}, trace,
+                               isolate_errors=True)
+        asyncio.run(mux.run(feeds))
+        stats = mux.session("boom").stats
+        assert stats.decode_errors == 1
+        assert stats.to_dict()["decode_errors"] == 1
+
+    def test_failed_sessions_listing(self):
+        trace = synthetic_trace()
+        mux, feeds = _mux_with(
+            {"boom": Exploding, "good": StreamDecoder},
+            trace, isolate_errors=True)
+        asyncio.run(mux.run(feeds))
+        assert [s.session_id for s in mux.failed_sessions()] == ["boom"]
+
+    def test_sibling_verdicts_byte_identical_to_clean_mux(self):
+        """A poisoned sibling must not perturb healthy sessions: their
+        detections match a mux that never had the poisoned session."""
+        trace = synthetic_trace()
+        dirty, dirty_feeds = _mux_with(
+            {"good1": StreamDecoder, "boom": Exploding,
+             "good2": StreamDecoder}, trace, isolate_errors=True)
+        asyncio.run(dirty.run(dirty_feeds))
+        clean, clean_feeds = _mux_with(
+            {"good1": StreamDecoder, "good2": StreamDecoder}, trace)
+        asyncio.run(clean.run(clean_feeds))
+
+        def snapshot(mux, sid):
+            detection = mux.session(sid).detection()
+            return (detection.bits, detection.confidence,
+                    detection.timestamp_s)
+
+        for sid in ("good1", "good2"):
+            assert snapshot(dirty, sid) == snapshot(clean, sid)
+
+    def test_failed_sessions_excluded_from_fusion(self):
+        trace = synthetic_trace()
+        mux, feeds = _mux_with(
+            {"boom": Exploding, "good": StreamDecoder},
+            trace, isolate_errors=True)
+        asyncio.run(mux.run(feeds))
+        detections = mux.detections()
+        assert len(detections) == 1
+
+
+class TestWatchdog:
+    @staticmethod
+    def _endless():
+        """A feed that never ends: the canonical stuck session."""
+        while True:
+            yield np.zeros(16)
+
+    def test_stuck_session_times_out_siblings_finish(self):
+        trace = synthetic_trace()
+        mux, feeds = _mux_with(
+            {"slow": StreamDecoder, "good": StreamDecoder},
+            trace, watchdog_s=0.2, isolate_errors=True)
+        feeds["slow"] = self._endless()
+        asyncio.run(mux.run(feeds))
+        slow = mux.session("slow")
+        assert slow.failed
+        assert slow.stats.timed_out
+        assert "watchdog" in slow.error
+        assert mux.session("good").verdict().bits == "10"
+
+    def test_watchdog_never_reraised(self):
+        """Timeouts are an availability verdict, not a code bug — even
+        without isolate_errors they stay contained."""
+        trace = synthetic_trace()
+        mux, feeds = _mux_with({"slow": StreamDecoder}, trace,
+                               watchdog_s=0.2)
+        feeds["slow"] = self._endless()
+        asyncio.run(mux.run(feeds))  # no raise
+        assert mux.session("slow").stats.timed_out
+
+    def test_generous_watchdog_is_invisible(self):
+        trace = synthetic_trace()
+        mux = replay_traces({"s0": (trace, 4, None)}, chunk_size=16,
+                            watchdog_s=30.0)
+        session = mux.session("s0")
+        assert not session.failed
+        assert not session.stats.timed_out
+        assert session.verdict().bits == "10"
+
+    def test_bad_watchdog_rejected(self):
+        with pytest.raises(ValueError, match="watchdog"):
+            SessionMux(watchdog_s=0.0)
+
+
+class TestChunkOverrides:
+    def test_replay_traces_accepts_per_session_chunks(self):
+        trace = synthetic_trace()
+        chunks = list(iter_chunks(trace.samples, 16))
+        mux = replay_traces({"s0": (trace, 4, None)}, chunk_size=16,
+                            chunks_by_session={"s0": chunks})
+        assert mux.session("s0").verdict().bits == "10"
+
+    def test_unknown_override_rejected(self):
+        trace = synthetic_trace()
+        with pytest.raises(KeyError, match="ghost"):
+            replay_traces({"s0": (trace, 4, None)}, chunk_size=16,
+                          chunks_by_session={"ghost": []})
+
+    def test_lossy_feed_decodes_or_fails_soft(self):
+        """Dropping chunks from the transport must never raise out of
+        the mux — the session fails soft (no verdict) or still decodes."""
+        from repro.faults.inject import fault_rng, perturb_chunks
+        from repro.faults.plan import FaultPlan
+
+        trace = synthetic_trace()
+        plan = FaultPlan(chunk_drop=0.3)
+        chunks = list(iter_chunks(trace.samples, 16))
+        lossy, _ = perturb_chunks(chunks, plan, fault_rng("stream", 0, plan))
+        mux = replay_traces({"s0": (trace, 4, None)}, chunk_size=16,
+                            chunks_by_session={"s0": lossy})
+        session = mux.session("s0")
+        assert not session.failed
+        verdict = session.verdict()
+        assert verdict is not None
+        assert isinstance(verdict.bits, str)

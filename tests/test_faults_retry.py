@@ -1,0 +1,118 @@
+"""RetryPolicy: backoff shape, deterministic jitter, call semantics."""
+
+import pytest
+
+from repro.faults.retry import RetryExhausted, RetryPolicy
+
+
+class TestDelays:
+    def test_exponential_shape(self):
+        policy = RetryPolicy(max_attempts=4, base_delay_s=0.1, backoff=2.0)
+        assert policy.delays() == pytest.approx([0.1, 0.2, 0.4])
+
+    def test_cap_bounds_every_delay(self):
+        policy = RetryPolicy(max_attempts=6, base_delay_s=1.0,
+                             backoff=10.0, cap_delay_s=5.0)
+        assert all(d <= 5.0 for d in policy.delays())
+
+    def test_zero_base_retries_immediately(self):
+        policy = RetryPolicy(max_attempts=3, base_delay_s=0.0)
+        assert policy.delays() == [0.0, 0.0]
+
+    def test_jitter_stays_relative(self):
+        policy = RetryPolicy(max_attempts=2, base_delay_s=1.0, jitter=0.5)
+        for _ in range(50):
+            assert 0.5 <= policy.delay_s(0) <= 1.5
+
+    def test_jitter_is_seed_deterministic(self):
+        a = RetryPolicy(max_attempts=5, base_delay_s=0.1,
+                        jitter=0.4, seed=7)
+        b = RetryPolicy(max_attempts=5, base_delay_s=0.1,
+                        jitter=0.4, seed=7)
+        assert a.delays() == b.delays()
+
+    def test_different_seeds_different_jitter(self):
+        a = RetryPolicy(max_attempts=5, base_delay_s=0.1,
+                        jitter=0.4, seed=1)
+        b = RetryPolicy(max_attempts=5, base_delay_s=0.1,
+                        jitter=0.4, seed=2)
+        assert a.delays() != b.delays()
+
+    def test_negative_attempt_rejected(self):
+        with pytest.raises(ValueError, match="attempt"):
+            RetryPolicy().delay_s(-1)
+
+
+class TestValidation:
+    @pytest.mark.parametrize("kwargs", [
+        {"max_attempts": 0},
+        {"base_delay_s": -0.1},
+        {"backoff": 0.5},
+        {"cap_delay_s": -1.0},
+        {"jitter": 1.0},
+        {"jitter": -0.1},
+    ])
+    def test_bad_parameters(self, kwargs):
+        with pytest.raises(ValueError):
+            RetryPolicy(**kwargs)
+
+
+class TestCall:
+    def test_success_first_try(self):
+        policy = RetryPolicy(max_attempts=3)
+        assert policy.call(lambda: 42) == 42
+        assert policy.attempts_made == 1
+        assert policy.retries == 0
+
+    def test_retries_then_succeeds(self):
+        policy = RetryPolicy(max_attempts=3, base_delay_s=0.0)
+        calls = []
+
+        def flaky():
+            calls.append(1)
+            if len(calls) < 3:
+                raise OSError("transient")
+            return "ok"
+
+        assert policy.call(flaky, retry_on=(OSError,)) == "ok"
+        assert len(calls) == 3
+        assert policy.retries == 2
+
+    def test_exhaustion_raises_with_last_error(self):
+        policy = RetryPolicy(max_attempts=2, base_delay_s=0.0)
+        boom = OSError("disk gone")
+
+        def always():
+            raise boom
+
+        with pytest.raises(RetryExhausted) as excinfo:
+            policy.call(always, retry_on=(OSError,))
+        assert excinfo.value.attempts == 2
+        assert excinfo.value.last is boom
+
+    def test_non_retryable_propagates_immediately(self):
+        policy = RetryPolicy(max_attempts=5, base_delay_s=0.0)
+        calls = []
+
+        def bad():
+            calls.append(1)
+            raise KeyError("logic bug")
+
+        with pytest.raises(KeyError):
+            policy.call(bad, retry_on=(OSError,))
+        assert len(calls) == 1
+
+    def test_sleep_is_injectable_and_accounted(self):
+        policy = RetryPolicy(max_attempts=3, base_delay_s=0.5,
+                             backoff=2.0)
+        slept = []
+
+        def flaky():
+            if len(slept) < 2:
+                raise OSError("transient")
+            return True
+
+        assert policy.call(flaky, retry_on=(OSError,),
+                           sleep=slept.append)
+        assert slept == pytest.approx([0.5, 1.0])
+        assert policy.total_wait_s == pytest.approx(1.5)
