@@ -37,6 +37,7 @@ import numpy as np
 from ..channel.trace import SignalTrace
 from ..dsp.filters import moving_average
 from ..dsp.peaks import Extremum, find_peaks_and_valleys, first_preamble_points
+from ..exec.graph import ExecStage, StageTrace, maybe_stage
 from ..tags.encoding import ManchesterError, Symbol, manchester_decode
 from ..tags.packet import PREAMBLE
 from .errors import DecodeError, PreambleNotFoundError
@@ -252,6 +253,7 @@ class AdaptiveThresholdDecoder:
         return abs(d1 - d2) <= 0.6 * min(d1, d2)
 
     def _acquire(self, trace: SignalTrace,
+                 stage_trace: StageTrace | None = None,
                  ) -> tuple[tuple[Extremum, Extremum, Extremum], np.ndarray]:
         """Multi-scale preamble acquisition.
 
@@ -261,6 +263,9 @@ class AdaptiveThresholdDecoder:
         Scales are tried finest-first and the first plausible triple
         wins; the accepted smoothed waveform is reused for the decision
         windows so thresholds and decisions see the same signal.
+
+        When profiled, the smoothing passes count as the ``normalize``
+        stage and the extrema search as ``acquire``.
 
         Raises:
             PreambleNotFoundError: when no scale yields a plausible
@@ -278,23 +283,26 @@ class AdaptiveThresholdDecoder:
         else:
             noise_sigma = 0.0
         for window in self._smoothing_scales(trace):
-            smooth = moving_average(trace.samples, window)
-            span = float(smooth.max() - smooth.min())
-            if span <= 0.0:
-                continue
-            extrema = find_peaks_and_valleys(
-                smooth, trace.sample_rate_hz, trace.start_time_s,
-                min_prominence=self.config.min_prominence_fraction * span)
-            points = first_preamble_points(extrema)
-            if points is None:
-                last_reason = (f"no peak-valley-peak pattern among "
-                               f"{len(extrema)} extrema")
-                continue
-            if not self._plausible_preamble(points, span, noise_sigma):
-                last_reason = ("candidate preamble rejected: swing, noise "
-                               "floor or spacing implausible")
-                continue
-            return points, smooth
+            with maybe_stage(stage_trace, ExecStage.NORMALIZE):
+                smooth = moving_average(trace.samples, window)
+            with maybe_stage(stage_trace, ExecStage.ACQUIRE):
+                span = float(smooth.max() - smooth.min())
+                if span <= 0.0:
+                    continue
+                extrema = find_peaks_and_valleys(
+                    smooth, trace.sample_rate_hz, trace.start_time_s,
+                    min_prominence=(self.config.min_prominence_fraction
+                                    * span))
+                points = first_preamble_points(extrema)
+                if points is None:
+                    last_reason = (f"no peak-valley-peak pattern among "
+                                   f"{len(extrema)} extrema")
+                    continue
+                if not self._plausible_preamble(points, span, noise_sigma):
+                    last_reason = ("candidate preamble rejected: swing, "
+                                   "noise floor or spacing implausible")
+                    continue
+                return points, smooth
         raise PreambleNotFoundError(last_reason)
 
     def acquire_preamble(self, trace: SignalTrace,
@@ -497,7 +505,8 @@ class AdaptiveThresholdDecoder:
 
     # ------------------------------------------------------------------
     def decode(self, trace: SignalTrace,
-               n_data_symbols: int | None = None) -> DecodeResult:
+               n_data_symbols: int | None = None,
+               stage_trace: StageTrace | None = None) -> DecodeResult:
         """Decode one packet from an RSS trace.
 
         Args:
@@ -508,23 +517,40 @@ class AdaptiveThresholdDecoder:
                 windows are consumed until the trace ends, then trailing
                 LOW windows (the empty ground after the tag) are
                 trimmed and the count is rounded down to even.
+            stage_trace: optional per-stage instrumentation sink; when
+                given, smoothing/acquisition/clock-refinement/decision
+                wall time is attributed to the corresponding
+                :class:`~repro.exec.ExecStage`.  Never changes the
+                decode result.
 
         Raises:
             PreambleNotFoundError: when acquisition fails.
             DecodeError: when no decision windows fit in the trace.
         """
-        points, smooth = self._acquire(trace)
-        tau_r, tau_t = self.thresholds(points)
-        a, b, c = points
-        level = self._threshold_level(tau_r, b.value)
-        times = trace.times()
+        points, smooth = self._acquire(trace, stage_trace=stage_trace)
+        with maybe_stage(stage_trace, ExecStage.ACQUIRE):
+            tau_r, tau_t = self.thresholds(points)
+            a, b, c = points
+            level = self._threshold_level(tau_r, b.value)
+            times = trace.times()
 
         if self.config.clock_refinement:
-            tau_t, anchor = self._refine_clock(smooth, times, points,
-                                               tau_t, tau_r, level,
-                                               n_data_symbols=n_data_symbols)
+            with maybe_stage(stage_trace, ExecStage.REFINE_CLOCK):
+                tau_t, anchor = self._refine_clock(
+                    smooth, times, points, tau_t, tau_r, level,
+                    n_data_symbols=n_data_symbols)
         else:
             anchor = a.time_s - 0.5 * tau_t
+        with maybe_stage(stage_trace, ExecStage.DECIDE):
+            return self._decide(trace, smooth, times, points, tau_r, tau_t,
+                                level, anchor, n_data_symbols)
+
+    def _decide(self, trace: SignalTrace, smooth: np.ndarray,
+                times: np.ndarray,
+                points: tuple[Extremum, Extremum, Extremum],
+                tau_r: float, tau_t: float, level: float, anchor: float,
+                n_data_symbols: int | None) -> DecodeResult:
+        """Decision windows -> symbols -> payload (the ``decide`` stage)."""
         # The preamble occupies symbols 1-4 from the anchor; data follows.
         data_start = anchor + 4.0 * tau_t
         if n_data_symbols is not None:

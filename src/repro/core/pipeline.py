@@ -18,9 +18,9 @@ one produced the answer.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from enum import Enum
 
 from ..channel.trace import SignalTrace
+from ..engine.records import RecordStage
 from .classifier import ClassificationResult, DtwClassifier
 from .collision import CollisionAnalyzer, CollisionReport
 from .decoder import AdaptiveThresholdDecoder, DecodeResult
@@ -28,15 +28,12 @@ from .errors import ClassificationError, DecodeError, PreambleNotFoundError
 
 __all__ = ["PipelineStage", "PipelineResult", "ReceiverPipeline"]
 
-
-class PipelineStage(Enum):
-    """Which mechanism produced the pipeline's answer."""
-
-    SATURATED = "saturated"
-    DECODED = "decoded"
-    CLASSIFIED = "classified"
-    COLLISION = "collision"
-    FAILED = "failed"
+#: Which mechanism produced the pipeline's answer.  An alias of the
+#: repo-wide :class:`repro.engine.records.RecordStage` — the pipeline's
+#: outcomes (``SATURATED``/``DECODED``/``CLASSIFIED``/``COLLISION``/
+#: ``FAILED``) are members of the one shared stage enum, so identity
+#: comparisons against either name keep working.
+PipelineStage = RecordStage
 
 
 @dataclass

@@ -8,8 +8,12 @@ service-shaped system:
 * :class:`BatchRunner` — executes scenario batches serially or across a
   process pool, with deterministic per-scenario seeds (``workers=N`` is
   byte-identical to ``workers=1``);
-* :class:`ResultCache` — content-hash result store on disk, so repeated
-  sweeps are near-free;
+* :class:`ResultCache` / :class:`SqliteResultCache` — content-hash
+  result stores (sharded JSON files, or one WAL-mode SQLite database)
+  behind the :class:`CacheBackend` protocol, so repeated sweeps are
+  near-free; :func:`open_cache` selects by name;
+* :mod:`repro.exec` — the instrumented stage graph all three execution
+  paths (serial, tensor batch, streaming replay) drive;
 * :mod:`repro.engine.report` — decode-rate aggregation over records;
 * the ``repro-engine`` CLI (:mod:`repro.engine.cli`) — run / sweep /
   report from the shell.
@@ -28,7 +32,13 @@ Quickstart::
     print(result.success_rate())
 """
 
-from .cache import CacheStats, ResultCache
+from .cache import (
+    CacheBackend,
+    CacheStats,
+    ResultCache,
+    SqliteResultCache,
+    open_cache,
+)
 from .executor import (
     build_frontend,
     build_network,
@@ -38,7 +48,7 @@ from .executor import (
     node_positions,
     node_seed,
 )
-from .records import RunRecord
+from .records import RecordStage, RunRecord, make_record, outcome_stage
 from .report import (
     fusion_stats,
     fusion_table,
@@ -47,21 +57,25 @@ from .report import (
     latency_table,
     mean_ber,
     stage_counts,
+    stage_stats,
+    stage_table,
     success_rate,
     success_rate_by,
     summarize,
 )
 from .runner import BatchResult, BatchRunner, RunStats, run_grid
-from .spec import GridSpec, ScenarioSpec, expand_grid, grid_size
+from .spec import GridSpec, ScenarioSpec, SpecIdentity, expand_grid, grid_size
 from .streaming import SessionOutcome, StreamRunResult, run_stream
 
 __all__ = [
-    "BatchResult", "BatchRunner", "CacheStats", "GridSpec", "ResultCache",
-    "RunRecord", "RunStats", "ScenarioSpec", "SessionOutcome",
+    "BatchResult", "BatchRunner", "CacheBackend", "CacheStats", "GridSpec",
+    "RecordStage", "ResultCache", "RunRecord", "RunStats", "ScenarioSpec",
+    "SessionOutcome", "SpecIdentity", "SqliteResultCache",
     "StreamRunResult", "run_stream",
     "build_frontend", "build_network", "build_scene", "build_simulator",
     "execute_scenario", "expand_grid", "fusion_stats", "fusion_table",
     "grid_size", "group_table", "latency_stats", "latency_table",
-    "mean_ber", "node_positions", "node_seed", "run_grid", "stage_counts",
-    "success_rate", "success_rate_by", "summarize",
+    "make_record", "mean_ber", "node_positions", "node_seed", "open_cache",
+    "outcome_stage", "run_grid", "stage_counts", "stage_stats",
+    "stage_table", "success_rate", "success_rate_by", "summarize",
 ]

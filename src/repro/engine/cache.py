@@ -1,29 +1,54 @@
-"""Content-addressed result cache.
+"""Content-addressed result cache, behind a pluggable backend.
 
-Records are stored one JSON file per resolved-spec hash, sharded by the
-first two hex digits (``<root>/ab/<hash>.json``) so directories stay
-small even for hundred-thousand-scenario sweeps.  Writes are atomic
-(temp file + rename), which makes the cache safe to share between the
-parallel workers of several concurrent sweeps: a reader either sees a
-complete record or a miss, never a torn file.
+:class:`CacheBackend` is the protocol the batch runner talks to; two
+implementations ship:
+
+* :class:`ResultCache` — one JSON file per resolved-spec hash, sharded
+  by the first two hex digits (``<root>/ab/<hash>.json``) so
+  directories stay small even for hundred-thousand-scenario sweeps.
+  Writes are atomic (temp file + rename), which makes the cache safe
+  to share between the parallel workers of several concurrent sweeps:
+  a reader either sees a complete record or a miss, never a torn file.
+* :class:`SqliteResultCache` — a single SQLite database in WAL mode
+  (``<root>/records.sqlite``): one inode instead of one per record,
+  and safe under concurrent writers because record payloads are
+  deterministic per key, so last-writer-wins upserts are idempotent.
+
+Both keep the same content-hash keys and byte-identical record
+payloads — a sweep's records do not depend on which backend cached
+them.  :func:`open_cache` selects a backend by name (CLI
+``--cache-backend``, or the ``REPRO_CACHE_BACKEND`` environment
+variable for CI legs).
 
 Any spec change — a different seed, a nudged height, a new decoder —
 changes the content hash and therefore misses the cache; stale entries
-are never returned, only orphaned (and reclaimable via :meth:`clear`).
+are never returned, only orphaned (and reclaimable via ``clear``).
 """
 
 from __future__ import annotations
 
 import json
 import os
+import sqlite3
 import tempfile
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from pathlib import Path
+from typing import Iterator, Protocol, runtime_checkable
 
 from ..faults.retry import RetryExhausted, RetryPolicy
 from .records import RunRecord
 
-__all__ = ["CacheStats", "ResultCache"]
+__all__ = ["BACKEND_ENV", "CACHE_BACKENDS", "CacheBackend", "CacheStats",
+           "ResultCache", "SqliteResultCache", "open_cache"]
+
+#: Recognised backend names, in default-preference order.
+CACHE_BACKENDS = ("disk", "sqlite")
+
+#: Environment override consulted when no backend is named explicitly
+#: (CI legs run whole suites against one backend through this).
+BACKEND_ENV = "REPRO_CACHE_BACKEND"
+
+_HEX = set("0123456789abcdef")
 
 
 @dataclass
@@ -41,6 +66,38 @@ class CacheStats:
     misses: int = 0
     writes: int = 0
     write_retries: int = 0
+
+
+@runtime_checkable
+class CacheBackend(Protocol):
+    """What the batch runner requires of a result cache.
+
+    Keyed by resolved-spec content hash; values are complete
+    :class:`RunRecord` payloads.  Implementations must treat corrupt
+    or torn entries as misses (the scenario re-executes and
+    overwrites), and must expose a :class:`CacheStats` instance as
+    ``stats``.
+    """
+
+    stats: CacheStats
+
+    def get(self, key: str) -> RunRecord | None:
+        """The cached record for a spec hash, or None."""
+        ...
+
+    def put(self, record: RunRecord) -> None:
+        """Persist a record under its spec hash."""
+        ...
+
+    def __contains__(self, key: str) -> bool:
+        ...
+
+    def __len__(self) -> int:
+        ...
+
+    def clear(self) -> int:
+        """Delete every cached record; returns how many were removed."""
+        ...
 
 
 class ResultCache:
@@ -65,6 +122,20 @@ class ResultCache:
 
     def _path(self, key: str) -> Path:
         return self.root / key[:2] / f"{key}.json"
+
+    def _entries(self) -> Iterator[Path]:
+        """Paths that are actually record entries.
+
+        A record lives at ``<root>/<hh>/<64-hex-hash>.json`` with the
+        shard matching the hash prefix; anything else in the tree — a
+        stray notes file, a foreign ``.json``, a leftover editor
+        buffer — is not ours and is never counted or deleted.
+        """
+        for path in self.root.glob("??/*.json"):
+            stem = path.stem
+            if (len(stem) == 64 and stem.startswith(path.parent.name)
+                    and set(stem) <= _HEX):
+                yield path
 
     def _read(self, key: str) -> RunRecord | None:
         """Parse the record under ``key``, or None when unreadable."""
@@ -130,16 +201,181 @@ class ResultCache:
 
     def __len__(self) -> int:
         """Entry *files* on disk — a cheap count that, unlike the
-        parsing ``in``/``get``, may include unreadable entries."""
-        return sum(1 for _ in self.root.glob("??/*.json"))
+        parsing ``in``/``get``, may include unreadable entries but
+        never foreign files (see :meth:`_entries`)."""
+        return sum(1 for _ in self._entries())
 
     def clear(self) -> int:
-        """Delete every cached record; returns how many were removed."""
+        """Delete every cached record; returns how many were removed.
+
+        Only record entries are touched — foreign files that happen to
+        live under the cache root are left alone.
+        """
         removed = 0
-        for path in self.root.glob("??/*.json"):
+        for path in self._entries():
             try:
                 path.unlink()
                 removed += 1
             except OSError:
                 pass
         return removed
+
+
+class SqliteResultCache:
+    """SQLite-backed spec-hash -> :class:`RunRecord` store.
+
+    One ``records.sqlite`` database under ``root``, in WAL mode so
+    readers never block the writer and concurrent sweeps sharing the
+    cache serialize on short row upserts instead of whole-file locks.
+    Record payloads are deterministic per key (the engine's
+    determinism contract), so ``INSERT OR REPLACE`` under concurrent
+    writers is idempotent — last writer wins with identical bytes.
+
+    Args:
+        root: cache directory (created if missing); the database file
+            lives inside it, so ``--cache-dir`` means the same thing
+            for both backends.
+        retry_policy: bounded-retry policy for transient write
+            failures (``sqlite3.OperationalError`` — e.g. a lock
+            still held past the busy timeout — and ``OSError``).
+            Default: three attempts, 10 ms base backoff.
+    """
+
+    #: Database filename under the cache root.
+    FILENAME = "records.sqlite"
+
+    def __init__(self, root: str | Path,
+                 retry_policy: RetryPolicy | None = None) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.stats = CacheStats()
+        self.retry_policy = retry_policy or RetryPolicy(
+            max_attempts=3, base_delay_s=0.01)
+        self.path = self.root / self.FILENAME
+        self._conn = sqlite3.connect(self.path, timeout=5.0)
+        # Two processes opening a fresh cache race on the WAL switch:
+        # changing the journal mode takes an exclusive lock and can
+        # report "database is locked" immediately rather than honouring
+        # the busy timeout, so first-open initialization retries under
+        # the same bounded policy as writes.
+        try:
+            self.retry_policy.call(self._init_schema,
+                                   retry_on=(sqlite3.OperationalError,))
+        except RetryExhausted as exc:
+            raise exc.last from exc
+
+    def _init_schema(self) -> None:
+        """One attempt at the first-open pragmas and table DDL."""
+        self._conn.execute("PRAGMA journal_mode=WAL")
+        self._conn.execute("PRAGMA synchronous=NORMAL")
+        self._conn.execute(
+            "CREATE TABLE IF NOT EXISTS records ("
+            "key TEXT PRIMARY KEY, payload TEXT NOT NULL)")
+        self._conn.commit()
+
+    def get(self, key: str) -> RunRecord | None:
+        """The cached record for a spec hash, or None.
+
+        An unparsable payload counts as a miss, mirroring the disk
+        backend's treatment of corrupt files.
+        """
+        try:
+            row = self._conn.execute(
+                "SELECT payload FROM records WHERE key = ?",
+                (key,)).fetchone()
+            record = (RunRecord.from_dict(json.loads(row[0]))
+                      if row is not None else None)
+        except (sqlite3.Error, ValueError, TypeError):
+            record = None
+        if record is None:
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return record
+
+    def _upsert(self, key: str, payload: str) -> None:
+        with self._conn:
+            self._conn.execute(
+                "INSERT OR REPLACE INTO records (key, payload) "
+                "VALUES (?, ?)", (key, payload))
+
+    def put(self, record: RunRecord) -> None:
+        """Persist a record under its spec hash.
+
+        Transient failures (a writer lock outlasting the busy
+        timeout) are retried under :attr:`retry_policy`; a persistent
+        error propagates as the original exception once the budget is
+        spent.
+        """
+        payload = json.dumps(record.to_dict())
+        before = self.retry_policy.retries
+        try:
+            self.retry_policy.call(
+                lambda: self._upsert(record.spec_hash, payload),
+                retry_on=(sqlite3.OperationalError, OSError))
+        except RetryExhausted as exc:
+            self.stats.write_retries += self.retry_policy.retries - before
+            raise exc.last from exc
+        self.stats.write_retries += self.retry_policy.retries - before
+        self.stats.writes += 1
+
+    def __contains__(self, key: str) -> bool:
+        """Membership mirrors :meth:`get` (and the disk backend): an
+        unparsable stored payload is not "in" the cache."""
+        try:
+            payload = self.get_payload(key)
+            if payload is None:
+                return False
+            return RunRecord.from_dict(json.loads(payload)) is not None
+        except (sqlite3.Error, ValueError, TypeError):
+            return False
+
+    def get_payload(self, key: str) -> str | None:
+        """The raw stored JSON for a key (tests and diagnostics)."""
+        row = self._conn.execute(
+            "SELECT payload FROM records WHERE key = ?", (key,)).fetchone()
+        return row[0] if row is not None else None
+
+    def __len__(self) -> int:
+        return int(self._conn.execute(
+            "SELECT COUNT(*) FROM records").fetchone()[0])
+
+    def clear(self) -> int:
+        """Delete every cached record; returns how many were removed."""
+        with self._conn:
+            cursor = self._conn.execute("DELETE FROM records")
+        return cursor.rowcount
+
+    def close(self) -> None:
+        """Close the underlying connection (idempotent)."""
+        try:
+            self._conn.close()
+        except sqlite3.Error:  # pragma: no cover - close is best-effort
+            pass
+
+    def __del__(self) -> None:  # pragma: no cover - GC timing
+        self.close()
+
+
+def open_cache(root: str | Path, backend: str | None = None,
+               retry_policy: RetryPolicy | None = None) -> CacheBackend:
+    """Open a result cache at ``root`` with the named backend.
+
+    Args:
+        root: cache directory.
+        backend: ``"disk"`` or ``"sqlite"``; None consults the
+            ``REPRO_CACHE_BACKEND`` environment variable and falls
+            back to ``"disk"``.
+        retry_policy: forwarded to the backend.
+
+    Raises:
+        ValueError: on an unrecognised backend name.
+    """
+    name = backend if backend is not None else (
+        os.environ.get(BACKEND_ENV, "").strip().lower() or "disk")
+    if name not in CACHE_BACKENDS:
+        raise ValueError(f"cache backend must be one of {CACHE_BACKENDS}, "
+                         f"got {name!r}")
+    if name == "sqlite":
+        return SqliteResultCache(root, retry_policy=retry_policy)
+    return ResultCache(root, retry_policy=retry_policy)

@@ -42,10 +42,11 @@ import sys
 from pathlib import Path
 from typing import Any, Sequence
 
-from .cache import ResultCache
-from .records import RunRecord
+from ..exec.graph import profiled
+from .cache import CACHE_BACKENDS
+from .records import RecordStage, RunRecord
 from .report import (fusion_table, group_table, latency_table,
-                     robustness_table, summarize)
+                     robustness_table, stage_table, summarize)
 from .runner import FAILURE_STAGES, BatchAborted, BatchRunner
 from .spec import GridSpec, ScenarioSpec, expand_grid
 
@@ -149,10 +150,13 @@ def _load_template(args: argparse.Namespace) -> ScenarioSpec:
 
 
 def _make_runner(args: argparse.Namespace) -> BatchRunner:
-    cache = (ResultCache(args.cache_dir)
-             if getattr(args, "cache_dir", None) else None)
+    cache_dir = getattr(args, "cache_dir", None)
+    cache_backend = getattr(args, "cache_backend", None)
+    if cache_backend is not None and not cache_dir:
+        raise ValueError("--cache-backend requires --cache-dir")
     return BatchRunner(workers=getattr(args, "workers", 1) or 1,
-                       cache=cache,
+                       cache=cache_dir or None,
+                       cache_backend=cache_backend,
                        backend=getattr(args, "backend", "process"),
                        dtype=getattr(args, "dtype", "float64"),
                        scenario_timeout_s=getattr(args, "timeout", None),
@@ -223,16 +227,30 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             raise ValueError(
                 "--count/--family-seed only apply with --scenario")
         specs = expand_grid(template, axes)
-    runner = _make_runner(args)
     aborted: BatchAborted | None = None
-    try:
-        result = runner.run(specs)
-    except BatchAborted as exc:
-        aborted = exc
-        result = exc.result
+    if args.profile:
+        # The restoring context sets the profiling env var too, so the
+        # runner's (lazily forked) pool workers inherit it and every
+        # record comes back carrying a StageTrace.
+        with profiled():
+            runner = _make_runner(args)
+            try:
+                result = runner.run(specs)
+            except BatchAborted as exc:
+                aborted = exc
+                result = exc.result
+    else:
+        runner = _make_runner(args)
+        try:
+            result = runner.run(specs)
+        except BatchAborted as exc:
+            aborted = exc
+            result = exc.result
     _write_records(result.records, args.out)
     print(result.stats.summary())
     print(summarize(result.records))
+    if args.profile:
+        print(stage_table(result.records))
     _print_group_tables(result.records, args.group_by or [])
     if args.out:
         print(f"records written to {args.out}")
@@ -253,7 +271,7 @@ def _print_group_tables(records: Sequence[RunRecord],
     and latency columns on streamed ones."""
     networked = any(r.networked for r in records)
     streamed = any(r.streamed for r in records)
-    faulted = any(r.faulted or r.stage == "executor_error"
+    faulted = any(r.faulted or r.stage == RecordStage.EXECUTOR_ERROR
                   for r in records)
     for axis in axes:
         print(group_table(records, axis))
@@ -295,7 +313,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         return 0
 
     report = run_suite(quick=args.quick, names=args.workload,
-                       repeats=args.repeats)
+                       repeats=args.repeats, profile=args.profile)
     print(format_table(
         ["workload", "kind", "median ms", "stddev ms", "repeats"],
         [(r.name, r.kind, f"{r.median_s * 1e3:.2f}",
@@ -516,6 +534,12 @@ def build_parser() -> argparse.ArgumentParser:
             # offering the flag where it would be a silent no-op
             # (stream captures traces, not records) misleads.
             p.add_argument("--cache-dir", help="result cache directory")
+            p.add_argument("--cache-backend", choices=CACHE_BACKENDS,
+                           default=None,
+                           help="cache store under --cache-dir: 'disk' "
+                                "(sharded JSON files) or 'sqlite' (one "
+                                "WAL-mode database); default consults "
+                                "REPRO_CACHE_BACKEND, then 'disk'")
         p.add_argument("--out", help=out_help)
 
     run_p = sub.add_parser("run", help="execute a single scenario")
@@ -571,6 +595,11 @@ def build_parser() -> argparse.ArgumentParser:
                          help="fail fast: abort the batch (exit 3, "
                               "partial records kept) after N executor "
                               "errors / simulation failures")
+    sweep_p.add_argument("--profile", action="store_true",
+                         help="collect per-stage wall-time traces "
+                              "(build/simulate/.../fuse) and print the "
+                              "stage timing table; records stay "
+                              "byte-identical")
     sweep_p.set_defaults(func=_cmd_sweep)
 
     report_p = sub.add_parser("report", help="summarize a results file")
@@ -669,6 +698,11 @@ def build_parser() -> argparse.ArgumentParser:
                          help="override every workload's repeat count")
     bench_p.add_argument("--list", action="store_true",
                          help="list the tracked workloads and exit")
+    bench_p.add_argument("--profile", action="store_true",
+                         help="also record per-stage medians "
+                              "(stage_<name>_s extras) from extra "
+                              "profiled passes; gated metrics are "
+                              "timed unprofiled and unaffected")
     bench_p.set_defaults(func=_cmd_bench)
     return parser
 

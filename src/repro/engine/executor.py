@@ -1,4 +1,4 @@
-"""Spec -> simulation: build and run one scenario.
+"""Spec -> simulation: the serial driver of the shared stage graph.
 
 :func:`execute_scenario` is the single choke point through which every
 engine-driven simulation passes.  It reconstructs exactly the scene /
@@ -6,6 +6,15 @@ front-end / simulator assembly the analysis layer used to hand-roll
 (:mod:`repro.core.capacity`, :mod:`repro.analysis.experiments`), so
 engine results are bit-identical to the legacy code paths for the same
 parameters and seed.
+
+Execution is declared, not hand-sequenced: :data:`SERIAL_GRAPH` and
+:data:`NETWORK_GRAPH` are :class:`repro.exec.StageGraph` instances over
+the canonical ``build → simulate → inject_faults → … → decide → fuse``
+pipeline, and this module is merely the per-scenario *driver* of that
+graph (the tensor backend drives the same stages vectorized over a
+batch; the streaming runtime drives them incrementally per chunk).
+With profiling on (``REPRO_EXEC_PROFILE`` / ``--profile``) every record
+carries a :class:`repro.exec.StageTrace` of per-stage wall time.
 
 The function is a module-level callable of one picklable argument on
 purpose: it is what :class:`repro.engine.BatchRunner` ships to worker
@@ -16,6 +25,8 @@ from __future__ import annotations
 
 import dataclasses
 import time
+from dataclasses import field
+from typing import Any
 
 from ..channel.distortion import CLEAR, Atmosphere
 from ..faults.inject import (
@@ -36,6 +47,14 @@ from ..channel.scene import MovingObject, PassiveScene
 from ..channel.simulator import ChannelSimulator, SimulatorConfig
 from ..core.decoder import AdaptiveThresholdDecoder, DecoderConfig
 from ..core.errors import DecodeError, PreambleNotFoundError
+from ..exec.graph import (
+    ExecStage,
+    FuncStage,
+    StageGraph,
+    StageTrace,
+    maybe_stage,
+    new_trace,
+)
 from ..hardware.frontend import FovCap, ReceiverFrontEnd
 from ..hardware.led_receiver import LedReceiver
 from ..hardware.photodiode import PdGain, Photodiode
@@ -46,13 +65,19 @@ from ..tags.packet import Packet
 from ..tags.surface import TagSurface
 from ..vehicles.profiles import bmw_3_series, volvo_v40
 from ..vehicles.rooftag import TaggedCar, TwoPhaseDecoder
-from .records import RunRecord
-from .spec import ScenarioSpec, derive_seed
+from .records import (
+    RecordStage,
+    RunRecord,
+    bit_error_rate,
+    make_record,
+    outcome_stage,
+)
+from .spec import ScenarioSpec, SpecIdentity, derive_seed
 
-__all__ = ["build_scene", "build_decoder", "build_frontend",
-           "build_simulator", "build_network", "capture_trace",
-           "error_record", "execute_scenario", "node_positions",
-           "node_seed"]
+__all__ = ["NETWORK_GRAPH", "SERIAL_GRAPH", "build_scene", "build_decoder",
+           "build_frontend", "build_simulator", "build_network",
+           "capture_trace", "error_record", "execute_scenario",
+           "node_positions", "node_seed"]
 
 
 _CAR_FACTORIES = {"volvo_v40": volvo_v40, "bmw_3_series": bmw_3_series}
@@ -167,13 +192,9 @@ def build_decoder(spec: ScenarioSpec):
     return adaptive
 
 
-def _bit_error_rate(sent: str, decoded: str) -> float:
-    if not decoded:
-        return 1.0
-    n = max(len(sent), len(decoded))
-    errors = sum(a != b for a, b in zip(sent, decoded))
-    errors += abs(len(sent) - len(decoded))
-    return errors / n
+# Backwards-compatible alias: the one BER definition now lives with
+# the records (every driver shares it through ``make_record``).
+_bit_error_rate = bit_error_rate
 
 
 # ----------------------------------------------------------------------
@@ -248,12 +269,6 @@ def build_network(spec: ScenarioSpec):
     return network
 
 
-def _node_stage(bits: str, sent: str) -> str:
-    if bits == sent:
-        return "decoded"
-    return "bit_errors" if bits else "no_decode"
-
-
 def _select_fused(fused_list):
     """The group representing the pass, from per-group fused verdicts.
 
@@ -275,27 +290,187 @@ def _select_track(tracks):
     return max(tracks, key=lambda t: (t.n_nodes, -t.residual_rms_s))
 
 
-def _execute_networked(spec: ScenarioSpec, started: float,
-                       packet: Packet, sent: str) -> RunRecord:
-    """One pass observed by ``spec.n_receivers`` networked nodes.
+# ----------------------------------------------------------------------
+# The serial drivers of the shared stage graph
+# ----------------------------------------------------------------------
 
-    Every node captures its *own* trace of the same moving object (same
-    scene, receiver shifted to the node's position, independent noise),
-    decodes locally, and shares the detection over the connectivity
-    graph.  The record's headline verdict is the network's fused one,
-    computed from the most upstream node's viewpoint (``rx0``) — with
-    a ``partitioned`` topology that is deliberately only rx0's island.
+@dataclasses.dataclass
+class _Run:
+    """Mutable context one single-receiver scenario threads through
+    :data:`SERIAL_GRAPH`."""
+
+    spec: ScenarioSpec
+    ident: SpecIdentity
+    started: float
+    packet: Packet
+    sent: str
+    n_data_symbols: int
+    profile: StageTrace | None = None
+    sim: ChannelSimulator | None = None
+    trace: Any = None
+    chunks: Any = None
+    fault_log: FaultLog = field(default_factory=FaultLog)
+    decoded: str = ""
+    stage: str = RecordStage.DECODE_FAILED.value
+    stream_fields: dict[str, Any] = field(default_factory=dict)
+
+
+def _stage_build(run: _Run) -> None:
+    run.sim = build_simulator(run.spec)
+
+
+def _stage_simulate(run: _Run) -> None:
+    run.trace = run.sim.capture_pass()
+
+
+def _has_signal_faults(run: _Run) -> bool:
+    plan = run.spec.fault_plan
+    return plan is not None and plan.signals
+
+
+def _stage_signal_faults(run: _Run) -> None:
+    plan = run.spec.fault_plan
+    run.trace, sig_log = apply_signal_faults(
+        run.trace, plan, fault_rng("signal", run.spec.seed, plan))
+    run.fault_log.merge(sig_log)
+
+
+def _has_stream_faults(run: _Run) -> bool:
+    plan = run.spec.fault_plan
+    return (run.spec.stream_chunk > 0
+            and plan is not None and plan.streams)
+
+
+def _stage_stream_faults(run: _Run) -> None:
+    """Corrupt the chunk transport before the streamed decode sees it.
+
+    A fault plan with stream knobs perturbs chunk boundaries first;
+    the verdict then describes the corrupted stream, by design.
+    (``repro.stream`` is imported lazily, like ``repro.net``, to keep
+    engine import light.)
     """
-    scene = build_scene(spec)
-    network = build_network(spec)
-    n_data_symbols = 2 * len(packet.data_bits)
-    plan = spec.fault_plan
+    from ..stream.replay import iter_chunks
 
-    node_rows: list[dict] = []
-    fault_log = FaultLog()
-    first_trace = None
-    noise_floor = 0.0
-    for i, node in enumerate(network.nodes):
+    plan = run.spec.fault_plan
+    run.chunks, chunk_log = perturb_chunks(
+        list(iter_chunks(run.trace.samples, run.spec.stream_chunk)),
+        plan, fault_rng("stream", run.spec.seed, plan))
+    run.fault_log.merge(chunk_log)
+
+
+def _stage_decode_streamed(run: _Run) -> None:
+    """Online replay: feed the captured pass chunk-by-chunk through
+    the streaming runtime.
+
+    The flush verdict is byte-identical to the offline decode (parity
+    guarantee), so the headline outcome matches an offline run of the
+    same spec — streaming adds the latency telemetry, nothing else.
+    Untimed at the graph level: the streaming runtime attributes its
+    own normalize/acquire/decide interior per pushed chunk.
+    """
+    from ..stream.replay import replay_trace
+
+    spec = run.spec
+    replay = replay_trace(run.trace, spec.stream_chunk,
+                          n_data_symbols=run.n_data_symbols,
+                          decoder=build_decoder(spec),
+                          chunks=run.chunks,
+                          stage_trace=run.profile)
+    verdict = replay.verdict
+    if replay.decoder.result is not None:
+        # The decode call returned: stage by payload comparison,
+        # exactly as the offline driver labels it.
+        run.decoded = replay.decoder.result.bit_string()
+        run.stage = outcome_stage(run.decoded, run.sent)
+    else:
+        run.stage = verdict.stage
+    run.stream_fields = dict(
+        stream_chunks=replay.n_chunks,
+        onset_latency_s=replay.latency("onset"),
+        first_bit_latency_s=replay.latency("first_bit"),
+        # Gated on decode success inside the decoder: a failed
+        # decode's placeholder event time must not skew latency
+        # percentiles.
+        verdict_latency_s=replay.decoder.verdict_latency_s,
+    )
+
+
+def _stage_decode_offline(run: _Run) -> None:
+    """Whole-trace decode; untimed at the graph level because the
+    decoder attributes its own normalize/acquire/refine/decide
+    interior."""
+    try:
+        result = build_decoder(run.spec).decode(
+            run.trace, n_data_symbols=run.n_data_symbols,
+            stage_trace=run.profile)
+        run.decoded = result.bit_string()
+        run.stage = outcome_stage(run.decoded, run.sent)
+    except PreambleNotFoundError:
+        run.stage = RecordStage.PREAMBLE_NOT_FOUND.value
+    except DecodeError:
+        run.stage = RecordStage.DECODE_FAILED.value
+
+
+#: The single-receiver pipeline, declared once.  ``execute_scenario``
+#: runs it in two slices (build+simulate inside the failure-containment
+#: boundary, the rest outside) — same graph, same order.
+SERIAL_GRAPH = StageGraph([
+    FuncStage(ExecStage.BUILD, _stage_build),
+    FuncStage(ExecStage.SIMULATE, _stage_simulate),
+    FuncStage(ExecStage.INJECT_FAULTS, _stage_signal_faults,
+              when=_has_signal_faults),
+    FuncStage(ExecStage.INJECT_FAULTS, _stage_stream_faults,
+              when=_has_stream_faults),
+    FuncStage(ExecStage.DECIDE, _stage_decode_streamed,
+              when=lambda run: run.spec.stream_chunk > 0, timed=False),
+    FuncStage(ExecStage.DECIDE, _stage_decode_offline,
+              when=lambda run: run.spec.stream_chunk == 0, timed=False),
+], name="serial")
+
+
+@dataclasses.dataclass
+class _NetRun:
+    """Mutable context one networked pass threads through
+    :data:`NETWORK_GRAPH`."""
+
+    spec: ScenarioSpec
+    ident: SpecIdentity
+    started: float
+    packet: Packet
+    sent: str
+    n_data_symbols: int
+    profile: StageTrace | None = None
+    scene: Any = None
+    network: Any = None
+    node_rows: list[dict] = field(default_factory=list)
+    fault_log: FaultLog = field(default_factory=FaultLog)
+    first_trace: Any = None
+    noise_floor: float = 0.0
+    decoded: str = ""
+    stage: str = RecordStage.DECODE_FAILED.value
+    best_node: bool = False
+    speed_est: float | None = None
+    speed_error: float | None = None
+
+
+def _net_build(run: _NetRun) -> None:
+    run.scene = build_scene(run.spec)
+    run.network = build_network(run.spec)
+
+
+def _net_observe(run: _NetRun) -> None:
+    """Per-node capture, fault injection and local decode.
+
+    Every node captures its *own* trace of the same moving object
+    (same scene, receiver shifted to the node's position, independent
+    noise), decodes locally, and shares the detection over the
+    connectivity graph.  Untimed at the graph level: the loop
+    attributes simulate/inject_faults/decide per node.
+    """
+    spec = run.spec
+    plan = spec.fault_plan
+    profile = run.profile
+    for i, node in enumerate(run.network.nodes):
         # Per-node fault streams: the node roll (dropout/intermittent)
         # and the node's signal corruption draw from independent,
         # node-indexed generators, so enabling one knob never shifts
@@ -307,8 +482,8 @@ def _execute_networked(spec: ScenarioSpec, started: float,
         if fate == "dropped":
             # A silent node: no capture, no detection, no report — the
             # fusion layer simply sees fewer viewpoints.
-            fault_log.nodes_dropped += 1
-            node_rows.append({
+            run.fault_log.nodes_dropped += 1
+            run.node_rows.append({
                 "node_id": node.node_id,
                 "position_m": float(node.position_m),
                 "bits": "",
@@ -316,80 +491,105 @@ def _execute_networked(spec: ScenarioSpec, started: float,
                 "confidence": 0.0,
                 "timestamp_s": 0.0,
                 "timestamp_source": "none",
-                "stage": "node_dropped",
+                "stage": RecordStage.NODE_DROPPED.value,
             })
             continue
-        node_scene = dataclasses.replace(scene,
-                                         receiver_x_m=node.position_m)
-        sim = ChannelSimulator(
-            node_scene, node.frontend,
-            SimulatorConfig(sample_rate_hz=spec.sample_rate_hz,
-                            include_noise=spec.include_noise,
-                            seed=node.frontend.seed))
-        trace = sim.capture_pass()
-        if plan is not None and plan.signals:
-            trace, sig_log = apply_signal_faults(
-                trace, plan, fault_rng(f"signal:{i}", spec.seed, plan))
-            fault_log.merge(sig_log)
-        if fate == "intermittent":
-            fault_log.nodes_intermittent += 1
-            trace = intermittent_window(trace, plan, node_rng)
-        if first_trace is None:
-            first_trace = trace
-            noise_floor = node_scene.nominal_noise_floor_lux()
-        detection = node.observe(trace, n_data_symbols=n_data_symbols)
-        network.record(detection)
-        node_rows.append({
+        if profile is not None:
+            profile.count("nodes_observed")
+        with maybe_stage(profile, ExecStage.SIMULATE):
+            node_scene = dataclasses.replace(run.scene,
+                                             receiver_x_m=node.position_m)
+            sim = ChannelSimulator(
+                node_scene, node.frontend,
+                SimulatorConfig(sample_rate_hz=spec.sample_rate_hz,
+                                include_noise=spec.include_noise,
+                                seed=node.frontend.seed))
+            trace = sim.capture_pass()
+        with maybe_stage(profile, ExecStage.INJECT_FAULTS):
+            if plan is not None and plan.signals:
+                trace, sig_log = apply_signal_faults(
+                    trace, plan, fault_rng(f"signal:{i}", spec.seed, plan))
+                run.fault_log.merge(sig_log)
+            if fate == "intermittent":
+                run.fault_log.nodes_intermittent += 1
+                trace = intermittent_window(trace, plan, node_rng)
+        if run.first_trace is None:
+            run.first_trace = trace
+            run.noise_floor = node_scene.nominal_noise_floor_lux()
+        with maybe_stage(profile, ExecStage.DECIDE):
+            detection = node.observe(trace,
+                                     n_data_symbols=run.n_data_symbols)
+        run.network.record(detection)
+        run.node_rows.append({
             "node_id": node.node_id,
             "position_m": float(node.position_m),
             "bits": detection.bits,
-            "success": detection.bits == sent,
+            "success": detection.bits == run.sent,
             "confidence": float(detection.confidence),
             "timestamp_s": float(detection.timestamp_s),
             "timestamp_source": detection.timestamp_source,
-            "stage": _node_stage(detection.bits, sent),
+            "stage": outcome_stage(detection.bits, run.sent,
+                                   empty=RecordStage.NO_DECODE),
         })
 
-    query = network.nodes[0].node_id
-    fused = _select_fused(network.fuse_at(query, spec.speed_mps))
-    estimate = _select_track(network.track_at(query, spec.speed_mps))
 
-    decoded = fused.bits if fused is not None else ""
-    success = decoded == sent
-    best_node = any(row["success"] for row in node_rows)
-    stage = ("decoded" if success
-             else "bit_errors" if decoded else "decode_failed")
-    speed_est = float(estimate.speed_mps) if estimate is not None else None
-    speed_error = (abs(speed_est - spec.speed_mps) / spec.speed_mps
-                   if speed_est is not None else None)
+def _net_fuse(run: _NetRun) -> None:
+    """Network-level fusion and tracking: the ``fuse`` stage.
 
+    The record's headline verdict is the network's fused one, computed
+    from the most upstream node's viewpoint (``rx0``) — with a
+    ``partitioned`` topology that is deliberately only rx0's island.
+    """
+    query = run.network.nodes[0].node_id
+    fused = _select_fused(run.network.fuse_at(query, run.spec.speed_mps))
+    estimate = _select_track(run.network.track_at(query,
+                                                  run.spec.speed_mps))
+    run.decoded = fused.bits if fused is not None else ""
+    run.stage = outcome_stage(run.decoded, run.sent,
+                              empty=RecordStage.DECODE_FAILED)
+    run.best_node = any(row["success"] for row in run.node_rows)
+    run.speed_est = (float(estimate.speed_mps)
+                     if estimate is not None else None)
+    run.speed_error = (abs(run.speed_est - run.spec.speed_mps)
+                       / run.spec.speed_mps
+                       if run.speed_est is not None else None)
+
+
+#: The networked pipeline: one build, per-node simulate/observe, one
+#: fuse.  Run in full inside the failure-containment boundary.
+NETWORK_GRAPH = StageGraph([
+    FuncStage(ExecStage.BUILD, _net_build),
+    FuncStage(ExecStage.SIMULATE, _net_observe, timed=False),
+    FuncStage(ExecStage.FUSE, _net_fuse),
+], name="networked")
+
+
+def _execute_networked(run: _NetRun) -> RunRecord:
+    """Drive :data:`NETWORK_GRAPH` and stamp the fused record."""
+    NETWORK_GRAPH.run(run, run.profile)
     # Every node can be dropped by an aggressive fault plan: the pass
     # was simply never captured anywhere.
-    n_samples = len(first_trace.samples) if first_trace is not None else 0
-    sample_rate = (first_trace.sample_rate_hz if first_trace is not None
-                   else spec.sample_rate_hz)
-    return RunRecord(
-        spec_hash=spec.content_hash(),
-        spec=spec.to_dict(),
-        seed=spec.seed,
-        sent_bits=sent,
-        decoded_bits=decoded,
-        success=success,
-        stage=stage,
-        ber=_bit_error_rate(sent, decoded),
+    first = run.first_trace
+    n_samples = len(first.samples) if first is not None else 0
+    sample_rate = (first.sample_rate_hz if first is not None
+                   else run.spec.sample_rate_hz)
+    return make_record(
+        spec_hash=run.ident.content_hash,
+        spec=run.ident.payload,
+        seed=run.spec.seed,
+        sent_bits=run.sent,
+        decoded_bits=run.decoded,
+        stage=run.stage,
         n_samples=n_samples,
-        trace_duration_s=n_samples / sample_rate,
         sample_rate_hz=sample_rate,
-        noise_floor_lux=noise_floor,
-        fault_events=fault_log.counts(),
-        nodes=node_rows,
-        fused_bits=decoded,
-        fused_success=success,
-        best_node_success=best_node,
-        fusion_gain=float(success) - float(best_node),
-        speed_est_mps=speed_est,
-        speed_error=speed_error,
-        elapsed_s=time.perf_counter() - started,
+        noise_floor_lux=run.noise_floor,
+        fault_events=run.fault_log.counts(),
+        nodes=run.node_rows,
+        best_node_success=run.best_node,
+        speed_est_mps=run.speed_est,
+        speed_error=run.speed_error,
+        elapsed_s=time.perf_counter() - run.started,
+        stage_trace=run.profile,
     )
 
 
@@ -398,122 +598,65 @@ def execute_scenario(spec: ScenarioSpec) -> RunRecord:
 
     Deterministic: the resolved spec carries its concrete seed, so the
     same spec yields the same record no matter where or when it runs.
+    Profiling (``REPRO_EXEC_PROFILE``) attaches a per-stage
+    :class:`StageTrace` without changing the record's canonical bytes.
     """
     spec = spec.resolve()
+    ident = spec.identity()
     started = time.perf_counter()
+    profile = new_trace()
     packet = Packet.from_bitstring(spec.bits,
                                    symbol_width_m=spec.symbol_width_m)
     sent = packet.bit_string()
     plan = spec.fault_plan
+    n_data_symbols = 2 * len(packet.data_bits)
     if plan is not None and plan.exec_sleep_s > 0.0:
         # The chaos harness's deterministic stuck worker: a wall-clock
         # stall the runner's per-scenario timeout is expected to catch.
         time.sleep(plan.exec_sleep_s)
+    run = _Run(spec=spec, ident=ident, started=started, packet=packet,
+               sent=sent, n_data_symbols=n_data_symbols, profile=profile)
     try:
         if spec.n_receivers > 1:
-            return _execute_networked(spec, started, packet, sent)
-        sim = build_simulator(spec)
-        trace = sim.capture_pass()
+            return _execute_networked(_NetRun(
+                spec=spec, ident=ident, started=started, packet=packet,
+                sent=sent, n_data_symbols=n_data_symbols, profile=profile))
+        SERIAL_GRAPH.run(run, profile,
+                         stages=(ExecStage.BUILD, ExecStage.SIMULATE))
     except Exception as exc:
         # Contain per-scenario failures (a tag that does not fit the
         # car roof, a degenerate geometry): one bad grid point must
         # not abort a thousand-scenario batch.
-        return RunRecord(
-            spec_hash=spec.content_hash(),
-            spec=spec.to_dict(),
+        return make_record(
+            spec_hash=ident.content_hash,
+            spec=ident.payload,
             seed=spec.seed,
             sent_bits=sent,
-            decoded_bits="",
-            success=False,
-            stage="simulation_failed",
-            ber=1.0,
-            n_samples=0,
-            trace_duration_s=0.0,
+            stage=RecordStage.SIMULATION_FAILED,
             sample_rate_hz=spec.sample_rate_hz,
-            noise_floor_lux=0.0,
             error=f"{type(exc).__name__}: {exc}",
             elapsed_s=time.perf_counter() - started,
+            stage_trace=profile,
         )
-    fault_log = FaultLog()
-    if plan is not None and plan.signals:
-        trace, sig_log = apply_signal_faults(
-            trace, plan, fault_rng("signal", spec.seed, plan))
-        fault_log.merge(sig_log)
-    decoded = ""
-    stage = "decode_failed"
-    stream_fields: dict = {}
-    n_data_symbols = 2 * len(packet.data_bits)
-    if spec.stream_chunk > 0:
-        # Online replay: feed the captured pass chunk-by-chunk through
-        # the streaming runtime.  The flush verdict is byte-identical
-        # to the offline decode (parity guarantee), so the headline
-        # outcome matches an offline run of the same spec — streaming
-        # adds the latency telemetry, nothing else.  A fault plan with
-        # stream knobs corrupts the chunk transport first; the verdict
-        # then describes the corrupted stream, by design.
-        # Imported lazily, like repro.net, to keep engine import light.
-        from ..stream.replay import iter_chunks, replay_trace
-
-        chunks = None
-        if plan is not None and plan.streams:
-            chunks, chunk_log = perturb_chunks(
-                list(iter_chunks(trace.samples, spec.stream_chunk)),
-                plan, fault_rng("stream", spec.seed, plan))
-            fault_log.merge(chunk_log)
-        replay = replay_trace(trace, spec.stream_chunk,
-                              n_data_symbols=n_data_symbols,
-                              decoder=build_decoder(spec),
-                              chunks=chunks)
-        verdict = replay.verdict
-        if replay.decoder.result is not None:
-            # The decode call returned: stage by payload comparison,
-            # exactly as the offline branch below labels it.
-            decoded = replay.decoder.result.bit_string()
-            stage = "decoded" if decoded == sent else "bit_errors"
-        else:
-            stage = verdict.stage
-        stream_fields = dict(
-            stream_chunks=replay.n_chunks,
-            onset_latency_s=replay.latency("onset"),
-            first_bit_latency_s=replay.latency("first_bit"),
-            # Gated on decode success inside the decoder: a failed
-            # decode's placeholder event time must not skew latency
-            # percentiles.
-            verdict_latency_s=replay.decoder.verdict_latency_s,
-        )
-    else:
-        try:
-            result = build_decoder(spec).decode(
-                trace, n_data_symbols=n_data_symbols)
-            decoded = result.bit_string()
-            stage = "decoded" if decoded == sent else "bit_errors"
-        except PreambleNotFoundError:
-            stage = "preamble_not_found"
-        except DecodeError:
-            stage = "decode_failed"
-
-    # Mirror the fused fields so fusion columns aggregate uniformly
-    # across single- and multi-receiver records (a lone receiver *is*
-    # its own best node, and "fusing" it changes nothing: gain 0).
-    return RunRecord(
-        spec_hash=spec.content_hash(),
-        spec=spec.to_dict(),
+    # Fault injection and decode run *outside* the containment
+    # boundary: their failures are verdicts (or bugs), not per-grid-
+    # point simulation hazards.
+    SERIAL_GRAPH.run(run, profile,
+                     stages=(ExecStage.INJECT_FAULTS, ExecStage.DECIDE))
+    return make_record(
+        spec_hash=ident.content_hash,
+        spec=ident.payload,
         seed=spec.seed,
         sent_bits=sent,
-        decoded_bits=decoded,
-        success=decoded == sent,
-        stage=stage,
-        ber=_bit_error_rate(sent, decoded),
-        n_samples=len(trace.samples),
-        trace_duration_s=len(trace.samples) / trace.sample_rate_hz,
-        sample_rate_hz=trace.sample_rate_hz,
-        noise_floor_lux=sim.scene.nominal_noise_floor_lux(),
-        fault_events=fault_log.counts(),
-        fused_bits=decoded,
-        fused_success=decoded == sent,
-        best_node_success=decoded == sent,
+        decoded_bits=run.decoded,
+        stage=run.stage,
+        n_samples=len(run.trace.samples),
+        sample_rate_hz=run.trace.sample_rate_hz,
+        noise_floor_lux=run.sim.scene.nominal_noise_floor_lux(),
+        fault_events=run.fault_log.counts(),
         elapsed_s=time.perf_counter() - started,
-        **stream_fields,
+        stage_trace=profile,
+        **run.stream_fields,
     )
 
 
@@ -528,21 +671,16 @@ def error_record(spec: ScenarioSpec, message: str,
     records are never written to the result cache.
     """
     spec = spec.resolve()
+    ident = spec.identity()
     packet = Packet.from_bitstring(spec.bits,
                                    symbol_width_m=spec.symbol_width_m)
-    return RunRecord(
-        spec_hash=spec.content_hash(),
-        spec=spec.to_dict(),
+    return make_record(
+        spec_hash=ident.content_hash,
+        spec=ident.payload,
         seed=spec.seed,
         sent_bits=packet.bit_string(),
-        decoded_bits="",
-        success=False,
-        stage="executor_error",
-        ber=1.0,
-        n_samples=0,
-        trace_duration_s=0.0,
+        stage=RecordStage.EXECUTOR_ERROR,
         sample_rate_hz=spec.sample_rate_hz,
-        noise_floor_lux=0.0,
         error=message,
         elapsed_s=elapsed_s,
     )

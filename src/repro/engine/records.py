@@ -6,10 +6,21 @@ trace statistics and timing — plus the originating spec, so records are
 self-describing: reports can group by any spec field without access to
 the grid that produced them.
 
+Outcome stages are named once here (:class:`RecordStage`) and shared by
+every layer: the record stages in :data:`STAGES`, the per-node stages
+of networked runs, and the receiver-pipeline stages that
+:mod:`repro.core.pipeline` historically declared as its own enum.
+:func:`make_record` is the one place record invariants (success, BER,
+fused-field mirroring) are computed — all three execution drivers
+build their records through it.
+
 Equality deliberately excludes wall-clock timing: two runs of the same
 resolved spec compare equal whether they executed serially, in a worker
 pool, or on different machines.  :meth:`RunRecord.canonical_json` is the
-byte-stable form used by determinism tests and the on-disk cache.
+byte-stable form used by determinism tests and the on-disk cache; the
+opt-in :class:`StageTrace` profile rides in ``elapsed``-style territory
+(serialized only with timing, excluded from equality), so profiling a
+run never changes its canonical bytes.
 """
 
 from __future__ import annotations
@@ -17,17 +28,92 @@ from __future__ import annotations
 import dataclasses
 import json
 from dataclasses import dataclass, field
+from enum import Enum
 from typing import Any, Mapping
 
-__all__ = ["RunRecord", "STAGES"]
+from ..exec.graph import StageTrace
+
+__all__ = ["RecordStage", "RunRecord", "STAGES", "bit_error_rate",
+           "make_record", "outcome_stage"]
+
+
+class RecordStage(str, Enum):
+    """Every named outcome stage, across all layers of the repo.
+
+    A ``str`` subclass, so members serialize, compare and group
+    exactly like the literal strings records always carried.  The
+    first six members are the per-record pipeline outcomes
+    (:data:`STAGES`); ``NODE_DROPPED``/``NO_DECODE`` label per-node
+    rows of networked runs; the rest are the receiver-pipeline
+    outcomes re-exported as :data:`repro.core.pipeline.PipelineStage`.
+    """
+
+    EXECUTOR_ERROR = "executor_error"
+    SIMULATION_FAILED = "simulation_failed"
+    PREAMBLE_NOT_FOUND = "preamble_not_found"
+    DECODE_FAILED = "decode_failed"
+    BIT_ERRORS = "bit_errors"
+    DECODED = "decoded"
+    # Per-node stages of networked records.
+    NODE_DROPPED = "node_dropped"
+    NO_DECODE = "no_decode"
+    # Receiver-pipeline stages (repro.core.pipeline).
+    SATURATED = "saturated"
+    CLASSIFIED = "classified"
+    COLLISION = "collision"
+    FAILED = "failed"
+
+    # Keep f-strings/%-formatting on the bare value across Python
+    # versions ("decoded", never "RecordStage.DECODED").
+    __str__ = str.__str__
+    __format__ = str.__format__
 
 
 #: Pipeline stages a scenario can end in, ordered by progress.
 #: ``executor_error`` is runner-synthesized (per-scenario timeout,
 #: crashed worker): the pipeline never ran at all, so such records are
 #: never cached.
-STAGES = ("executor_error", "simulation_failed", "preamble_not_found",
-          "decode_failed", "bit_errors", "decoded")
+STAGES = (RecordStage.EXECUTOR_ERROR.value,
+          RecordStage.SIMULATION_FAILED.value,
+          RecordStage.PREAMBLE_NOT_FOUND.value,
+          RecordStage.DECODE_FAILED.value,
+          RecordStage.BIT_ERRORS.value,
+          RecordStage.DECODED.value)
+
+
+def bit_error_rate(sent: str, decoded: str) -> float:
+    """BER of a decoded payload vs the sent one (1.0 for no decode).
+
+    Mismatches plus the length difference, over the longer payload —
+    the one definition every driver shares.
+    """
+    if not decoded:
+        return 1.0
+    n = max(len(sent), len(decoded))
+    errors = sum(a != b for a, b in zip(sent, decoded))
+    errors += abs(len(sent) - len(decoded))
+    return errors / n
+
+
+def outcome_stage(decoded: str, sent: str,
+                  empty: "RecordStage | str" = RecordStage.BIT_ERRORS,
+                  ) -> str:
+    """The stage label for a decode payload vs the sent bits.
+
+    Args:
+        decoded: recovered payload ('' when nothing came back).
+        sent: the physically encoded payload.
+        empty: label for an empty payload.  Drivers labelling a decode
+            that *returned* empty keep the default (``bit_errors``,
+            the payload is simply wrong); the network layer labels an
+            empty fused verdict ``decode_failed`` and an empty node
+            report ``no_decode``.
+    """
+    if decoded == sent:
+        return RecordStage.DECODED.value
+    if decoded:
+        return RecordStage.BIT_ERRORS.value
+    return str(empty)
 
 
 @dataclass
@@ -98,6 +184,11 @@ class RunRecord:
             a given spec, so they participate in record equality and
             the byte-stable cache form, unlike wall-clock timing.
         elapsed_s: wall-clock execution time (excluded from equality).
+        stage_trace: per-stage wall time/counters when the run was
+            profiled (``REPRO_EXEC_PROFILE`` / ``--profile``), else
+            None.  Wall-clock instrumentation, so it is excluded from
+            equality and from :meth:`canonical_json` like
+            ``elapsed_s``.
     """
 
     spec_hash: str
@@ -126,6 +217,7 @@ class RunRecord:
     first_bit_latency_s: float | None = None
     verdict_latency_s: float | None = None
     elapsed_s: float = field(default=0.0, compare=False)
+    stage_trace: StageTrace | None = field(default=None, compare=False)
 
     def __post_init__(self) -> None:
         if self.stage not in STAGES:
@@ -150,15 +242,19 @@ class RunRecord:
     def to_dict(self, include_timing: bool = True) -> dict[str, Any]:
         """Plain-dict form (JSON-safe).
 
-        ``fault_events`` is omitted when empty so fault-free records
-        serialize byte-identically to records from before fault
-        injection existed.
+        ``fault_events`` is omitted when empty, and ``stage_trace``
+        when absent (or when timing is excluded), so unprofiled and
+        fault-free records serialize byte-identically to records from
+        before those features existed.
         """
         data = dataclasses.asdict(self)
         if not include_timing:
             data.pop("elapsed_s")
         if not data["fault_events"]:
             data.pop("fault_events")
+        data.pop("stage_trace")  # asdict's naive copy; re-add canonically
+        if include_timing and self.stage_trace is not None:
+            data["stage_trace"] = self.stage_trace.to_dict()
         return data
 
     @classmethod
@@ -176,6 +272,8 @@ class RunRecord:
         if unknown:
             raise ValueError(f"unknown record fields: {sorted(unknown)}")
         data = dict(data)
+        if isinstance(data.get("stage_trace"), Mapping):
+            data["stage_trace"] = StageTrace.from_dict(data["stage_trace"])
         if "fused_bits" not in data and not data.get("nodes"):
             data.setdefault("fused_bits", data.get("decoded_bits", ""))
             data.setdefault("fused_success", data.get("success", False))
@@ -188,3 +286,59 @@ class RunRecord:
         of worker count."""
         return json.dumps(self.to_dict(include_timing=False),
                           sort_keys=True, separators=(",", ":"))
+
+
+def make_record(*, spec_hash: str, spec: dict[str, Any], seed: int,
+                sent_bits: str, stage: "RecordStage | str",
+                sample_rate_hz: float, decoded_bits: str = "",
+                n_samples: int = 0, noise_floor_lux: float = 0.0,
+                error: str = "",
+                fault_events: Mapping[str, int] | None = None,
+                nodes: list[dict[str, Any]] | None = None,
+                best_node_success: bool | None = None,
+                speed_est_mps: float | None = None,
+                speed_error: float | None = None,
+                elapsed_s: float = 0.0,
+                stage_trace: StageTrace | None = None,
+                **stream_fields: Any) -> RunRecord:
+    """Build a :class:`RunRecord`, computing the derived invariants.
+
+    The one construction path shared by all three drivers (and the
+    runner's synthesized error records): success is the exact payload
+    match, BER comes from :func:`bit_error_rate`, trace duration from
+    the sample count, and the fused columns mirror the decode verdict
+    — for networked runs ``decoded_bits`` *is* the fused payload and
+    the caller supplies ``best_node_success``, which also yields the
+    per-pass ``fusion_gain``.
+
+    Extra keyword arguments (the streaming latency fields) pass
+    through to the record unchanged.
+    """
+    success = decoded_bits == sent_bits
+    best = success if best_node_success is None else bool(best_node_success)
+    return RunRecord(
+        spec_hash=spec_hash,
+        spec=spec,
+        seed=seed,
+        sent_bits=sent_bits,
+        decoded_bits=decoded_bits,
+        success=success,
+        stage=str(stage),
+        ber=bit_error_rate(sent_bits, decoded_bits),
+        n_samples=n_samples,
+        trace_duration_s=n_samples / sample_rate_hz,
+        sample_rate_hz=sample_rate_hz,
+        noise_floor_lux=noise_floor_lux,
+        error=error,
+        fault_events=dict(fault_events) if fault_events else {},
+        nodes=nodes if nodes is not None else [],
+        fused_bits=decoded_bits,
+        fused_success=success,
+        best_node_success=best,
+        fusion_gain=float(success) - float(best),
+        speed_est_mps=speed_est_mps,
+        speed_error=speed_error,
+        elapsed_s=elapsed_s,
+        stage_trace=stage_trace,
+        **stream_fields,
+    )

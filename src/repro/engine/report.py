@@ -15,7 +15,8 @@ from typing import Any, Iterable, Sequence
 
 import numpy as np
 
-from .records import STAGES, RunRecord
+from ..exec.graph import PIPELINE_STAGES
+from .records import STAGES, RecordStage, RunRecord
 from .spec import ScenarioSpec
 
 #: Spec-field defaults, used to group records written before a field
@@ -26,8 +27,9 @@ _SPEC_DEFAULTS = {f.name: f.default for f in dataclasses.fields(ScenarioSpec)
 
 __all__ = ["success_rate", "success_rate_by", "stage_counts",
            "mean_ber", "format_ms", "fusion_stats", "latency_stats",
-           "robustness_stats", "summarize", "group_table",
-           "fusion_table", "latency_table", "robustness_table"]
+           "robustness_stats", "stage_stats", "summarize",
+           "group_table", "fusion_table", "latency_table",
+           "robustness_table", "stage_table"]
 
 
 def format_ms(value: float | None, null: str = "-") -> str:
@@ -191,7 +193,7 @@ def robustness_stats(records: Sequence[RunRecord]) -> dict[str, Any]:
     clean_rate = success_rate(clean) if clean else None
     return {
         "n_faulted": len(faulted),
-        "executor_errors": sum(r.stage == "executor_error"
+        "executor_errors": sum(r.stage == RecordStage.EXECUTOR_ERROR
                                for r in records),
         "fault_events": dict(sorted(events.items())),
         "faulted_rate": faulted_rate,
@@ -221,6 +223,65 @@ def robustness_table(records: Sequence[RunRecord], axis: str) -> str:
             f"  {value!s:>{width}} | {len(group)} | "
             f"{stats['n_faulted']} | {success_rate(group):.2f} | "
             f"{stats['executor_errors']} | {n_events}")
+    return "\n".join(lines)
+
+
+def stage_stats(records: Sequence[RunRecord]) -> dict[str, Any]:
+    """Per-stage wall-time aggregates over the profiled records.
+
+    Only records carrying a :class:`~repro.exec.graph.StageTrace`
+    (a profiled run: ``--profile`` or ``REPRO_EXEC_PROFILE=1``)
+    contribute.  Stages appear in pipeline order.
+
+    Returns:
+        ``n_profiled`` (records with a trace), ``total_s`` (summed
+        stage time across them), ``stages`` (per-stage ``total_s`` /
+        ``mean_s`` per profiled record / ``share`` of the total) and
+        ``counters`` (summed stage-graph counters, sorted by name).
+    """
+    traces = [r.stage_trace for r in records if r.stage_trace is not None]
+    timings: dict[str, float] = {}
+    counters: Counter[str] = Counter()
+    for trace in traces:
+        for name, seconds in trace.timings_s.items():
+            timings[name] = timings.get(name, 0.0) + seconds
+        counters.update(trace.counters)
+    total = sum(timings.values())
+    stages = {
+        name: {
+            "total_s": timings[name],
+            "mean_s": timings[name] / len(traces),
+            "share": timings[name] / total if total > 0.0 else 0.0,
+        }
+        for name in PIPELINE_STAGES if name in timings
+    }
+    return {"n_profiled": len(traces), "total_s": total,
+            "stages": stages, "counters": dict(sorted(counters.items()))}
+
+
+def stage_table(records: Sequence[RunRecord]) -> str:
+    """ASCII per-stage timing table over the profiled records.
+
+    Stages print in pipeline order with total / mean-per-record time
+    and a share bar.  Without any profiled record the table degrades
+    to a hint about how to collect traces.
+    """
+    stats = stage_stats(records)
+    if not stats["n_profiled"]:
+        return ("no stage traces in these records — rerun with "
+                "--profile (or REPRO_EXEC_PROFILE=1) to collect "
+                "per-stage timings")
+    lines = [f"stage timings over {stats['n_profiled']} profiled "
+             "record(s)   (total ms | mean ms | share)"]
+    width = max(len(name) for name in stats["stages"])
+    for name, row in stats["stages"].items():
+        bar = "#" * int(round(30 * row["share"]))
+        lines.append(
+            f"  {name:>{width}} | {row['total_s'] * 1e3:9.2f} | "
+            f"{row['mean_s'] * 1e3:7.3f} | {bar} {row['share']:.2f}")
+    if stats["counters"]:
+        lines.append("  counters: " + ", ".join(
+            f"{k}={v}" for k, v in stats["counters"].items()))
     return "\n".join(lines)
 
 

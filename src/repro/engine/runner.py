@@ -23,12 +23,13 @@ from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures import TimeoutError as FuturesTimeout
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Iterable, Mapping, Sequence
 
 from ..faults.retry import RetryPolicy
-from .cache import ResultCache
+from .cache import CacheBackend, open_cache
 from .executor import error_record, execute_scenario
-from .records import RunRecord
+from .records import RecordStage, RunRecord
 from .spec import ScenarioSpec, expand_grid
 
 __all__ = ["RunStats", "BatchResult", "BatchRunner", "BatchAborted",
@@ -39,7 +40,8 @@ __all__ = ["RunStats", "BatchResult", "BatchRunner", "BatchAborted",
 #: scenario produced no decode outcome at all.  Legitimate decode
 #: failures (``preamble_not_found``, ``decode_failed``, ``bit_errors``)
 #: are *results*, not failures — a sweep exists to measure them.
-FAILURE_STAGES = frozenset({"executor_error", "simulation_failed"})
+FAILURE_STAGES = frozenset({RecordStage.EXECUTOR_ERROR.value,
+                            RecordStage.SIMULATION_FAILED.value})
 
 
 class BatchAborted(RuntimeError):
@@ -173,7 +175,14 @@ class BatchRunner:
     Attributes:
         workers: worker processes; 1 runs everything in-process (the
             serial fallback — no pool, no pickling, easiest to debug).
-        cache: optional :class:`ResultCache`; hits skip simulation.
+        cache: optional :class:`CacheBackend` instance, or a cache
+            *directory* (str/Path) opened via :func:`open_cache` with
+            ``cache_backend``; hits skip simulation.
+        cache_backend: backend name (``"disk"``/``"sqlite"``) used when
+            ``cache`` is a directory path; None consults the
+            ``REPRO_CACHE_BACKEND`` environment variable.  Only valid
+            alongside a path — passing it with a ready-made backend
+            instance is a contradiction and raises.
         chunk_size: scenarios per pool task — amortizes IPC overhead
             for thousand-scenario grids of cheap simulations.
         backend: ``"process"`` (the pool / serial path above) or
@@ -209,14 +218,22 @@ class BatchRunner:
     BACKENDS = ("process", "tensor")
 
     def __init__(self, workers: int = 1,
-                 cache: ResultCache | None = None,
+                 cache: CacheBackend | str | Path | None = None,
                  chunk_size: int = 8, backend: str = "process",
                  dtype: str = "float64",
                  retry_policy: RetryPolicy | None = None,
                  scenario_timeout_s: float | None = None,
-                 max_failures: int | None = None) -> None:
+                 max_failures: int | None = None,
+                 cache_backend: str | None = None) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
+        if isinstance(cache, (str, Path)):
+            cache = open_cache(cache, cache_backend)
+        elif cache_backend is not None:
+            raise ValueError(
+                "cache_backend selects how a cache *path* is opened; "
+                "pass cache as a directory, or construct the backend "
+                "yourself and drop cache_backend")
         if chunk_size < 1:
             raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
         if backend not in self.BACKENDS:
@@ -275,7 +292,8 @@ class BatchRunner:
             pass  # interpreter shutdown: the pool dies with the process
 
     @classmethod
-    def local(cls, cache: ResultCache | None = None) -> "BatchRunner":
+    def local(cls, cache: CacheBackend | str | Path | None = None,
+              ) -> "BatchRunner":
         """A runner sized to this machine's cores."""
         return cls(workers=max(1, os.cpu_count() or 1), cache=cache)
 
@@ -336,7 +354,8 @@ class BatchRunner:
             records[i] = record
             # Runner-synthesized records describe this run's executor,
             # not the scenario: never cache them.
-            if cache is not None and record.stage != "executor_error":
+            if (cache is not None
+                    and record.stage != RecordStage.EXECUTOR_ERROR):
                 cache.put(record)
 
         kept = [r for r in records if r is not None]
@@ -349,7 +368,8 @@ class BatchRunner:
             backend=self.backend,
             pool_restarts=self._pool_restarts,
             serial_fallback=self._serial_fallback,
-            executor_errors=sum(r.stage == "executor_error" for r in kept),
+            executor_errors=sum(r.stage == RecordStage.EXECUTOR_ERROR
+                                for r in kept),
             timeouts=self._timeouts,
             fault_events=_sum_fault_events(kept),
         )

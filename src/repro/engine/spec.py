@@ -20,12 +20,12 @@ import itertools
 import json
 import math
 from dataclasses import dataclass
-from typing import Any, Mapping, Sequence
+from typing import Any, Mapping, NamedTuple, Sequence
 
 from ..faults.plan import FaultPlan
 
-__all__ = ["ScenarioSpec", "GridSpec", "derive_seed", "expand_grid",
-           "grid_size", "MOTIONS", "TOPOLOGIES"]
+__all__ = ["ScenarioSpec", "SpecIdentity", "GridSpec", "derive_seed",
+           "expand_grid", "grid_size", "MOTIONS", "TOPOLOGIES"]
 
 
 def derive_seed(token: str) -> int:
@@ -347,12 +347,68 @@ class ScenarioSpec:
         resolved = self.resolve()
         return hashlib.sha256(resolved.canonical_json().encode()).hexdigest()
 
+    def identity(self) -> "SpecIdentity":
+        """Resolve once, serialize once, hash once.
+
+        The single derivation of (payload, canonical JSON, content
+        hash) shared by the serial executor and the tensor batch path
+        — each value is computed exactly once, so per-record hot loops
+        never re-resolve or re-serialize.
+        """
+        resolved = self.resolve()
+        payload = resolved.to_dict()
+        canonical = json.dumps(payload, sort_keys=True,
+                               separators=(",", ":"))
+        return SpecIdentity(
+            payload=payload,
+            canonical_json=canonical,
+            content_hash=hashlib.sha256(canonical.encode()).hexdigest())
+
+    def optical_key(self, identity: "SpecIdentity | None" = None) -> str:
+        """Grouping key: the resolved spec minus the noise seed.
+
+        Two specs with the same key share every seed-independent
+        physics stage, which is what lets the tensor backend batch
+        them.  ``speed_jitter`` motion consumes the seed inside the
+        scene itself (the wander profile), so those specs keep their
+        seed in the key and only group with exact duplicates.
+
+        Args:
+            identity: this spec's precomputed :meth:`identity`, when
+                the caller already has it (the batch path derives both
+                per spec).
+        """
+        ident = self.identity() if identity is None else identity
+        if ident.payload["motion"] == "speed_jitter":
+            return ident.canonical_json
+        # Zero the seed in the already-serialised string: keys are
+        # unique in the canonical JSON and no field value can contain
+        # ``"seed":``, so this single substitution equals
+        # re-serialising ``{**payload, "seed": 0}``.
+        return ident.canonical_json.replace(
+            f'"seed":{ident.payload["seed"]}', '"seed":0', 1)
+
 
 #: Scalar field names in declaration order, resolved once for the
 #: :meth:`ScenarioSpec.to_dict` fast path (``fault_plan`` is handled
 #: separately: nested, and omitted when ``None``).
 _FIELD_NAMES = tuple(f.name for f in dataclasses.fields(ScenarioSpec)
                      if f.name != "fault_plan")
+
+
+class SpecIdentity(NamedTuple):
+    """One spec's resolved identity, derived in a single pass.
+
+    Attributes:
+        payload: the resolved spec as a plain dict
+            (:meth:`ScenarioSpec.to_dict`).
+        canonical_json: byte-stable serialization of ``payload``.
+        content_hash: SHA-256 of ``canonical_json`` — the cache key.
+    """
+
+    payload: dict[str, Any]
+    canonical_json: str
+    content_hash: str
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,32 @@
+"""repro.exec — the shared execution core.
+
+One declared stage graph (``build → simulate → inject_faults →
+normalize → acquire → refine_clock → decide → fuse``) with per-stage
+instrumentation, driven three ways: serially per scenario
+(:mod:`repro.engine.executor`), vectorized over a batch axis
+(:mod:`repro.tensor.batch`), and incrementally per chunk
+(:mod:`repro.stream.decode`).
+"""
+
+from .graph import (
+    PIPELINE_STAGES,
+    PROFILE_ENV,
+    ExecStage,
+    FuncStage,
+    Stage,
+    StageGraph,
+    StageTrace,
+    collect_traces,
+    maybe_stage,
+    new_trace,
+    profiled,
+    profiling_enabled,
+    set_profiling,
+)
+
+__all__ = [
+    "ExecStage", "PIPELINE_STAGES", "PROFILE_ENV",
+    "Stage", "FuncStage", "StageGraph", "StageTrace",
+    "collect_traces", "maybe_stage", "new_trace", "profiled",
+    "profiling_enabled", "set_profiling",
+]

@@ -1,0 +1,346 @@
+"""The declared stage graph every execution driver runs.
+
+The paper's pipeline is one sequence of stages — build the optical
+scene, simulate the capture, inject faults, normalize, acquire the
+preamble, refine the symbol clock, decide bits, fuse receivers — but
+the repo grew three divergent implementations of that sequencing
+(serial, vectorized, streaming).  This module names the stages once
+(:class:`ExecStage`), gives them a tiny execution protocol
+(:class:`Stage`, :class:`StageGraph`) and a shared instrumentation
+carrier (:class:`StageTrace`), so the drivers in
+:mod:`repro.engine.executor`, :mod:`repro.tensor.batch` and
+:mod:`repro.stream.decode` differ only in *how* they traverse the
+graph — per scenario, per batch row, or per pushed chunk — never in
+what the stages are.
+
+Profiling is opt-in (:func:`set_profiling` /
+``REPRO_EXEC_PROFILE=1``): when off, every hook degrades to a shared
+no-op context manager so the hot paths pay a single ``None`` check.
+Everything here is pure stdlib — any layer may import it without
+cycles.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+import time
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Callable, Iterator, Protocol, Sequence, runtime_checkable
+
+__all__ = [
+    "ExecStage", "PIPELINE_STAGES", "PROFILE_ENV",
+    "Stage", "FuncStage", "StageGraph", "StageTrace",
+    "collect_traces", "maybe_stage", "new_trace", "profiled",
+    "profiling_enabled", "set_profiling",
+]
+
+#: Environment switch for per-stage instrumentation.  Read at call
+#: time (not import time) so CLI flags and worker processes that
+#: inherit the environment agree without re-imports.
+PROFILE_ENV = "REPRO_EXEC_PROFILE"
+
+_FORCED: bool | None = None
+
+
+class ExecStage(str, Enum):
+    """The canonical pipeline stages, in execution order.
+
+    A ``str`` subclass so stage names serialize and compare as the
+    plain strings drivers always used (``"build"`` ... ``"fuse"``).
+    """
+
+    BUILD = "build"
+    SIMULATE = "simulate"
+    INJECT_FAULTS = "inject_faults"
+    NORMALIZE = "normalize"
+    ACQUIRE = "acquire"
+    REFINE_CLOCK = "refine_clock"
+    DECIDE = "decide"
+    FUSE = "fuse"
+
+    # str.__str__/__format__ keep f-strings and %-formatting on the
+    # bare value ("build", not "ExecStage.BUILD") on Python < 3.12.
+    __str__ = str.__str__
+    __format__ = str.__format__
+
+
+#: Execution order, as plain strings (report tables key on these).
+PIPELINE_STAGES: tuple[str, ...] = tuple(s.value for s in ExecStage)
+
+_STAGE_INDEX = {name: i for i, name in enumerate(PIPELINE_STAGES)}
+
+
+def set_profiling(enabled: bool | None) -> None:
+    """Force profiling on/off for this process (None = follow env)."""
+    global _FORCED
+    _FORCED = enabled
+
+
+def profiling_enabled() -> bool:
+    """Whether stage instrumentation is currently requested."""
+    if _FORCED is not None:
+        return _FORCED
+    raw = os.environ.get(PROFILE_ENV, "")
+    return raw.strip().lower() not in ("", "0", "false", "no", "off")
+
+
+_COLLECTOR: "list[StageTrace] | None" = None
+
+
+def new_trace() -> "StageTrace | None":
+    """A fresh :class:`StageTrace` when profiling is on, else None.
+
+    Inside a :func:`collect_traces` scope the trace is also appended
+    to the active collector, so callers that drive opaque entry points
+    (the perf suite timing a closure) can still aggregate stages.
+    """
+    if not profiling_enabled():
+        return None
+    trace = StageTrace()
+    if _COLLECTOR is not None:
+        _COLLECTOR.append(trace)
+    return trace
+
+
+@contextlib.contextmanager
+def collect_traces() -> "Iterator[list[StageTrace]]":
+    """Collect every trace :func:`new_trace` hands out in this scope.
+
+    Single-process only — traces created in forked workers stay in
+    their worker.  Scopes nest; each sees only its own traces.
+    """
+    global _COLLECTOR
+    prev, bucket = _COLLECTOR, []
+    _COLLECTOR = bucket
+    try:
+        yield bucket
+    finally:
+        _COLLECTOR = prev
+
+
+@contextlib.contextmanager
+def profiled(enabled: bool = True) -> Iterator[None]:
+    """Scoped profiling override restoring prior state on exit.
+
+    Sets both the in-process flag and ``REPRO_EXEC_PROFILE`` (so
+    worker processes forked inside the scope inherit it), then
+    restores both — safe for tests that drive the CLI in-process.
+    """
+    prev_forced = _FORCED
+    prev_env = os.environ.get(PROFILE_ENV)
+    set_profiling(enabled)
+    os.environ[PROFILE_ENV] = "1" if enabled else "0"
+    try:
+        yield
+    finally:
+        set_profiling(prev_forced)
+        if prev_env is None:
+            os.environ.pop(PROFILE_ENV, None)
+        else:
+            os.environ[PROFILE_ENV] = prev_env
+
+
+@dataclass
+class StageTrace:
+    """Per-stage wall time and counters accumulated during one run.
+
+    Attributes:
+        timings_s: stage name -> accumulated wall seconds.
+        counters: free-form event counts (chunks pushed, batch rows,
+            nodes observed, ...).
+    """
+
+    timings_s: dict[str, float] = field(default_factory=dict)
+    counters: dict[str, int] = field(default_factory=dict)
+
+    def add(self, stage: str, seconds: float) -> None:
+        """Accumulate wall time against one stage."""
+        name = str(stage)
+        self.timings_s[name] = self.timings_s.get(name, 0.0) + seconds
+
+    def count(self, name: str, n: int = 1) -> None:
+        """Bump a named counter."""
+        key = str(name)
+        self.counters[key] = self.counters.get(key, 0) + n
+
+    @contextlib.contextmanager
+    def stage(self, name: str) -> Iterator[None]:
+        """Time a ``with`` block against one stage."""
+        started = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.add(name, time.perf_counter() - started)
+
+    def merge(self, other: "StageTrace | None") -> "StageTrace":
+        """Fold another trace's timings and counters into this one."""
+        if other is not None:
+            for name, seconds in other.timings_s.items():
+                self.add(name, seconds)
+            for name, n in other.counters.items():
+                self.count(name, n)
+        return self
+
+    def scaled(self, factor: float) -> "StageTrace":
+        """A copy with timings scaled (counters kept verbatim).
+
+        The tensor driver times whole-batch stages once, then
+        attributes ``1/n`` of each stage to every record in the group.
+        """
+        return StageTrace(
+            timings_s={k: v * factor for k, v in self.timings_s.items()},
+            counters=dict(self.counters))
+
+    @property
+    def total_s(self) -> float:
+        return sum(self.timings_s.values())
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-safe payload (stable stage ordering)."""
+        def order(name: str) -> tuple[int, str]:
+            return (_STAGE_INDEX.get(name, len(_STAGE_INDEX)), name)
+
+        payload: dict[str, Any] = {
+            "timings_s": {k: self.timings_s[k]
+                          for k in sorted(self.timings_s, key=order)},
+        }
+        if self.counters:
+            payload["counters"] = {k: self.counters[k]
+                                   for k in sorted(self.counters)}
+        return payload
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "StageTrace":
+        return cls(
+            timings_s={str(k): float(v)
+                       for k, v in data.get("timings_s", {}).items()},
+            counters={str(k): int(v)
+                      for k, v in data.get("counters", {}).items()})
+
+
+_NULL_CONTEXT = contextlib.nullcontext()
+
+
+def maybe_stage(trace: StageTrace | None, name: str):
+    """``trace.stage(name)`` when profiling, else a shared no-op.
+
+    The single instrumentation hook hot loops call: one ``None``
+    check when profiling is off.
+    """
+    return _NULL_CONTEXT if trace is None else trace.stage(name)
+
+
+@runtime_checkable
+class Stage(Protocol):
+    """One node of the execution graph.
+
+    Attributes:
+        name: which :class:`ExecStage` this node implements.
+        timed: whether :meth:`StageGraph.run` should wrap the call in
+            stage timing (False for stages that instrument their own
+            interior, e.g. a decode that splits acquire/refine/decide).
+    """
+
+    name: str
+    timed: bool
+
+    def should_run(self, ctx: Any) -> bool:
+        """Whether this node applies to the given run context."""
+        ...
+
+    def __call__(self, ctx: Any) -> None:
+        """Execute against the mutable run context."""
+        ...
+
+
+@dataclass(frozen=True)
+class FuncStage:
+    """A :class:`Stage` wrapping a plain function.
+
+    Attributes:
+        name: the :class:`ExecStage` it implements.
+        fn: ``fn(ctx)`` mutating the run context.
+        when: optional ``when(ctx) -> bool`` gate (default: always).
+        timed: see :class:`Stage`.
+    """
+
+    name: str
+    fn: Callable[[Any], None]
+    when: Callable[[Any], bool] | None = None
+    timed: bool = True
+
+    def __post_init__(self) -> None:
+        if str(self.name) not in _STAGE_INDEX:
+            raise ValueError(
+                f"unknown stage {self.name!r}; expected one of "
+                f"{PIPELINE_STAGES}")
+
+    def should_run(self, ctx: Any) -> bool:
+        return self.when is None or bool(self.when(ctx))
+
+    def __call__(self, ctx: Any) -> None:
+        self.fn(ctx)
+
+
+class StageGraph:
+    """An ordered, validated sequence of :class:`Stage` nodes.
+
+    Stage names must be drawn from :class:`ExecStage` and appear in
+    non-decreasing pipeline order; multiple nodes may implement the
+    same stage (e.g. mutually exclusive ``decide`` variants gated by
+    ``when``).
+    """
+
+    def __init__(self, stages: Sequence[Stage], name: str = "") -> None:
+        self.name = name
+        self.stages = tuple(stages)
+        last = -1
+        for stage in self.stages:
+            label = str(stage.name)
+            index = _STAGE_INDEX.get(label)
+            if index is None:
+                raise ValueError(
+                    f"unknown stage {label!r} in graph {name!r}; "
+                    f"expected one of {PIPELINE_STAGES}")
+            if index < last:
+                raise ValueError(
+                    f"stage {label!r} out of pipeline order in graph "
+                    f"{name!r} (expected {PIPELINE_STAGES} order)")
+            last = index
+
+    def __iter__(self) -> Iterator[Stage]:
+        return iter(self.stages)
+
+    def __len__(self) -> int:
+        return len(self.stages)
+
+    def run(self, ctx: Any, trace: StageTrace | None = None,
+            stages: Sequence[str] | None = None) -> Any:
+        """Execute the (selected) stages in declared order.
+
+        Args:
+            ctx: mutable run context shared by the stage functions.
+                When it exposes a truthy ``done`` attribute, remaining
+                stages are skipped (a driver settled the verdict
+                early).
+            trace: optional :class:`StageTrace` for instrumentation.
+            stages: optional subset of stage names to run — drivers
+                use this to slice the one declared graph around
+                exception boundaries without re-declaring it.
+        """
+        wanted = None if stages is None else {str(s) for s in stages}
+        for stage in self.stages:
+            if getattr(ctx, "done", False):
+                break
+            if wanted is not None and str(stage.name) not in wanted:
+                continue
+            if not stage.should_run(ctx):
+                continue
+            if trace is not None and stage.timed:
+                with trace.stage(str(stage.name)):
+                    stage(ctx)
+            else:
+                stage(ctx)
+        return ctx

@@ -405,7 +405,8 @@ def run_suite(quick: bool = False,
               names: Iterable[str] | None = None,
               workloads: Sequence[Workload] | None = None,
               repeats: int | None = None,
-              clock: Callable[[], float] = time.perf_counter) -> PerfReport:
+              clock: Callable[[], float] = time.perf_counter,
+              profile: bool = False) -> PerfReport:
     """Time the (selected) workloads and return a :class:`PerfReport`.
 
     Args:
@@ -414,6 +415,12 @@ def run_suite(quick: bool = False,
         workloads: override the default workload set (tests).
         repeats: override every workload's repeat count.
         clock: timing source (injectable for deterministic tests).
+        profile: after the gated timing repeats, run a few *extra*
+            profiled passes of each workload and record per-stage
+            median wall time as ``stage_<name>_s`` extras.  The timed
+            repeats themselves run unprofiled, and the stage extras
+            are absent from committed baselines, so gated metrics are
+            untouched.
 
     Raises:
         KeyError: when ``names`` contains an unknown workload.
@@ -449,5 +456,31 @@ def run_suite(quick: bool = False,
         if workload.metrics is not None:
             timing.extras = {k: float(v) for k, v
                              in workload.metrics(quick, timing).items()}
+        if profile:
+            timing.extras.update(_profile_stages(thunk))
         report.results.append(timing)
     return report
+
+
+def _profile_stages(thunk: Callable[[], Any],
+                    passes: int = 3) -> dict[str, float]:
+    """Per-stage median wall time over a few profiled thunk runs.
+
+    Collects every :class:`~repro.exec.graph.StageTrace` the thunk's
+    interior creates (single process only — forked workers keep
+    theirs) and reports ``stage_<name>_s`` medians.  Workloads that
+    never touch the stage graph contribute nothing.
+    """
+    from ..exec.graph import StageTrace, collect_traces, profiled
+
+    per_stage: dict[str, list[float]] = {}
+    for _ in range(max(1, passes)):
+        with profiled(), collect_traces() as traces:
+            thunk()
+        merged = StageTrace()
+        for trace in traces:
+            merged.merge(trace)
+        for name, seconds in merged.timings_s.items():
+            per_stage.setdefault(name, []).append(seconds)
+    return {f"stage_{name}_s": float(np.median(values))
+            for name, values in sorted(per_stage.items())}

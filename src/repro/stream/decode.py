@@ -36,6 +36,7 @@ import numpy as np
 from ..channel.trace import SignalTrace
 from ..core.decoder import AdaptiveThresholdDecoder, DecodeResult
 from ..core.errors import DecodeError, PreambleNotFoundError
+from ..exec.graph import ExecStage, StageTrace, maybe_stage
 from ..tags.encoding import Symbol
 from .buffer import StreamBuffer
 from .detect import AcquiredPreamble, PreambleDetector
@@ -118,6 +119,11 @@ class StreamDecoder:
             decoder, ...).
         n_data_symbols: expected data-field length, when known.
         session_id: stamped on every emitted event.
+        stage_trace: optional :class:`StageTrace` — the incremental
+            path attributes per-chunk normaliser updates to
+            ``normalize`` and acquisition checks to ``acquire``; the
+            flush verdict lands in ``decide``.  Telemetry only, never
+            part of any verdict.
     """
 
     def __init__(self, sample_rate_hz: float, start_time_s: float = 0.0,
@@ -127,7 +133,8 @@ class StreamDecoder:
                  check_stride_s: float | None = None,
                  max_samples: int | None = None,
                  normalizer: OnlineNormalizer | None = None,
-                 session_id: str = "") -> None:
+                 session_id: str = "",
+                 stage_trace: StageTrace | None = None) -> None:
         self.buffer = StreamBuffer(sample_rate_hz, start_time_s,
                                    max_samples=max_samples)
         # Default to running min/max only: the P2 percentile trackers
@@ -163,6 +170,7 @@ class StreamDecoder:
                 f"n_data_symbols must be >= 1, got {n_data_symbols}")
         self.n_data_symbols = n_data_symbols
         self.session_id = session_id
+        self.stage_trace = stage_trace
         self.state = StreamState.IDLE
         self.events: list[DecodeEvent] = []
         self.acquired: AcquiredPreamble | None = None
@@ -197,9 +205,13 @@ class StreamDecoder:
         """
         if self._flushed:
             raise RuntimeError("stream already flushed; no more chunks")
+        trace = self.stage_trace
+        if trace is not None:
+            trace.count("stream_chunks")
         arr = np.asarray(chunk, dtype=float)
         self.buffer.append(arr)
-        self.normalizer.update(arr)
+        with maybe_stage(trace, ExecStage.NORMALIZE):
+            self.normalizer.update(arr)
         emitted_from = len(self.events)
         if self.state is StreamState.IDLE and self.buffer.n_appended:
             self.state = StreamState.ACQUIRING
@@ -207,7 +219,8 @@ class StreamDecoder:
                 and self.buffer.end_time_s - self._last_check_s
                 >= self.check_stride_s):
             self._last_check_s = self.buffer.end_time_s
-            acquired = self.detector.check(self.buffer)
+            with maybe_stage(trace, ExecStage.ACQUIRE):
+                acquired = self.detector.check(self.buffer)
             if acquired is not None:
                 self.acquired = acquired
                 self.state = StreamState.DECODING
@@ -265,8 +278,17 @@ class StreamDecoder:
         stage, bits, success = "decode_failed", "", False
         signal_time = self.buffer.end_time_s
         try:
-            result = self.decoder.decode(
-                trace, n_data_symbols=self.n_data_symbols)
+            # An adaptive decoder attributes its own interior stages
+            # (normalize/acquire/refine_clock/decide); an opaque one
+            # is charged wholesale to ``decide``.
+            if isinstance(self.decoder, AdaptiveThresholdDecoder):
+                result = self.decoder.decode(
+                    trace, n_data_symbols=self.n_data_symbols,
+                    stage_trace=self.stage_trace)
+            else:
+                with maybe_stage(self.stage_trace, ExecStage.DECIDE):
+                    result = self.decoder.decode(
+                        trace, n_data_symbols=self.n_data_symbols)
             self.result = result
             bits = result.bit_string()
             success = result.success

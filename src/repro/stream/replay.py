@@ -144,7 +144,8 @@ def replay_trace(trace: SignalTrace, chunk_size: int,
                  n_data_symbols: int | None = None,
                  decoder: object | None = None,
                  check_stride_s: float | None = None,
-                 chunks: list[np.ndarray] | None = None) -> StreamReplay:
+                 chunks: list[np.ndarray] | None = None,
+                 stage_trace: Any | None = None) -> StreamReplay:
     """Feed one captured trace chunk-by-chunk and flush.
 
     The returned replay's verdict is byte-identical to decoding the
@@ -163,10 +164,13 @@ def replay_trace(trace: SignalTrace, chunk_size: int,
             samples — the fault layer's entry point for corrupted
             transport (dropped/duplicated/reordered chunks).  The
             verdict then describes the corrupted stream, by design.
+        stage_trace: optional ``StageTrace`` forwarded to the stream
+            decoder for per-stage attribution (telemetry only).
     """
     stream = StreamDecoder(trace.sample_rate_hz, trace.start_time_s,
                            n_data_symbols=n_data_symbols, decoder=decoder,
-                           check_stride_s=check_stride_s)
+                           check_stride_s=check_stride_s,
+                           stage_trace=stage_trace)
     feed = chunks if chunks is not None else iter_chunks(trace.samples,
                                                          chunk_size)
     n_chunks = 0

@@ -38,8 +38,6 @@ stays fully deterministic (same seeds, same records on every run).
 
 from __future__ import annotations
 
-import hashlib
-import json
 import math
 import threading
 import time
@@ -57,13 +55,15 @@ from ..core.decoder import (
 from ..core.errors import PreambleNotFoundError
 from ..dsp.filters import moving_average
 from ..dsp.peaks import Extremum, _prominent_peaks
-from ..engine.executor import (
-    _bit_error_rate,
-    build_simulator,
-    execute_scenario,
+from ..engine.executor import build_simulator, execute_scenario
+from ..engine.records import (
+    RecordStage,
+    RunRecord,
+    make_record,
+    outcome_stage,
 )
-from ..engine.records import RunRecord
-from ..engine.spec import ScenarioSpec
+from ..engine.spec import ScenarioSpec, SpecIdentity
+from ..exec.graph import ExecStage, StageTrace, maybe_stage, new_trace
 from ..hardware.amplifier import first_order_lowpass
 from ..tags.encoding import ManchesterError, Symbol, manchester_decode
 from ..tags.packet import Packet
@@ -84,15 +84,11 @@ _PLAN_LOCK = threading.Lock()
 def optical_key(spec: ScenarioSpec) -> str:
     """Grouping key: the resolved spec minus the noise seed.
 
-    Two specs with the same key share every seed-independent physics
-    stage.  ``speed_jitter`` motion consumes the seed inside the scene
-    itself (the wander profile), so those specs keep their seed in the
-    key and only group with exact duplicates.
+    Delegates to :meth:`ScenarioSpec.optical_key` — the one derivation
+    of grouping identity, shared with the engine's executor (see the
+    regression test pinning both call sites together).
     """
-    spec = spec.resolve()
-    if spec.motion == "speed_jitter":
-        return spec.canonical_json()
-    return spec.replace(seed=0).canonical_json()
+    return spec.optical_key()
 
 
 def fast_path_eligible(spec: ScenarioSpec) -> bool:
@@ -408,7 +404,8 @@ def _plausible_scalar(cfg: DecoderConfig, idx: np.ndarray,
 
 def _acquire_rows(decoder: AdaptiveThresholdDecoder,
                   rows: list[_RowDecode], raw_stack: np.ndarray,
-                  fs: float, t0: float) -> dict[int, tuple]:
+                  fs: float, t0: float,
+                  stage_trace: StageTrace | None = None) -> dict[int, tuple]:
     """``AdaptiveThresholdDecoder._acquire`` for the whole row stack.
 
     scipy's C peak routines beat any vectorised reformulation at this
@@ -446,7 +443,8 @@ def _acquire_rows(decoder: AdaptiveThresholdDecoder,
             break
         still: list[int] = []
         for ridx in pending:
-            smooth = moving_average(raw_stack[ridx], window)
+            with maybe_stage(stage_trace, ExecStage.NORMALIZE):
+                smooth = moving_average(raw_stack[ridx], window)
             span = float(smooth.max() - smooth.min())
             if span <= 0.0 or not np.isfinite(span):
                 still.append(ridx)
@@ -483,13 +481,17 @@ def _acquire_rows(decoder: AdaptiveThresholdDecoder,
 
 
 def _decode_rows(traces: list[SignalTrace], n_data_symbols: int,
-                 config: DecoderConfig | None = None) -> list[_RowDecode]:
+                 config: DecoderConfig | None = None,
+                 stage_trace: StageTrace | None = None) -> list[_RowDecode]:
     """Batched adaptive decode of same-grid traces.
 
     All three decoder stages — acquisition, clock refinement, decision
     windows — run as fused passes over the whole row stack, answering
     every "max/min inside this window" question through shared sparse
     tables (:mod:`repro.tensor.rmq`) instead of per-row scipy calls.
+    When profiled, the fused passes attribute group-level time to the
+    same ``normalize``/``acquire``/``refine_clock``/``decide`` stages
+    the serial decoder reports per scenario.
     """
     decoder = AdaptiveThresholdDecoder(config)
     cfg = decoder.config
@@ -501,90 +503,95 @@ def _decode_rows(traces: list[SignalTrace], n_data_symbols: int,
     n = len(times)
     if n == 0:
         for row in rows:
-            row.stage = "preamble_not_found"
+            row.stage = RecordStage.PREAMBLE_NOT_FOUND.value
         return rows
 
     raw_stack = np.stack(
         [np.asarray(t.samples, dtype=float) for t in traces])
-    acquired = _acquire_rows(decoder, rows, raw_stack, fs, t0)
+    acquired = _acquire_rows(decoder, rows, raw_stack, fs, t0,
+                             stage_trace=stage_trace)
 
-    live: list[_RowDecode] = []
-    for ridx, row in enumerate(rows):
-        got = acquired.get(ridx)
-        if got is None:
-            row.stage = "preamble_not_found"
-            continue
-        points, smooth = got
-        try:
-            tau_r, tau_t = decoder.thresholds(points)
-        except PreambleNotFoundError:
-            row.stage = "preamble_not_found"
-            continue
-        row.smooth = smooth
-        row.tau_r = tau_r
-        row.tau_t = tau_t
-        row.level = decoder._threshold_level(tau_r, points[1].value)
-        row.anchor = points[0].time_s - 0.5 * tau_t
-        live.append(row)
-    if not live:
-        return rows
+    with maybe_stage(stage_trace, ExecStage.ACQUIRE):
+        live: list[_RowDecode] = []
+        for ridx, row in enumerate(rows):
+            got = acquired.get(ridx)
+            if got is None:
+                row.stage = RecordStage.PREAMBLE_NOT_FOUND.value
+                continue
+            points, smooth = got
+            try:
+                tau_r, tau_t = decoder.thresholds(points)
+            except PreambleNotFoundError:
+                row.stage = RecordStage.PREAMBLE_NOT_FOUND.value
+                continue
+            row.smooth = smooth
+            row.tau_r = tau_r
+            row.tau_t = tau_t
+            row.level = decoder._threshold_level(tau_r, points[1].value)
+            row.anchor = points[0].time_s - 0.5 * tau_t
+            live.append(row)
+        if not live:
+            return rows
 
-    smooths = np.ascontiguousarray(
-        np.stack([row.smooth for row in live]))
-    tau_t = np.array([row.tau_t for row in live])
-    tau_r = np.array([row.tau_r for row in live])
-    level = np.array([row.level for row in live])
-    base_anchor = np.array([row.anchor for row in live])
+        smooths = np.ascontiguousarray(
+            np.stack([row.smooth for row in live]))
+        tau_t = np.array([row.tau_t for row in live])
+        tau_r = np.array([row.tau_r for row in live])
+        level = np.array([row.level for row in live])
+        base_anchor = np.array([row.anchor for row in live])
 
-    log = log_table(n)
-    # Longest range any query below can ask for: one symbol window at
-    # the widest refinement candidate, in samples.  Levels beyond that
-    # are never touched, so the tables stop there (an underestimate
-    # would fault in ``range_query``, never answer wrongly).
-    wide = ((1.0 + cfg.clock_search_span)
-            * (1.0 + 2.0 * abs(cfg.window_shrink_fraction)))
-    lmax = int(np.ceil(float(tau_t.max()) * wide * fs)) + 4
-    tmax = build_table(smooths, np.maximum, max_len=lmax)
-    tmin = build_table(smooths, np.minimum, max_len=lmax)
+        log = log_table(n)
+        # Longest range any query below can ask for: one symbol window
+        # at the widest refinement candidate, in samples.  Levels
+        # beyond that are never touched, so the tables stop there (an
+        # underestimate would fault in ``range_query``, never answer
+        # wrongly).
+        wide = ((1.0 + cfg.clock_search_span)
+                * (1.0 + 2.0 * abs(cfg.window_shrink_fraction)))
+        lmax = int(np.ceil(float(tau_t.max()) * wide * fs)) + 4
+        tmax = build_table(smooths, np.maximum, max_len=lmax)
+        tmin = build_table(smooths, np.minimum, max_len=lmax)
 
-    if cfg.clock_refinement:
-        n_probe = min(n_data_symbols if n_data_symbols else 8, 12)
-        tau_t, anchor = _refine_clock_rows(
-            cfg, times, t0, fs, tmax, tmin, log, base_anchor,
-            tau_t, tau_r, level, n_probe)
-    else:
-        anchor = base_anchor
-    for row, tau, anc in zip(live, tau_t, anchor):
-        row.tau_t = float(tau)
-        row.anchor = float(anc)
+    with maybe_stage(stage_trace, ExecStage.REFINE_CLOCK):
+        if cfg.clock_refinement:
+            n_probe = min(n_data_symbols if n_data_symbols else 8, 12)
+            tau_t, anchor = _refine_clock_rows(
+                cfg, times, t0, fs, tmax, tmin, log, base_anchor,
+                tau_t, tau_r, level, n_probe)
+        else:
+            anchor = base_anchor
+        for row, tau, anc in zip(live, tau_t, anchor):
+            row.tau_t = float(tau)
+            row.anchor = float(anc)
 
-    # Decision windows, batched: same grid for every row.
-    data_start = anchor + 4.0 * tau_t
-    shrink = cfg.window_shrink_fraction * tau_t
-    ks = np.arange(float(n_data_symbols))
-    w_starts = data_start[:, None] + ks[None, :] * tau_t[:, None]
-    w_ends = w_starts + tau_t[:, None]
-    i0, i1 = grid_searchsorted(times, t0, fs, np.stack(
-        (w_starts + shrink[:, None], w_ends - shrink[:, None])))
-    valid = (i1 > i0) & (i0 < n)
-    n_good = np.cumprod(valid, axis=1).sum(axis=1)
-    rows2 = np.broadcast_to(np.arange(len(live))[:, None], valid.shape)
-    maxima = _masked_query(tmax, log, np.maximum, rows2, i0, i1, valid)
+    with maybe_stage(stage_trace, ExecStage.DECIDE):
+        # Decision windows, batched: same grid for every row.
+        data_start = anchor + 4.0 * tau_t
+        shrink = cfg.window_shrink_fraction * tau_t
+        ks = np.arange(float(n_data_symbols))
+        w_starts = data_start[:, None] + ks[None, :] * tau_t[:, None]
+        w_ends = w_starts + tau_t[:, None]
+        i0, i1 = grid_searchsorted(times, t0, fs, np.stack(
+            (w_starts + shrink[:, None], w_ends - shrink[:, None])))
+        valid = (i1 > i0) & (i0 < n)
+        n_good = np.cumprod(valid, axis=1).sum(axis=1)
+        rows2 = np.broadcast_to(np.arange(len(live))[:, None], valid.shape)
+        maxima = _masked_query(tmax, log, np.maximum, rows2, i0, i1, valid)
 
-    for r, row in enumerate(live):
-        good = int(n_good[r])
-        if good == 0:
-            row.stage = "decode_failed"
-            continue
-        symbols = [Symbol.HIGH if float(maxima[r, k]) > row.level
-                   else Symbol.LOW for k in range(good)]
-        try:
-            bits = manchester_decode(symbols)
-        except ManchesterError:
-            bits = None
-        row.bits = ("" if bits is None
-                    else "".join(str(b) for b in bits))
-        row.stage = "ok"
+        for r, row in enumerate(live):
+            good = int(n_good[r])
+            if good == 0:
+                row.stage = RecordStage.DECODE_FAILED.value
+                continue
+            symbols = [Symbol.HIGH if float(maxima[r, k]) > row.level
+                       else Symbol.LOW for k in range(good)]
+            try:
+                bits = manchester_decode(symbols)
+            except ManchesterError:
+                bits = None
+            row.bits = ("" if bits is None
+                        else "".join(str(b) for b in bits))
+            row.stage = "ok"
     return rows
 
 
@@ -592,61 +599,57 @@ def _decode_rows(traces: list[SignalTrace], n_data_symbols: int,
 # Group execution and the public entry point
 # ----------------------------------------------------------------------
 
-def _canonical(payload: dict) -> str:
-    """``ScenarioSpec.canonical_json`` on a pre-built spec dict."""
-    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
-
-
 def _run_group(key: str, specs: list[ScenarioSpec],
-               payloads: list[tuple[dict, str]],
+               idents: list[SpecIdentity],
                dtype: str) -> list[RunRecord]:
     started = time.perf_counter()
     spec0 = specs[0]
-    plan = _plan_for(key, spec0)
-    sim = plan.sim
-    fs = sim.config.sample_rate_hz
+    profile = new_trace()
 
-    packet = Packet.from_bitstring(spec0.bits,
-                                   symbol_width_m=spec0.symbol_width_m)
+    with maybe_stage(profile, ExecStage.BUILD):
+        plan = _plan_for(key, spec0)
+        sim = plan.sim
+        fs = sim.config.sample_rate_hz
+        packet = Packet.from_bitstring(spec0.bits,
+                                       symbol_width_m=spec0.symbol_width_m)
     sent = packet.bit_string()
     n_data_symbols = 2 * len(packet.data_bits)
 
-    codes = _capture_rows(plan, specs, dtype)
-    meta = sim._meta(kind="rss")
-    traces = [SignalTrace(codes[i].astype(float), fs, plan.t_start,
-                          meta=dict(meta))
-              for i in range(len(specs))]
+    with maybe_stage(profile, ExecStage.SIMULATE):
+        codes = _capture_rows(plan, specs, dtype)
+        meta = sim._meta(kind="rss")
+        traces = [SignalTrace(codes[i].astype(float), fs, plan.t_start,
+                              meta=dict(meta))
+                  for i in range(len(specs))]
     decodes = _decode_rows(
         traces, n_data_symbols,
-        DecoderConfig(threshold_rule=spec0.threshold_rule))
+        DecoderConfig(threshold_rule=spec0.threshold_rule),
+        stage_trace=profile)
 
     elapsed = (time.perf_counter() - started) / max(1, len(specs))
+    if profile is not None:
+        # The group ran its fused stages once for the whole row stack;
+        # each record carries an equal per-scenario share so stage
+        # totals aggregate the same way serial traces do.
+        profile.count("batch_rows", len(specs))
+        profile = profile.scaled(1.0 / max(1, len(specs)))
     records = []
-    for spec, (payload, canon), row in zip(specs, payloads, decodes):
+    for spec, ident, row in zip(specs, idents, decodes):
         decoded = row.bits if row.stage == "ok" else ""
-        if row.stage == "ok":
-            stage = "decoded" if decoded == sent else "bit_errors"
-        else:
-            stage = row.stage
-        # The spec is resolved, so its content hash is the SHA-256 of
-        # the canonical JSON already serialised by ``execute_batch``.
-        records.append(RunRecord(
-            spec_hash=hashlib.sha256(canon.encode()).hexdigest(),
-            spec=payload,
+        stage = (outcome_stage(decoded, sent) if row.stage == "ok"
+                 else row.stage)
+        records.append(make_record(
+            spec_hash=ident.content_hash,
+            spec=ident.payload,
             seed=spec.seed,
             sent_bits=sent,
             decoded_bits=decoded,
-            success=decoded == sent,
             stage=stage,
-            ber=_bit_error_rate(sent, decoded),
             n_samples=plan.n_samples,
-            trace_duration_s=plan.n_samples / fs,
             sample_rate_hz=fs,
             noise_floor_lux=plan.noise_floor,
-            fused_bits=decoded,
-            fused_success=decoded == sent,
-            best_node_success=decoded == sent,
             elapsed_s=elapsed,
+            stage_trace=profile,
         ))
     return records
 
@@ -672,22 +675,12 @@ def execute_batch(specs, dtype: str = "float64") -> list[RunRecord]:
     records: list[RunRecord | None] = [None] * len(resolved)
 
     groups: "OrderedDict[str, list[int]]" = OrderedDict()
-    payloads: list[tuple[dict, str] | None] = [None] * len(resolved)
+    idents: list[SpecIdentity | None] = [None] * len(resolved)
     for i, spec in enumerate(resolved):
         if fast_path_eligible(spec):
-            payload = spec.to_dict()
-            canon = _canonical(payload)
-            payloads[i] = (payload, canon)
-            if spec.motion == "speed_jitter":
-                kkey = canon
-            else:
-                # Zero the seed in the already-serialised string: keys
-                # are unique in the canonical JSON and no field value
-                # can contain ``"seed":``, so this single substitution
-                # equals re-serialising ``{**payload, "seed": 0}``.
-                kkey = canon.replace(f'"seed":{payload["seed"]}',
-                                     '"seed":0', 1)
-            groups.setdefault(kkey, []).append(i)
+            ident = spec.identity()
+            idents[i] = ident
+            groups.setdefault(spec.optical_key(ident), []).append(i)
         else:
             records[i] = execute_scenario(spec)
 
@@ -695,7 +688,7 @@ def execute_batch(specs, dtype: str = "float64") -> list[RunRecord]:
         group = [resolved[i] for i in indices]
         try:
             group_records = _run_group(
-                key, group, [payloads[i] for i in indices], dtype)
+                key, group, [idents[i] for i in indices], dtype)
         except Exception:
             # Correctness never rides on the fast path: any failure —
             # degenerate geometry, a scene that raises mid-physics —

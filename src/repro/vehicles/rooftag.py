@@ -14,6 +14,7 @@ from dataclasses import dataclass
 from ..channel.trace import SignalTrace
 from ..core.decoder import AdaptiveThresholdDecoder, DecodeResult
 from ..core.errors import DecodeError, PreambleNotFoundError
+from ..exec.graph import ExecStage, StageTrace, maybe_stage
 from ..tags.packet import Packet
 from ..tags.surface import CompositeSurface, TagSurface
 from .profiles import CarProfile
@@ -91,8 +92,12 @@ class TwoPhaseDecoder:
         self.decoder = decoder or AdaptiveThresholdDecoder()
 
     def decode(self, trace: SignalTrace,
-               n_data_symbols: int | None = None) -> DecodeResult:
+               n_data_symbols: int | None = None,
+               stage_trace: StageTrace | None = None) -> DecodeResult:
         """Decode a tagged-car pass.
+
+        The phase-1 landmark search counts as the ``acquire`` stage
+        when profiled; phase 2 attributes its own interior.
 
         Raises:
             PreambleNotFoundError: when the long preamble (car shape) is
@@ -100,12 +105,14 @@ class TwoPhaseDecoder:
                 roof window.
             DecodeError: when windowing fails inside the roof region.
         """
-        roof = self.preamble_detector.roof_window(trace)
+        with maybe_stage(stage_trace, ExecStage.ACQUIRE):
+            roof = self.preamble_detector.roof_window(trace)
         if roof is None:
             raise PreambleNotFoundError(
                 "long-duration preamble (hood peak + windshield valley) "
                 "not found")
-        return self.decoder.decode(roof, n_data_symbols=n_data_symbols)
+        return self.decoder.decode(roof, n_data_symbols=n_data_symbols,
+                                   stage_trace=stage_trace)
 
     def try_decode(self, trace: SignalTrace,
                    n_data_symbols: int | None = None) -> DecodeResult | None:

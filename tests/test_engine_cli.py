@@ -245,3 +245,48 @@ class TestChaosCommand:
                      "--intensity", "1"])
         assert code == 0
         assert "3 scenario(s)" in capsys.readouterr().out
+
+
+class TestSweepProfile:
+    def test_profile_prints_stage_table(self, capsys):
+        assert main(["sweep", *FAST_SETS, "--set", "ground_lux=450",
+                     "--axis", "seed=2,3", "--profile"]) == 0
+        text = capsys.readouterr().out
+        assert "stage timings over 2 profiled record(s)" in text
+        assert "simulate" in text and "decide" in text
+
+    def test_profile_state_restored_after_sweep(self, capsys):
+        from repro.exec import profiling_enabled
+
+        before = profiling_enabled()
+        assert main(["sweep", *FAST_SETS, "--set", "ground_lux=450",
+                     "--axis", "seed=2", "--profile"]) == 0
+        assert profiling_enabled() == before
+
+    def test_unprofiled_sweep_prints_no_table(self, capsys):
+        assert main(["sweep", *FAST_SETS, "--set", "ground_lux=450",
+                     "--axis", "seed=2,3"]) == 0
+        assert "stage timings" not in capsys.readouterr().out
+
+
+class TestCacheBackendFlag:
+    def test_sqlite_backend_caches_sweeps(self, tmp_path, capsys):
+        cache_dir = tmp_path / "cache"
+        argv = ["sweep", *FAST_SETS, "--set", "ground_lux=450",
+                "--axis", "seed=2,3", "--cache-dir", str(cache_dir),
+                "--cache-backend", "sqlite"]
+        assert main(argv) == 0
+        assert (cache_dir / "records.sqlite").exists()
+        capsys.readouterr()
+        assert main(argv) == 0
+        assert "2 cached [100%], 0 simulated" in capsys.readouterr().out
+
+    def test_backend_requires_cache_dir(self, capsys):
+        assert main(["sweep", *FAST_SETS, "--set", "ground_lux=450",
+                     "--axis", "seed=2", "--cache-backend", "sqlite"]) == 2
+        assert "--cache-dir" in capsys.readouterr().err
+
+    def test_unknown_backend_rejected_by_argparse(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["sweep", *FAST_SETS, "--cache-dir", "/tmp/x",
+                  "--cache-backend", "redis"])

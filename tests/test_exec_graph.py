@@ -1,0 +1,223 @@
+"""Tests for repro.exec.graph — the shared instrumented stage graph."""
+
+import json
+
+import pytest
+
+from repro.exec import (
+    PIPELINE_STAGES,
+    PROFILE_ENV,
+    ExecStage,
+    FuncStage,
+    StageGraph,
+    StageTrace,
+    collect_traces,
+    maybe_stage,
+    new_trace,
+    profiled,
+    profiling_enabled,
+    set_profiling,
+)
+
+
+@pytest.fixture(autouse=True)
+def _no_forced_profiling(monkeypatch):
+    """Each test starts with profiling following the (cleared) env."""
+    monkeypatch.delenv(PROFILE_ENV, raising=False)
+    set_profiling(None)
+    yield
+    set_profiling(None)
+
+
+class TestExecStage:
+    def test_pipeline_order(self):
+        assert PIPELINE_STAGES == (
+            "build", "simulate", "inject_faults", "normalize",
+            "acquire", "refine_clock", "decide", "fuse")
+
+    def test_stages_are_plain_strings(self):
+        assert ExecStage.BUILD == "build"
+        assert str(ExecStage.FUSE) == "fuse"
+        assert f"{ExecStage.DECIDE}" == "decide"
+        # Serialization must emit the bare value, not the member name.
+        assert json.dumps(ExecStage.ACQUIRE) == '"acquire"'
+
+
+class TestProfilingSwitch:
+    def test_off_by_default(self):
+        assert not profiling_enabled()
+        assert new_trace() is None
+
+    def test_env_values(self, monkeypatch):
+        for raw, expect in [("1", True), ("true", True), ("on", True),
+                            ("0", False), ("false", False), ("", False),
+                            ("off", False), ("no", False)]:
+            monkeypatch.setenv(PROFILE_ENV, raw)
+            assert profiling_enabled() is expect
+
+    def test_forced_overrides_env(self, monkeypatch):
+        monkeypatch.setenv(PROFILE_ENV, "1")
+        set_profiling(False)
+        assert not profiling_enabled()
+
+    def test_profiled_restores(self, monkeypatch):
+        monkeypatch.setenv(PROFILE_ENV, "0")
+        with profiled():
+            assert profiling_enabled()
+            assert new_trace() is not None
+            # Workers forked in-scope must inherit the switch.
+            import os
+            assert os.environ[PROFILE_ENV] == "1"
+        assert not profiling_enabled()
+        import os
+        assert os.environ[PROFILE_ENV] == "0"
+
+
+class TestStageTrace:
+    def test_accumulates(self):
+        trace = StageTrace()
+        trace.add(ExecStage.BUILD, 0.5)
+        trace.add("build", 0.25)
+        trace.count("chunks", 3)
+        trace.count("chunks")
+        assert trace.timings_s == {"build": 0.75}
+        assert trace.counters == {"chunks": 4}
+        assert trace.total_s == 0.75
+
+    def test_stage_context_times(self):
+        trace = StageTrace()
+        with trace.stage("decide"):
+            pass
+        assert trace.timings_s["decide"] >= 0.0
+
+    def test_merge_and_scaled(self):
+        a = StageTrace(timings_s={"build": 1.0}, counters={"rows": 2})
+        b = StageTrace(timings_s={"build": 0.5, "decide": 2.0},
+                       counters={"rows": 1})
+        a.merge(b)
+        assert a.timings_s == {"build": 1.5, "decide": 2.0}
+        assert a.counters == {"rows": 3}
+        half = a.scaled(0.5)
+        assert half.timings_s == {"build": 0.75, "decide": 1.0}
+        # Counters describe the group and are never scaled.
+        assert half.counters == {"rows": 3}
+        # scaled() is a copy: the original is untouched.
+        assert a.timings_s["build"] == 1.5
+
+    def test_to_dict_pipeline_ordered(self):
+        trace = StageTrace()
+        trace.add("decide", 1.0)
+        trace.add("build", 1.0)
+        trace.add("acquire", 1.0)
+        payload = trace.to_dict()
+        assert list(payload["timings_s"]) == ["build", "acquire", "decide"]
+        assert "counters" not in payload
+        trace.count("n")
+        roundtrip = StageTrace.from_dict(trace.to_dict())
+        assert roundtrip.timings_s == trace.timings_s
+        assert roundtrip.counters == trace.counters
+
+    def test_maybe_stage_null_when_off(self):
+        ctx = maybe_stage(None, "build")
+        with ctx:
+            pass
+        # The shared no-op context is reused, not rebuilt per call.
+        assert maybe_stage(None, "decide") is ctx
+
+
+class TestCollectTraces:
+    def test_collects_only_in_scope(self):
+        with profiled():
+            before = new_trace()
+            with collect_traces() as traces:
+                inside = new_trace()
+            after = new_trace()
+        # Identity, not equality: empty StageTraces all compare equal.
+        assert len(traces) == 1 and traces[0] is inside
+        assert before is not traces[0] and after is not traces[0]
+
+    def test_nested_scopes_are_independent(self):
+        with profiled():
+            with collect_traces() as outer:
+                with collect_traces() as inner:
+                    t = new_trace()
+                assert len(inner) == 1 and inner[0] is t
+            assert outer == []
+
+
+class TestStageGraph:
+    def test_runs_in_order(self):
+        order = []
+        graph = StageGraph([
+            FuncStage(ExecStage.BUILD, lambda ctx: order.append("b")),
+            FuncStage(ExecStage.DECIDE, lambda ctx: order.append("d")),
+        ])
+        graph.run(object())
+        assert order == ["b", "d"]
+
+    def test_rejects_unknown_stage(self):
+        with pytest.raises(ValueError, match="unknown stage"):
+            FuncStage("banana", lambda ctx: None)
+
+    def test_rejects_out_of_order(self):
+        with pytest.raises(ValueError, match="out of pipeline order"):
+            StageGraph([
+                FuncStage(ExecStage.DECIDE, lambda ctx: None),
+                FuncStage(ExecStage.BUILD, lambda ctx: None),
+            ])
+
+    def test_duplicate_stage_allowed_for_gated_variants(self):
+        ran = []
+        graph = StageGraph([
+            FuncStage(ExecStage.DECIDE, lambda ctx: ran.append("a"),
+                      when=lambda ctx: False),
+            FuncStage(ExecStage.DECIDE, lambda ctx: ran.append("b"),
+                      when=lambda ctx: True),
+        ])
+        graph.run(object())
+        assert ran == ["b"]
+
+    def test_stage_subset(self):
+        ran = []
+        graph = StageGraph([
+            FuncStage(ExecStage.BUILD, lambda ctx: ran.append("b")),
+            FuncStage(ExecStage.SIMULATE, lambda ctx: ran.append("s")),
+            FuncStage(ExecStage.DECIDE, lambda ctx: ran.append("d")),
+        ])
+        graph.run(object(), stages=(ExecStage.BUILD, ExecStage.SIMULATE))
+        assert ran == ["b", "s"]
+        graph.run(object(), stages=("decide",))
+        assert ran == ["b", "s", "d"]
+
+    def test_done_short_circuits(self):
+        class Ctx:
+            done = False
+
+        ran = []
+
+        def first(ctx):
+            ran.append("first")
+            ctx.done = True
+
+        graph = StageGraph([
+            FuncStage(ExecStage.BUILD, first),
+            FuncStage(ExecStage.DECIDE, lambda ctx: ran.append("second")),
+        ])
+        graph.run(Ctx())
+        assert ran == ["first"]
+
+    def test_timed_stages_land_in_trace(self):
+        trace = StageTrace()
+        graph = StageGraph([
+            FuncStage(ExecStage.BUILD, lambda ctx: None),
+            FuncStage(ExecStage.DECIDE, lambda ctx: None, timed=False),
+        ])
+        graph.run(object(), trace)
+        assert "build" in trace.timings_s
+        # timed=False stages attribute their own interior.
+        assert "decide" not in trace.timings_s
+
+    def test_len_and_iter(self):
+        graph = StageGraph([FuncStage(ExecStage.BUILD, lambda ctx: None)])
+        assert len(graph) == 1
+        assert [str(s.name) for s in graph] == ["build"]

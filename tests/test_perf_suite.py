@@ -341,3 +341,55 @@ class TestExtrasMetrics:
         assert extras["scenarios_per_s"] > 0.0
         assert extras["ksamples_per_s_core"] > 0.0
         assert extras.get("peak_rss_mb", 1.0) > 0.0
+
+
+class TestProfiledBench:
+    """--profile adds stage medians as extras without touching the
+    gated metrics (the timing repeats themselves run unprofiled)."""
+
+    def _scenario_workload(self):
+        from repro.engine.executor import execute_scenario
+        from repro.engine.spec import ScenarioSpec
+
+        def setup(quick):
+            spec = ScenarioSpec(
+                source="sun", detector="led", cap=False, ground="tarmac",
+                bits="00", symbol_width_m=0.1, speed_mps=5.0,
+                receiver_height_m=0.25, start_position_m=-1.5,
+                sample_rate_hz=2000.0, ground_lux=450.0, seed=3)
+            return lambda: execute_scenario(spec)
+
+        return Workload(name="one_scenario", kind="macro",
+                        description="single serial scenario", setup=setup,
+                        repeats=1, quick_repeats=1, warmup=0)
+
+    def test_stage_extras_recorded(self):
+        report = run_suite(workloads=[self._scenario_workload()],
+                           repeats=1, profile=True)
+        extras = report.results[0].extras
+        stage_keys = {k for k in extras if k.startswith("stage_")}
+        assert {"stage_build_s", "stage_simulate_s",
+                "stage_decide_s"} <= stage_keys
+        assert all(extras[k] >= 0.0 for k in stage_keys)
+        # The gated timing repeats stay unprofiled and unchanged.
+        assert len(report.results[0].times_s) == 1
+
+    def test_no_profile_means_no_stage_extras(self):
+        report = run_suite(workloads=[self._scenario_workload()],
+                           repeats=1)
+        assert not any(k.startswith("stage_")
+                       for k in report.results[0].extras)
+
+    def test_stage_extras_never_gate_against_old_baselines(self):
+        current = _report({"engine_batch": 1.0})
+        current.results[0].extras["stage_decide_s"] = 0.5
+        baseline = _report({"engine_batch": 1.0})
+        comparisons = compare_reports(current, baseline)
+        assert all(not c.regressed for c in comparisons)
+
+    def test_profile_tolerates_traceless_thunks(self):
+        log = []
+        report = run_suite(workloads=_tiny_workloads(log), repeats=1,
+                           profile=True)
+        for timing in report.results:
+            assert not any(k.startswith("stage_") for k in timing.extras)
