@@ -36,6 +36,8 @@ from pathlib import Path
 from typing import Iterator, Protocol, runtime_checkable
 
 from ..faults.retry import RetryExhausted, RetryPolicy
+from ..obs.events import active_events
+from ..obs.registry import MetricsRegistry, active_registry
 from .records import RunRecord
 
 __all__ = ["BACKEND_ENV", "CACHE_BACKENDS", "CacheBackend", "CacheStats",
@@ -66,6 +68,47 @@ class CacheStats:
     misses: int = 0
     writes: int = 0
     write_retries: int = 0
+
+    def to_metrics(self, registry: MetricsRegistry,
+                   backend: str = "unknown") -> None:
+        """Fold lifetime totals into ``registry`` (common stats shape).
+
+        One-shot: callers fold a stats object at most once per
+        lifetime, or the totals double-count.  Live runs instead use
+        the incremental per-lookup instrumentation below.
+        """
+        lookups = registry.counter
+        lookups("cache_lookups_total",
+                {"backend": backend, "result": "hit"}).inc(self.hits)
+        lookups("cache_lookups_total",
+                {"backend": backend, "result": "miss"}).inc(self.misses)
+        lookups("cache_writes_total", {"backend": backend}).inc(self.writes)
+        lookups("cache_write_retries_total",
+                {"backend": backend}).inc(self.write_retries)
+
+
+def _observe_lookup(backend: str, key: str, hit: bool) -> None:
+    """Incremental telemetry for one cache lookup (no-op when off)."""
+    registry = active_registry()
+    if registry is not None:
+        registry.counter("cache_lookups_total",
+                         {"backend": backend,
+                          "result": "hit" if hit else "miss"}).inc()
+    log = active_events()
+    if log is not None:
+        log.emit("cache_hit" if hit else "cache_miss",
+                 backend=backend, key=key)
+
+
+def _observe_write(backend: str, retries: int) -> None:
+    """Incremental telemetry for one cache write (no-op when off)."""
+    registry = active_registry()
+    if registry is None:
+        return
+    registry.counter("cache_writes_total", {"backend": backend}).inc()
+    if retries:
+        registry.counter("cache_write_retries_total",
+                         {"backend": backend}).inc(retries)
 
 
 @runtime_checkable
@@ -112,6 +155,9 @@ class ResultCache:
             failing and propagate after the budget.
     """
 
+    #: Telemetry label for this backend.
+    backend_name = "disk"
+
     def __init__(self, root: str | Path,
                  retry_policy: RetryPolicy | None = None) -> None:
         self.root = Path(root)
@@ -152,6 +198,7 @@ class ResultCache:
         errors — the scenario simply re-executes and overwrites them.
         """
         record = self._read(key)
+        _observe_lookup(self.backend_name, key, hit=record is not None)
         if record is None:
             self.stats.misses += 1
             return None
@@ -193,6 +240,8 @@ class ResultCache:
             raise exc.last from exc
         self.stats.write_retries += self.retry_policy.retries - before
         self.stats.writes += 1
+        _observe_write(self.backend_name,
+                       self.retry_policy.retries - before)
 
     def __contains__(self, key: str) -> bool:
         """Membership mirrors :meth:`get`: a corrupt or torn file that
@@ -244,6 +293,9 @@ class SqliteResultCache:
     #: Database filename under the cache root.
     FILENAME = "records.sqlite"
 
+    #: Telemetry label for this backend.
+    backend_name = "sqlite"
+
     def __init__(self, root: str | Path,
                  retry_policy: RetryPolicy | None = None) -> None:
         self.root = Path(root)
@@ -287,6 +339,7 @@ class SqliteResultCache:
                       if row is not None else None)
         except (sqlite3.Error, ValueError, TypeError):
             record = None
+        _observe_lookup(self.backend_name, key, hit=record is not None)
         if record is None:
             self.stats.misses += 1
             return None
@@ -318,6 +371,8 @@ class SqliteResultCache:
             raise exc.last from exc
         self.stats.write_retries += self.retry_policy.retries - before
         self.stats.writes += 1
+        _observe_write(self.backend_name,
+                       self.retry_policy.retries - before)
 
     def __contains__(self, key: str) -> bool:
         """Membership mirrors :meth:`get` (and the disk backend): an

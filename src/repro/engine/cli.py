@@ -16,6 +16,8 @@ Subcommands::
     repro-engine chaos --scenario convoy --count 24 \\
                        --plan '{"chunk_drop": 0.1, "node_dropout": 0.2}' \\
                        --intensity 0,0.5,1
+    repro-engine sweep ... --telemetry telemetry/
+    repro-engine metrics telemetry/
 
 ``chaos`` scales a fault mix across an intensity ladder and reruns the
 same passes at every rung, printing the decode-rate degradation
@@ -32,15 +34,22 @@ fans each family scenario out further — through the batch runner.
 ``report`` re-reads a results file and summarizes it; records embed
 their spec, so any spec field works for ``--group-by``.
 ``scenarios`` lists the registered scenario families.
+
+``--telemetry DIR`` (on ``run``/``sweep``/``chaos``) activates the
+:mod:`repro.obs` registry and event log for the command and writes
+``events.jsonl`` + ``metrics.json`` + ``metrics.prom`` into DIR;
+``metrics`` pretty-prints such a snapshot (pass the directory or the
+``metrics.json`` file).
 """
 
 from __future__ import annotations
 
 import argparse
+import contextlib
 import json
 import sys
 from pathlib import Path
-from typing import Any, Sequence
+from typing import Any, Iterator, Sequence
 
 from ..exec.graph import profiled
 from .cache import CACHE_BACKENDS
@@ -181,13 +190,52 @@ def _read_records(path: str) -> list[RunRecord]:
     return records
 
 
+@contextlib.contextmanager
+def _telemetry(args: argparse.Namespace) -> Iterator[tuple | None]:
+    """Scoped telemetry for record-producing commands.
+
+    With ``--telemetry DIR``: activates a fresh registry + event log
+    (and profiling, so stage histograms can harvest the same traces
+    ``--profile`` collects), yields ``(registry, events)``, and writes
+    ``events.jsonl`` / ``metrics.json`` / ``metrics.prom`` into DIR
+    when the command body completes.  Without the flag this is a
+    no-op yielding None — the zero-cost disabled path.
+    """
+    directory = getattr(args, "telemetry", None)
+    if not directory:
+        yield None
+        return
+    from ..obs import telemetry_session, write_telemetry
+
+    with profiled(), telemetry_session() as (registry, events):
+        yield registry, events
+        write_telemetry(directory, registry, events)
+    print(f"telemetry written to {directory} "
+          "(events.jsonl, metrics.json, metrics.prom)")
+
+
+def _emit_stage_events(events, records: Sequence[RunRecord]) -> None:
+    """Fold the records' stage timings into ``stage_timing`` events."""
+    from .report import stage_stats
+
+    stats = stage_stats(records)
+    for stage, row in stats["stages"].items():
+        events.emit("stage_timing", stage=stage,
+                    total_s=round(row["total_s"], 6),
+                    mean_s=round(row["mean_s"], 6),
+                    n_profiled=stats["n_profiled"])
+
+
 # ----------------------------------------------------------------------
 # Subcommands
 # ----------------------------------------------------------------------
 
 def _cmd_run(args: argparse.Namespace) -> int:
     spec = _load_template(args)
-    result = _make_runner(args).run([spec])
+    with _telemetry(args) as telem:
+        result = _make_runner(args).run([spec])
+        if telem is not None:
+            _emit_stage_events(telem[1], result.records)
     record = result.records[0]
     _write_records(result.records, args.out)
     print(json.dumps(record.to_dict(), indent=2, sort_keys=True))
@@ -228,24 +276,21 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                 "--count/--family-seed only apply with --scenario")
         specs = expand_grid(template, axes)
     aborted: BatchAborted | None = None
-    if args.profile:
-        # The restoring context sets the profiling env var too, so the
-        # runner's (lazily forked) pool workers inherit it and every
-        # record comes back carrying a StageTrace.
-        with profiled():
-            runner = _make_runner(args)
-            try:
-                result = runner.run(specs)
-            except BatchAborted as exc:
-                aborted = exc
-                result = exc.result
-    else:
+    # The restoring profiled() context sets the profiling env var too,
+    # so the runner's (lazily forked) pool workers inherit it and every
+    # record comes back carrying a StageTrace.  --telemetry enables
+    # profiling on its own (stage histograms harvest the same traces).
+    profile_ctx = (profiled() if args.profile
+                   else contextlib.nullcontext())
+    with _telemetry(args) as telem, profile_ctx:
         runner = _make_runner(args)
         try:
             result = runner.run(specs)
         except BatchAborted as exc:
             aborted = exc
             result = exc.result
+        if telem is not None:
+            _emit_stage_events(telem[1], result.records)
     _write_records(result.records, args.out)
     print(result.stats.summary())
     print(summarize(result.records))
@@ -301,6 +346,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         default_baseline_path,
         default_workloads,
         format_comparisons,
+        format_stage_medians,
         load_report,
         run_suite,
         save_report,
@@ -319,6 +365,11 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         [(r.name, r.kind, f"{r.median_s * 1e3:.2f}",
           f"{r.stddev_s * 1e3:.2f}", r.repeats)
          for r in report.results]))
+    if args.profile:
+        stage_table = format_stage_medians(report)
+        if stage_table:
+            print("\nstage medians (profiled passes):")
+            print(stage_table)
     out_path = save_report(report, args.out)
     print(f"perf report written to {out_path}")
 
@@ -492,8 +543,13 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
             specs = [template]
         else:
             specs = expand_grid(template, {"seed": list(range(count))})
-    runner = _make_runner(args)
-    sweep = sweep_fault_intensity(specs, plan, intensities, runner)
+    with _telemetry(args) as telem:
+        runner = _make_runner(args)
+        sweep = sweep_fault_intensity(specs, plan, intensities, runner)
+        if telem is not None:
+            _emit_stage_events(
+                telem[1],
+                [r for point in sweep.points for r in point.records])
     print(f"chaos sweep: {len(specs)} scenario(s) x {len(intensities)} "
           f"intensity rung(s)")
     print(f"fault mix: {plan.canonical_json()}")
@@ -513,6 +569,17 @@ def _cmd_scenarios(args: argparse.Namespace) -> int:
     print(describe_families())
     print("\ncompose families with ',' (or '*'), e.g. "
           "`repro-engine sweep --scenario convoy,fog --count 200`")
+    return 0
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    """Pretty-print a telemetry snapshot written by ``--telemetry``."""
+    from ..obs import format_metrics, load_snapshot
+
+    path = Path(args.snapshot)
+    if path.is_dir():
+        path = path / "metrics.json"
+    print(format_metrics(load_snapshot(path)))
     return 0
 
 
@@ -540,6 +607,13 @@ def build_parser() -> argparse.ArgumentParser:
                                 "(sharded JSON files) or 'sqlite' (one "
                                 "WAL-mode database); default consults "
                                 "REPRO_CACHE_BACKEND, then 'disk'")
+            # Telemetry rides the same gate: record-producing commands
+            # are the ones with metrics worth exporting.
+            p.add_argument("--telemetry", metavar="DIR",
+                           help="collect run telemetry (repro.obs) and "
+                                "write events.jsonl + metrics.json + "
+                                "metrics.prom into DIR; implies stage "
+                                "profiling, records stay byte-identical")
         p.add_argument("--out", help=out_help)
 
     run_p = sub.add_parser("run", help="execute a single scenario")
@@ -610,6 +684,14 @@ def build_parser() -> argparse.ArgumentParser:
     scen_p = sub.add_parser("scenarios",
                             help="list the registered scenario families")
     scen_p.set_defaults(func=_cmd_scenarios)
+
+    metrics_p = sub.add_parser(
+        "metrics",
+        help="pretty-print a telemetry snapshot (repro.obs)")
+    metrics_p.add_argument("snapshot",
+                           help="metrics.json written by --telemetry "
+                                "(or the telemetry directory itself)")
+    metrics_p.set_defaults(func=_cmd_metrics)
 
     chaos_p = sub.add_parser(
         "chaos",

@@ -27,6 +27,8 @@ from pathlib import Path
 from typing import Iterable, Mapping, Sequence
 
 from ..faults.retry import RetryPolicy
+from ..obs.events import active_events
+from ..obs.registry import MetricsRegistry, active_registry
 from .cache import CacheBackend, open_cache
 from .executor import error_record, execute_scenario
 from .records import RecordStage, RunRecord
@@ -116,6 +118,33 @@ class RunStats:
     def throughput(self) -> float:
         """Scenarios per wall-clock second for the whole batch."""
         return self.total / self.elapsed_s if self.elapsed_s > 0.0 else 0.0
+
+    def to_metrics(self, registry: MetricsRegistry) -> None:
+        """Fold one batch's accounting into ``registry``.
+
+        The common stats shape (see also ``CacheStats.to_metrics``,
+        ``FaultLog.to_metrics``, ``SessionStats.to_metrics``): counters
+        for scenario outcomes and recovery actions, one histogram
+        sample for the batch wall time.  A :class:`RunStats` describes
+        exactly one :meth:`BatchRunner.run` call, so folding each
+        instance once accumulates correctly across batches.
+        """
+        scenarios = registry.counter
+        backend = {"backend": self.backend}
+        scenarios("engine_scenarios_total",
+                  {**backend, "outcome": "run"}).inc(self.executed)
+        scenarios("engine_scenarios_total",
+                  {**backend, "outcome": "cached"}).inc(self.cache_hits)
+        scenarios("engine_scenarios_total",
+                  {**backend, "outcome": "failed"}).inc(self.executor_errors)
+        scenarios("engine_pool_restarts_total").inc(self.pool_restarts)
+        scenarios("engine_timeouts_total").inc(self.timeouts)
+        if self.serial_fallback:
+            scenarios("engine_serial_fallbacks_total").inc()
+        for kind, count in self.fault_events.items():
+            scenarios("fault_injections_total", {"kind": kind}).inc(count)
+        registry.histogram("engine_batch_seconds",
+                           backend).observe(self.elapsed_s)
 
     def summary(self) -> str:
         """One-line human summary of batch performance."""
@@ -313,6 +342,11 @@ class BatchRunner:
         resolved = [spec.resolve() for spec in specs]
         records: list[RunRecord | None] = [None] * len(resolved)
 
+        log = active_events()
+        if log is not None:
+            log.emit("batch_start", n_specs=len(resolved),
+                     backend=self.backend, workers=self.workers)
+
         # float32 records are approximations keyed identically to the
         # exact float64 ones (content_hash covers the spec only), so
         # they must neither consult nor populate the cache.
@@ -373,6 +407,17 @@ class BatchRunner:
             timeouts=self._timeouts,
             fault_events=_sum_fault_events(kept),
         )
+        registry = active_registry()
+        if registry is not None:
+            stats.to_metrics(registry)
+        if log is not None:
+            if stats.fault_events:
+                log.emit("fault_injected",
+                         counts=dict(sorted(stats.fault_events.items())))
+            log.emit("batch_end", n_specs=stats.total,
+                     cached=stats.cache_hits, executed=stats.executed,
+                     failed=stats.executor_errors, aborted=aborted,
+                     elapsed_s=round(stats.elapsed_s, 6))
         result = BatchResult(records=kept, stats=stats)
         if aborted:
             raise BatchAborted(self._failures, self.max_failures, result)
@@ -471,6 +516,10 @@ class BatchRunner:
                     self._serial_fallback = True
                     return self._serial(specs)
                 self._pool_restarts += 1
+                log = active_events()
+                if log is not None:
+                    log.emit("pool_restart", reason="broken_pool",
+                             attempt=attempt)
                 policy.retries += 1
                 delay = policy.delay_s(attempt)
                 if delay > 0.0:
@@ -532,6 +581,10 @@ class BatchRunner:
         if leftovers:
             self._kill_pool()
             self._pool_restarts += 1
+            log = active_events()
+            if log is not None:
+                log.emit("pool_restart", reason="timeout_stall",
+                         leftovers=len(leftovers))
             for i in leftovers:
                 records[i] = self._quarantine(specs[i])
                 if self._note_failure(records[i]):

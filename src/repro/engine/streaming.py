@@ -17,6 +17,8 @@ import time
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Callable, Sequence
 
+from ..obs.events import active_events
+from ..obs.registry import active_registry
 from .executor import build_decoder, capture_trace
 from .spec import ScenarioSpec
 
@@ -301,8 +303,20 @@ def run_stream(specs: Sequence[ScenarioSpec], sessions: int = 8,
                             watchdog_s=watchdog_s, isolate_errors=True,
                             chunks_by_session=chunk_overrides or None)
         result.wall_s += time.perf_counter() - started
+        registry = active_registry()
+        log = active_events()
         for i, (spec, spec_hash, _) in enumerate(wave):
             session = mux.session(f"s{wave_start + i:03d}")
+            faults = wave_faults[session.session_id]
+            if faults:
+                if registry is not None:
+                    for kind, count in faults.items():
+                        registry.counter("fault_injections_total",
+                                         {"kind": kind}).inc(count)
+                if log is not None:
+                    log.emit("fault_injected",
+                             session=session.session_id,
+                             counts=dict(sorted(faults.items())))
             verdict = session.verdict()
             stats = session.stats
             decoder = session.decoder

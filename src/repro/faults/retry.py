@@ -129,6 +129,9 @@ class RetryPolicy:
                 retryable error (the original is chained as its
                 ``last`` / ``__cause__``).
         """
+        from ..obs.events import active_events
+        from ..obs.registry import active_registry
+
         last: BaseException | None = None
         for attempt in range(self.max_attempts):
             self.attempts_made += 1
@@ -139,8 +142,26 @@ class RetryPolicy:
                 if attempt == self.max_attempts - 1:
                     break
                 self.retries += 1
+                registry = active_registry()
+                if registry is not None:
+                    registry.counter(
+                        "retry_attempts_total",
+                        {"error": type(exc).__name__}).inc()
+                log = active_events()
+                if log is not None:
+                    log.emit("retry", attempt=attempt,
+                             error=type(exc).__name__)
                 wait = self.delay_s(attempt)
                 if wait > 0.0:
                     self.total_wait_s += wait
                     sleep(wait)
+        registry = active_registry()
+        if registry is not None:
+            registry.counter(
+                "retry_exhausted_total",
+                {"error": type(last).__name__}).inc()
+        log = active_events()
+        if log is not None:
+            log.emit("retry_exhausted", attempts=self.max_attempts,
+                     error=type(last).__name__)
         raise RetryExhausted(self.max_attempts, last) from last

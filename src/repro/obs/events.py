@@ -1,0 +1,157 @@
+"""Structured, append-only run event log.
+
+Every noteworthy runtime transition — batch start/end, cache hit/miss,
+pool restart, fault injection, retry, session poisoning, harvested stage
+timings — is recorded as a typed :class:`RunEvent` and serialised as one
+JSONL line.  Timestamps are *monotonic-relative*: seconds since the log
+was opened, never wall-clock dates, so two runs of the same workload
+produce structurally comparable (and sequence-deterministic) records.
+
+Like :func:`repro.obs.registry.active_registry`, the active log is a
+module global; call sites guard on ``active_events()`` returning
+``None`` so a disabled log costs one check.
+"""
+from __future__ import annotations
+
+import json
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Iterator
+
+__all__ = [
+    "EVENT_KINDS",
+    "RunEvent",
+    "EventLog",
+    "active_events",
+    "set_events",
+    "event_scope",
+]
+
+#: The closed vocabulary of event kinds.  ``emit`` rejects anything
+#: else so downstream consumers can rely on the schema.
+EVENT_KINDS = frozenset({
+    "batch_start",
+    "batch_end",
+    "cache_hit",
+    "cache_miss",
+    "pool_restart",
+    "fault_injected",
+    "retry",
+    "retry_exhausted",
+    "session_poisoned",
+    "session_timeout",
+    "stage_timing",
+})
+
+
+@dataclass(frozen=True)
+class RunEvent:
+    """One typed telemetry event.
+
+    Attributes:
+        seq: 0-based position in the log — fully deterministic.
+        t_s: seconds since the log opened (monotonic clock).
+        kind: one of :data:`EVENT_KINDS`.
+        fields: kind-specific payload (plain JSON types only).
+    """
+
+    seq: int
+    t_s: float
+    kind: str
+    fields: dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"seq": self.seq, "t_s": self.t_s, "kind": self.kind,
+                **self.fields}
+
+
+class EventLog:
+    """Append-only, thread-safe log of :class:`RunEvent` records.
+
+    ``clock`` is injectable for tests; it defaults to
+    :func:`time.monotonic` and every stored timestamp is relative to
+    the clock reading at construction.
+    """
+
+    def __init__(self, clock: Callable[[], float] = time.monotonic) -> None:
+        self._clock = clock
+        self._t0 = clock()
+        self._lock = threading.Lock()
+        self._events: list[RunEvent] = []
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._events)
+
+    @property
+    def events(self) -> list[RunEvent]:
+        with self._lock:
+            return list(self._events)
+
+    def emit(self, kind: str, **fields: Any) -> RunEvent:
+        if kind not in EVENT_KINDS:
+            raise ValueError(
+                f"unknown event kind {kind!r}; expected one of "
+                f"{sorted(EVENT_KINDS)}")
+        t_s = self._clock() - self._t0
+        with self._lock:
+            event = RunEvent(seq=len(self._events), t_s=round(t_s, 6),
+                             kind=kind, fields=dict(fields))
+            self._events.append(event)
+        return event
+
+    def of_kind(self, kind: str) -> list[RunEvent]:
+        return [e for e in self.events if e.kind == kind]
+
+    def to_jsonl(self) -> str:
+        lines = [json.dumps(e.to_dict(), sort_keys=True)
+                 for e in self.events]
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def write(self, path: str | Path) -> Path:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(self.to_jsonl(), encoding="utf-8")
+        return path
+
+    @staticmethod
+    def read_jsonl(path: str | Path) -> list[RunEvent]:
+        events: list[RunEvent] = []
+        for line in Path(path).read_text(encoding="utf-8").splitlines():
+            if not line.strip():
+                continue
+            data = json.loads(line)
+            events.append(RunEvent(
+                seq=int(data.pop("seq")), t_s=float(data.pop("t_s")),
+                kind=str(data.pop("kind")), fields=data))
+        return events
+
+
+# ---------------------------------------------------------------------------
+# Activation — same module-global pattern as the registry.
+
+_ACTIVE: EventLog | None = None
+
+
+def set_events(log: EventLog | None) -> None:
+    global _ACTIVE
+    _ACTIVE = log
+
+
+def active_events() -> EventLog | None:
+    return _ACTIVE
+
+
+@contextmanager
+def event_scope(log: EventLog | None = None) -> Iterator[EventLog]:
+    global _ACTIVE
+    active = log if log is not None else EventLog()
+    prev = _ACTIVE
+    _ACTIVE = active
+    try:
+        yield active
+    finally:
+        _ACTIVE = prev

@@ -20,6 +20,7 @@ from .suite import (
     Workload,
     WorkloadTiming,
     default_workloads,
+    format_stage_medians,
     run_suite,
 )
 
@@ -33,6 +34,7 @@ __all__ = [
     "default_baseline_path",
     "default_workloads",
     "format_comparisons",
+    "format_stage_medians",
     "load_report",
     "run_suite",
     "save_report",

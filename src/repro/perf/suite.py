@@ -26,7 +26,7 @@ from typing import Any, Callable, Iterable, Sequence
 import numpy as np
 
 __all__ = ["Workload", "WorkloadTiming", "PerfReport",
-           "default_workloads", "run_suite"]
+           "default_workloads", "run_suite", "format_stage_medians"]
 
 SCHEMA = "repro.perf/1"
 
@@ -106,8 +106,22 @@ class WorkloadTiming:
     def max_s(self) -> float:
         return float(np.max(self.times_s)) if self.times_s else math.nan
 
+    @property
+    def stage_medians_s(self) -> dict[str, float]:
+        """Per-stage median seconds recorded by a ``--profile`` run.
+
+        Derived from the ``stage_<name>_s`` extras written by
+        :func:`_profile_stages`; empty for unprofiled runs and for
+        workloads that never touch the stage graph.
+        """
+        out: dict[str, float] = {}
+        for key, value in self.extras.items():
+            if key.startswith("stage_") and key.endswith("_s"):
+                out[key[len("stage_"):-len("_s")]] = float(value)
+        return dict(sorted(out.items()))
+
     def to_dict(self) -> dict:
-        return {
+        data = {
             "name": self.name,
             "kind": self.kind,
             "description": self.description,
@@ -121,6 +135,13 @@ class WorkloadTiming:
             "max_s": self.max_s,
             "extras": {k: float(v) for k, v in sorted(self.extras.items())},
         }
+        # First-class block so CI can diff stage-level regressions
+        # without parsing extras key conventions.  Derived from the
+        # extras, so ``from_dict`` round-trips it implicitly.
+        stages = self.stage_medians_s
+        if stages:
+            data["stages"] = stages
+        return data
 
     @classmethod
     def from_dict(cls, data: dict) -> "WorkloadTiming":
@@ -484,3 +505,24 @@ def _profile_stages(thunk: Callable[[], Any],
             per_stage.setdefault(name, []).append(seconds)
     return {f"stage_{name}_s": float(np.median(values))
             for name, values in sorted(per_stage.items())}
+
+
+def format_stage_medians(report: PerfReport) -> str:
+    """Aligned per-workload stage-median table for ``--profile`` runs.
+
+    Empty string when no workload recorded stage timings (run without
+    ``--profile``, or none touched the stage graph).
+    """
+    from ..analysis.reporting import format_table
+
+    rows = []
+    for timing in report.results:
+        stages = timing.stage_medians_s
+        total = sum(stages.values())
+        for name, seconds in stages.items():
+            share = seconds / total if total > 0.0 else 0.0
+            rows.append((timing.name, name, f"{seconds * 1e3:.2f}",
+                         f"{share * 100.0:.1f}%"))
+    if not rows:
+        return ""
+    return format_table(["workload", "stage", "median ms", "share"], rows)

@@ -29,8 +29,12 @@ from typing import Any, AsyncIterable, Iterable, Mapping
 
 import numpy as np
 
+from ..exec.graph import new_trace
 from ..net.fusion import FusedObservation, fuse_detections, group_by_pass
 from ..net.node import Detection, decode_confidence, onset_timestamp
+from ..obs.events import active_events
+from ..obs.export import publish_stage_trace
+from ..obs.registry import MetricsRegistry, active_registry
 from .decode import DecodeEvent, StreamDecoder
 
 __all__ = ["SessionStats", "StreamSession", "SessionMux", "replay_traces"]
@@ -78,6 +82,32 @@ class SessionStats:
             "timed_out": self.timed_out,
             "throughput_sps": self.throughput_sps,
         }
+
+    def to_metrics(self, registry: MetricsRegistry) -> None:
+        """Fold one session's accounting into ``registry``.
+
+        The common stats shape: a session-outcome counter,
+        backpressure/error counters, the queue-depth high-water gauge
+        and one busy-time histogram sample.  Chunk/sample throughput is
+        counted by the decoder itself (``stream_chunks_total``), so it
+        is deliberately absent here.  One-shot per session.
+        """
+        if self.timed_out:
+            outcome = "timed_out"
+        elif self.decode_errors:
+            outcome = "poisoned"
+        else:
+            outcome = "ok"
+        registry.counter("stream_sessions_total",
+                         {"outcome": outcome}).inc()
+        registry.counter("stream_backpressure_waits_total").inc(
+            self.backpressure_waits)
+        registry.counter("stream_decode_errors_total").inc(
+            self.decode_errors)
+        registry.gauge("stream_queue_depth_peak").set_max(
+            self.max_queue_depth)
+        registry.histogram("stream_session_busy_seconds").observe(
+            self.busy_s)
 
 
 class StreamSession:
@@ -187,11 +217,19 @@ class SessionMux:
             ``session.error``/``session.exception`` for the caller to
             inspect.  Watchdog timeouts are the mux's own verdict and
             are never re-raised.
+        registry: telemetry sink.  Each completed session folds its
+            :class:`SessionStats` in (queue-depth peak, backpressure
+            waits, poisoned/timed-out outcomes) and publishes its
+            decoder's stage trace when one was collected.  ``None``
+            (default) adopts the process-wide active registry at
+            construction time, so ``--telemetry`` runs need no plumbing
+            and undecorated use stays zero-cost.
     """
 
     def __init__(self, queue_chunks: int = 8,
                  watchdog_s: float | None = None,
-                 isolate_errors: bool = False) -> None:
+                 isolate_errors: bool = False,
+                 registry: MetricsRegistry | None = None) -> None:
         if queue_chunks < 1:
             raise ValueError(
                 f"queue_chunks must be >= 1, got {queue_chunks}")
@@ -201,6 +239,8 @@ class SessionMux:
         self.queue_chunks = queue_chunks
         self.watchdog_s = watchdog_s
         self.isolate_errors = isolate_errors
+        self.registry = (registry if registry is not None
+                         else active_registry())
         self.sessions: dict[str, StreamSession] = {}
 
     # ------------------------------------------------------------------
@@ -227,6 +267,9 @@ class SessionMux:
         await session.queue.put(np.asarray(chunk, dtype=float))
         session.stats.max_queue_depth = max(session.stats.max_queue_depth,
                                             session.queue.qsize())
+        if self.registry is not None:
+            self.registry.gauge("stream_queue_depth").set(
+                session.queue.qsize())
 
     async def close(self, session_id: str) -> None:
         """Signal end-of-stream; the worker flushes and finishes."""
@@ -237,6 +280,10 @@ class SessionMux:
         if not session.error:
             session.error = f"{type(exc).__name__}: {exc}"
             session.exception = exc
+            log = active_events()
+            if log is not None:
+                log.emit("session_poisoned", session=session.session_id,
+                         error=type(exc).__name__)
         session.stats.decode_errors += 1
 
     async def _drain(self, session: StreamSession) -> None:
@@ -321,6 +368,11 @@ class SessionMux:
             if not session.error:
                 session.error = (f"watchdog timeout after "
                                  f"{self.watchdog_s:g} s")
+                log = active_events()
+                if log is not None:
+                    log.emit("session_timeout",
+                             session=session.session_id,
+                             watchdog_s=self.watchdog_s)
         except Exception as exc:
             # The producer raised (broken feed iterable): record it on
             # this session; the worker is cancelled below while parked
@@ -333,6 +385,10 @@ class SessionMux:
                 if not task.done():
                     task.cancel()
             await asyncio.gather(worker, producer, return_exceptions=True)
+            if self.registry is not None:
+                session.stats.to_metrics(self.registry)
+                publish_stage_trace(self.registry,
+                                    session.decoder.stage_trace, "stream")
 
     async def run(self, feeds: Mapping[str, Iterable[np.ndarray]],
                   feed_hz: float = 0.0) -> None:
@@ -441,9 +497,13 @@ def replay_traces(feeds: Mapping[str, tuple], chunk_size: int,
         # pass-grouping expect travel time between sessions replaying
         # the same instant.  Callers modelling a spatial deployment
         # build the mux directly and pass real node positions.
+        # With profiling on, each replay session collects its own stage
+        # trace (normalize/acquire/decide) that the mux publishes to
+        # telemetry on completion; new_trace() is None otherwise.
         mux.add_session(sid, StreamDecoder(
             trace.sample_rate_hz, trace.start_time_s,
-            n_data_symbols=n_data_symbols, decoder=decoder))
+            n_data_symbols=n_data_symbols, decoder=decoder,
+            stage_trace=new_trace()))
         chunk_feeds[sid] = (overrides[sid] if sid in overrides
                             else iter_chunks(trace.samples, chunk_size))
     coro = mux.run(chunk_feeds, feed_hz=feed_hz)

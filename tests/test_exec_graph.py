@@ -104,6 +104,45 @@ class TestStageTrace:
         # scaled() is a copy: the original is untouched.
         assert a.timings_s["build"] == 1.5
 
+    def test_merge_empty_traces(self):
+        # Empty into empty, empty into populated, populated into
+        # empty: no spurious keys, no lost data.
+        empty = StageTrace()
+        empty.merge(StageTrace())
+        assert empty.timings_s == {} and empty.counters == {}
+        full = StageTrace(timings_s={"build": 1.0}, counters={"rows": 2})
+        full.merge(StageTrace())
+        assert full.timings_s == {"build": 1.0}
+        assert full.counters == {"rows": 2}
+        sink = StageTrace()
+        sink.merge(full)
+        assert sink.timings_s == {"build": 1.0}
+        assert sink.counters == {"rows": 2}
+        # merge copies: mutating the source must not alias the sink.
+        full.add("build", 9.0)
+        assert sink.timings_s == {"build": 1.0}
+
+    def test_scaled_zero_factor(self):
+        trace = StageTrace(timings_s={"build": 1.0, "decide": 2.0},
+                           counters={"rows": 4})
+        zero = trace.scaled(0.0)
+        assert zero.timings_s == {"build": 0.0, "decide": 0.0}
+        # Counters describe the whole group even at zero scale.
+        assert zero.counters == {"rows": 4}
+        assert zero.total_s == 0.0
+
+    def test_scaled_empty_trace(self):
+        scaled = StageTrace().scaled(0.5)
+        assert scaled.timings_s == {} and scaled.counters == {}
+        assert scaled.total_s == 0.0
+
+    def test_merge_disjoint_stages(self):
+        a = StageTrace(timings_s={"build": 1.0}, counters={"rows": 1})
+        b = StageTrace(timings_s={"decide": 2.0}, counters={"chunks": 5})
+        a.merge(b)
+        assert a.timings_s == {"build": 1.0, "decide": 2.0}
+        assert a.counters == {"rows": 1, "chunks": 5}
+
     def test_to_dict_pipeline_ordered(self):
         trace = StageTrace()
         trace.add("decide", 1.0)

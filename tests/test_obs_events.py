@@ -1,0 +1,121 @@
+"""Tests for repro.obs.events — the structured run event log."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    EVENT_KINDS,
+    EventLog,
+    RunEvent,
+    active_events,
+    event_scope,
+    set_events,
+)
+
+
+@pytest.fixture(autouse=True)
+def _no_active_log():
+    set_events(None)
+    yield
+    set_events(None)
+
+
+class FakeClock:
+    def __init__(self, start: float = 100.0) -> None:
+        self.now = start
+
+    def __call__(self) -> float:
+        return self.now
+
+
+class TestEventLog:
+    def test_emit_assigns_sequential_seq(self):
+        log = EventLog(clock=FakeClock())
+        a = log.emit("batch_start", n_specs=4)
+        b = log.emit("batch_end", n_specs=4)
+        assert (a.seq, b.seq) == (0, 1)
+        assert len(log) == 2
+
+    def test_timestamps_are_monotonic_relative(self):
+        clock = FakeClock(start=500.0)
+        log = EventLog(clock=clock)
+        clock.now = 500.25
+        event = log.emit("cache_hit", key="k")
+        # Relative to log opening, not to the epoch.
+        assert event.t_s == 0.25
+
+    def test_timestamps_rounded_to_microseconds(self):
+        clock = FakeClock()
+        log = EventLog(clock=clock)
+        clock.now += 0.123456789
+        assert log.emit("retry").t_s == 0.123457
+
+    def test_rejects_unknown_kind(self):
+        log = EventLog()
+        with pytest.raises(ValueError, match="unknown event kind"):
+            log.emit("reboot")
+
+    def test_kind_vocabulary_is_closed(self):
+        assert "batch_start" in EVENT_KINDS
+        assert "stage_timing" in EVENT_KINDS
+        assert isinstance(EVENT_KINDS, frozenset)
+
+    def test_of_kind_filters(self):
+        log = EventLog(clock=FakeClock())
+        log.emit("cache_hit", key="a")
+        log.emit("cache_miss", key="b")
+        log.emit("cache_hit", key="c")
+        hits = log.of_kind("cache_hit")
+        assert [e.fields["key"] for e in hits] == ["a", "c"]
+
+    def test_to_dict_flattens_fields(self):
+        event = RunEvent(seq=3, t_s=1.5, kind="retry",
+                         fields={"attempt": 2, "error": "OSError"})
+        assert event.to_dict() == {"seq": 3, "t_s": 1.5, "kind": "retry",
+                                   "attempt": 2, "error": "OSError"}
+
+
+class TestJsonlRoundTrip:
+    def test_to_jsonl_one_line_per_event(self):
+        log = EventLog(clock=FakeClock())
+        log.emit("batch_start", n_specs=2)
+        log.emit("batch_end", n_specs=2, failed=0)
+        text = log.to_jsonl()
+        lines = text.strip().splitlines()
+        assert len(lines) == 2
+        assert text.endswith("\n")
+        first = json.loads(lines[0])
+        assert first["kind"] == "batch_start" and first["n_specs"] == 2
+
+    def test_empty_log_renders_empty_string(self):
+        assert EventLog().to_jsonl() == ""
+
+    def test_write_and_read_round_trip(self, tmp_path):
+        log = EventLog(clock=FakeClock())
+        log.emit("pool_restart", reason="broken_pool", attempt=1)
+        log.emit("session_poisoned", session="s0", error="DecodeError")
+        path = log.write(tmp_path / "sub" / "events.jsonl")
+        assert path.exists()
+        events = EventLog.read_jsonl(path)
+        assert [e.kind for e in events] == ["pool_restart",
+                                            "session_poisoned"]
+        assert events[0].fields == {"reason": "broken_pool", "attempt": 1}
+        assert events[1].seq == 1
+
+
+class TestScope:
+    def test_off_by_default(self):
+        assert active_events() is None
+
+    def test_event_scope_activates_and_restores(self):
+        with event_scope() as log:
+            assert active_events() is log
+            log.emit("retry", attempt=1)
+        assert active_events() is None
+
+    def test_nested_scopes_restore_outer(self):
+        with event_scope() as outer:
+            with event_scope() as inner:
+                assert active_events() is inner
+            assert active_events() is outer

@@ -1,0 +1,141 @@
+"""Tests for repro.obs.export — Prometheus/JSON exporters and bundling."""
+
+import json
+
+import pytest
+
+from repro.exec import StageTrace
+from repro.obs import (
+    EventLog,
+    MetricsRegistry,
+    format_metrics,
+    load_snapshot,
+    publish_stage_trace,
+    render_json,
+    render_prometheus,
+    write_telemetry,
+)
+
+
+def small_registry() -> MetricsRegistry:
+    reg = MetricsRegistry()
+    reg.counter("hits_total", {"backend": "disk"}).inc(3)
+    reg.gauge("queue_depth").set(2)
+    h = reg.histogram("lat_seconds", buckets=(0.1, 1.0))
+    h.observe(0.05)
+    h.observe(0.5)
+    h.observe(5.0)
+    return reg
+
+
+class TestPrometheus:
+    def test_counter_and_gauge_lines(self):
+        text = render_prometheus(small_registry())
+        assert "# TYPE hits_total counter" in text
+        assert 'hits_total{backend="disk"} 3' in text
+        assert "# TYPE queue_depth gauge" in text
+        assert "queue_depth 2" in text
+
+    def test_histogram_buckets_are_cumulative(self):
+        lines = render_prometheus(small_registry()).splitlines()
+        bucket_lines = [l for l in lines if l.startswith("lat_seconds_bucket")]
+        assert bucket_lines == [
+            'lat_seconds_bucket{le="0.1"} 1',
+            'lat_seconds_bucket{le="1"} 2',
+            'lat_seconds_bucket{le="+Inf"} 3',
+        ]
+        assert "lat_seconds_count 3" in lines
+        assert any(l.startswith("lat_seconds_sum") for l in lines)
+
+    def test_type_header_emitted_once_per_name(self):
+        reg = MetricsRegistry()
+        reg.counter("x_total", {"a": "1"}).inc()
+        reg.counter("x_total", {"a": "2"}).inc()
+        text = render_prometheus(reg)
+        assert text.count("# TYPE x_total counter") == 1
+
+    def test_name_and_label_sanitization(self):
+        reg = MetricsRegistry()
+        reg.counter("bad-name.total", {"bad-key": 'va"lue'}).inc()
+        text = render_prometheus(reg)
+        assert 'bad_name_total{bad_key="va\\"lue"} 1' in text
+
+    def test_empty_registry_renders_empty(self):
+        assert render_prometheus(MetricsRegistry()) == ""
+
+    def test_accepts_raw_snapshot(self):
+        snap = small_registry().snapshot()
+        assert render_prometheus(snap) == render_prometheus(small_registry())
+
+
+class TestJson:
+    def test_schema_tag_and_sorted_keys(self):
+        doc = json.loads(render_json(small_registry()))
+        assert doc["schema"] == "repro.obs/1"
+        assert {"counters", "gauges", "histograms"} <= set(doc)
+
+    def test_render_is_deterministic(self):
+        assert render_json(small_registry()) == render_json(small_registry())
+
+    def test_load_snapshot_round_trip(self, tmp_path):
+        path = tmp_path / "metrics.json"
+        path.write_text(render_json(small_registry()))
+        snap = load_snapshot(path)
+        assert snap["counters"][0]["name"] == "hits_total"
+
+    def test_load_snapshot_rejects_non_snapshot(self, tmp_path):
+        path = tmp_path / "junk.json"
+        path.write_text('{"workloads": []}')
+        with pytest.raises(ValueError, match="not a repro.obs"):
+            load_snapshot(path)
+
+
+class TestWriteTelemetry:
+    def test_writes_all_three_artifacts(self, tmp_path):
+        log = EventLog()
+        log.emit("batch_start", n_specs=1)
+        paths = write_telemetry(tmp_path / "tel", small_registry(), log)
+        assert set(paths) == {"metrics.json", "metrics.prom",
+                              "events.jsonl"}
+        for path in paths.values():
+            assert path.exists()
+        snap = load_snapshot(paths["metrics.json"])
+        assert snap["schema"] == "repro.obs/1"
+        events = EventLog.read_jsonl(paths["events.jsonl"])
+        assert [e.kind for e in events] == ["batch_start"]
+
+    def test_missing_event_log_writes_empty_file(self, tmp_path):
+        paths = write_telemetry(tmp_path, small_registry())
+        assert paths["events.jsonl"].read_text() == ""
+
+
+class TestFormatMetrics:
+    def test_table_has_all_series(self):
+        text = format_metrics(small_registry())
+        assert "hits_total{backend=disk}" in text
+        assert "queue_depth" in text
+        assert "count=3" in text and "p95<=" in text
+
+    def test_empty_snapshot_message(self):
+        assert format_metrics(MetricsRegistry()) == "(empty snapshot)"
+
+
+class TestPublishStageTrace:
+    def test_folds_timings_and_counters(self):
+        reg = MetricsRegistry()
+        trace = StageTrace(timings_s={"build": 0.002, "decide": 0.3},
+                           counters={"batch_rows": 4})
+        publish_stage_trace(reg, trace, driver="tensor")
+        hist = reg.histogram("exec_stage_seconds",
+                             {"stage": "build", "driver": "tensor"})
+        assert hist.count == 1
+        assert hist.sum == pytest.approx(0.002)
+        counter = reg.counter("exec_stage_events_total",
+                              {"event": "batch_rows", "driver": "tensor"})
+        assert counter.value == 4.0
+
+    def test_none_trace_is_a_noop(self):
+        reg = MetricsRegistry()
+        publish_stage_trace(reg, None, driver="serial")
+        assert reg.snapshot() == {"counters": [], "gauges": [],
+                                  "histograms": []}

@@ -1,0 +1,297 @@
+"""Integration tests for the telemetry wiring across engine tiers.
+
+Covers the common ``to_metrics`` shape on every stats object, the
+incremental cache/retry/runner instrumentation, and the load-bearing
+guarantee: enabling telemetry never changes a single canonical record
+byte (checked against the full ``stage_parity.json`` golden set).
+"""
+
+import hashlib
+import json
+from pathlib import Path
+
+import pytest
+
+import repro.obs.registry as registry_mod
+from repro.engine import (
+    BatchRunner,
+    ResultCache,
+    ScenarioSpec,
+    SqliteResultCache,
+)
+from repro.engine.cache import CacheStats
+from repro.engine.executor import execute_scenario
+from repro.engine.runner import RunStats
+from repro.faults.inject import FaultLog
+from repro.faults.retry import RetryExhausted, RetryPolicy
+from repro.obs import (
+    TELEMETRY_ENV,
+    EventLog,
+    MetricsRegistry,
+    set_events,
+    set_registry,
+    telemetry_session,
+)
+from repro.stream.session import SessionStats
+
+from tests.test_engine_cache_backends import make_record
+
+GOLDEN_PATH = Path(__file__).parent / "baselines" / "stage_parity.json"
+GOLDEN = json.loads(GOLDEN_PATH.read_text())
+ENTRIES = GOLDEN["records"]
+SPECS = [ScenarioSpec.from_dict(e["spec"]) for e in ENTRIES]
+REPRESENTATIVES = (0, 13, 16, 17)
+
+
+@pytest.fixture(autouse=True)
+def _clean_telemetry(monkeypatch):
+    monkeypatch.delenv(TELEMETRY_ENV, raising=False)
+    set_registry(None)
+    set_events(None)
+    monkeypatch.setattr(registry_mod, "_ENV_DEFAULT", None)
+    yield
+    set_registry(None)
+    set_events(None)
+
+
+def counter_value(reg, name, labels=None):
+    return reg.counter(name, labels).value
+
+
+class TestToMetricsCommonShape:
+    """Satellite: every stats object folds into the registry the same way."""
+
+    def test_run_stats(self):
+        reg = MetricsRegistry()
+        stats = RunStats(total=5, cache_hits=2, executed=3,
+                         elapsed_s=0.5, backend="process",
+                         pool_restarts=1, timeouts=1, executor_errors=1,
+                         serial_fallback=True,
+                         fault_events={"chunks_dropped": 4})
+        stats.to_metrics(reg)
+        by = {"backend": "process"}
+        assert counter_value(reg, "engine_scenarios_total",
+                             {**by, "outcome": "run"}) == 3
+        assert counter_value(reg, "engine_scenarios_total",
+                             {**by, "outcome": "cached"}) == 2
+        assert counter_value(reg, "engine_scenarios_total",
+                             {**by, "outcome": "failed"}) == 1
+        assert counter_value(reg, "engine_pool_restarts_total") == 1
+        assert counter_value(reg, "engine_timeouts_total") == 1
+        assert counter_value(reg, "engine_serial_fallbacks_total") == 1
+        assert counter_value(reg, "fault_injections_total",
+                             {"kind": "chunks_dropped"}) == 4
+        assert reg.histogram("engine_batch_seconds", by).count == 1
+
+    def test_cache_stats(self):
+        reg = MetricsRegistry()
+        stats = CacheStats(hits=3, misses=2, writes=2, write_retries=1)
+        stats.to_metrics(reg, backend="sqlite")
+        assert counter_value(reg, "cache_lookups_total",
+                             {"backend": "sqlite", "result": "hit"}) == 3
+        assert counter_value(reg, "cache_lookups_total",
+                             {"backend": "sqlite", "result": "miss"}) == 2
+        assert counter_value(reg, "cache_writes_total",
+                             {"backend": "sqlite"}) == 2
+        assert counter_value(reg, "cache_write_retries_total",
+                             {"backend": "sqlite"}) == 1
+
+    def test_fault_log(self):
+        reg = MetricsRegistry()
+        log = FaultLog(chunks_dropped=2, noise_bursts=1)
+        log.to_metrics(reg)
+        assert counter_value(reg, "fault_injections_total",
+                             {"kind": "chunks_dropped"}) == 2
+        assert counter_value(reg, "fault_injections_total",
+                             {"kind": "noise_bursts"}) == 1
+        # Zero-count kinds stay absent from the snapshot.
+        names = {(c["name"], tuple(sorted(c["labels"].items())))
+                 for c in reg.snapshot()["counters"]}
+        assert ("fault_injections_total",
+                (("kind", "dropouts"),)) not in names
+
+    def test_session_stats(self):
+        reg = MetricsRegistry()
+        SessionStats(n_chunks=4, n_samples=100, busy_s=0.2,
+                     max_queue_depth=3, backpressure_waits=1,
+                     decode_errors=1).to_metrics(reg)
+        assert counter_value(reg, "stream_sessions_total",
+                             {"outcome": "poisoned"}) == 1
+        assert counter_value(reg, "stream_backpressure_waits_total") == 1
+        assert reg.gauge("stream_queue_depth_peak").value == 3
+        assert reg.histogram("stream_session_busy_seconds").count == 1
+        SessionStats().to_metrics(reg)
+        assert counter_value(reg, "stream_sessions_total",
+                             {"outcome": "ok"}) == 1
+
+
+class TestCacheWiring:
+    @pytest.mark.parametrize("cls,backend", [(ResultCache, "disk"),
+                                             (SqliteResultCache, "sqlite")])
+    def test_lookups_and_writes_instrumented(self, tmp_path, cls, backend):
+        with telemetry_session() as (reg, events):
+            cache = cls(tmp_path)
+            record = make_record()
+            assert cache.get(record.spec_hash) is None
+            cache.put(record)
+            assert cache.get(record.spec_hash) is not None
+            assert counter_value(reg, "cache_lookups_total",
+                                 {"backend": backend,
+                                  "result": "miss"}) == 1
+            assert counter_value(reg, "cache_lookups_total",
+                                 {"backend": backend, "result": "hit"}) == 1
+            assert counter_value(reg, "cache_writes_total",
+                                 {"backend": backend}) == 1
+            kinds = [e.kind for e in events.events]
+            assert kinds == ["cache_miss", "cache_hit"]
+            assert events.events[0].fields["backend"] == backend
+
+    def test_disabled_path_records_nothing(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(make_record())
+        assert cache.get(make_record().spec_hash) is not None
+        # Only the plain stats counters moved; no registry existed.
+        assert cache.stats.hits == 1
+
+
+class TestRetryWiring:
+    def test_retries_and_exhaustion_counted(self):
+        with telemetry_session() as (reg, events):
+            policy = RetryPolicy(max_attempts=3)
+            calls = {"n": 0}
+
+            def flaky():
+                calls["n"] += 1
+                raise OSError("still broken")
+
+            with pytest.raises(RetryExhausted):
+                policy.call(flaky, sleep=lambda s: None)
+            assert calls["n"] == 3
+            assert counter_value(reg, "retry_attempts_total",
+                                 {"error": "OSError"}) == 2
+            assert counter_value(reg, "retry_exhausted_total",
+                                 {"error": "OSError"}) == 1
+            kinds = [e.kind for e in events.events]
+            assert kinds == ["retry", "retry", "retry_exhausted"]
+            assert events.events[-1].fields["attempts"] == 3
+
+    def test_success_after_retry_is_not_exhaustion(self):
+        with telemetry_session() as (reg, events):
+            policy = RetryPolicy(max_attempts=3)
+            state = {"n": 0}
+
+            def eventually():
+                state["n"] += 1
+                if state["n"] < 2:
+                    raise OSError("once")
+                return "ok"
+
+            assert policy.call(eventually, sleep=lambda s: None) == "ok"
+            assert counter_value(reg, "retry_attempts_total",
+                                 {"error": "OSError"}) == 1
+            assert not events.of_kind("retry_exhausted")
+
+
+class TestRunnerWiring:
+    def test_batch_metrics_and_events(self, tmp_path):
+        subset = [SPECS[i] for i in REPRESENTATIVES]
+        with telemetry_session() as (reg, events):
+            with BatchRunner(cache=tmp_path / "cache") as runner:
+                runner.run(subset)
+                runner.run(subset)  # warm: all cached
+            by = {"backend": "process"}
+            assert counter_value(reg, "engine_scenarios_total",
+                                 {**by, "outcome": "run"}) == len(subset)
+            assert counter_value(reg, "engine_scenarios_total",
+                                 {**by, "outcome": "cached"}) == len(subset)
+            assert reg.histogram("engine_batch_seconds", by).count == 2
+            starts = events.of_kind("batch_start")
+            ends = events.of_kind("batch_end")
+            assert len(starts) == len(ends) == 2
+            assert starts[0].fields["n_specs"] == len(subset)
+            assert ends[1].fields["cached"] == len(subset)
+            # Incremental cache instrumentation rode along.
+            assert counter_value(reg, "cache_lookups_total",
+                                 {"backend": "disk",
+                                  "result": "hit"}) == len(subset)
+
+
+class TestStreamWiring:
+    def test_mux_accepts_explicit_registry(self):
+        from repro.stream.session import SessionMux
+
+        reg = MetricsRegistry()
+        mux = SessionMux(registry=reg)
+        assert mux.registry is reg
+
+    def test_mux_defaults_to_active_registry(self):
+        from repro.stream.session import SessionMux
+
+        with telemetry_session() as (reg, _):
+            assert SessionMux().registry is reg
+        assert SessionMux().registry is None
+
+    def test_session_metrics_published_after_replay(self):
+        from repro.stream import replay_traces
+
+        from tests.test_stream_decode import synthetic_trace
+
+        trace = synthetic_trace(bits="10")
+        feeds = {"s0": (trace, 4, None)}
+        with telemetry_session() as (reg, _):
+            mux = replay_traces(feeds, chunk_size=32)
+            assert mux.session("s0").verdict().bits == "10"
+            assert counter_value(reg, "stream_sessions_total",
+                                 {"outcome": "ok"}) == 1
+            assert counter_value(reg, "stream_chunks_total") > 0
+            assert reg.histogram("stream_session_busy_seconds").count == 1
+
+
+class TestByteParityWithTelemetry:
+    """The load-bearing guarantee: telemetry on, bytes unchanged."""
+
+    @staticmethod
+    def sha(record):
+        return hashlib.sha256(record.canonical_json().encode()).hexdigest()
+
+    def test_all_goldens_serial(self):
+        with telemetry_session():
+            for i, spec in enumerate(SPECS):
+                record = execute_scenario(spec)
+                assert self.sha(record) == ENTRIES[i]["sha256"], \
+                    f"record {i}"
+
+    def test_representatives_tensor(self):
+        from repro.tensor.batch import execute_batch
+
+        subset = [SPECS[i] for i in REPRESENTATIVES]
+        with telemetry_session():
+            records = execute_batch(subset)
+        for i, record in zip(REPRESENTATIVES, records):
+            assert self.sha(record) == ENTRIES[i]["sha256"], f"record {i}"
+
+    def test_representatives_runner_with_cache(self, tmp_path):
+        subset = [SPECS[i] for i in REPRESENTATIVES]
+        with telemetry_session():
+            with BatchRunner(cache=tmp_path / "cache") as runner:
+                cold = runner.run(subset)
+                warm = runner.run(subset)
+        for i, c, w in zip(REPRESENTATIVES, cold.records, warm.records):
+            assert self.sha(c) == ENTRIES[i]["sha256"], f"record {i}"
+            assert self.sha(w) == ENTRIES[i]["sha256"], f"record {i}"
+
+    def test_profiled_goldens_publish_stage_histograms(self):
+        # Guards against the parity tests passing vacuously: with
+        # profiling on, the serial driver must actually publish stage
+        # samples — and the bytes must still match.
+        from repro.exec import profiled
+
+        with telemetry_session() as (reg, _):
+            with profiled():
+                record = execute_scenario(SPECS[0])
+            assert self.sha(record) == ENTRIES[0]["sha256"]
+            histograms = reg.snapshot()["histograms"]
+            stage_series = [h for h in histograms
+                            if h["name"] == "exec_stage_seconds"
+                            and h["labels"]["driver"] == "serial"]
+            assert stage_series, "no stage histograms published"

@@ -393,3 +393,67 @@ class TestProfiledBench:
                            profile=True)
         for timing in report.results:
             assert not any(k.startswith("stage_") for k in timing.extras)
+
+
+class TestStageMedians:
+    """Satellite: stage medians are a first-class, printed, diffable
+    block — not just print-and-forget extras."""
+
+    def _timing(self, extras):
+        return WorkloadTiming(name="w", kind="macro", description="",
+                              warmup=0, times_s=[1.0], extras=extras)
+
+    def test_stage_medians_derived_from_extras(self):
+        timing = self._timing({"stage_build_s": 0.002,
+                               "stage_decide_s": 0.001,
+                               "scenarios_per_s": 42.0})
+        assert timing.stage_medians_s == {"build": 0.002, "decide": 0.001}
+
+    def test_no_stage_extras_means_empty(self):
+        assert self._timing({"scenarios_per_s": 42.0}).stage_medians_s == {}
+
+    def test_to_dict_has_first_class_stages_block(self):
+        timing = self._timing({"stage_build_s": 0.002})
+        data = timing.to_dict()
+        assert data["stages"] == {"build": 0.002}
+        # Unprofiled timings keep the block absent, not empty.
+        assert "stages" not in self._timing({}).to_dict()
+
+    def test_stages_block_round_trips_via_extras(self, tmp_path):
+        report = PerfReport(results=[self._timing({"stage_build_s": 0.5})])
+        path = save_report(report, tmp_path / "report.json")
+        loaded = load_report(path)
+        assert loaded.results[0].stage_medians_s == {"build": 0.5}
+        assert json.loads(path.read_text())["workloads"][0]["stages"] == \
+            {"build": 0.5}
+
+    def test_stage_regressions_gate_when_in_both_reports(self):
+        current = _report({"engine_batch": 1.0})
+        current.results[0].extras["stage_decide_s"] = 1.0
+        baseline = _report({"engine_batch": 1.0})
+        baseline.results[0].extras["stage_decide_s"] = 0.5
+        comparisons = compare_reports(current, baseline)
+        regressed = [c.name for c in comparisons if c.regressed]
+        assert regressed == ["engine_batch:stage_decide_s"]
+
+    def test_format_stage_medians_table(self):
+        from repro.perf import format_stage_medians
+
+        report = PerfReport(results=[
+            self._timing({"stage_build_s": 0.001, "stage_decide_s": 0.003})])
+        table = format_stage_medians(report)
+        assert "build" in table and "decide" in table
+        assert "75.0%" in table  # 0.003 of 0.004
+        assert format_stage_medians(PerfReport()) == ""
+
+    def test_bench_cli_prints_stage_table(self, tmp_path, capsys):
+        code = cli_main(["bench", "--quick", "--repeats", "1",
+                         "--workload", "engine_batch", "--profile",
+                         "--out", str(tmp_path / "r.json"),
+                         "--baseline", str(tmp_path / "none.json")])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "stage medians (profiled passes):" in out
+        assert "simulate" in out
+        saved = json.loads((tmp_path / "r.json").read_text())
+        assert "simulate" in saved["workloads"][0]["stages"]
